@@ -1,0 +1,92 @@
+//! Criterion micro-benches of the heavy substrate components: bit-level
+//! injection, federated aggregation, conv policy inference, raycast
+//! depth rendering and anomaly-detector scans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frlfi::envs::{DroneConfig, DroneSim, Environment};
+use frlfi::fault::{inject_slice, DataRepr, FaultModel};
+use frlfi::federated::Server;
+use frlfi::mitigation::RangeDetector;
+use frlfi::nn::NetworkBuilder;
+use frlfi::quant::SymInt8Quantizer;
+use frlfi::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn injection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut buf = vec![0.5f32; 10_000];
+    c.bench_function("inject_100_bits_f32_10k_params", |b| {
+        b.iter(|| {
+            black_box(inject_slice(
+                &mut buf,
+                DataRepr::F32,
+                FaultModel::TransientMulti,
+                100,
+                &mut rng,
+            ))
+        })
+    });
+    let q = SymInt8Quantizer::from_max_abs(1.0).expect("range");
+    c.bench_function("inject_100_bits_int8_10k_params", |b| {
+        b.iter(|| {
+            black_box(inject_slice(
+                &mut buf,
+                DataRepr::SymInt8(q),
+                FaultModel::TransientMulti,
+                100,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn aggregation(c: &mut Criterion) {
+    let mut server = Server::new(12, 10_000).expect("server");
+    let uploads: Vec<Vec<f32>> = (0..12).map(|i| vec![i as f32 * 0.01; 10_000]).collect();
+    c.bench_function("server_aggregate_12_agents_10k_params", |b| {
+        b.iter(|| black_box(server.aggregate(&uploads).expect("aggregate")))
+    });
+}
+
+fn policy_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = NetworkBuilder::new_image(1, 9, 16)
+        .conv(8, 3)
+        .relu()
+        .conv(12, 3)
+        .relu()
+        .conv(16, 3)
+        .relu()
+        .dense(64)
+        .relu()
+        .dense(25)
+        .build(&mut rng)
+        .expect("network");
+    let obs = Tensor::zeros(vec![1, 9, 16]);
+    c.bench_function("drone_conv_policy_forward", |b| {
+        b.iter(|| black_box(net.forward(&obs).expect("forward")))
+    });
+}
+
+fn depth_render(c: &mut Criterion) {
+    let mut sim = DroneSim::new(DroneConfig::default(), 7);
+    let mut rng = StdRng::seed_from_u64(2);
+    sim.reset(&mut rng);
+    c.bench_function("raycast_depth_render_9x16", |b| {
+        b.iter(|| black_box(sim.render_depth()))
+    });
+}
+
+fn detector_scan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = NetworkBuilder::new(6).dense(32).relu().dense(32).relu().dense(4).build(&mut rng)
+        .expect("network");
+    let det = RangeDetector::fit(&net);
+    let snap = net.snapshot();
+    c.bench_function("range_detector_scan_mlp", |b| b.iter(|| black_box(det.scan(&snap))));
+}
+
+criterion_group!(benches, injection, aggregation, policy_forward, depth_render, detector_scan);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs the ablation studies over the mitigation design choices
+//! (extensions beyond the paper's evaluation; see DESIGN.md §6).
+//!
+//! Usage: `ablations [smoke|bench|full]`.
+
+use frlfi::experiments::ablations;
+use frlfi_bench::scale_from_env;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("{}", ablations::checkpoint_interval(scale));
+    println!("{}", ablations::detector_window(scale));
+    println!("{}", ablations::range_margin(scale));
+    println!("{}", ablations::alpha_annealing(scale));
+    println!("{}", ablations::comm_interval_recovery(scale));
+}

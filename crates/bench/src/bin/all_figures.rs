@@ -1,0 +1,47 @@
+//! Runs every experiment in paper order and prints all tables — the
+//! one-shot reproduction driver behind EXPERIMENTS.md.
+//!
+//! Usage: `all_figures [smoke|bench|full]`.
+
+use frlfi::experiments::{datatypes, fig3, fig4, fig5, fig6, fig7, fig8, fig9, layers, surfaces, table1};
+use frlfi_bench::scale_from_env;
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_env();
+    let t0 = Instant::now();
+    println!("FRL-FI full reproduction at {scale:?} scale\n");
+
+    println!("{}", fig3::agent_faults(scale));
+    println!("{}", fig3::server_faults(scale));
+    println!("{}", fig3::single_agent(scale));
+    let d = fig3::weight_distribution(scale);
+    println!("{}", d.histogram);
+    println!(
+        "Weights range: [{:.3}, {:.3}]  Bits: {:.2}% zeros / {:.2}% ones\n",
+        d.min_weight,
+        d.max_weight,
+        d.zero_bit_fraction * 100.0,
+        d.one_bit_fraction * 100.0
+    );
+    println!("{}", fig3::convergence(scale));
+    println!("{}", table1::run(scale));
+    println!("{}", fig4::run(scale));
+    println!("{}", fig5::agent_faults(scale));
+    println!("{}", fig5::server_faults(scale));
+    println!("{}", fig5::single_drone(scale));
+    println!("{}", fig6::drone_count(scale));
+    println!("{}", fig6::comm_interval(scale));
+    println!("{}", fig7::gridworld(scale));
+    println!("{}", fig7::drone(scale));
+    println!("{}", fig8::gridworld(scale));
+    println!("{}", fig8::drone(scale));
+    for t in fig9::run() {
+        println!("{t}");
+    }
+    println!("{}", datatypes::run(scale));
+    println!("{}", layers::run(scale));
+    println!("{}", surfaces::run(scale));
+
+    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+}

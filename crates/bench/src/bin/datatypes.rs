@@ -1,0 +1,7 @@
+//! Regenerates the §IV-B-3 fixed-point data-type resilience study.
+//!
+//! Usage: `datatypes [smoke|bench|full]`.
+
+fn main() {
+    println!("{}", frlfi::experiments::datatypes::run(frlfi_bench::scale_from_env()));
+}

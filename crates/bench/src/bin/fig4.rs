@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4: GridWorld inference fault characterization.
+//!
+//! Usage: `fig4 [smoke|bench|full]`.
+
+fn main() {
+    println!("{}", frlfi::experiments::fig4::run(frlfi_bench::scale_from_env()));
+}

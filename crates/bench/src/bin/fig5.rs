@@ -1,0 +1,24 @@
+//! Regenerates Fig. 5: DroneNav training fault characterization.
+//!
+//! Usage: `fig5 [smoke|bench|full] [a|b|c]` (default: all panels).
+
+use frlfi::experiments::fig5;
+use frlfi_bench::scale_from_env;
+
+fn main() {
+    let scale = scale_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let panel = args.iter().find(|a| ["a", "b", "c"].contains(&a.as_str()));
+    let all = panel.is_none();
+    let want = |p: &str| all || panel.map(|s| s == p).unwrap_or(false);
+
+    if want("a") {
+        println!("{}", fig5::agent_faults(scale));
+    }
+    if want("b") {
+        println!("{}", fig5::server_faults(scale));
+    }
+    if want("c") {
+        println!("{}", fig5::single_drone(scale));
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 6: drone-count and communication-interval studies.
+//!
+//! Usage: `fig6 [smoke|bench|full] [a|b]` (default: both panels).
+
+use frlfi::experiments::fig6;
+use frlfi_bench::scale_from_env;
+
+fn main() {
+    let scale = scale_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let panel = args.iter().find(|a| ["a", "b"].contains(&a.as_str()));
+    let all = panel.is_none();
+    let want = |p: &str| all || panel.map(|s| s == p).unwrap_or(false);
+
+    if want("a") {
+        println!("{}", fig6::drone_count(scale));
+    }
+    if want("b") {
+        println!("{}", fig6::comm_interval(scale));
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 8: inference-time mitigation via range-based
+//! anomaly detection.
+//!
+//! Usage: `fig8 [smoke|bench|full] [a|b]` (default: both panels).
+
+use frlfi::experiments::fig8;
+use frlfi_bench::scale_from_env;
+
+fn main() {
+    let scale = scale_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let panel = args.iter().find(|a| ["a", "b"].contains(&a.as_str()));
+    let all = panel.is_none();
+    let want = |p: &str| all || panel.map(|s| s == p).unwrap_or(false);
+
+    if want("a") {
+        println!("{}", fig8::gridworld(scale));
+    }
+    if want("b") {
+        println!("{}", fig8::drone(scale));
+    }
+}

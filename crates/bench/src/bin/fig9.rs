@@ -1,0 +1,8 @@
+//! Regenerates Fig. 9: end-to-end protection-scheme overhead on two
+//! drone platforms (model-based, scale-independent).
+
+fn main() {
+    for table in frlfi::experiments::fig9::run() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the per-layer resilience study (§IV-C).
+//!
+//! Usage: `layers [smoke|bench|full]`.
+
+fn main() {
+    println!("{}", frlfi::experiments::layers::run(frlfi_bench::scale_from_env()));
+}

@@ -1,0 +1,8 @@
+//! Runs the fault-surface comparison (weights vs activations vs
+//! register; extension of the paper's §III-C fault model).
+//!
+//! Usage: `surfaces [smoke|bench|full]`.
+
+fn main() {
+    println!("{}", frlfi::experiments::surfaces::run(frlfi_bench::scale_from_env()));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I: consensus-policy statistics vs agent count.
+//!
+//! Usage: `table1 [smoke|bench|full]`.
+
+fn main() {
+    println!("{}", frlfi::experiments::table1::run(frlfi_bench::scale_from_env()));
+}

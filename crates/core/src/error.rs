@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Top-level error type of the `frlfi` crate.
+#[derive(Debug)]
+pub enum FrlfiError {
+    /// A network operation failed.
+    Nn(frlfi_nn::NnError),
+    /// A federated-exchange operation failed.
+    Federated(frlfi_federated::FederatedError),
+    /// A fault-model parameter was invalid.
+    Fault(frlfi_fault::FaultError),
+    /// A system was configured inconsistently.
+    BadConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FrlfiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrlfiError::Nn(e) => write!(f, "network error: {e}"),
+            FrlfiError::Federated(e) => write!(f, "federated error: {e}"),
+            FrlfiError::Fault(e) => write!(f, "fault-model error: {e}"),
+            FrlfiError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+        }
+    }
+}
+
+impl Error for FrlfiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrlfiError::Nn(e) => Some(e),
+            FrlfiError::Federated(e) => Some(e),
+            FrlfiError::Fault(e) => Some(e),
+            FrlfiError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<frlfi_nn::NnError> for FrlfiError {
+    fn from(e: frlfi_nn::NnError) -> Self {
+        FrlfiError::Nn(e)
+    }
+}
+
+impl From<frlfi_federated::FederatedError> for FrlfiError {
+    fn from(e: frlfi_federated::FederatedError) -> Self {
+        FrlfiError::Federated(e)
+    }
+}
+
+impl From<frlfi_fault::FaultError> for FrlfiError {
+    fn from(e: frlfi_fault::FaultError) -> Self {
+        FrlfiError::Fault(e)
+    }
+}

@@ -1,0 +1,81 @@
+//! §IV-B-3: fixed-point data-type resilience study.
+//!
+//! Deploys the trained policy in three 16-bit fixed-point formats —
+//! Q(1,4,11), Q(1,7,8), Q(1,10,5) — and sweeps static inference faults.
+//! The paper's finding: the wide-range Q(1,10,5) is the most vulnerable
+//! (high-bit flips create huge outliers), while the narrow Q(1,4,11)
+//! that matches the parameter range is the most robust.
+
+use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use crate::report::Table;
+use crate::{GridFrlSystem, GridSystemConfig, ReprKind, Scale};
+use frlfi_fault::{Ber, FaultModel};
+use frlfi_quant::QFormat;
+use frlfi_tensor::derive_seed;
+
+/// The three studied formats.
+pub fn formats() -> [QFormat; 3] {
+    [QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5]
+}
+
+/// Runs the data-type study on the GridWorld system (success rate %).
+pub fn run(scale: Scale) -> Table {
+    let episodes = scale.pick(150, 600, 1000);
+    let n_agents = scale.pick(3, 6, 12);
+    let repeats = scale.pick(2, 6, 100);
+    // The formats discriminate at low flip counts (a single Q10.5
+    // high-bit flip already creates a ±1024 outlier); by ~0.5% BER all
+    // three formats have collapsed, so the sweep stays below that.
+    let bers: Vec<f64> = scale.pick(
+        vec![0.0, 2e-4, 1e-3],
+        vec![0.0, 5e-5, 2e-4, 5e-4, 1e-3, 2e-3],
+        vec![0.0, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3],
+    );
+
+    let mut sys = GridFrlSystem::new(GridSystemConfig {
+        n_agents,
+        seed: SYSTEM_SEED,
+        epsilon_decay_episodes: episodes / 2,
+        ..Default::default()
+    })
+    .expect("valid config");
+    sys.train(episodes, None, None).expect("training");
+
+    let mut table = Table::new(
+        "Data-type study: SR (%) under static faults by fixed-point format",
+        "BER",
+        formats().iter().map(|q| q.name()).collect(),
+    );
+    for (bi, &ber) in bers.iter().enumerate() {
+        let ber_v = Ber::new(ber).expect("valid ber");
+        let mut row = Vec::with_capacity(3);
+        for (qi, q) in formats().into_iter().enumerate() {
+            let mut sum = 0.0;
+            for r in 0..repeats {
+                let seed =
+                    derive_seed(DEFAULT_SEED ^ 0xDA7A, ((bi * 3 + qi) * repeats + r) as u64);
+                sum += sys.with_faulted_policies(
+                    FaultModel::TransientMulti,
+                    ber_v,
+                    ReprKind::Fixed(q),
+                    seed,
+                    |s| s.success_rate(),
+                );
+            }
+            row.push(sum / repeats as f64 * 100.0);
+        }
+        table.push_row(ber_label(ber), row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_are_the_papers() {
+        let names: Vec<String> = formats().iter().map(|q| q.name()).collect();
+        assert_eq!(names, vec!["Q(1,4,11)", "Q(1,7,8)", "Q(1,10,5)"]);
+    }
+}

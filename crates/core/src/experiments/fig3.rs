@@ -1,0 +1,253 @@
+//! Fig. 3: transient fault characterization in GridWorld **training**.
+//!
+//! * (a) agent faults, (b) server faults, (c) single-agent baseline —
+//!   heatmaps of average success rate over (BER × injection episode);
+//! * (d) trained policy weight distribution and 0/1-bit census;
+//! * (e) episodes to re-converge after a fault at the end of training.
+
+use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use crate::report::Table;
+use crate::{GridFrlSystem, GridSystemConfig, InjectionPlan, Scale};
+use frlfi_fault::{sweep, Ber, FaultSide};
+use frlfi_quant::{BitCensus, SymInt8Quantizer};
+use frlfi_tensor::histogram;
+use frlfi_rl::Learner;
+
+/// Campaign geometry for one heatmap.
+#[derive(Debug, Clone)]
+struct Geometry {
+    bers: Vec<f64>,
+    inject_episodes: Vec<usize>,
+    total_episodes: usize,
+    n_agents: usize,
+    repeats: usize,
+}
+
+fn geometry(scale: Scale) -> Geometry {
+    match scale {
+        Scale::Smoke => Geometry {
+            bers: vec![0.0, 0.05, 0.2],
+            inject_episodes: vec![40, 125],
+            total_episodes: 130,
+            n_agents: 3,
+            repeats: 2,
+        },
+        Scale::Bench => Geometry {
+            bers: vec![0.0, 0.01, 0.02, 0.05, 0.1, 0.2],
+            inject_episodes: vec![90, 240, 390, 510, 570, 595],
+            total_episodes: 600,
+            n_agents: 6,
+            repeats: 4,
+        },
+        Scale::Full => Geometry {
+            bers: vec![0.0, 0.005, 0.01, 0.02, 0.05, 0.08, 0.12, 0.16, 0.2, 0.3, 0.5],
+            inject_episodes: (0..10).map(|i| 100 * i + 50).chain([995]).collect(),
+            total_episodes: 1000,
+            n_agents: 12,
+            repeats: 50,
+        },
+    }
+}
+
+/// Runs one training-fault heatmap.
+///
+/// `side = None` requests the single-agent baseline (Fig. 3c):
+/// `n_agents = 1`, faults strike the lone agent.
+fn heatmap(scale: Scale, side: Option<FaultSide>, title: &str) -> Table {
+    let g = geometry(scale);
+    let n_agents = if side.is_none() { 1 } else { g.n_agents };
+    let cells: Vec<(f64, usize)> = g
+        .bers
+        .iter()
+        .flat_map(|&b| g.inject_episodes.iter().map(move |&e| (b, e)))
+        .collect();
+
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED, |&(ber, ep), seed| {
+        // Fixed system, per-repeat fault stream: cell statistics then
+        // measure fault impact, not training variance.
+        let cfg = GridSystemConfig {
+            n_agents,
+            seed: SYSTEM_SEED,
+            epsilon_decay_episodes: g.total_episodes / 2,
+            ..Default::default()
+        };
+        let mut sys = GridFrlSystem::new(cfg).expect("valid config");
+        sys.reseed_faults(seed);
+        let plan = if ber > 0.0 {
+            let side = side.unwrap_or(FaultSide::AgentSide);
+            Some(match side {
+                FaultSide::AgentSide => InjectionPlan::agent(ep, Ber::new(ber).expect("valid ber")),
+                FaultSide::ServerSide => {
+                    InjectionPlan::server(ep, Ber::new(ber).expect("valid ber"))
+                }
+            })
+        } else {
+            None
+        };
+        sys.train(g.total_episodes, plan.as_ref(), None).expect("training");
+        sys.success_rate() * 100.0
+    });
+
+    let mut table = Table::new(
+        title,
+        "BER",
+        g.inject_episodes.iter().map(|e| format!("ep{e}")).collect(),
+    );
+    for (bi, &ber) in g.bers.iter().enumerate() {
+        let row: Vec<f64> = (0..g.inject_episodes.len())
+            .map(|ei| stats[bi * g.inject_episodes.len() + ei].mean)
+            .collect();
+        table.push_row(ber_label(ber), row);
+    }
+    table
+}
+
+/// Fig. 3a: FRL training heatmap under **agent** faults.
+pub fn agent_faults(scale: Scale) -> Table {
+    heatmap(scale, Some(FaultSide::AgentSide), "Fig 3a: GridWorld training, agent faults (SR %)")
+}
+
+/// Fig. 3b: FRL training heatmap under **server** faults.
+pub fn server_faults(scale: Scale) -> Table {
+    heatmap(scale, Some(FaultSide::ServerSide), "Fig 3b: GridWorld training, server faults (SR %)")
+}
+
+/// Fig. 3c: the single-agent (no server) baseline heatmap.
+pub fn single_agent(scale: Scale) -> Table {
+    heatmap(scale, None, "Fig 3c: GridWorld training, single-agent (SR %)")
+}
+
+/// Results of the Fig. 3d weight-distribution analysis.
+#[derive(Debug, Clone)]
+pub struct WeightDistribution {
+    /// Histogram of trained consensus weights.
+    pub histogram: Table,
+    /// Fraction of 0 bits in the int8-encoded policy (paper: ~86%).
+    pub zero_bit_fraction: f64,
+    /// Fraction of 1 bits (paper: ~14%).
+    pub one_bit_fraction: f64,
+    /// Minimum trained weight.
+    pub min_weight: f32,
+    /// Maximum trained weight.
+    pub max_weight: f32,
+}
+
+/// Fig. 3d: trained policy weight distribution and bit census.
+///
+/// # Panics
+///
+/// Panics if training fails (propagated from the system).
+pub fn weight_distribution(scale: Scale) -> WeightDistribution {
+    let episodes = scale.pick(150, 600, 1000);
+    let n_agents = scale.pick(3, 6, 12);
+    let cfg = GridSystemConfig {
+        n_agents,
+        seed: SYSTEM_SEED,
+        epsilon_decay_episodes: episodes / 2,
+        ..Default::default()
+    };
+    let mut sys = GridFrlSystem::new(cfg).expect("valid config");
+    sys.train(episodes, None, None).expect("training");
+    let weights = sys.agent(0).network().snapshot();
+
+    let lo = weights.iter().cloned().fold(f32::INFINITY, f32::min);
+    let hi = weights.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let bins = 16;
+    let counts = histogram(&weights, lo, hi, bins);
+    let mut table = Table::new(
+        "Fig 3d: trained policy weight histogram",
+        "bin",
+        vec!["count".into()],
+    )
+    .with_precision(0);
+    let width = (hi - lo) / bins as f32;
+    for (i, &c) in counts.iter().enumerate() {
+        let centre = lo + (i as f32 + 0.5) * width;
+        table.push_row(format!("{centre:+.2}"), vec![c as f64]);
+    }
+
+    let quantizer = SymInt8Quantizer::fit(&weights).expect("non-degenerate weights");
+    let codes = quantizer.encode_slice(&weights);
+    let census = BitCensus::of_u8(&codes);
+    WeightDistribution {
+        histogram: table,
+        zero_bit_fraction: census.fraction_zeros(),
+        one_bit_fraction: census.fraction_ones(),
+        min_weight: lo,
+        max_weight: hi,
+    }
+}
+
+/// Fig. 3e: episodes to re-converge (SR ≥ 96%) after a fault injected
+/// near the end of training, for agent vs server faults.
+pub fn convergence(scale: Scale) -> Table {
+    let g = geometry(scale);
+    let bers: Vec<f64> = g.bers.iter().copied().filter(|&b| b > 0.0).collect();
+    let late_ep = g.total_episodes * 9 / 10;
+    let check_every = scale.pick(20, 25, 50);
+    let max_extra = g.total_episodes * 2;
+
+    let cells: Vec<(f64, FaultSide)> = bers
+        .iter()
+        .flat_map(|&b| [(b, FaultSide::AgentSide), (b, FaultSide::ServerSide)])
+        .collect();
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x3E, |&(ber, side), seed| {
+        let cfg = GridSystemConfig {
+            n_agents: g.n_agents,
+            seed: SYSTEM_SEED,
+            epsilon_decay_episodes: g.total_episodes / 2,
+            ..Default::default()
+        };
+        let mut sys = GridFrlSystem::new(cfg).expect("valid config");
+        sys.reseed_faults(seed);
+        let plan = match side {
+            FaultSide::AgentSide => InjectionPlan::agent(late_ep, Ber::new(ber).expect("ber")),
+            FaultSide::ServerSide => InjectionPlan::server(late_ep, Ber::new(ber).expect("ber")),
+        };
+        sys.train(g.total_episodes, Some(&plan), None).expect("training");
+        match sys.episodes_to_converge(0.96, check_every, max_extra).expect("training") {
+            Some(extra) => (g.total_episodes + extra) as f64,
+            None => (g.total_episodes + max_extra) as f64,
+        }
+    });
+
+    let mut table = Table::new(
+        "Fig 3e: episodes to converge after late fault",
+        "BER",
+        vec!["agent".into(), "server".into()],
+    )
+    .with_precision(0);
+    for (bi, &ber) in bers.iter().enumerate() {
+        table.push_row(ber_label(ber), vec![stats[bi * 2].mean, stats[bi * 2 + 1].mean]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_heatmap_has_expected_geometry() {
+        let t = agent_faults(Scale::Smoke);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.columns.len(), 2);
+        for (_, row) in &t.rows {
+            for &v in row {
+                assert!((0.0..=100.0).contains(&v), "SR {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_distribution_finds_zero_bit_majority() {
+        let d = weight_distribution(Scale::Smoke);
+        assert!(
+            d.zero_bit_fraction > 0.5,
+            "trained int8 policies should be mostly 0 bits, got {}",
+            d.zero_bit_fraction
+        );
+        assert!((d.zero_bit_fraction + d.one_bit_fraction - 1.0).abs() < 1e-9);
+        assert!(d.min_weight < d.max_weight);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 4: transient fault characterization in GridWorld **inference**.
+//!
+//! Success rate vs BER for:
+//! * `Single-Trans-M` — persistent (memory) faults in a single-agent
+//!   system's policy;
+//! * `Multi-Trans-M` — persistent faults in the FRL consensus policy;
+//! * `Multi-Trans-1` — a one-action-step (read-register) upset;
+//! * `Stuck-at-0` / `Stuck-at-1` — stuck-at faults in the FRL policy.
+//!
+//! The paper's findings: Multi-Trans-1 is negligible (sequential
+//! decision-making self-corrects), the multi-agent policy beats the
+//! single-agent one at every BER, and stuck-at-1 dominates stuck-at-0
+//! (0 bits dominate trained policies).
+
+use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use crate::report::Table;
+use crate::{GridFrlSystem, GridSystemConfig, ReprKind, Scale};
+use frlfi_fault::{Ber, FaultModel};
+use frlfi_tensor::derive_seed;
+
+/// BER grid per scale (fractions; the paper sweeps 0–2%).
+fn bers(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Smoke => vec![0.0, 0.01, 0.02],
+        Scale::Bench => vec![0.0, 0.0025, 0.005, 0.01, 0.015, 0.02],
+        Scale::Full => (0..=8).map(|i| i as f64 * 0.0025).collect(),
+    }
+}
+
+/// Runs Fig. 4: trains the multi- and single-agent systems once, then
+/// sweeps static/dynamic inference faults over the BER grid.
+pub fn run(scale: Scale) -> Table {
+    let episodes = scale.pick(150, 600, 1000);
+    let n_agents = scale.pick(3, 6, 12);
+    let repeats = scale.pick(2, 6, 100);
+
+    let mut multi = GridFrlSystem::new(GridSystemConfig {
+        n_agents,
+        seed: SYSTEM_SEED,
+        epsilon_decay_episodes: episodes / 2,
+        ..Default::default()
+    })
+    .expect("valid config");
+    multi.train(episodes, None, None).expect("training");
+
+    let mut single = GridFrlSystem::new(GridSystemConfig {
+        n_agents: 1,
+        seed: SYSTEM_SEED,
+        epsilon_decay_episodes: episodes / 2,
+        ..Default::default()
+    })
+    .expect("valid config");
+    single.train(episodes, None, None).expect("training");
+
+    let columns = vec![
+        "Single-Trans-M".to_owned(),
+        "Multi-Trans-M".to_owned(),
+        "Multi-Trans-1".to_owned(),
+        "Stuck-at-0".to_owned(),
+        "Stuck-at-1".to_owned(),
+    ];
+    let mut table = Table::new("Fig 4: GridWorld inference (SR %)", "BER", columns);
+
+    for (bi, &ber) in bers(scale).iter().enumerate() {
+        let ber_v = Ber::new(ber).expect("valid ber");
+        let mut sums = [0.0f64; 5];
+        for r in 0..repeats {
+            let seed = derive_seed(DEFAULT_SEED ^ 0xF16_4, (bi * repeats + r) as u64);
+            sums[0] += single.with_faulted_policies(
+                FaultModel::TransientMulti,
+                ber_v,
+                ReprKind::Int8,
+                seed,
+                |s| s.success_rate(),
+            );
+            sums[1] += multi.with_faulted_policies(
+                FaultModel::TransientMulti,
+                ber_v,
+                ReprKind::Int8,
+                seed,
+                |s| s.success_rate(),
+            );
+            sums[2] += if ber == 0.0 {
+                multi.success_rate()
+            } else {
+                multi.success_rate_transient1(ber_v, ReprKind::Int8, seed)
+            };
+            sums[3] += multi.with_faulted_policies(
+                FaultModel::StuckAt0,
+                ber_v,
+                ReprKind::Int8,
+                seed,
+                |s| s.success_rate(),
+            );
+            sums[4] += multi.with_faulted_policies(
+                FaultModel::StuckAt1,
+                ber_v,
+                ReprKind::Int8,
+                seed,
+                |s| s.success_rate(),
+            );
+        }
+        let row: Vec<f64> = sums.iter().map(|s| s / repeats as f64 * 100.0).collect();
+        table.push_row(ber_label(ber), row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_shapes_hold() {
+        let t = run(Scale::Smoke);
+        assert_eq!(t.columns.len(), 5);
+        // Transient-1 at the highest BER should stay close to baseline
+        // (within the fault-free row's vicinity), per the paper.
+        let baseline = t.value(0, 2);
+        let worst_t1 = t.value(t.rows.len() - 1, 2);
+        assert!(
+            worst_t1 >= baseline - 40.0,
+            "Transient-1 should be mild: baseline {baseline}, worst {worst_t1}"
+        );
+    }
+}

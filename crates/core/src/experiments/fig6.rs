@@ -1,0 +1,181 @@
+//! Fig. 6: system-scale studies on the drone fleet.
+//!
+//! * (a) resilience vs drone count: flight distance under agent/server
+//!   faults for 2/4/6 drones — "more drones helps improve resilience";
+//! * (b) communication-interval trade-off: doubling/tripling the
+//!   interval late in fine-tuning cuts communication cost and
+//!   server-fault exposure but slows recovery from agent faults.
+
+use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use crate::report::Table;
+use crate::{DroneFrlSystem, DroneSystemConfig, InjectionPlan, ReprKind, Scale};
+use frlfi_fault::{sweep, Ber, FaultModel, FaultSide};
+use frlfi_federated::CommSchedule;
+
+use super::fig5::{geometry, pretrained_weights};
+
+/// Fig. 6a: flight distance vs BER for each (drone count, fault side).
+pub fn drone_count(scale: Scale) -> Table {
+    let g = geometry(scale);
+    let weights = pretrained_weights(&g);
+    let counts: Vec<usize> = scale.pick(vec![2, 3], vec![2, 4, 6], vec![2, 4, 6]);
+    let inject_ep = g.fine_tune_episodes / 2;
+
+    let mut cells: Vec<(usize, FaultSide, f64)> = Vec::new();
+    for &n in &counts {
+        for side in [FaultSide::ServerSide, FaultSide::AgentSide] {
+            for &b in &g.bers {
+                cells.push((n, side, b));
+            }
+        }
+    }
+
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x6A, |&(n, side, ber), seed| {
+        let mut sys = DroneFrlSystem::new(DroneSystemConfig {
+            n_drones: n,
+            seed: SYSTEM_SEED,
+            pretrain_episodes: 0,
+            ..Default::default()
+        })
+        .expect("valid config");
+        sys.set_fleet_weights(&weights).expect("weights fit");
+        sys.reseed_faults(seed);
+        let plan = (ber > 0.0).then(|| InjectionPlan {
+            episode: inject_ep,
+            side,
+            model: FaultModel::TransientMulti,
+            ber: Ber::new(ber).expect("valid ber"),
+            repr: ReprKind::Int8,
+        });
+        sys.fine_tune(g.fine_tune_episodes, plan.as_ref(), None).expect("fine-tune");
+        sys.safe_flight_distance(g.eval_attempts)
+    });
+
+    let mut table = Table::new(
+        "Fig 6a: flight distance vs BER by (drones, fault side) (m)",
+        "(n, side)",
+        g.bers.iter().map(|&b| ber_label(b)).collect(),
+    )
+    .with_precision(0);
+    let stride = g.bers.len();
+    let mut idx = 0;
+    for &n in &counts {
+        for side in ["server", "agent"] {
+            let row: Vec<f64> = (0..stride).map(|bi| stats[idx * stride + bi].mean).collect();
+            table.push_row(format!("({n}, {side})"), row);
+            idx += 1;
+        }
+    }
+    table
+}
+
+/// Fig. 6b: communication-interval study. Rows are schedules (×1, ×2,
+/// ×3 after the switch episode); columns are no-fault / agent-fault /
+/// server-fault flight distance plus the relative communication cost.
+pub fn comm_interval(scale: Scale) -> Table {
+    let g = geometry(scale);
+    let weights = pretrained_weights(&g);
+    // The paper boosts the interval "after the 2000th episode"; scaled
+    // here to 60% of fine-tuning, with faults striking after the switch.
+    let switch = g.fine_tune_episodes * 3 / 5;
+    let inject_ep = switch + (g.fine_tune_episodes - switch) / 2;
+    let fault_ber = Ber::new(1e-2).expect("valid ber");
+
+    let multipliers = [1usize, 2, 3];
+    #[derive(Clone, Copy)]
+    enum Case {
+        NoFault,
+        Agent,
+        Server,
+    }
+    let cells: Vec<(usize, u8)> = multipliers
+        .iter()
+        .flat_map(|&m| [(m, 0u8), (m, 1), (m, 2)])
+        .collect();
+
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x6B, |&(mult, case), seed| {
+        let comm = if mult == 1 {
+            CommSchedule::every(1)
+        } else {
+            CommSchedule::with_boost(1, switch, mult)
+        };
+        let mut sys = DroneFrlSystem::new(DroneSystemConfig {
+            n_drones: g.n_drones,
+            seed: SYSTEM_SEED,
+            pretrain_episodes: 0,
+            comm,
+            ..Default::default()
+        })
+        .expect("valid config");
+        sys.set_fleet_weights(&weights).expect("weights fit");
+        sys.reseed_faults(seed);
+        let case = match case {
+            0 => Case::NoFault,
+            1 => Case::Agent,
+            _ => Case::Server,
+        };
+        let plan = match case {
+            Case::NoFault => None,
+            Case::Agent => Some(InjectionPlan {
+                episode: inject_ep,
+                side: FaultSide::AgentSide,
+                model: FaultModel::TransientMulti,
+                ber: fault_ber,
+                repr: ReprKind::Int8,
+            }),
+            Case::Server => Some(InjectionPlan {
+                episode: inject_ep,
+                side: FaultSide::ServerSide,
+                model: FaultModel::TransientMulti,
+                ber: fault_ber,
+                repr: ReprKind::Int8,
+            }),
+        };
+        sys.fine_tune(g.fine_tune_episodes, plan.as_ref(), None).expect("fine-tune");
+        sys.safe_flight_distance(g.eval_attempts)
+    });
+
+    let mut table = Table::new(
+        "Fig 6b: communication-interval trade-off",
+        "schedule",
+        vec![
+            "no fault (m)".into(),
+            "agent fault (m)".into(),
+            "server fault (m)".into(),
+            "comm saving (%)".into(),
+        ],
+    )
+    .with_precision(1);
+    for (mi, &mult) in multipliers.iter().enumerate() {
+        let comm = if mult == 1 {
+            CommSchedule::every(1)
+        } else {
+            CommSchedule::with_boost(1, switch, mult)
+        };
+        let saving = comm.cost_saving_vs_base(g.fine_tune_episodes) * 100.0;
+        table.push_row(
+            format!("{mult}x C.I."),
+            vec![
+                stats[mi * 3].mean,
+                stats[mi * 3 + 1].mean,
+                stats[mi * 3 + 2].mean,
+                saving,
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_saving_grows_with_multiplier() {
+        let t = comm_interval(Scale::Smoke);
+        let s1 = t.value(0, 3);
+        let s3 = t.value(2, 3);
+        assert_eq!(s1, 0.0);
+        assert!(s3 > 10.0, "3x interval should save >10% comms, got {s3}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 9: end-to-end overhead of protection schemes on two drone
+//! platforms (cyber-physical model).
+//!
+//! The paper compares its detection scheme (<2.7% runtime overhead)
+//! against DMR and TMR from the *drone system's* perspective: redundant
+//! hardware costs power and payload, which shortens safe flight
+//! distance — catastrophically so on the micro-UAV (DJI Spark).
+
+use crate::report::Table;
+use frlfi_mitigation::{DronePlatform, ProtectionScheme};
+
+/// Runs the Fig. 9 overhead comparison for both platforms.
+pub fn run() -> Vec<Table> {
+    [DronePlatform::airsim(), DronePlatform::dji_spark()]
+        .into_iter()
+        .map(|platform| {
+            let mut table = Table::new(
+                format!("Fig 9: protection overhead on {}", platform.name),
+                "scheme",
+                vec![
+                    "distance (m)".into(),
+                    "degradation (%)".into(),
+                    "velocity factor".into(),
+                    "endurance factor".into(),
+                    "runtime overhead (%)".into(),
+                ],
+            )
+            .with_precision(2);
+            for scheme in ProtectionScheme::all() {
+                let r = platform.evaluate(scheme);
+                table.push_row(
+                    scheme.to_string(),
+                    vec![
+                        r.distance_m as f64,
+                        r.degradation_percent() as f64,
+                        r.velocity_factor as f64,
+                        r.endurance_factor as f64,
+                        (scheme.runtime_overhead() * 100.0) as f64,
+                    ],
+                );
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_platform_tables() {
+        let tables = run();
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 4);
+            // Detection row degrades < 3%.
+            assert!(t.value(1, 1) < 3.0);
+            // TMR is the worst.
+            assert!(t.value(3, 1) > t.value(2, 1));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! §IV-C per-layer resilience study.
+//!
+//! The paper's summary observes that "different layers ... exhibit
+//! various resilience, depending on layer topology, position, and
+//! representation range". This experiment injects the same number of
+//! faults into each layer of the trained policy separately and reports
+//! the resulting success rate.
+
+use crate::experiments::{DEFAULT_SEED, SYSTEM_SEED};
+use crate::report::Table;
+use crate::{GridFrlSystem, GridSystemConfig, ReprKind, Scale};
+use frlfi_fault::{inject_slice, FaultModel};
+use frlfi_tensor::derive_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use frlfi_rl::Learner;
+
+/// Runs the per-layer study: `faults_per_layer` bit flips confined to
+/// one layer at a time (int8 surface), averaged over repeats.
+pub fn run(scale: Scale) -> Table {
+    let episodes = scale.pick(150, 600, 1000);
+    let n_agents = scale.pick(3, 6, 12);
+    let repeats = scale.pick(2, 8, 100);
+    let fault_counts: Vec<usize> = scale.pick(vec![4, 16], vec![2, 8, 32], vec![2, 8, 32, 128]);
+
+    let mut sys = GridFrlSystem::new(GridSystemConfig {
+        n_agents,
+        seed: SYSTEM_SEED,
+        epsilon_decay_episodes: episodes / 2,
+        ..Default::default()
+    })
+    .expect("valid config");
+    sys.train(episodes, None, None).expect("training");
+
+    let spans = sys.agent(0).network().param_spans();
+    let mut table = Table::new(
+        "Per-layer resilience: SR (%) with faults confined to one layer",
+        "faults/layer",
+        spans.iter().map(|s| format!("{} ({})", s.name, s.kind)).collect(),
+    );
+
+    for (fi, &n_faults) in fault_counts.iter().enumerate() {
+        let mut row = Vec::with_capacity(spans.len());
+        for (si, span) in spans.iter().enumerate() {
+            let mut sum = 0.0;
+            for r in 0..repeats {
+                let seed = derive_seed(
+                    DEFAULT_SEED ^ 0x1A7E,
+                    ((fi * spans.len() + si) * repeats + r) as u64,
+                );
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Snapshot all agents, corrupt the span, evaluate, restore.
+                let clean: Vec<Vec<f32>> =
+                    (0..n_agents).map(|i| sys.agent(i).network().snapshot()).collect();
+                for i in 0..n_agents {
+                    let mut snap = clean[i].clone();
+                    let repr = ReprKind::Int8.materialize_for(&snap);
+                    inject_slice(
+                        &mut snap[span.range()],
+                        repr,
+                        FaultModel::TransientMulti,
+                        n_faults,
+                        &mut rng,
+                    );
+                    sys.agent_mut(i)
+                        .network_mut()
+                        .restore(&snap)
+                        .expect("snapshot length invariant");
+                }
+                sum += sys.success_rate();
+                for i in 0..n_agents {
+                    sys.agent_mut(i)
+                        .network_mut()
+                        .restore(&clean[i])
+                        .expect("snapshot length invariant");
+                }
+            }
+            row.push(sum / repeats as f64 * 100.0);
+        }
+        table.push_row(format!("{n_faults}"), row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_parameterized_layers() {
+        let t = run(Scale::Smoke);
+        assert_eq!(t.columns.len(), 3, "MLP has three dense layers");
+        for (_, row) in &t.rows {
+            for &v in row {
+                assert!((0.0..=100.0).contains(&v));
+            }
+        }
+    }
+}

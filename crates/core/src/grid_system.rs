@@ -1,0 +1,705 @@
+use crate::config::GridSystemConfig;
+use crate::error::FrlfiError;
+use crate::injection::{InjectionPlan, ReprKind, TrainingMitigation};
+use frlfi_envs::{Environment, GridWorld, Outcome, GRID_SIZE};
+use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
+use frlfi_federated::{RoundHook, Server};
+use crate::injection::MitigationStats;
+use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
+use frlfi_rl::{run_episode, run_greedy_episode, EpsilonSchedule, Learner, QLearner};
+use frlfi_tensor::{derive_seed, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The complete federated GridWorld system of §IV-A: `n` Q-learning
+/// agents, each in its own 10×10 maze, synchronized through a smoothing
+/// -average server after every communication interval.
+///
+/// With `n_agents == 1` the server is disabled, reproducing the paper's
+/// single-agent baseline (Fig. 3c).
+///
+/// ```no_run
+/// use frlfi::{GridFrlSystem, GridSystemConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = GridSystemConfig { n_agents: 4, ..Default::default() };
+/// let mut sys = GridFrlSystem::new(cfg)?;
+/// sys.train(400, None, None)?;
+/// println!("SR = {:.2}", sys.success_rate());
+/// # Ok(())
+/// # }
+/// ```
+pub struct GridFrlSystem {
+    cfg: GridSystemConfig,
+    agents: Vec<QLearner>,
+    envs: Vec<GridWorld>,
+    server: Option<Server>,
+    rng: StdRng,
+    agent_rngs: Vec<StdRng>,
+    episodes_done: usize,
+    comm_rounds: usize,
+    pending_server_fault: Option<InjectionPlan>,
+    last_records: Vec<FaultRecord>,
+    mitigation_stats: MitigationStats,
+}
+
+impl GridFrlSystem {
+    /// Builds the system: maze layouts, policies and exploration streams
+    /// all derive from `cfg.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrlfiError::BadConfig`] for zero agents, or propagates
+    /// construction errors.
+    pub fn new(cfg: GridSystemConfig) -> Result<Self, FrlfiError> {
+        if cfg.n_agents == 0 {
+            return Err(FrlfiError::BadConfig { detail: "n_agents must be ≥ 1".into() });
+        }
+        let specs = frlfi_envs::standard_layout_specs(cfg.seed, cfg.n_agents);
+        let envs: Vec<GridWorld> = specs.iter().map(GridWorld::from_spec).collect();
+        let mut agents = Vec::with_capacity(cfg.n_agents);
+        let mut agent_rngs = Vec::with_capacity(cfg.n_agents);
+        for i in 0..cfg.n_agents {
+            let mut init_rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0x5EED + i as u64));
+            let net = frlfi_nn::NetworkBuilder::new(6)
+                .dense(32)
+                .relu()
+                .dense(32)
+                .relu()
+                .dense(4)
+                .build(&mut init_rng)?;
+            let schedule = EpsilonSchedule::new(1.0, 0.05, cfg.epsilon_decay_episodes);
+            agents.push(QLearner::new(net, cfg.gamma, cfg.lr, schedule));
+            agent_rngs.push(StdRng::seed_from_u64(derive_seed(cfg.seed, 0xA6E0 + i as u64)));
+        }
+        let server = if cfg.n_agents >= 2 {
+            Some(Server::with_annealing(
+                cfg.n_agents,
+                agents[0].network().param_count(),
+                cfg.alpha0,
+                cfg.anneal_rounds,
+            )?)
+        } else {
+            None
+        };
+        Ok(GridFrlSystem {
+            rng: StdRng::seed_from_u64(derive_seed(cfg.seed, 0x515)),
+            cfg,
+            agents,
+            envs,
+            server,
+            agent_rngs,
+            episodes_done: 0,
+            comm_rounds: 0,
+            pending_server_fault: None,
+            last_records: Vec::new(),
+            mitigation_stats: MitigationStats::default(),
+        })
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &GridSystemConfig {
+        &self.cfg
+    }
+
+    /// Number of agents.
+    pub fn n_agents(&self) -> usize {
+        self.cfg.n_agents
+    }
+
+    /// Total training episodes completed so far.
+    pub fn episodes_done(&self) -> usize {
+        self.episodes_done
+    }
+
+    /// Immutable access to one agent's learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn agent(&self, i: usize) -> &QLearner {
+        &self.agents[i]
+    }
+
+    /// Mutable access to one agent's learner (fault surface).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn agent_mut(&mut self, i: usize) -> &mut QLearner {
+        &mut self.agents[i]
+    }
+
+    /// Records of the most recent injection.
+    pub fn last_fault_records(&self) -> &[FaultRecord] {
+        &self.last_records
+    }
+
+    /// Replaces the fault-injection random stream.
+    ///
+    /// Campaigns train one system from a fixed configuration seed and
+    /// then vary only this stream across repeats, so cell statistics
+    /// measure fault impact rather than training variance (the paper
+    /// repeats each injection on the same trained system).
+    pub fn reseed_faults(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Detection/recovery counters accumulated by mitigated training
+    /// runs (reset at the start of each mitigated call).
+    pub fn mitigation_stats(&self) -> MitigationStats {
+        self.mitigation_stats
+    }
+
+    /// Trains for `episodes` episodes, optionally applying a dynamic
+    /// [`InjectionPlan`] (episode index relative to this call) and the
+    /// training-time mitigation scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aggregation or restore failures.
+    pub fn train(
+        &mut self,
+        episodes: usize,
+        plan: Option<&InjectionPlan>,
+        mitigation: Option<&TrainingMitigation>,
+    ) -> Result<(), FrlfiError> {
+        let mut detector = mitigation
+            .map(|m| RewardDropDetector::new(m.p_percent, m.k_consecutive, self.cfg.n_agents));
+        let mut checkpoint = mitigation.map(|m| ServerCheckpoint::new(m.checkpoint_interval));
+        if mitigation.is_some() {
+            self.mitigation_stats = MitigationStats::default();
+        }
+
+        let schedule = self.cfg.comm_schedule();
+        for ep in 0..episodes {
+            let global_ep = self.episodes_done + ep;
+            let mut rewards = Vec::with_capacity(self.cfg.n_agents);
+            for i in 0..self.cfg.n_agents {
+                self.agents[i].set_episode(global_ep);
+                let summary = run_episode(&mut self.envs[i], &mut self.agents[i], &mut self.agent_rngs[i]);
+                rewards.push(summary.total_reward);
+            }
+
+            if let Some(p) = plan {
+                if p.episode == ep {
+                    self.inject_now(p);
+                }
+            }
+
+            if self.server.is_some() && schedule.communicates_at(global_ep) {
+                self.communicate()?;
+                if let Some(cp) = checkpoint.as_mut() {
+                    let server = self.server.as_ref().expect("server present");
+                    cp.on_round(self.comm_rounds, server.consensus());
+                }
+            }
+
+            if let (Some(det), Some(cp)) = (detector.as_mut(), checkpoint.as_ref()) {
+                match det.observe(&rewards) {
+                    Detection::None => {}
+                    Detection::AgentFault(ids) => {
+                        self.mitigation_stats.agent_detections += 1;
+                        for id in ids {
+                            self.restore_agent_from(cp, id)?;
+                        }
+                    }
+                    Detection::ServerFault => {
+                        self.mitigation_stats.server_detections += 1;
+                        self.restore_all_from(cp)?;
+                    }
+                }
+            }
+        }
+        self.episodes_done += episodes;
+        Ok(())
+    }
+
+    fn restore_agent_from(
+        &mut self,
+        cp: &ServerCheckpoint,
+        agent: usize,
+    ) -> Result<(), FrlfiError> {
+        let mut buf = self.agents[agent].network().snapshot();
+        if cp.restore_into(&mut buf) {
+            self.agents[agent].network_mut().restore(&buf)?;
+        }
+        Ok(())
+    }
+
+    fn restore_all_from(&mut self, cp: &ServerCheckpoint) -> Result<(), FrlfiError> {
+        for i in 0..self.cfg.n_agents {
+            self.restore_agent_from(cp, i)?;
+        }
+        if let (Some(server), Some(snap)) = (self.server.as_mut(), cp.stored()) {
+            server.consensus_mut().copy_from_slice(snap);
+        }
+        Ok(())
+    }
+
+    /// Applies an injection plan *now* (between episodes).
+    pub fn inject_now(&mut self, plan: &InjectionPlan) {
+        match plan.side {
+            FaultSide::AgentSide => {
+                let victim = self.rng.gen_range(0..self.cfg.n_agents);
+                self.inject_agent(victim, plan);
+            }
+            FaultSide::ServerSide => {
+                if self.server.is_some() {
+                    // Applied inside the next communication round, where
+                    // the aggregated sets sit in server memory.
+                    self.pending_server_fault = Some(*plan);
+                } else {
+                    // Single-agent system: the only memory is the agent's.
+                    self.inject_agent(0, plan);
+                }
+            }
+        }
+    }
+
+    fn inject_agent(&mut self, victim: usize, plan: &InjectionPlan) {
+        let repr = plan.repr.materialize(self.agents[victim].network());
+        let mut snap = self.agents[victim].network().snapshot();
+        let records = inject_slice_ber(&mut snap, repr, plan.model, plan.ber, &mut self.rng);
+        self.agents[victim]
+            .network_mut()
+            .restore(&snap)
+            .expect("snapshot length invariant");
+        self.last_records = records;
+    }
+
+    fn communicate(&mut self) -> Result<(), FrlfiError> {
+        let server = self.server.as_mut().expect("communicate requires a server");
+        let mut uploads: Vec<Vec<f32>> =
+            self.agents.iter().map(|a| a.network().snapshot()).collect();
+
+        let mut hook = ServerFaultHook {
+            plan: self.pending_server_fault.take(),
+            rng: StdRng::seed_from_u64(self.rng.gen()),
+            records: Vec::new(),
+        };
+        let outputs = server.aggregate_with_hook(&mut uploads, &mut hook)?;
+        if !hook.records.is_empty() {
+            self.last_records = hook.records;
+        }
+        for (agent, out) in self.agents.iter_mut().zip(outputs.iter()) {
+            agent.network_mut().restore(out)?;
+        }
+        self.comm_rounds += 1;
+        Ok(())
+    }
+
+    /// Average success rate of all agents under greedy exploitation —
+    /// the paper's `SR = (1/n) Σ SRᵢ`. GridWorld is deterministic, so a
+    /// single greedy attempt per agent fully determines `SRᵢ`.
+    pub fn success_rate(&mut self) -> f64 {
+        let outcomes = self.eval_outcomes();
+        crate::metrics::success_rate_of(&outcomes)
+    }
+
+    /// One greedy episode per agent, returning the outcomes.
+    pub fn eval_outcomes(&mut self) -> Vec<Outcome> {
+        let mut outcomes = Vec::with_capacity(self.cfg.n_agents);
+        for i in 0..self.cfg.n_agents {
+            let mut eval_rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xE7A1 + i as u64));
+            let summary = run_greedy_episode(&mut self.envs[i], &mut self.agents[i], &mut eval_rng);
+            outcomes.push(summary.outcome);
+        }
+        outcomes
+    }
+
+    /// Keeps training in `check_every`-episode chunks until the success
+    /// rate reaches `threshold`, returning the extra episodes used, or
+    /// `None` if `max_extra` episodes were not enough — the paper's
+    /// "episodes to converge" metric (Fig. 3e).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn episodes_to_converge(
+        &mut self,
+        threshold: f64,
+        check_every: usize,
+        max_extra: usize,
+    ) -> Result<Option<usize>, FrlfiError> {
+        let mut used = 0;
+        while used < max_extra {
+            if self.success_rate() >= threshold {
+                return Ok(Some(used));
+            }
+            self.train(check_every, None, None)?;
+            used += check_every;
+        }
+        Ok(if self.success_rate() >= threshold { Some(used) } else { None })
+    }
+
+    /// Runs `f` with every agent's policy deployed in `repr` (weights
+    /// quantized through the representation) and corrupted by a static
+    /// inference-time fault, then restores the clean weights
+    /// (the paper's static injection mode, §III-D).
+    pub fn with_faulted_policies<T>(
+        &mut self,
+        model: FaultModel,
+        ber: Ber,
+        repr: ReprKind,
+        seed: u64,
+        f: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        let clean: Vec<Vec<f32>> = self.agents.iter().map(|a| a.network().snapshot()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for agent in &mut self.agents {
+            let repr = repr.materialize(agent.network());
+            let mut snap = agent.network().snapshot();
+            // Deploy-time quantization: faults strike the encoded form.
+            for w in &mut snap {
+                *w = repr.quantize(*w);
+            }
+            inject_slice_ber(&mut snap, repr, model, ber, &mut rng);
+            agent.network_mut().restore(&snap).expect("snapshot length invariant");
+        }
+        let out = f(self);
+        for (agent, snap) in self.agents.iter_mut().zip(clean.iter()) {
+            agent.network_mut().restore(snap).expect("snapshot length invariant");
+        }
+        out
+    }
+
+    /// Evaluates the success rate when a *single-step* transient fault
+    /// (`Multi-Trans-1`, a read-register upset) strikes one action
+    /// computation per episode: the fault corrupts the policy for
+    /// exactly one step and then vanishes.
+    pub fn success_rate_transient1(&mut self, ber: Ber, repr: ReprKind, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut outcomes = Vec::with_capacity(self.cfg.n_agents);
+        for i in 0..self.cfg.n_agents {
+            let fault_step = rng.gen_range(0..20usize);
+            outcomes.push(self.greedy_episode_with_step_fault(i, fault_step, ber, repr, &mut rng));
+        }
+        crate::metrics::success_rate_of(&outcomes)
+    }
+
+    fn greedy_episode_with_step_fault(
+        &mut self,
+        agent: usize,
+        fault_step: usize,
+        ber: Ber,
+        repr: ReprKind,
+        rng: &mut StdRng,
+    ) -> Outcome {
+        let mut eval_rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xE7A1 + agent as u64));
+        let mut state = self.envs[agent].reset(&mut eval_rng);
+        for step in 0..200 {
+            let action = if step == fault_step {
+                // Corrupt a transient copy for this single decision.
+                let clean = self.agents[agent].network().snapshot();
+                let repr_m = repr.materialize(self.agents[agent].network());
+                let mut corrupted = clean.clone();
+                inject_slice_ber(&mut corrupted, repr_m, FaultModel::TransientMulti, ber, rng);
+                self.agents[agent]
+                    .network_mut()
+                    .restore(&corrupted)
+                    .expect("snapshot length invariant");
+                let a = self.agents[agent].act_greedy(&state);
+                self.agents[agent]
+                    .network_mut()
+                    .restore(&clean)
+                    .expect("snapshot length invariant");
+                a
+            } else {
+                self.agents[agent].act_greedy(&state)
+            };
+            let step_result = self.envs[agent].step(action, &mut eval_rng);
+            state = step_result.state;
+            if step_result.outcome.is_terminal() {
+                return step_result.outcome;
+            }
+        }
+        Outcome::Timeout
+    }
+
+    /// Evaluates the success rate when transient faults strike the
+    /// *activations* (feature maps) of every forward pass instead of the
+    /// stored weights — the paper's third fault surface (§III-C).
+    ///
+    /// Each layer output has `ber × bits` of its scalars' bits flipped
+    /// on every inference step, emulating upsets in an accelerator's
+    /// activation buffers.
+    pub fn success_rate_activation_faults(&mut self, ber: Ber, repr: ReprKind, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut outcomes = Vec::with_capacity(self.cfg.n_agents);
+        for i in 0..self.cfg.n_agents {
+            let mut eval_rng =
+                StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xE7A1 + i as u64));
+            let mut state = self.envs[i].reset(&mut eval_rng);
+            let mut outcome = Outcome::Timeout;
+            for _ in 0..200 {
+                let action = {
+                    let net = self.agents[i].network_mut();
+                    let out = net
+                        .forward_with_activation_faults(&state, &mut |buf| {
+                            let repr = repr.materialize_for(buf);
+                            inject_slice_ber(buf, repr, FaultModel::TransientMulti, ber, &mut rng);
+                        })
+                        .expect("forward");
+                    // Greedy over (possibly corrupted) outputs.
+                    let mut best = 0;
+                    let mut best_v = f32::NEG_INFINITY;
+                    for (a, &v) in out.data().iter().enumerate() {
+                        if v.is_finite() && v > best_v {
+                            best_v = v;
+                            best = a;
+                        }
+                    }
+                    best
+                };
+                let step = self.envs[i].step(action, &mut eval_rng);
+                state = step.state;
+                if step.outcome.is_terminal() {
+                    outcome = step.outcome;
+                    break;
+                }
+            }
+            outcomes.push(outcome);
+        }
+        crate::metrics::success_rate_of(&outcomes)
+    }
+
+    /// Samples the observation space: the observation at every free cell
+    /// of every maze (Table I's per-state policy statistics).
+    pub fn sample_states(&self) -> Vec<Tensor> {
+        let mut states = Vec::new();
+        for env in &self.envs {
+            for r in 0..GRID_SIZE {
+                for c in 0..GRID_SIZE {
+                    if matches!(env.cell(r, c), frlfi_envs::Cell::Free | frlfi_envs::Cell::Source) {
+                        states.push(env.observation_at(r, c));
+                    }
+                }
+            }
+        }
+        states
+    }
+
+    /// Samples the observation space together with each state's
+    /// improving-action mask (Table I's differentiation probes).
+    pub fn sample_probes(&self) -> Vec<(Tensor, [bool; 4])> {
+        let mut probes = Vec::new();
+        for env in &self.envs {
+            for r in 0..GRID_SIZE {
+                for c in 0..GRID_SIZE {
+                    if matches!(env.cell(r, c), frlfi_envs::Cell::Free | frlfi_envs::Cell::Source) {
+                        probes.push((env.observation_at(r, c), env.improving_actions(r, c)));
+                    }
+                }
+            }
+        }
+        probes
+    }
+
+    /// Std of the consensus policy's action distribution over the
+    /// sampled state space (Table I).
+    pub fn consensus_policy_std(&mut self) -> f32 {
+        let states = self.sample_states();
+        // The consensus policy is agent 0's post-aggregation copy (all
+        // agents converge to the same parameters, paper Eq. 4).
+        crate::metrics::policy_action_std(self.agents[0].network_mut(), &states)
+    }
+}
+
+/// Hook that applies a pending server-memory fault to the aggregated
+/// parameter sets of *all* agents — the reason server faults are
+/// "equivalent to a randomized policy of all agents to some extent"
+/// (§IV-A-2).
+struct ServerFaultHook {
+    plan: Option<InjectionPlan>,
+    rng: StdRng,
+    records: Vec<FaultRecord>,
+}
+
+impl RoundHook for ServerFaultHook {
+    fn on_server(&mut self, outputs: &mut [Vec<f32>]) {
+        let Some(plan) = self.plan.take() else { return };
+        // Server memory holds all n aggregated sets contiguously; the
+        // BER applies over that whole surface.
+        let mut flat: Vec<f32> = outputs.iter().flatten().copied().collect();
+        let repr = plan.repr.materialize_for(&flat);
+        self.records = inject_slice_ber(&mut flat, repr, plan.model, plan.ber, &mut self.rng);
+        let mut off = 0;
+        for out in outputs.iter_mut() {
+            let n = out.len();
+            out.copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(n: usize) -> GridSystemConfig {
+        GridSystemConfig {
+            n_agents: n,
+            seed: 77,
+            epsilon_decay_episodes: 150,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn construction_and_determinism() {
+        let a = GridFrlSystem::new(small_cfg(3)).unwrap();
+        let b = GridFrlSystem::new(small_cfg(3)).unwrap();
+        assert_eq!(a.agent(0).network().snapshot(), b.agent(0).network().snapshot());
+        assert_eq!(a.n_agents(), 3);
+    }
+
+    #[test]
+    fn rejects_zero_agents() {
+        assert!(GridFrlSystem::new(small_cfg(0)).is_err());
+    }
+
+    #[test]
+    fn single_agent_has_no_server() {
+        let s = GridFrlSystem::new(small_cfg(1)).unwrap();
+        assert!(s.server.is_none());
+    }
+
+    #[test]
+    fn training_improves_success_rate() {
+        let mut s = GridFrlSystem::new(small_cfg(3)).unwrap();
+        s.train(250, None, None).unwrap();
+        let sr = s.success_rate();
+        assert!(sr >= 2.0 / 3.0, "trained FRL success rate too low: {sr}");
+    }
+
+    #[test]
+    fn server_fault_corrupts_all_agents() {
+        let mut s = GridFrlSystem::new(small_cfg(3)).unwrap();
+        s.train(30, None, None).unwrap();
+        let before: Vec<Vec<f32>> = s.agents.iter().map(|a| a.network().snapshot()).collect();
+        let plan = InjectionPlan::server(0, Ber::new(0.05).unwrap());
+        s.inject_now(&plan);
+        // Fault is pending; applied at next communication.
+        s.train(1, None, None).unwrap();
+        let after: Vec<Vec<f32>> = s.agents.iter().map(|a| a.network().snapshot()).collect();
+        assert_ne!(before, after);
+        assert!(!s.last_fault_records().is_empty());
+    }
+
+    #[test]
+    fn static_fault_scope_is_restored() {
+        let mut s = GridFrlSystem::new(small_cfg(2)).unwrap();
+        s.train(20, None, None).unwrap();
+        let before = s.agent(0).network().snapshot();
+        let sr = s.with_faulted_policies(
+            FaultModel::TransientMulti,
+            Ber::new(0.05).unwrap(),
+            ReprKind::Int8,
+            9,
+            |sys| sys.success_rate(),
+        );
+        assert!((0.0..=1.0).contains(&sr));
+        assert_eq!(s.agent(0).network().snapshot(), before, "weights must be restored");
+    }
+
+    #[test]
+    fn transient1_returns_valid_rate() {
+        let mut s = GridFrlSystem::new(small_cfg(2)).unwrap();
+        s.train(60, None, None).unwrap();
+        let sr = s.success_rate_transient1(Ber::new(0.01).unwrap(), ReprKind::Int8, 5);
+        assert!((0.0..=1.0).contains(&sr));
+    }
+
+    #[test]
+    fn sample_states_covers_free_cells() {
+        let s = GridFrlSystem::new(small_cfg(2)).unwrap();
+        let states = s.sample_states();
+        assert!(states.len() > 100, "expected many sampled states, got {}", states.len());
+        assert!(states.iter().all(|t| t.len() == 6));
+    }
+
+    #[test]
+    fn mitigation_restores_after_server_fault() {
+        let mut s = GridFrlSystem::new(small_cfg(3)).unwrap();
+        s.train(150, None, None).unwrap();
+        let baseline = s.success_rate();
+        // Heavy server fault, with mitigation active.
+        let plan = InjectionPlan::server(10, Ber::new(0.05).unwrap());
+        let mit = TrainingMitigation::scaled(5);
+        s.train(120, Some(&plan), Some(&mit)).unwrap();
+        let recovered = s.success_rate();
+        assert!(
+            recovered >= baseline - 1.0 / 3.0,
+            "mitigated SR {recovered} should recover toward baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn activation_faults_evaluate_in_range() {
+        let mut s = GridFrlSystem::new(small_cfg(2)).unwrap();
+        s.train(60, None, None).unwrap();
+        let clean = s.agent(0).network().snapshot();
+        let sr = s.success_rate_activation_faults(
+            Ber::new(0.01).unwrap(),
+            ReprKind::Int8,
+            3,
+        );
+        assert!((0.0..=1.0).contains(&sr));
+        // Activation faults are transient: stored weights untouched.
+        assert_eq!(s.agent(0).network().snapshot(), clean);
+    }
+
+    #[test]
+    fn heavy_activation_faults_hurt_more_than_light() {
+        let mut s = GridFrlSystem::new(small_cfg(3)).unwrap();
+        s.train(250, None, None).unwrap();
+        let avg = |s: &mut GridFrlSystem, ber: f64| -> f64 {
+            (0..6u64)
+                .map(|seed| {
+                    s.success_rate_activation_faults(
+                        Ber::new(ber).unwrap(),
+                        ReprKind::Int8,
+                        seed,
+                    )
+                })
+                .sum::<f64>()
+                / 6.0
+        };
+        let light = avg(&mut s, 0.001);
+        let heavy = avg(&mut s, 0.2);
+        assert!(heavy <= light, "heavier activation faults should hurt: {light} vs {heavy}");
+    }
+
+    #[test]
+    fn alpha0_config_reaches_server() {
+        let cfg = GridSystemConfig { n_agents: 4, alpha0: 0.9, anneal_rounds: 100, ..small_cfg(4) };
+        let s = GridFrlSystem::new(cfg).unwrap();
+        let alpha = s.server.as_ref().unwrap().alpha();
+        assert!((alpha - 0.9).abs() < 1e-6, "initial alpha should be the configured alpha0");
+    }
+
+    #[test]
+    fn reseed_faults_changes_injection_sites() {
+        let mut a = GridFrlSystem::new(small_cfg(2)).unwrap();
+        let mut b = GridFrlSystem::new(small_cfg(2)).unwrap();
+        a.reseed_faults(1);
+        b.reseed_faults(2);
+        let plan = InjectionPlan::agent(0, Ber::new(0.05).unwrap());
+        a.inject_now(&plan);
+        b.inject_now(&plan);
+        let sites = |s: &GridFrlSystem| -> Vec<(usize, u32)> {
+            s.last_fault_records().iter().map(|r| (r.index, r.bit)).collect()
+        };
+        assert_ne!(sites(&a), sites(&b));
+    }
+
+    #[test]
+    fn episodes_to_converge_returns_zero_when_converged() {
+        let mut s = GridFrlSystem::new(small_cfg(2)).unwrap();
+        s.train(250, None, None).unwrap();
+        if s.success_rate() >= 0.99 {
+            assert_eq!(s.episodes_to_converge(0.99, 50, 200).unwrap(), Some(0));
+        }
+    }
+}

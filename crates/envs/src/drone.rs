@@ -1,0 +1,389 @@
+use crate::env::{Environment, Outcome, Step};
+use crate::geometry::{Aabb, Ray};
+use frlfi_tensor::{derive_seed, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashMap;
+
+/// Horizontal resolution of the raycast depth image.
+pub const DEPTH_W: usize = 16;
+/// Vertical resolution of the raycast depth image.
+pub const DEPTH_H: usize = 9;
+/// DroneNav's action count: 5 lateral × 5 vertical motion primitives
+/// (the paper uses a 25-action perception-based probabilistic space).
+pub const N_DRONE_ACTIONS: usize = 25;
+
+const LATERAL_OFFSETS: [f32; 5] = [-2.0, -1.0, 0.0, 1.0, 2.0];
+const VERTICAL_OFFSETS: [f32; 5] = [-1.0, -0.5, 0.0, 0.5, 1.0];
+
+/// Tunable parameters of the synthetic drone corridor world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DroneConfig {
+    /// Corridor width (m); the drone flies in `y ∈ [−w/2, w/2]`.
+    pub corridor_width: f32,
+    /// Corridor height (m); `z ∈ [0, h]`.
+    pub corridor_height: f32,
+    /// Forward distance per step (m).
+    pub speed: f32,
+    /// Maximum depth-sensor range (m); depths normalize against this.
+    pub max_range: f32,
+    /// Obstacles generated per corridor chunk.
+    pub obstacles_per_chunk: usize,
+    /// Length of one procedural chunk (m).
+    pub chunk_len: f32,
+    /// Step budget; max safe flight distance = `speed × max_steps`.
+    pub max_steps: usize,
+    /// Drone collision radius (m).
+    pub drone_radius: f32,
+}
+
+impl Default for DroneConfig {
+    fn default() -> Self {
+        DroneConfig {
+            corridor_width: 24.0,
+            corridor_height: 12.0,
+            speed: 2.0,
+            max_range: 40.0,
+            obstacles_per_chunk: 5,
+            chunk_len: 40.0,
+            // 361 steps × 2 m ≈ the paper's ~722 m flight-distance ceiling.
+            max_steps: 361,
+            drone_radius: 0.4,
+        }
+    }
+}
+
+/// The paper's large-scale task (§IV-B): synthetic drone corridor
+/// navigation, substituting for the PEDRA/AirSim platform.
+///
+/// The drone advances at constant forward speed through a procedurally
+/// generated obstacle corridor. Each step it renders a raycast depth
+/// image ([`DEPTH_H`]×[`DEPTH_W`]) from its front-facing sensor, picks
+/// one of [`N_DRONE_ACTIONS`] motion primitives, and earns a depth-based
+/// reward that encourages keeping clear of obstacles. An episode ends on
+/// collision (with an obstacle or a corridor wall) or when the step
+/// budget runs out; the score is the **safe flight distance**.
+///
+/// ```
+/// use frlfi_envs::{DroneSim, DroneConfig, Environment};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut env = DroneSim::new(DroneConfig::default(), 7);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let obs = env.reset(&mut rng);
+/// assert_eq!(obs.shape().dims(), &[1, 9, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DroneSim {
+    cfg: DroneConfig,
+    base_seed: u64,
+    world_seed: u64,
+    pos: [f32; 3],
+    steps: usize,
+    chunks: HashMap<i64, Vec<Aabb>>,
+}
+
+impl DroneSim {
+    /// Creates a simulator; worlds are derived from `base_seed` so two
+    /// sims with the same seed experience identical corridors.
+    pub fn new(cfg: DroneConfig, base_seed: u64) -> Self {
+        DroneSim {
+            cfg,
+            base_seed,
+            world_seed: base_seed,
+            pos: [0.0, 0.0, cfg.corridor_height / 2.0],
+            steps: 0,
+            chunks: HashMap::new(),
+        }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &DroneConfig {
+        &self.cfg
+    }
+
+    /// Forward distance travelled so far this episode (m) — the paper's
+    /// *safe flight distance* once the episode terminates.
+    pub fn distance(&self) -> f32 {
+        self.pos[0]
+    }
+
+    /// Current drone position.
+    pub fn position(&self) -> [f32; 3] {
+        self.pos
+    }
+
+    fn chunk_obstacles(&mut self, chunk: i64) -> &[Aabb] {
+        let cfg = self.cfg;
+        let world_seed = self.world_seed;
+        self.chunks.entry(chunk).or_insert_with(|| {
+            if chunk < 1 {
+                // The spawn chunk stays clear so episodes never start
+                // inside an obstacle.
+                return Vec::new();
+            }
+            let mut rng = StdRng::seed_from_u64(derive_seed(world_seed, chunk as u64));
+            let x0 = chunk as f32 * cfg.chunk_len;
+            (0..cfg.obstacles_per_chunk)
+                .map(|_| {
+                    let cx = x0 + rng.gen_range(0.0..cfg.chunk_len);
+                    let cy = rng.gen_range(-cfg.corridor_width / 2.0..cfg.corridor_width / 2.0);
+                    let cz = rng.gen_range(0.0..cfg.corridor_height);
+                    let sx = rng.gen_range(0.5..1.5);
+                    let sy = rng.gen_range(1.0..3.0);
+                    let sz = rng.gen_range(1.0..3.0);
+                    Aabb::new([cx - sx, cy - sy, cz - sz], [cx + sx, cy + sy, cz + sz])
+                })
+                .collect()
+        })
+    }
+
+    fn nearby_obstacles(&mut self) -> Vec<Aabb> {
+        let chunk_len = self.cfg.chunk_len;
+        let cur = (self.pos[0] / chunk_len).floor() as i64;
+        let reach = (self.cfg.max_range / chunk_len).ceil() as i64 + 1;
+        let mut out = Vec::new();
+        for c in cur..=cur + reach {
+            out.extend_from_slice(self.chunk_obstacles(c));
+        }
+        out
+    }
+
+    /// Renders the raycast depth image at the current position.
+    pub fn render_depth(&mut self) -> Tensor {
+        let cfg = self.cfg;
+        let obstacles = self.nearby_obstacles();
+        let mut img = Tensor::zeros(vec![1, DEPTH_H, DEPTH_W]);
+        let data = img.data_mut();
+        for iy in 0..DEPTH_H {
+            // Elevation from +30° (top row) to −30° (bottom row).
+            let elev = (0.5 - (iy as f32 + 0.5) / DEPTH_H as f32) * std::f32::consts::FRAC_PI_3 * 2.0;
+            for ix in 0..DEPTH_W {
+                // Azimuth from −45° (left) to +45° (right).
+                let azim =
+                    ((ix as f32 + 0.5) / DEPTH_W as f32 - 0.5) * std::f32::consts::FRAC_PI_2;
+                let dir = [elev.cos() * azim.cos(), elev.cos() * azim.sin(), elev.sin()];
+                let ray = Ray { origin: self.pos, dir };
+                let mut depth = cfg.max_range;
+                for b in &obstacles {
+                    if let Some(t) = ray.hit(b) {
+                        depth = depth.min(t);
+                    }
+                }
+                depth = depth.min(wall_distance(&ray, &cfg));
+                data[iy * DEPTH_W + ix] = depth / cfg.max_range;
+            }
+        }
+        img
+    }
+
+    fn depth_reward(&self, img: &Tensor) -> f32 {
+        // Minimum normalized depth over the central 3×3 patch: flying
+        // toward open space earns more (the paper's depth-based reward).
+        let data = img.data();
+        let cy = DEPTH_H / 2;
+        let cx = DEPTH_W / 2;
+        let mut min_d = f32::INFINITY;
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                let y = (cy as i32 + dy) as usize;
+                let x = (cx as i32 + dx) as usize;
+                min_d = min_d.min(data[y * DEPTH_W + x]);
+            }
+        }
+        min_d
+    }
+
+    fn collided(&mut self) -> bool {
+        let r = self.cfg.drone_radius;
+        let half_w = self.cfg.corridor_width / 2.0;
+        let h = self.cfg.corridor_height;
+        let p = self.pos;
+        if p[1] - r < -half_w || p[1] + r > half_w || p[2] - r < 0.0 || p[2] + r > h {
+            return true;
+        }
+        let obstacles = self.nearby_obstacles();
+        obstacles.iter().any(|b| b.inflate(r).contains(p))
+    }
+}
+
+/// Distance along a ray to the corridor walls (sides, floor, ceiling).
+fn wall_distance(ray: &Ray, cfg: &DroneConfig) -> f32 {
+    let mut best = f32::INFINITY;
+    let half_w = cfg.corridor_width / 2.0;
+    // Side walls: y = ±half_w.
+    for wall_y in [-half_w, half_w] {
+        if ray.dir[1].abs() > 1e-9 {
+            let t = (wall_y - ray.origin[1]) / ray.dir[1];
+            if t > 0.0 {
+                best = best.min(t);
+            }
+        }
+    }
+    // Floor z = 0 and ceiling z = h.
+    for wall_z in [0.0, cfg.corridor_height] {
+        if ray.dir[2].abs() > 1e-9 {
+            let t = (wall_z - ray.origin[2]) / ray.dir[2];
+            if t > 0.0 {
+                best = best.min(t);
+            }
+        }
+    }
+    best
+}
+
+impl Environment for DroneSim {
+    fn obs_shape(&self) -> Vec<usize> {
+        vec![1, DEPTH_H, DEPTH_W]
+    }
+
+    fn n_actions(&self) -> usize {
+        N_DRONE_ACTIONS
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) -> Tensor {
+        // Fresh procedural corridor each episode, reproducible from the
+        // caller's seeded RNG stream.
+        self.world_seed = derive_seed(self.base_seed, rng.next_u64());
+        self.chunks.clear();
+        self.pos = [0.0, 0.0, self.cfg.corridor_height / 2.0];
+        self.steps = 0;
+        self.render_depth()
+    }
+
+    fn step(&mut self, action: usize, _rng: &mut dyn RngCore) -> Step {
+        assert!(action < N_DRONE_ACTIONS, "action {action} out of range");
+        let dy = LATERAL_OFFSETS[action / 5];
+        let dz = VERTICAL_OFFSETS[action % 5];
+        self.pos[0] += self.cfg.speed;
+        self.pos[1] += dy;
+        self.pos[2] += dz;
+        self.steps += 1;
+
+        if self.collided() {
+            return Step {
+                state: self.render_depth(),
+                reward: -2.0,
+                outcome: Outcome::Crash,
+            };
+        }
+        let img = self.render_depth();
+        let reward = self.depth_reward(&img);
+        let outcome =
+            if self.steps >= self.cfg.max_steps { Outcome::Timeout } else { Outcome::Continue };
+        Step { state: img, reward, outcome }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> DroneSim {
+        DroneSim::new(DroneConfig::default(), 42)
+    }
+
+    #[test]
+    fn reset_shape_and_determinism() {
+        let mut a = sim();
+        let mut b = sim();
+        let mut ra = StdRng::seed_from_u64(1);
+        let mut rb = StdRng::seed_from_u64(1);
+        let oa = a.reset(&mut ra);
+        let ob = b.reset(&mut rb);
+        assert_eq!(oa.shape().dims(), &[1, DEPTH_H, DEPTH_W]);
+        assert_eq!(oa, ob, "same seeds must produce identical worlds");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DroneSim::new(DroneConfig::default(), 1);
+        let mut b = DroneSim::new(DroneConfig::default(), 2);
+        let mut ra = StdRng::seed_from_u64(1);
+        let mut rb = StdRng::seed_from_u64(1);
+        a.reset(&mut ra);
+        b.reset(&mut rb);
+        assert_ne!(a.chunk_obstacles(1).to_vec(), b.chunk_obstacles(1).to_vec());
+    }
+
+    #[test]
+    fn depths_normalized() {
+        let mut s = sim();
+        let mut rng = StdRng::seed_from_u64(3);
+        let obs = s.reset(&mut rng);
+        assert!(obs.data().iter().all(|&d| (0.0..=1.0).contains(&d)));
+    }
+
+    #[test]
+    fn forward_progress_accumulates() {
+        let mut s = sim();
+        let mut rng = StdRng::seed_from_u64(4);
+        s.reset(&mut rng);
+        let straight = 12; // dy = 0, dz = 0
+        for _ in 0..3 {
+            if s.step(straight, &mut rng).outcome.is_terminal() {
+                break;
+            }
+        }
+        assert!(s.distance() >= s.config().speed);
+    }
+
+    #[test]
+    fn wall_collision_crashes() {
+        let mut s = sim();
+        let mut rng = StdRng::seed_from_u64(5);
+        s.reset(&mut rng);
+        // Push hard left until the wall.
+        let hard_left = 0; // dy = −2, dz = −1
+        let mut crashed = false;
+        for _ in 0..30 {
+            let st = s.step(hard_left, &mut rng);
+            if st.outcome == Outcome::Crash {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "flying into the wall must crash");
+    }
+
+    #[test]
+    fn timeout_caps_distance() {
+        let cfg = DroneConfig { max_steps: 5, obstacles_per_chunk: 0, ..DroneConfig::default() };
+        let mut s = DroneSim::new(cfg, 6);
+        let mut rng = StdRng::seed_from_u64(6);
+        s.reset(&mut rng);
+        let mut last = Outcome::Continue;
+        for _ in 0..10 {
+            let st = s.step(12, &mut rng);
+            last = st.outcome;
+            if last.is_terminal() {
+                break;
+            }
+        }
+        assert_eq!(last, Outcome::Timeout);
+        assert!((s.distance() - 5.0 * cfg.speed).abs() < 1e-4);
+    }
+
+    #[test]
+    fn spawn_chunk_is_clear() {
+        // With dense obstacles the spawn chunk must still be empty.
+        let cfg = DroneConfig { obstacles_per_chunk: 50, ..DroneConfig::default() };
+        let mut s = DroneSim::new(cfg, 9);
+        let mut rng = StdRng::seed_from_u64(9);
+        s.reset(&mut rng);
+        assert!(!s.collided(), "drone must not spawn inside an obstacle");
+    }
+
+    #[test]
+    fn obstacle_ahead_reduces_central_depth() {
+        let cfg = DroneConfig { obstacles_per_chunk: 0, ..DroneConfig::default() };
+        let mut s = DroneSim::new(cfg, 10);
+        let mut rng = StdRng::seed_from_u64(10);
+        let clear = s.reset(&mut rng);
+        // Plant an obstacle dead ahead.
+        s.chunks.insert(0, vec![Aabb::new([8.0, -2.0, 4.0], [10.0, 2.0, 8.0])]);
+        let blocked = s.render_depth();
+        let c = (DEPTH_H / 2) * DEPTH_W + DEPTH_W / 2;
+        assert!(blocked.data()[c] < clear.data()[c]);
+    }
+}

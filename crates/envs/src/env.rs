@@ -1,0 +1,63 @@
+use frlfi_tensor::Tensor;
+use rand::RngCore;
+
+/// How an environment step ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The episode continues.
+    Continue,
+    /// The agent reached its goal (GridWorld success).
+    Goal,
+    /// The agent collided with an obstacle (GridWorld hell / drone crash).
+    Crash,
+    /// The step budget ran out (drone episodes are distance-capped).
+    Timeout,
+}
+
+impl Outcome {
+    /// True if the episode is over.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, Outcome::Continue)
+    }
+}
+
+/// The result of one environment transition.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Observation after the transition.
+    pub state: Tensor,
+    /// Immediate reward.
+    pub reward: f32,
+    /// Episode status.
+    pub outcome: Outcome,
+}
+
+/// An episodic navigation environment.
+///
+/// The trait is object-safe so heterogeneous agent fleets can share the
+/// training machinery; randomness comes through `&mut dyn RngCore` so
+/// every trajectory is reproducible from a seed.
+pub trait Environment: Send {
+    /// Shape of the observation tensor (e.g. `[4]` or `[1, 9, 16]`).
+    fn obs_shape(&self) -> Vec<usize>;
+
+    /// Number of discrete actions.
+    fn n_actions(&self) -> usize;
+
+    /// Resets to the start of a new episode and returns the first
+    /// observation.
+    fn reset(&mut self, rng: &mut dyn RngCore) -> Tensor;
+
+    /// Advances one step with the chosen action.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= n_actions()` or if called
+    /// after a terminal outcome without an intervening reset.
+    fn step(&mut self, action: usize, rng: &mut dyn RngCore) -> Step;
+
+    /// Flat observation length (volume of [`Environment::obs_shape`]).
+    fn state_dim(&self) -> usize {
+        self.obs_shape().iter().product()
+    }
+}

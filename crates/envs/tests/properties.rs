@@ -1,0 +1,145 @@
+//! Property-based tests for the environment substrate.
+
+use frlfi_envs::{
+    standard_layout_specs, Aabb, DroneConfig, DroneSim, Environment, GridWorld, Outcome, Ray,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn layouts_always_solvable(seed in any::<u64>(), n in 1usize..16) {
+        for spec in standard_layout_specs(seed, n) {
+            prop_assert_ne!(spec.source, spec.goal);
+        }
+    }
+
+    #[test]
+    fn gridworld_rewards_bounded(seed in any::<u64>(), actions in proptest::collection::vec(0usize..4, 1..64)) {
+        let mut env = GridWorld::from_spec(&standard_layout_specs(seed, 1)[0]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        env.reset(&mut rng);
+        for a in actions {
+            let s = env.step(a, &mut rng);
+            prop_assert!((-1.0..=1.0).contains(&s.reward));
+            prop_assert_eq!(s.state.len(), 6);
+            prop_assert!(s.state.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+            if s.outcome.is_terminal() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn gridworld_episode_always_terminates(seed in any::<u64>()) {
+        let mut env = GridWorld::from_spec(&standard_layout_specs(seed, 1)[0]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        env.reset(&mut rng);
+        let mut terminal = false;
+        for step in 0..200 {
+            let s = env.step(step % 4, &mut rng);
+            if s.outcome.is_terminal() {
+                terminal = true;
+                break;
+            }
+        }
+        prop_assert!(terminal, "episodes must terminate within the step cap");
+    }
+
+    #[test]
+    fn improving_actions_never_point_at_hell(seed in any::<u64>()) {
+        let env = GridWorld::from_spec(&standard_layout_specs(seed, 1)[0]);
+        for r in 0..10 {
+            for c in 0..10 {
+                let improving = env.improving_actions(r, c);
+                let targets = [
+                    (r.wrapping_sub(1), c),
+                    (r + 1, c),
+                    (r, c + 1),
+                    (r, c.wrapping_sub(1)),
+                ];
+                for (a, (&good, &(tr, tc))) in
+                    improving.iter().zip(targets.iter()).enumerate()
+                {
+                    if good && tr < 10 && tc < 10 {
+                        prop_assert_ne!(
+                            env.cell(tr, tc),
+                            frlfi_envs::Cell::Hell,
+                            "improving action {} points at hell",
+                            a
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drone_depths_always_normalized(world in any::<u64>(), steps in 1usize..12) {
+        let mut sim = DroneSim::new(DroneConfig::default(), world);
+        let mut rng = StdRng::seed_from_u64(world);
+        let obs = sim.reset(&mut rng);
+        prop_assert!(obs.data().iter().all(|&d| (0.0..=1.0).contains(&d)));
+        for i in 0..steps {
+            let s = sim.step((i * 7) % 25, &mut rng);
+            prop_assert!(s.state.data().iter().all(|&d| (0.0..=1.0).contains(&d)));
+            if s.outcome.is_terminal() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn drone_distance_monotone_in_steps(world in any::<u64>()) {
+        let mut sim = DroneSim::new(DroneConfig::default(), world);
+        let mut rng = StdRng::seed_from_u64(world);
+        sim.reset(&mut rng);
+        let mut last = 0.0f32;
+        for _ in 0..20 {
+            let s = sim.step(12, &mut rng);
+            prop_assert!(sim.distance() >= last);
+            last = sim.distance();
+            if s.outcome.is_terminal() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn drone_crash_ends_episode(world in any::<u64>()) {
+        // Hug the left wall: the episode must end in a crash or timeout,
+        // never loop forever.
+        let cfg = DroneConfig { max_steps: 500, ..DroneConfig::default() };
+        let mut sim = DroneSim::new(cfg, world);
+        let mut rng = StdRng::seed_from_u64(world);
+        sim.reset(&mut rng);
+        let mut outcome = Outcome::Continue;
+        for _ in 0..600 {
+            let s = sim.step(0, &mut rng); // hard left + down
+            outcome = s.outcome;
+            if outcome.is_terminal() {
+                break;
+            }
+        }
+        prop_assert!(outcome.is_terminal());
+    }
+
+    #[test]
+    fn ray_hit_distance_nonnegative(
+        origin in proptest::array::uniform3(-50.0f32..50.0),
+        dir in proptest::array::uniform3(-1.0f32..1.0),
+        lo in proptest::array::uniform3(-40.0f32..40.0),
+    ) {
+        let hi = [lo[0] + 5.0, lo[1] + 5.0, lo[2] + 5.0];
+        let b = Aabb::new(lo, hi);
+        let ray = Ray { origin, dir };
+        if let Some(t) = ray.hit(&b) {
+            prop_assert!(t >= 0.0);
+            // The hit point actually lies on/inside the (slightly
+            // inflated) box.
+            let p = [origin[0] + t * dir[0], origin[1] + t * dir[1], origin[2] + t * dir[2]];
+            prop_assert!(b.inflate(1e-3).contains(p) || t == 0.0);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fault-model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A bit-error rate outside `[0, 1]` (or non-finite) was requested.
+    InvalidBer {
+        /// The offending value.
+        value: f64,
+    },
+    /// An injection targeted an empty parameter buffer.
+    EmptyTarget,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidBer { value } => {
+                write!(f, "bit error rate {value} must lie in [0, 1]")
+            }
+            FaultError::EmptyTarget => write!(f, "cannot inject faults into an empty buffer"),
+        }
+    }
+}
+
+impl Error for FaultError {}

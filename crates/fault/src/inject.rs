@@ -1,0 +1,241 @@
+use crate::{Ber, DataRepr, FaultModel, FaultRecord};
+use frlfi_nn::Network;
+use rand::{Rng, RngCore};
+use std::collections::HashSet;
+
+/// Injects `n_faults` bit-level faults into a parameter buffer.
+///
+/// Fault sites `(scalar, bit)` are sampled uniformly **without
+/// replacement** over the buffer's exposed bits, matching the paper's
+/// "single or multiple bits in data or memory elements are randomly
+/// flipped". [`FaultModel::TransientSingle`] forces `n_faults = 1`.
+///
+/// Returns one [`FaultRecord`] per injected site (including silent
+/// stuck-at hits).
+pub fn inject_slice(
+    params: &mut [f32],
+    repr: DataRepr,
+    model: FaultModel,
+    n_faults: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<FaultRecord> {
+    if params.is_empty() {
+        return Vec::new();
+    }
+    let n_faults = match model {
+        FaultModel::TransientSingle => 1.min(n_faults.max(1)),
+        _ => n_faults,
+    };
+    let total_bits = repr.total_bits(params.len());
+    let n_faults = n_faults.min(total_bits);
+    if n_faults == 0 {
+        return Vec::new();
+    }
+
+    let width = repr.width() as usize;
+    let mut sites: HashSet<usize> = HashSet::with_capacity(n_faults);
+    // With n ≪ total_bits rejection sampling terminates fast; for dense
+    // corruption (n close to total_bits) fall back to a shuffle.
+    if n_faults * 4 <= total_bits {
+        while sites.len() < n_faults {
+            sites.insert(rng.gen_range(0..total_bits));
+        }
+    } else {
+        let mut all: Vec<usize> = (0..total_bits).collect();
+        // Partial Fisher–Yates.
+        for i in 0..n_faults {
+            let j = rng.gen_range(i..total_bits);
+            all.swap(i, j);
+            sites.insert(all[i]);
+        }
+    }
+
+    // Apply in sorted site order: HashSet iteration order is not
+    // deterministic, and flips through quantized encode/decode round
+    // trips do not commute, so ordering matters for reproducibility.
+    let mut sites: Vec<usize> = sites.into_iter().collect();
+    sites.sort_unstable();
+    let mut records = Vec::with_capacity(n_faults);
+    for site in sites {
+        let index = site / width;
+        let bit = (site % width) as u32;
+        let before = params[index];
+        let after = repr.corrupt(before, bit, model);
+        params[index] = after;
+        records.push(FaultRecord { index, bit, before, after });
+    }
+    records
+}
+
+/// Injects faults into a parameter buffer at a given [`Ber`], deriving
+/// the fault count from the buffer's exposed bits.
+pub fn inject_slice_ber(
+    params: &mut [f32],
+    repr: DataRepr,
+    model: FaultModel,
+    ber: Ber,
+    rng: &mut dyn RngCore,
+) -> Vec<FaultRecord> {
+    let n = ber.fault_count(repr.total_bits(params.len()));
+    inject_slice(params, repr, model, n, rng)
+}
+
+/// Injects `n_faults` faults into a network's flat parameter vector.
+///
+/// This is the *agent-memory* and *static inference* fault surface: the
+/// network's weights are snapshotted, corrupted in their encoded
+/// representation, and restored.
+pub fn inject_network(
+    net: &mut Network,
+    repr: DataRepr,
+    model: FaultModel,
+    n_faults: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<FaultRecord> {
+    let mut snapshot = net.snapshot();
+    let records = inject_slice(&mut snapshot, repr, model, n_faults, rng);
+    net.restore(&snapshot).expect("snapshot length is invariant");
+    records
+}
+
+/// Injects faults into a network at a given [`Ber`].
+pub fn inject_network_ber(
+    net: &mut Network,
+    repr: DataRepr,
+    model: FaultModel,
+    ber: Ber,
+    rng: &mut dyn RngCore,
+) -> Vec<FaultRecord> {
+    let n = ber.fault_count(repr.total_bits(net.param_count()));
+    inject_network(net, repr, model, n, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frlfi_nn::NetworkBuilder;
+    use frlfi_quant::Int8Quantizer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn injects_exact_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut buf = vec![0.5f32; 64];
+        let recs = inject_slice(&mut buf, DataRepr::F32, FaultModel::TransientMulti, 10, &mut rng);
+        assert_eq!(recs.len(), 10);
+        // Sites are unique (scalar, bit) pairs.
+        let mut sites: Vec<(usize, u32)> = recs.iter().map(|r| (r.index, r.bit)).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        assert_eq!(sites.len(), 10);
+    }
+
+    #[test]
+    fn transient_single_is_one_bit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = vec![0.5f32; 64];
+        let recs =
+            inject_slice(&mut buf, DataRepr::F32, FaultModel::TransientSingle, 99, &mut rng);
+        assert_eq!(recs.len(), 1);
+        let changed = buf.iter().filter(|&&v| v != 0.5).count();
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn zero_faults_is_noop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = vec![1.0f32; 8];
+        let recs = inject_slice(&mut buf, DataRepr::F32, FaultModel::TransientMulti, 0, &mut rng);
+        assert!(recs.is_empty());
+        assert!(buf.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn empty_buffer_is_noop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf: Vec<f32> = Vec::new();
+        assert!(inject_slice(&mut buf, DataRepr::F32, FaultModel::TransientMulti, 5, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn dense_injection_caps_at_total_bits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = Int8Quantizer::from_range(-1.0, 1.0).unwrap();
+        let mut buf = vec![0.0f32; 4]; // 32 exposed bits
+        let recs =
+            inject_slice(&mut buf, DataRepr::Int8(q), FaultModel::TransientMulti, 1000, &mut rng);
+        assert_eq!(recs.len(), 32);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut buf = vec![0.5f32; 32];
+            inject_slice(&mut buf, DataRepr::F32, FaultModel::TransientMulti, 8, &mut rng);
+            buf
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn records_describe_the_mutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = vec![0.5f32; 16];
+        let recs = inject_slice(&mut buf, DataRepr::F32, FaultModel::TransientMulti, 4, &mut rng);
+        for r in &recs {
+            // Transient flips on f32 always change the stored bits.
+            assert!(r.is_effective());
+        }
+        // A scalar hit exactly once must hold its record's `after` value
+        // (multi-hit scalars accumulate several flips).
+        for r in &recs {
+            let hits = recs.iter().filter(|o| o.index == r.index).count();
+            if hits == 1 {
+                assert_eq!(buf[r.index], r.after);
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_0_on_zero_weights_is_silent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = vec![0.0f32; 16];
+        let recs = inject_slice(&mut buf, DataRepr::F32, FaultModel::StuckAt0, 8, &mut rng);
+        assert!(recs.iter().all(|r| !r.is_effective()));
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn network_injection_changes_outputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net =
+            NetworkBuilder::new(4).dense(16).relu().dense(4).build(&mut rng).unwrap();
+        let x = frlfi_tensor::Tensor::from_vec(vec![4], vec![1.0, -1.0, 0.5, 0.0]).unwrap();
+        let before = net.forward(&x).unwrap();
+        // Flip many high bits; outputs should change.
+        inject_network(&mut net, DataRepr::F32, FaultModel::TransientMulti, 200, &mut rng);
+        let after = net.forward(&x).unwrap();
+        assert_ne!(before.data(), after.data());
+    }
+
+    #[test]
+    fn network_ber_uses_repr_width() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net =
+            NetworkBuilder::new(4).dense(16).relu().dense(4).build(&mut rng).unwrap();
+        let n_params = net.param_count();
+        let q = Int8Quantizer::from_range(-1.0, 1.0).unwrap();
+        let recs = inject_network_ber(
+            &mut net,
+            DataRepr::Int8(q),
+            FaultModel::TransientMulti,
+            Ber::new(0.01).unwrap(),
+            &mut rng,
+        );
+        assert_eq!(recs.len(), (n_params as f64 * 8.0 * 0.01).round() as usize);
+    }
+}

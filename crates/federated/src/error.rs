@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the federated parameter exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FederatedError {
+    /// A server was created with fewer than two agents (a single-agent
+    /// system has no server, per the paper's Fig. 3c baseline).
+    TooFewAgents {
+        /// Requested agent count.
+        n_agents: usize,
+    },
+    /// A zero-length parameter vector was requested.
+    EmptyParams,
+    /// An aggregation round received the wrong number of uploads.
+    WrongUploadCount {
+        /// Expected number of agent uploads.
+        expected: usize,
+        /// Received number.
+        actual: usize,
+    },
+    /// An upload's parameter length does not match the server's.
+    ParamLengthMismatch {
+        /// Agent index with the mismatched upload.
+        agent: usize,
+        /// Expected parameter count.
+        expected: usize,
+        /// Received parameter count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FederatedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederatedError::TooFewAgents { n_agents } => {
+                write!(f, "federated server needs at least 2 agents, got {n_agents}")
+            }
+            FederatedError::EmptyParams => write!(f, "parameter vector must be non-empty"),
+            FederatedError::WrongUploadCount { expected, actual } => {
+                write!(f, "expected {expected} agent uploads, got {actual}")
+            }
+            FederatedError::ParamLengthMismatch { agent, expected, actual } => {
+                write!(f, "agent {agent} uploaded {actual} params, server expects {expected}")
+            }
+        }
+    }
+}
+
+impl Error for FederatedError {}

@@ -1,0 +1,78 @@
+/// Fault-injection points of one communication round.
+///
+/// The paper considers three fault sources — server, communication and
+/// agent (§III-C) — and groups them into *agent faults* (faults in the
+/// data the server receives: agent memory + agent→server channel) and
+/// *server faults* (faults in the data agents receive: server memory +
+/// server→agent channel). A `RoundHook` exposes exactly those surfaces:
+///
+/// * [`RoundHook::on_uplink`] — corrupt an agent's upload (agent-side);
+/// * [`RoundHook::on_server`] — corrupt the aggregated parameter sets in
+///   server memory before they are sent (server-side);
+/// * [`RoundHook::on_downlink`] — corrupt one agent's download
+///   (server-side, channel).
+///
+/// The default implementations do nothing, so hooks only override the
+/// surfaces they target.
+pub trait RoundHook: Send {
+    /// Called on each agent's parameters as they arrive at the server.
+    fn on_uplink(&mut self, _agent: usize, _params: &mut [f32]) {}
+
+    /// Called once on the full set of aggregated outputs (index = agent)
+    /// while they sit in server memory.
+    fn on_server(&mut self, _outputs: &mut [Vec<f32>]) {}
+
+    /// Called on each agent's parameters as they arrive back at the
+    /// agent.
+    fn on_downlink(&mut self, _agent: usize, _params: &mut [f32]) {}
+}
+
+/// A hook that never corrupts anything (fault-free rounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopHook;
+
+impl RoundHook for NoopHook {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingHook {
+        uplinks: usize,
+        servers: usize,
+        downlinks: usize,
+    }
+
+    impl RoundHook for CountingHook {
+        fn on_uplink(&mut self, _agent: usize, _params: &mut [f32]) {
+            self.uplinks += 1;
+        }
+        fn on_server(&mut self, _outputs: &mut [Vec<f32>]) {
+            self.servers += 1;
+        }
+        fn on_downlink(&mut self, _agent: usize, _params: &mut [f32]) {
+            self.downlinks += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        let mut h = NoopHook;
+        let mut p = vec![1.0, 2.0];
+        h.on_uplink(0, &mut p);
+        h.on_downlink(0, &mut p);
+        h.on_server(&mut [vec![3.0]]);
+        assert_eq!(p, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn custom_hook_sees_all_phases() {
+        let mut h = CountingHook { uplinks: 0, servers: 0, downlinks: 0 };
+        let mut p = vec![0.0];
+        h.on_uplink(0, &mut p);
+        h.on_uplink(1, &mut p);
+        h.on_server(&mut [vec![0.0]]);
+        h.on_downlink(0, &mut p);
+        assert_eq!((h.uplinks, h.servers, h.downlinks), (2, 1, 1));
+    }
+}

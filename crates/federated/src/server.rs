@@ -1,0 +1,285 @@
+use crate::{FederatedError, RoundHook};
+
+/// The FRL parameter server (§III-A).
+///
+/// Holds the consensus parameter vector and performs the smoothing
+/// average `θᵢᵏ⁺ = αₖ·θᵢᵏ⁻ + βₖ·Σ_{j≠i} θⱼᵏ⁻`. The self-weight `αₖ`
+/// anneals from its initial value toward `1/n`, the fixed point that
+/// guarantees consensus (paper Eq. 4, citing Zeng et al.).
+///
+/// The server's stored consensus is the state the checkpointing scheme
+/// (§V-A) snapshots and restores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Server {
+    n_agents: usize,
+    consensus: Vec<f32>,
+    round: usize,
+    alpha0: f32,
+    anneal_rounds: usize,
+}
+
+impl Server {
+    /// Creates a server for `n_agents` agents exchanging `param_len`
+    /// parameters, with the default α₀ = 0.5 annealed over 50 rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FederatedError::TooFewAgents`] if `n_agents < 2` or
+    /// [`FederatedError::EmptyParams`] if `param_len == 0`.
+    pub fn new(n_agents: usize, param_len: usize) -> Result<Self, FederatedError> {
+        Server::with_annealing(n_agents, param_len, 0.5, 50)
+    }
+
+    /// Creates a server with an explicit `α₀` and annealing horizon.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Server::new`]; additionally requires `1/n ≤ α₀ ≤ 1`.
+    pub fn with_annealing(
+        n_agents: usize,
+        param_len: usize,
+        alpha0: f32,
+        anneal_rounds: usize,
+    ) -> Result<Self, FederatedError> {
+        if n_agents < 2 {
+            return Err(FederatedError::TooFewAgents { n_agents });
+        }
+        if param_len == 0 {
+            return Err(FederatedError::EmptyParams);
+        }
+        let floor = 1.0 / n_agents as f32;
+        assert!(
+            (floor..=1.0).contains(&alpha0),
+            "alpha0 {alpha0} must lie in [1/n, 1]"
+        );
+        Ok(Server {
+            n_agents,
+            consensus: vec![0.0; param_len],
+            round: 0,
+            alpha0,
+            anneal_rounds,
+        })
+    }
+
+    /// Number of participating agents.
+    pub fn n_agents(&self) -> usize {
+        self.n_agents
+    }
+
+    /// Completed aggregation rounds.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Current self-weight `αₖ`, annealing linearly from α₀ to `1/n`.
+    pub fn alpha(&self) -> f32 {
+        let floor = 1.0 / self.n_agents as f32;
+        if self.anneal_rounds == 0 || self.round >= self.anneal_rounds {
+            return floor;
+        }
+        let frac = self.round as f32 / self.anneal_rounds as f32;
+        self.alpha0 + (floor - self.alpha0) * frac
+    }
+
+    /// The server's consensus copy (mean of the last uploads).
+    pub fn consensus(&self) -> &[f32] {
+        &self.consensus
+    }
+
+    /// Mutable access to the consensus copy — the server-memory fault
+    /// surface and the checkpoint restore target.
+    pub fn consensus_mut(&mut self) -> &mut [f32] {
+        &mut self.consensus
+    }
+
+    /// Performs one aggregation round without fault hooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number or length of uploads is wrong.
+    pub fn aggregate(&mut self, uploads: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, FederatedError> {
+        let mut uploads = uploads.to_vec();
+        self.aggregate_with_hook(&mut uploads, &mut crate::NoopHook)
+    }
+
+    /// Performs one aggregation round, applying a [`RoundHook`] at the
+    /// uplink, server-memory, and downlink fault surfaces.
+    ///
+    /// Uploads are taken by mutable reference because the uplink hook
+    /// corrupts them *in transit* — the agents' own copies are not
+    /// affected (matching a communication fault rather than an
+    /// agent-memory fault).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number or length of uploads is wrong.
+    pub fn aggregate_with_hook(
+        &mut self,
+        uploads: &mut [Vec<f32>],
+        hook: &mut dyn RoundHook,
+    ) -> Result<Vec<Vec<f32>>, FederatedError> {
+        if uploads.len() != self.n_agents {
+            return Err(FederatedError::WrongUploadCount {
+                expected: self.n_agents,
+                actual: uploads.len(),
+            });
+        }
+        let len = self.consensus.len();
+        for (i, u) in uploads.iter().enumerate() {
+            if u.len() != len {
+                return Err(FederatedError::ParamLengthMismatch {
+                    agent: i,
+                    expected: len,
+                    actual: u.len(),
+                });
+            }
+        }
+
+        for (i, u) in uploads.iter_mut().enumerate() {
+            hook.on_uplink(i, u);
+        }
+
+        // Sum of all uploads (after any uplink corruption).
+        let mut sum = vec![0.0f32; len];
+        for u in uploads.iter() {
+            for (s, &v) in sum.iter_mut().zip(u.iter()) {
+                *s += v;
+            }
+        }
+        // Consensus = mean of uploads; this is what the server "knows".
+        let inv_n = 1.0 / self.n_agents as f32;
+        for (c, &s) in self.consensus.iter_mut().zip(sum.iter()) {
+            *c = s * inv_n;
+        }
+
+        let alpha = self.alpha();
+        let beta = (1.0 - alpha) / (self.n_agents as f32 - 1.0);
+        let mut outputs: Vec<Vec<f32>> = uploads
+            .iter()
+            .map(|u| {
+                u.iter()
+                    .zip(sum.iter())
+                    .map(|(&own, &total)| alpha * own + beta * (total - own))
+                    .collect()
+            })
+            .collect();
+
+        hook.on_server(&mut outputs);
+        for (i, o) in outputs.iter_mut().enumerate() {
+            hook.on_downlink(i, o);
+        }
+
+        self.round += 1;
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(matches!(Server::new(1, 4), Err(FederatedError::TooFewAgents { .. })));
+        assert!(matches!(Server::new(4, 0), Err(FederatedError::EmptyParams)));
+    }
+
+    #[test]
+    fn rejects_bad_uploads() {
+        let mut s = Server::new(2, 3).unwrap();
+        assert!(matches!(
+            s.aggregate(&[vec![0.0; 3]]),
+            Err(FederatedError::WrongUploadCount { .. })
+        ));
+        assert!(matches!(
+            s.aggregate(&[vec![0.0; 3], vec![0.0; 2]]),
+            Err(FederatedError::ParamLengthMismatch { agent: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn identical_uploads_are_fixed_point() {
+        let mut s = Server::new(3, 2).unwrap();
+        let uploads = vec![vec![1.5, -0.5]; 3];
+        let out = s.aggregate(&uploads).unwrap();
+        for o in out {
+            assert!((o[0] - 1.5).abs() < 1e-6);
+            assert!((o[1] + 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn smoothing_moves_toward_mean() {
+        let mut s = Server::new(2, 1).unwrap();
+        let out = s.aggregate(&[vec![0.0], vec![2.0]]).unwrap();
+        // Each output strictly between own value and the other's.
+        assert!(out[0][0] > 0.0 && out[0][0] < 2.0);
+        assert!(out[1][0] > 0.0 && out[1][0] < 2.0);
+        // Weights sum to one, so the pair mean is preserved.
+        assert!((out[0][0] + out[1][0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_anneals_to_one_over_n() {
+        let mut s = Server::with_annealing(4, 1, 0.7, 10).unwrap();
+        assert!((s.alpha() - 0.7).abs() < 1e-6);
+        for _ in 0..10 {
+            s.aggregate(&vec![vec![0.0]; 4]).unwrap();
+        }
+        assert!((s.alpha() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn consensus_is_mean_of_uploads() {
+        let mut s = Server::new(2, 2).unwrap();
+        s.aggregate(&[vec![1.0, 3.0], vec![3.0, 5.0]]).unwrap();
+        assert_eq!(s.consensus(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn repeated_rounds_converge_to_consensus() {
+        // The paper's Eq. 4: θᵢᵏ⁺ → θ* for all i.
+        let mut s = Server::with_annealing(3, 1, 0.8, 20).unwrap();
+        let mut params = vec![vec![0.0f32], vec![6.0], vec![3.0]];
+        for _ in 0..60 {
+            params = s.aggregate(&params).unwrap();
+        }
+        let spread = params.iter().map(|p| p[0]).fold(f32::NEG_INFINITY, f32::max)
+            - params.iter().map(|p| p[0]).fold(f32::INFINITY, f32::min);
+        assert!(spread < 1e-3, "agents did not converge, spread {spread}");
+        assert!((params[0][0] - 3.0).abs() < 1e-3, "consensus should preserve the mean");
+    }
+
+    #[test]
+    fn uplink_hook_corrupts_in_transit_only() {
+        struct ZeroAgent0;
+        impl RoundHook for ZeroAgent0 {
+            fn on_uplink(&mut self, agent: usize, params: &mut [f32]) {
+                if agent == 0 {
+                    params.iter_mut().for_each(|p| *p = 0.0);
+                }
+            }
+        }
+        let mut s = Server::new(2, 1).unwrap();
+        let mut uploads = vec![vec![10.0], vec![2.0]];
+        let out = s.aggregate_with_hook(&mut uploads, &mut ZeroAgent0).unwrap();
+        // Server saw 0.0 for agent 0, so outputs reflect the corruption.
+        assert!(out[1][0] < 2.0);
+    }
+
+    #[test]
+    fn server_hook_hits_all_agents() {
+        struct Saturate;
+        impl RoundHook for Saturate {
+            fn on_server(&mut self, outputs: &mut [Vec<f32>]) {
+                for o in outputs {
+                    o.iter_mut().for_each(|p| *p = 99.0);
+                }
+            }
+        }
+        let mut s = Server::new(3, 2).unwrap();
+        let mut uploads = vec![vec![0.0; 2]; 3];
+        let out = s.aggregate_with_hook(&mut uploads, &mut Saturate).unwrap();
+        assert!(out.iter().all(|o| o.iter().all(|&p| p == 99.0)));
+    }
+}

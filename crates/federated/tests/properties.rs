@@ -1,0 +1,78 @@
+//! Property-based tests for the federated exchange.
+
+use frlfi_federated::{CommSchedule, Server};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn aggregation_preserves_mean(
+        n in 2usize..8,
+        len in 1usize..16,
+        scale in -10.0f32..10.0,
+    ) {
+        let mut server = Server::new(n, len).expect("server");
+        let uploads: Vec<Vec<f32>> =
+            (0..n).map(|i| vec![scale * i as f32; len]).collect();
+        let mean: f32 = uploads.iter().map(|u| u[0]).sum::<f32>() / n as f32;
+        let out = server.aggregate(&uploads).expect("aggregate");
+        let out_mean: f32 = out.iter().map(|o| o[0]).sum::<f32>() / n as f32;
+        prop_assert!((mean - out_mean).abs() < 1e-3 * (1.0 + mean.abs()),
+            "smoothing must preserve the fleet mean: {} vs {}", mean, out_mean);
+    }
+
+    #[test]
+    fn outputs_within_upload_hull(n in 2usize..8, vals in proptest::collection::vec(-100.0f32..100.0, 2..8)) {
+        prop_assume!(vals.len() >= n);
+        let mut server = Server::new(n, 1).expect("server");
+        let uploads: Vec<Vec<f32>> = (0..n).map(|i| vec![vals[i]]).collect();
+        let lo = uploads.iter().map(|u| u[0]).fold(f32::INFINITY, f32::min);
+        let hi = uploads.iter().map(|u| u[0]).fold(f32::NEG_INFINITY, f32::max);
+        let out = server.aggregate(&uploads).expect("aggregate");
+        for o in out {
+            prop_assert!(o[0] >= lo - 1e-4 && o[0] <= hi + 1e-4,
+                "smoothed value {} escapes hull [{}, {}]", o[0], lo, hi);
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_contract_spread(n in 2usize..6, seedvals in proptest::collection::vec(-10.0f32..10.0, 2..6)) {
+        prop_assume!(seedvals.len() >= n);
+        let mut server = Server::new(n, 1).expect("server");
+        let mut params: Vec<Vec<f32>> = (0..n).map(|i| vec![seedvals[i]]).collect();
+        let spread = |p: &[Vec<f32>]| {
+            p.iter().map(|v| v[0]).fold(f32::NEG_INFINITY, f32::max)
+                - p.iter().map(|v| v[0]).fold(f32::INFINITY, f32::min)
+        };
+        let s0 = spread(&params);
+        for _ in 0..5 {
+            params = server.aggregate(&params).expect("aggregate");
+        }
+        prop_assert!(spread(&params) <= s0 + 1e-4, "aggregation must not widen the spread");
+    }
+
+    #[test]
+    fn alpha_always_in_valid_range(n in 2usize..16, rounds in 0usize..200) {
+        let mut server = Server::new(n, 1).expect("server");
+        let uploads = vec![vec![0.0f32]; n];
+        for _ in 0..rounds.min(60) {
+            server.aggregate(&uploads).expect("aggregate");
+        }
+        let a = server.alpha();
+        prop_assert!(a >= 1.0 / n as f32 - 1e-6 && a <= 1.0);
+    }
+
+    #[test]
+    fn schedule_total_comms_bounded(base in 1usize..8, total in 1usize..500) {
+        let s = CommSchedule::every(base);
+        let comms = s.total_comms(total);
+        prop_assert!(comms <= total);
+        prop_assert!(comms >= total / base);
+    }
+
+    #[test]
+    fn boosted_schedule_never_costs_more(base in 1usize..4, switch in 0usize..300, mult in 2usize..5, total in 1usize..400) {
+        let plain = CommSchedule::every(base).total_comms(total);
+        let boosted = CommSchedule::with_boost(base, switch, mult).total_comms(total);
+        prop_assert!(boosted <= plain);
+    }
+}

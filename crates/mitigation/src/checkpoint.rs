@@ -1,0 +1,124 @@
+/// The paper's server-side checkpointing scheme (§V-A).
+///
+/// The server snapshots its consensus weights every
+/// `interval_rounds` communication rounds (the paper uses 5). On a
+/// detected *agent* fault the checkpoint is copied to that agent; on a
+/// detected *server* fault the server itself rolls back. Checkpointing
+/// is asynchronous with aggregation in the paper ("bringing no runtime
+/// overhead"), which here corresponds to the snapshot being a plain
+/// buffer copy outside the training loop.
+///
+/// ```
+/// use frlfi_mitigation::ServerCheckpoint;
+///
+/// let mut cp = ServerCheckpoint::new(5);
+/// cp.on_round(0, &[1.0, 2.0]);
+/// cp.on_round(3, &[9.0, 9.0]); // not a checkpoint round — ignored
+/// assert_eq!(cp.stored(), Some(&[1.0, 2.0][..]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerCheckpoint {
+    interval_rounds: usize,
+    stored: Option<Vec<f32>>,
+    updates: usize,
+}
+
+impl ServerCheckpoint {
+    /// Creates a checkpointer updating every `interval_rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_rounds == 0`.
+    pub fn new(interval_rounds: usize) -> Self {
+        assert!(interval_rounds > 0, "checkpoint interval must be positive");
+        ServerCheckpoint { interval_rounds, stored: None, updates: 0 }
+    }
+
+    /// The checkpoint update interval in communication rounds.
+    pub fn interval_rounds(&self) -> usize {
+        self.interval_rounds
+    }
+
+    /// Number of snapshots taken so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Offers the server's consensus weights after communication round
+    /// `round`; a snapshot is stored on every `interval_rounds`-th round
+    /// (round 0 initializes the checkpoint so recovery is always
+    /// possible).
+    pub fn on_round(&mut self, round: usize, consensus: &[f32]) {
+        if self.stored.is_none() || round % self.interval_rounds == 0 {
+            self.stored = Some(consensus.to_vec());
+            self.updates += 1;
+        }
+    }
+
+    /// The stored snapshot, if any.
+    pub fn stored(&self) -> Option<&[f32]> {
+        self.stored.as_deref()
+    }
+
+    /// Copies the checkpoint into `target` (an agent's or the server's
+    /// parameter buffer). Returns `false` (and leaves `target` alone) if
+    /// no snapshot exists yet or lengths mismatch.
+    #[must_use]
+    pub fn restore_into(&self, target: &mut [f32]) -> bool {
+        match &self.stored {
+            Some(s) if s.len() == target.len() => {
+                target.copy_from_slice(s);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_on_interval() {
+        let mut cp = ServerCheckpoint::new(5);
+        cp.on_round(0, &[0.0]);
+        cp.on_round(1, &[1.0]);
+        cp.on_round(4, &[4.0]);
+        assert_eq!(cp.stored(), Some(&[0.0][..]));
+        cp.on_round(5, &[5.0]);
+        assert_eq!(cp.stored(), Some(&[5.0][..]));
+        assert_eq!(cp.updates(), 2);
+    }
+
+    #[test]
+    fn restore_copies_snapshot() {
+        let mut cp = ServerCheckpoint::new(1);
+        cp.on_round(0, &[7.0, 8.0]);
+        let mut buf = [0.0, 0.0];
+        assert!(cp.restore_into(&mut buf));
+        assert_eq!(buf, [7.0, 8.0]);
+    }
+
+    #[test]
+    fn restore_without_snapshot_fails() {
+        let cp = ServerCheckpoint::new(1);
+        let mut buf = [1.0];
+        assert!(!cp.restore_into(&mut buf));
+        assert_eq!(buf, [1.0]);
+    }
+
+    #[test]
+    fn restore_length_mismatch_fails() {
+        let mut cp = ServerCheckpoint::new(1);
+        cp.on_round(0, &[1.0, 2.0]);
+        let mut buf = [0.0];
+        assert!(!cp.restore_into(&mut buf));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_panics() {
+        ServerCheckpoint::new(0);
+    }
+}

@@ -1,0 +1,96 @@
+use crate::{Layer, LayerKind, NnError};
+use frlfi_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`, applied elementwise.
+///
+/// Parameter-free; backward masks the upstream gradient with the sign of
+/// the cached input.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    name: String,
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Relu { name: name.into(), cached_input: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name.clone() })?;
+        let mask = input.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+        Ok(grad_out.mul(&mask)?)
+    }
+
+    fn apply_grads(&mut self, _lr: f32) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new("relu");
+        let y = r.forward(&Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0]).unwrap()).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new("relu");
+        r.forward(&Tensor::from_vec(vec![3], vec![-1.0, 0.5, 2.0]).unwrap()).unwrap();
+        let dx = r.backward(&Tensor::full(vec![3], 1.0)).unwrap();
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut r = Relu::new("relu");
+        assert!(r.backward(&Tensor::zeros(vec![2])).is_err());
+    }
+
+    #[test]
+    fn has_no_params() {
+        let r = Relu::new("relu");
+        assert_eq!(r.param_count(), 0);
+        assert!(r.params().is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+use crate::{Layer, LayerKind, NnError};
+use frlfi_tensor::{Init, Tensor, TensorError};
+use rand::Rng;
+
+/// A 2-D convolution layer with stride 1 and no padding ("valid").
+///
+/// Input is a rank-3 tensor `[in_c, h, w]`; output is
+/// `[out_c, h − k + 1, w − k + 1]`. The DroneNav policy stacks three of
+/// these over the raycast depth image before two dense layers (§IV-B-1).
+///
+/// ```
+/// use frlfi_nn::{Conv2d, Layer};
+/// use frlfi_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new("conv0", 1, 4, 3, &mut rng);
+/// let out = conv.forward(&Tensor::zeros(vec![1, 9, 16]))?;
+/// assert_eq!(out.shape().dims(), &[4, 7, 14]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-uniform kernels and zero bias.
+    pub fn new<R: Rng>(
+        name: impl Into<String>,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Self {
+        Conv2d {
+            name: name.into(),
+            in_c,
+            out_c,
+            k,
+            w: Tensor::random(vec![out_c, in_c, k, k], Init::HeUniform, rng),
+            b: Tensor::zeros(vec![out_c]),
+            gw: Tensor::zeros(vec![out_c, in_c, k, k]),
+            gb: Tensor::zeros(vec![out_c]),
+            cached_input: None,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is smaller than the kernel.
+    pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), NnError> {
+        if h < self.k || w < self.k {
+            return Err(NnError::BadDimensions {
+                detail: format!("input {h}x{w} smaller than kernel {}", self.k),
+            });
+        }
+        Ok((h - self.k + 1, w - self.k + 1))
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize), NnError> {
+        let dims = input.shape().dims();
+        if dims.len() != 3 || dims[0] != self.in_c {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                left: vec![self.in_c],
+                right: dims.to_vec(),
+                op: "conv2d forward",
+            }));
+        }
+        self.out_hw(dims[1], dims[2])
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let (oh, ow) = self.check_input(input)?;
+        let dims = input.shape().dims();
+        let (h, w) = (dims[1], dims[2]);
+        let k = self.k;
+        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
+        let x = input.data();
+        let wt = self.w.data();
+        let od = out.data_mut();
+        for oc in 0..self.out_c {
+            let bias = self.b.data()[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias;
+                    for ic in 0..self.in_c {
+                        for ky in 0..k {
+                            let xrow = ic * h * w + (oy + ky) * w + ox;
+                            let wrow = ((oc * self.in_c + ic) * k + ky) * k;
+                            for kx in 0..k {
+                                acc += x[xrow + kx] * wt[wrow + kx];
+                            }
+                        }
+                    }
+                    od[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name.clone() })?
+            .clone();
+        let dims = input.shape().dims();
+        let (h, w) = (dims[1], dims[2]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        let gdims = grad_out.shape().dims();
+        if gdims != [self.out_c, oh, ow] {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                left: vec![self.out_c, oh, ow],
+                right: gdims.to_vec(),
+                op: "conv2d backward",
+            }));
+        }
+        let k = self.k;
+        let x = input.data();
+        let dy = grad_out.data();
+        let mut dx = Tensor::zeros(vec![self.in_c, h, w]);
+        {
+            let gw = self.gw.data_mut();
+            let gb = self.gb.data_mut();
+            let wt = self.w.data();
+            let dxd = dx.data_mut();
+            for oc in 0..self.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dy[oc * oh * ow + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        for ic in 0..self.in_c {
+                            for ky in 0..k {
+                                let xrow = ic * h * w + (oy + ky) * w + ox;
+                                let wrow = ((oc * self.in_c + ic) * k + ky) * k;
+                                for kx in 0..k {
+                                    gw[wrow + kx] += g * x[xrow + kx];
+                                    dxd[xrow + kx] += g * wt[wrow + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn apply_grads(&mut self, lr: f32) {
+        self.w.axpy(-lr, &self.gw).expect("gradient shape invariant");
+        self.b.axpy(-lr, &self.gb).expect("gradient shape invariant");
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.map_inplace(|_| 0.0);
+        self.gb.map_inplace(|_| 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new("c", 2, 3, 3, &mut rng);
+        let out = c.forward(&Tensor::zeros(vec![2, 9, 16])).unwrap();
+        assert_eq!(out.shape().dims(), &[3, 7, 14]);
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new("c", 2, 3, 3, &mut rng);
+        assert!(c.forward(&Tensor::zeros(vec![1, 9, 16])).is_err());
+    }
+
+    #[test]
+    fn rejects_too_small_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new("c", 1, 1, 3, &mut rng);
+        assert!(c.forward(&Tensor::zeros(vec![1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new("c", 1, 1, 1, &mut rng);
+        c.w = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_convolution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new("c", 1, 1, 2, &mut rng);
+        c.w = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        c.b = Tensor::from_vec(vec![1], vec![0.5]).unwrap();
+        let x = Tensor::from_vec(vec![1, 3, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let y = c.forward(&x).unwrap();
+        // Main-diagonal sums + bias: (1+5, 2+6, 4+8, 5+9) + 0.5
+        assert_eq!(y.data(), &[6.5, 8.5, 12.5, 14.5]);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Conv2d::new("c", 1, 2, 2, &mut rng);
+        let x = Tensor::random(vec![1, 4, 4], Init::Uniform(-1.0, 1.0), &mut rng);
+        c.forward(&x).unwrap();
+        let dy = Tensor::full(vec![2, 3, 3], 1.0);
+        c.backward(&dy).unwrap();
+        let analytic = c.gw.clone();
+        let eps = 1e-3f32;
+        for idx in 0..c.w.len() {
+            let orig = c.w.data()[idx];
+            c.w.data_mut()[idx] = orig + eps;
+            let hi = c.forward(&x).unwrap().sum();
+            c.w.data_mut()[idx] = orig - eps;
+            let lo = c.forward(&x).unwrap().sum();
+            c.w.data_mut()[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 2e-2,
+                "kernel grad mismatch at {idx}: {numeric} vs {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = Conv2d::new("c", 1, 1, 2, &mut rng);
+        let mut x = Tensor::random(vec![1, 3, 3], Init::Uniform(-1.0, 1.0), &mut rng);
+        c.forward(&x).unwrap();
+        let dx = c.backward(&Tensor::full(vec![1, 2, 2], 1.0)).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..x.len() {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let hi = c.forward(&x).unwrap().sum();
+            x.data_mut()[idx] = orig - eps;
+            let lo = c.forward(&x).unwrap().sum();
+            x.data_mut()[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[idx]).abs() < 2e-2,
+                "input grad mismatch at {idx}: {numeric} vs {}",
+                dx.data()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,255 @@
+use crate::{Layer, LayerKind, NnError};
+use frlfi_tensor::{Init, Tensor};
+use rand::Rng;
+
+/// A fully connected layer: `y = W·x + b` with `W ∈ [out, in]`.
+///
+/// Inputs and outputs are rank-1 tensors — reinforcement-learning
+/// interaction is inherently step-by-step, so there is no batch
+/// dimension. Gradients accumulate across backward calls (episode sums)
+/// until [`Layer::apply_grads`].
+///
+/// ```
+/// use frlfi_nn::{Dense, Layer};
+/// use frlfi_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut layer = Dense::new("fc0", 3, 2, &mut rng);
+/// let y = layer.forward(&Tensor::from_vec(vec![3], vec![1.0, 0.0, -1.0])?)?;
+/// assert_eq!(y.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    name: String,
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform weights and zero bias.
+    pub fn new<R: Rng>(name: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Dense {
+            name: name.into(),
+            w: Tensor::random(vec![out_dim, in_dim], Init::HeUniform, rng),
+            b: Tensor::zeros(vec![out_dim]),
+            gw: Tensor::zeros(vec![out_dim, in_dim]),
+            gb: Tensor::zeros(vec![out_dim]),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.shape().dims()[1]
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.shape().dims()[0]
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Tensor {
+        &self.w
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.b
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dense
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        // Accept any shape whose volume matches `in_dim` (a conv feature
+        // map flattens implicitly, as in the DroneNav conv→dense stack).
+        let flat = input.reshape(vec![input.len()])?;
+        let mut out = self.w.matvec(&flat)?;
+        out.axpy(1.0, &self.b)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name.clone() })?;
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        if grad_out.len() != out_dim {
+            return Err(NnError::Tensor(frlfi_tensor::TensorError::ShapeMismatch {
+                left: vec![out_dim],
+                right: grad_out.shape().dims().to_vec(),
+                op: "dense backward",
+            }));
+        }
+        // gw += dy ⊗ x ; gb += dy ; dx = Wᵀ dy
+        {
+            let gw = self.gw.data_mut();
+            for i in 0..out_dim {
+                let dy = grad_out.data()[i];
+                if dy == 0.0 {
+                    continue;
+                }
+                let row = &mut gw[i * in_dim..(i + 1) * in_dim];
+                for (g, &x) in row.iter_mut().zip(input.data().iter()) {
+                    *g += dy * x;
+                }
+            }
+        }
+        self.gb.axpy(1.0, grad_out)?;
+        let mut dx = Tensor::zeros(vec![in_dim]);
+        {
+            let dxd = dx.data_mut();
+            for i in 0..out_dim {
+                let dy = grad_out.data()[i];
+                if dy == 0.0 {
+                    continue;
+                }
+                let row = &self.w.data()[i * in_dim..(i + 1) * in_dim];
+                for (d, &w) in dxd.iter_mut().zip(row.iter()) {
+                    *d += w * dy;
+                }
+            }
+        }
+        // Return the gradient in the caller's original input shape so a
+        // preceding conv layer receives a rank-3 gradient.
+        let dx = dx.reshape(input.shape().dims().to_vec())?;
+        Ok(dx)
+    }
+
+    fn apply_grads(&mut self, lr: f32) {
+        self.w.axpy(-lr, &self.gw).expect("gradient shape invariant");
+        self.b.axpy(-lr, &self.gb).expect("gradient shape invariant");
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.map_inplace(|_| 0.0);
+        self.gb.map_inplace(|_| 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixed_layer() -> Dense {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Dense::new("fc", 2, 2, &mut rng);
+        // W = [[1, 2], [3, 4]], b = [0.5, -0.5]
+        l.w = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        l.b = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        l
+    }
+
+    #[test]
+    fn forward_affine() {
+        let mut l = fixed_layer();
+        let y = l.forward(&Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap()).unwrap();
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut l = fixed_layer();
+        let e = l.backward(&Tensor::zeros(vec![2]));
+        assert!(matches!(e, Err(NnError::BackwardBeforeForward { .. })));
+    }
+
+    #[test]
+    fn backward_gradients() {
+        let mut l = fixed_layer();
+        let x = Tensor::from_vec(vec![2], vec![2.0, -1.0]).unwrap();
+        l.forward(&x).unwrap();
+        let dy = Tensor::from_vec(vec![2], vec![1.0, 0.5]).unwrap();
+        let dx = l.backward(&dy).unwrap();
+        // dx = Wᵀ dy = [1*1 + 3*0.5, 2*1 + 4*0.5] = [2.5, 4.0]
+        assert_eq!(dx.data(), &[2.5, 4.0]);
+        // gw = dy ⊗ x = [[2,-1],[1,-0.5]]
+        assert_eq!(l.gw.data(), &[2.0, -1.0, 1.0, -0.5]);
+        assert_eq!(l.gb.data(), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = Dense::new("fc", 3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![3], vec![0.3, -0.7, 1.1]).unwrap();
+        // loss = sum(y); dL/dy = ones
+        let eps = 1e-3f32;
+        l.forward(&x).unwrap();
+        l.backward(&Tensor::full(vec![2], 1.0)).unwrap();
+        let analytic = l.gw.clone();
+        for idx in 0..l.w.len() {
+            let orig = l.w.data()[idx];
+            l.w.data_mut()[idx] = orig + eps;
+            let hi = l.forward(&x).unwrap().sum();
+            l.w.data_mut()[idx] = orig - eps;
+            let lo = l.forward(&x).unwrap().sum();
+            l.w.data_mut()[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 1e-2,
+                "grad mismatch at {idx}: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn apply_grads_descends_and_clears() {
+        let mut l = fixed_layer();
+        let x = Tensor::from_vec(vec![2], vec![1.0, 0.0]).unwrap();
+        l.forward(&x).unwrap();
+        l.backward(&Tensor::full(vec![2], 1.0)).unwrap();
+        let w_before = l.w.clone();
+        l.apply_grads(0.1);
+        assert!(l.w.data()[0] < w_before.data()[0]);
+        assert!(l.gw.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn grads_accumulate_across_steps() {
+        let mut l = fixed_layer();
+        let x = Tensor::from_vec(vec![2], vec![1.0, 0.0]).unwrap();
+        for _ in 0..3 {
+            l.forward(&x).unwrap();
+            l.backward(&Tensor::full(vec![2], 1.0)).unwrap();
+        }
+        assert_eq!(l.gb.data(), &[3.0, 3.0]);
+    }
+}

@@ -1,0 +1,104 @@
+use crate::NnError;
+use frlfi_tensor::Tensor;
+
+/// Coarse classification of a layer, used by the layer-type resilience
+/// study (the paper's summary notes that "different layers ... exhibit
+/// various resilience, depending on layer topology, position").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Fully connected layer.
+    Dense,
+    /// 2-D convolution layer.
+    Conv,
+    /// Parameter-free activation.
+    Activation,
+}
+
+impl std::fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayerKind::Dense => write!(f, "dense"),
+            LayerKind::Conv => write!(f, "conv"),
+            LayerKind::Activation => write!(f, "activation"),
+        }
+    }
+}
+
+/// Location of one layer's parameters inside a network's flat parameter
+/// vector. Used to target fault injection at a specific layer and to run
+/// the per-layer range tally behind range-based anomaly detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpan {
+    /// Layer name (unique within a network, e.g. `dense0`).
+    pub name: String,
+    /// Layer kind.
+    pub kind: LayerKind,
+    /// Offset of the first parameter in the flat vector.
+    pub start: usize,
+    /// Number of parameters.
+    pub len: usize,
+}
+
+impl ParamSpan {
+    /// The half-open flat-index range covered by this span.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers cache their forward input so that a subsequent [`Layer::backward`]
+/// can compute parameter gradients; gradients *accumulate* across calls
+/// until [`Layer::apply_grads`], which is what REINFORCE needs to sum
+/// per-step gradients over an episode.
+pub trait Layer: Send {
+    /// Human-readable layer name (unique within its network).
+    fn name(&self) -> &str;
+
+    /// The layer kind.
+    fn kind(&self) -> LayerKind;
+
+    /// Runs the layer forward, caching whatever is needed for backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Back-propagates `grad_out`, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if no forward pass has
+    /// cached an input, or a tensor error on shape mismatch.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Applies accumulated gradients with learning rate `lr` and clears
+    /// them.
+    fn apply_grads(&mut self, lr: f32);
+
+    /// Clears accumulated gradients without applying them.
+    fn zero_grads(&mut self);
+
+    /// Total number of trainable parameters.
+    fn param_count(&self) -> usize;
+
+    /// Immutable views of the parameter tensors (weights first, then bias).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the parameter tensors (weights first, then bias).
+    ///
+    /// This is the fault-injection surface.
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Clones the layer into a boxed trait object (checkpointing support).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

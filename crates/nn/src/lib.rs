@@ -1,0 +1,44 @@
+//! # frlfi-nn
+//!
+//! Neural-network substrate for the FRL-FI reproduction.
+//!
+//! The paper injects transient faults into NN policy *weights, feature
+//! maps and activations* at bit level, so this crate implements networks
+//! from scratch with fully exposed, flat, bit-addressable parameter
+//! storage rather than wrapping an opaque framework:
+//!
+//! * [`Dense`] and [`Conv2d`] layers with forward and backward passes —
+//!   the GridWorld policy is an MLP, the DroneNav policy is
+//!   Conv×3 + FC×2 (§IV-B-1);
+//! * [`Network`], an owned layer stack with flat parameter snapshots
+//!   (used by server checkpointing), per-layer parameter spans (used by
+//!   layer-targeted injection and range-based anomaly detection), and SGD;
+//! * [`NetworkBuilder`] for concise policy construction.
+//!
+//! ```
+//! use frlfi_nn::NetworkBuilder;
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use frlfi_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = NetworkBuilder::new(4).dense(16).relu().dense(4).build(&mut rng)?;
+//! let q_values = net.forward(&Tensor::from_vec(vec![4], vec![0.0, 1.0, -1.0, 0.0])?)?;
+//! assert_eq!(q_values.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod activation;
+mod conv;
+mod dense;
+mod error;
+mod layer;
+mod network;
+
+pub use activation::Relu;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use error::NnError;
+pub use layer::{Layer, LayerKind, ParamSpan};
+pub use network::{Network, NetworkBuilder};

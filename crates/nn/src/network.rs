@@ -1,0 +1,486 @@
+use crate::{Conv2d, Dense, Layer, NnError, ParamSpan, Relu};
+use frlfi_tensor::{Summary, Tensor};
+use rand::Rng;
+
+/// An owned stack of layers forming a policy network.
+///
+/// `Network` is the unit that federated agents train, the server
+/// aggregates, the checkpointing scheme snapshots, and the fault injector
+/// corrupts. Its central affordance is the *flat parameter view*: all
+/// trainable scalars concatenated in layer order, addressable by a single
+/// flat index ([`Network::snapshot`], [`Network::restore`],
+/// [`Network::param_spans`], [`Network::for_each_param_mut`]).
+///
+/// ```
+/// use frlfi_nn::NetworkBuilder;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = NetworkBuilder::new(4).dense(8).relu().dense(4).build(&mut rng)?;
+/// let snap = net.snapshot();
+/// assert_eq!(snap.len(), net.param_count());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    input_dim: usize,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network { layers: self.layers.clone(), input_dim: self.input_dim }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("layers", &self.layers.iter().map(|l| l.name().to_owned()).collect::<Vec<_>>())
+            .field("param_count", &self.param_count())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Assembles a network from layers; prefer [`NetworkBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyNetwork`] if `layers` is empty.
+    pub fn from_layers(layers: Vec<Box<dyn Layer>>, input_dim: usize) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        Ok(Network { layers, input_dim })
+    }
+
+    /// Expected flat input volume.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of layers (including parameter-free activations).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the network forward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs the network forward while letting `corrupt` mutate every
+    /// intermediate activation buffer (including the final output) —
+    /// the *feature-map/activation* fault surface of FRL-FI §III-C.
+    ///
+    /// The corruption applies to transient copies; no layer caches are
+    /// suitable for a subsequent backward pass, so this is an
+    /// inference-only path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward_with_activation_faults(
+        &mut self,
+        input: &Tensor,
+        corrupt: &mut dyn FnMut(&mut [f32]),
+    ) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+            corrupt(x.data_mut());
+        }
+        Ok(x)
+    }
+
+    /// Back-propagates a gradient of the loss with respect to the output,
+    /// accumulating parameter gradients in every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `forward` has not run or shapes mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Applies all accumulated gradients with learning rate `lr` and
+    /// clears them.
+    pub fn apply_grads(&mut self, lr: f32) {
+        for layer in &mut self.layers {
+            layer.apply_grads(lr);
+        }
+    }
+
+    /// Clears accumulated gradients without applying them.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Copies all parameters into a flat vector (layer order, weights
+    /// before biases). This is the payload agents send to the server and
+    /// the state the checkpointing scheme saves.
+    pub fn snapshot(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for t in layer.params() {
+                out.extend_from_slice(t.data());
+            }
+        }
+        out
+    }
+
+    /// Restores all parameters from a flat vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SnapshotLengthMismatch`] if the length differs
+    /// from [`Network::param_count`].
+    pub fn restore(&mut self, snapshot: &[f32]) -> Result<(), NnError> {
+        if snapshot.len() != self.param_count() {
+            return Err(NnError::SnapshotLengthMismatch {
+                expected: self.param_count(),
+                actual: snapshot.len(),
+            });
+        }
+        let mut off = 0;
+        for layer in &mut self.layers {
+            for t in layer.params_mut() {
+                let n = t.len();
+                t.data_mut().copy_from_slice(&snapshot[off..off + n]);
+                off += n;
+            }
+        }
+        Ok(())
+    }
+
+    /// Describes where each parameterized layer's scalars live in the
+    /// flat vector.
+    pub fn param_spans(&self) -> Vec<ParamSpan> {
+        let mut spans = Vec::new();
+        let mut off = 0;
+        for layer in &self.layers {
+            let len = layer.param_count();
+            if len > 0 {
+                spans.push(ParamSpan {
+                    name: layer.name().to_owned(),
+                    kind: layer.kind(),
+                    start: off,
+                    len,
+                });
+                off += len;
+            }
+        }
+        spans
+    }
+
+    /// Visits every parameter mutably with its flat index.
+    ///
+    /// The fault injector uses this to flip bits of selected scalars.
+    pub fn for_each_param_mut(&mut self, mut f: impl FnMut(usize, &mut f32)) {
+        let mut idx = 0;
+        for layer in &mut self.layers {
+            for t in layer.params_mut() {
+                for v in t.data_mut() {
+                    f(idx, v);
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    /// Applies a function to the parameters in a flat span (used for
+    /// layer-targeted injection and per-layer quantization).
+    pub fn map_span_mut(&mut self, range: std::ops::Range<usize>, mut f: impl FnMut(usize, &mut f32)) {
+        self.for_each_param_mut(|idx, v| {
+            if range.contains(&idx) {
+                f(idx, v);
+            }
+        });
+    }
+
+    /// Per-layer `(min, max)` weight ranges, the statistic tallied by the
+    /// range-based anomaly detector before deployment (§V-B).
+    pub fn layer_ranges(&self) -> Vec<(ParamSpan, Summary)> {
+        let snap = self.snapshot();
+        self.param_spans()
+            .into_iter()
+            .map(|span| {
+                let summary = Summary::of(&snap[span.range()]);
+                (span, summary)
+            })
+            .collect()
+    }
+}
+
+/// Builder for sequential policy networks.
+///
+/// Tracks the running output shape so conv layers can be stacked without
+/// manual dimension bookkeeping. See [`Network`] for an end-to-end
+/// example.
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    input_dim: usize,
+    // Running activation shape: either flat (dense) or [c, h, w] (conv).
+    cur_shape: Vec<usize>,
+    specs: Vec<LayerSpec>,
+    error: Option<NnError>,
+}
+
+#[derive(Debug)]
+enum LayerSpec {
+    Dense { in_dim: usize, out_dim: usize },
+    Conv { in_c: usize, out_c: usize, k: usize },
+    Relu,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for networks taking a flat input of `input_dim`.
+    pub fn new(input_dim: usize) -> Self {
+        NetworkBuilder { input_dim, cur_shape: vec![input_dim], specs: Vec::new(), error: None }
+    }
+
+    /// Starts a builder for networks taking a `[c, h, w]` image input.
+    pub fn new_image(c: usize, h: usize, w: usize) -> Self {
+        NetworkBuilder {
+            input_dim: c * h * w,
+            cur_shape: vec![c, h, w],
+            specs: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Appends a dense layer producing `out_dim` features; any current
+    /// shape flattens implicitly.
+    pub fn dense(mut self, out_dim: usize) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let in_dim: usize = self.cur_shape.iter().product();
+        self.specs.push(LayerSpec::Dense { in_dim, out_dim });
+        self.cur_shape = vec![out_dim];
+        self
+    }
+
+    /// Appends a stride-1 valid conv layer with `out_c` channels and a
+    /// `k × k` kernel. Requires the current shape to be `[c, h, w]` with
+    /// `h, w ≥ k`; otherwise the eventual [`NetworkBuilder::build`] fails.
+    pub fn conv(mut self, out_c: usize, k: usize) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.cur_shape.as_slice() {
+            &[c, h, w] if h >= k && w >= k => {
+                self.specs.push(LayerSpec::Conv { in_c: c, out_c, k });
+                self.cur_shape = vec![out_c, h - k + 1, w - k + 1];
+            }
+            other => {
+                self.error = Some(NnError::BadDimensions {
+                    detail: format!("conv({out_c}, {k}) cannot follow shape {other:?}"),
+                });
+            }
+        }
+        self
+    }
+
+    /// Appends a ReLU activation.
+    pub fn relu(mut self) -> Self {
+        if self.error.is_none() {
+            self.specs.push(LayerSpec::Relu);
+        }
+        self
+    }
+
+    /// Materializes the network with seeded random initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyNetwork`] for an empty stack or
+    /// [`NnError::BadDimensions`] if a conv stage was inconsistent.
+    pub fn build<R: Rng>(self, rng: &mut R) -> Result<Network, NnError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(self.specs.len());
+        let mut dense_idx = 0;
+        let mut conv_idx = 0;
+        let mut relu_idx = 0;
+        for spec in &self.specs {
+            match *spec {
+                LayerSpec::Dense { in_dim, out_dim } => {
+                    layers.push(Box::new(Dense::new(format!("dense{dense_idx}"), in_dim, out_dim, rng)));
+                    dense_idx += 1;
+                }
+                LayerSpec::Conv { in_c, out_c, k } => {
+                    layers.push(Box::new(Conv2d::new(format!("conv{conv_idx}"), in_c, out_c, k, rng)));
+                    conv_idx += 1;
+                }
+                LayerSpec::Relu => {
+                    layers.push(Box::new(Relu::new(format!("relu{relu_idx}"))));
+                    relu_idx += 1;
+                }
+            }
+        }
+        Network::from_layers(layers, self.input_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp() -> Network {
+        let mut rng = StdRng::seed_from_u64(42);
+        NetworkBuilder::new(4).dense(8).relu().dense(4).build(&mut rng).unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(NetworkBuilder::new(4).build(&mut rng), Err(NnError::EmptyNetwork)));
+    }
+
+    #[test]
+    fn builder_rejects_conv_on_flat() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = NetworkBuilder::new(4).conv(8, 3).build(&mut rng);
+        assert!(matches!(r, Err(NnError::BadDimensions { .. })));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let net = mlp();
+        let snap = net.snapshot();
+        assert_eq!(snap.len(), net.param_count());
+        let mut other = mlp();
+        other.restore(&snap).unwrap();
+        assert_eq!(other.snapshot(), snap);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_length() {
+        let mut net = mlp();
+        assert!(matches!(
+            net.restore(&[0.0; 3]),
+            Err(NnError::SnapshotLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn spans_cover_all_params() {
+        let net = mlp();
+        let spans = net.param_spans();
+        assert_eq!(spans.len(), 2);
+        let total: usize = spans.iter().map(|s| s.len).sum();
+        assert_eq!(total, net.param_count());
+        assert_eq!(spans[0].start, 0);
+        assert_eq!(spans[1].start, spans[0].len);
+    }
+
+    #[test]
+    fn for_each_param_visits_all_once() {
+        let mut net = mlp();
+        let mut seen = vec![false; net.param_count()];
+        net.for_each_param_mut(|i, _| {
+            assert!(!seen[i]);
+            seen[i] = true;
+        });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn param_mutation_changes_forward() {
+        let mut net = mlp();
+        let x = Tensor::from_vec(vec![4], vec![1.0, -1.0, 0.5, 0.0]).unwrap();
+        let before = net.forward(&x).unwrap();
+        net.for_each_param_mut(|_, v| *v += 10.0);
+        let after = net.forward(&x).unwrap();
+        assert_ne!(before.data(), after.data());
+    }
+
+    #[test]
+    fn conv_dense_stack_runs_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = NetworkBuilder::new_image(1, 9, 16)
+            .conv(4, 3)
+            .relu()
+            .conv(6, 3)
+            .relu()
+            .conv(8, 3)
+            .relu()
+            .dense(32)
+            .relu()
+            .dense(25)
+            .build(&mut rng)
+            .unwrap();
+        let x = Tensor::zeros(vec![1, 9, 16]);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.len(), 25);
+        // And backward runs through the whole stack.
+        net.backward(&Tensor::full(vec![25], 1.0)).unwrap();
+        net.apply_grads(0.01);
+    }
+
+    #[test]
+    fn training_reduces_simple_loss() {
+        // Regression: fit y = [1, -1] from a fixed input.
+        let mut net = mlp();
+        let x = Tensor::from_vec(vec![4], vec![0.2, -0.4, 1.0, 0.3]).unwrap();
+        let target = [1.0f32, -1.0, 0.0, 0.5];
+        let loss = |net: &mut Network| -> f32 {
+            let y = net.forward(&x).unwrap();
+            y.data().iter().zip(target.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+        };
+        let initial = loss(&mut net);
+        for _ in 0..200 {
+            let y = net.forward(&x).unwrap();
+            let grad: Vec<f32> =
+                y.data().iter().zip(target.iter()).map(|(a, b)| 2.0 * (a - b)).collect();
+            net.backward(&Tensor::from_vec(vec![4], grad).unwrap()).unwrap();
+            net.apply_grads(0.02);
+        }
+        let fin = loss(&mut net);
+        assert!(fin < initial * 0.1, "loss {initial} -> {fin} did not drop");
+    }
+
+    #[test]
+    fn layer_ranges_match_snapshot() {
+        let net = mlp();
+        let snap = net.snapshot();
+        for (span, summary) in net.layer_ranges() {
+            let slice = &snap[span.range()];
+            let lo = slice.iter().cloned().fold(f32::INFINITY, f32::min);
+            assert_eq!(summary.min, lo);
+        }
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut net = mlp();
+        let clone = net.clone();
+        net.for_each_param_mut(|_, v| *v = 99.0);
+        assert_ne!(clone.snapshot()[0], 99.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the network substrate.
+
+use frlfi_nn::{Layer, NetworkBuilder, Relu};
+use frlfi_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mlp(seed: u64, in_dim: usize, hidden: usize, out_dim: usize) -> frlfi_nn::Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new(in_dim).dense(hidden).relu().dense(out_dim).build(&mut rng).expect("mlp")
+}
+
+proptest! {
+    #[test]
+    fn snapshot_restore_is_identity(seed in any::<u64>(), dims in (1usize..8, 1usize..16, 1usize..8)) {
+        let (i, h, o) = dims;
+        let mut net = mlp(seed, i, h, o);
+        let snap = net.snapshot();
+        net.restore(&snap).expect("restore");
+        prop_assert_eq!(net.snapshot(), snap);
+    }
+
+    #[test]
+    fn forward_is_deterministic(seed in any::<u64>(), x in proptest::collection::vec(-5.0f32..5.0, 4)) {
+        let mut net = mlp(seed, 4, 8, 3);
+        let input = Tensor::from_vec(vec![4], x).expect("input");
+        let a = net.forward(&input).expect("forward");
+        let b = net.forward(&input).expect("forward");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spans_partition_params(seed in any::<u64>()) {
+        let net = mlp(seed, 4, 8, 3);
+        let spans = net.param_spans();
+        let mut covered = 0;
+        let mut next = 0;
+        for s in &spans {
+            prop_assert_eq!(s.start, next, "spans must be contiguous");
+            covered += s.len;
+            next = s.start + s.len;
+        }
+        prop_assert_eq!(covered, net.param_count());
+    }
+
+    #[test]
+    fn zero_input_flows_through_bias_only(seed in any::<u64>()) {
+        // With zero input, the first dense layer outputs its bias (zero
+        // at init), so the whole network outputs the last layer's bias.
+        let mut net = mlp(seed, 4, 8, 3);
+        let y = net.forward(&Tensor::zeros(vec![4])).expect("forward");
+        prop_assert!(y.data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn sgd_step_moves_in_negative_gradient(seed in any::<u64>(), x in proptest::collection::vec(-2.0f32..2.0, 4)) {
+        let mut net = mlp(seed, 4, 8, 2);
+        let input = Tensor::from_vec(vec![4], x).expect("input");
+        let before = net.forward(&input).expect("forward").sum();
+        // Loss = sum(outputs); gradient of ones decreases the sum.
+        net.backward(&Tensor::full(vec![2], 1.0)).expect("backward");
+        net.apply_grads(0.01);
+        let after = net.forward(&input).expect("forward").sum();
+        prop_assert!(after <= before + 1e-4, "sum should not increase: {} -> {}", before, after);
+    }
+
+    #[test]
+    fn relu_output_nonnegative(x in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+        let mut r = Relu::new("r");
+        let n = x.len();
+        let y = r.forward(&Tensor::from_vec(vec![n], x).expect("input")).expect("forward");
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn restore_wrong_length_fails_cleanly(seed in any::<u64>(), extra in 1usize..10) {
+        let mut net = mlp(seed, 4, 8, 3);
+        let bad = vec![0.0; net.param_count() + extra];
+        prop_assert!(net.restore(&bad).is_err());
+    }
+}

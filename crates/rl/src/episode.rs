@@ -1,0 +1,118 @@
+use crate::{Learner, Transition};
+use frlfi_envs::{Environment, Outcome};
+use rand::RngCore;
+
+/// The result of running one episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeSummary {
+    /// Sum of rewards over the episode.
+    pub total_reward: f32,
+    /// Number of environment steps taken.
+    pub steps: usize,
+    /// How the episode ended.
+    pub outcome: Outcome,
+}
+
+impl EpisodeSummary {
+    /// True if the episode ended at the goal (GridWorld success metric).
+    pub fn succeeded(&self) -> bool {
+        self.outcome == Outcome::Goal
+    }
+}
+
+/// Runs one *training* episode: the learner explores, observes every
+/// transition and receives `end_episode` at the end.
+pub fn run_episode(
+    env: &mut dyn Environment,
+    learner: &mut dyn Learner,
+    rng: &mut dyn RngCore,
+) -> EpisodeSummary {
+    let mut state = env.reset(rng);
+    let mut total_reward = 0.0;
+    let mut steps = 0;
+    let outcome = loop {
+        let action = learner.act(&state, rng);
+        let step = env.step(action, rng);
+        total_reward += step.reward;
+        steps += 1;
+        let next_state =
+            if step.outcome.is_terminal() { None } else { Some(step.state.clone()) };
+        learner.observe(Transition { state, action, reward: step.reward, next_state });
+        state = step.state;
+        if step.outcome.is_terminal() {
+            break step.outcome;
+        }
+    };
+    learner.end_episode();
+    EpisodeSummary { total_reward, steps, outcome }
+}
+
+/// Runs one *inference* episode: pure greedy exploitation, no learning
+/// (§III-B's second phase).
+pub fn run_greedy_episode(
+    env: &mut dyn Environment,
+    learner: &mut dyn Learner,
+    rng: &mut dyn RngCore,
+) -> EpisodeSummary {
+    let mut state = env.reset(rng);
+    let mut total_reward = 0.0;
+    let mut steps = 0;
+    let outcome = loop {
+        let action = learner.act_greedy(&state);
+        let step = env.step(action, rng);
+        total_reward += step.reward;
+        steps += 1;
+        state = step.state;
+        if step.outcome.is_terminal() {
+            break step.outcome;
+        }
+    };
+    EpisodeSummary { total_reward, steps, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QLearner;
+    use frlfi_envs::GridWorld;
+    use frlfi_envs::Outcome;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn episode_terminates() {
+        let mut env = GridWorld::standard_layouts(1)[0].clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut learner = QLearner::gridworld_default(&mut rng).unwrap();
+        let s = run_episode(&mut env, &mut learner, &mut rng);
+        assert!(s.steps > 0);
+        assert!(s.outcome.is_terminal());
+    }
+
+    #[test]
+    fn greedy_episode_does_not_train() {
+        let mut env = GridWorld::standard_layouts(1)[0].clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut learner = QLearner::gridworld_default(&mut rng).unwrap();
+        let before = learner.network().snapshot();
+        run_greedy_episode(&mut env, &mut learner, &mut rng);
+        assert_eq!(learner.network().snapshot(), before);
+    }
+
+    #[test]
+    fn q_learning_improves_on_simple_maze() {
+        // Train on one open maze; the greedy policy should reach the goal.
+        let mut env = GridWorld::from_spec(&frlfi_envs::standard_layout_specs(11, 1)[0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut learner = QLearner::gridworld_default(&mut rng).unwrap();
+        for _ in 0..600 {
+            run_episode(&mut env, &mut learner, &mut rng);
+        }
+        let successes = (0..20)
+            .filter(|_| {
+                run_greedy_episode(&mut env, &mut learner, &mut rng).outcome == Outcome::Goal
+            })
+            .count();
+        assert!(successes >= 15, "only {successes}/20 greedy episodes reached the goal");
+    }
+}

@@ -1,0 +1,45 @@
+use frlfi_nn::Network;
+use frlfi_tensor::Tensor;
+use rand::RngCore;
+
+/// One environment transition, as seen by a learner.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Observation before the action.
+    pub state: Tensor,
+    /// Action taken.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f32,
+    /// Observation after the action (`None` at episode end).
+    pub next_state: Option<Tensor>,
+}
+
+/// A trainable policy, driven by the episode runner and the federated
+/// layer.
+///
+/// Both learners expose their [`Network`] directly — the server reads
+/// and writes it during aggregation, the checkpointing scheme snapshots
+/// it, and the fault injector corrupts it.
+pub trait Learner: Send {
+    /// Selects an action during training (exploration allowed).
+    fn act(&mut self, state: &Tensor, rng: &mut dyn RngCore) -> usize;
+
+    /// Selects an action greedily (inference phase: pure exploitation).
+    fn act_greedy(&mut self, state: &Tensor) -> usize;
+
+    /// Feeds one transition; value methods may update online here.
+    fn observe(&mut self, transition: Transition);
+
+    /// Signals the episode end; Monte-Carlo methods update here.
+    fn end_episode(&mut self);
+
+    /// Advances the learner's episode counter (exploration schedules).
+    fn set_episode(&mut self, episode: usize);
+
+    /// The policy network (read access).
+    fn network(&self) -> &Network;
+
+    /// The policy network (mutable: aggregation / injection surface).
+    fn network_mut(&mut self) -> &mut Network;
+}

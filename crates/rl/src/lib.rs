@@ -1,0 +1,46 @@
+//! # frlfi-rl
+//!
+//! Reinforcement-learning substrate for the FRL-FI reproduction.
+//!
+//! The paper trains its GridWorld policy with an NN-based value method
+//! and its DroneNav policy with REINFORCE (§IV-B-1), so this crate
+//! provides both, behind the object-safe [`Learner`] trait the federated
+//! layer drives:
+//!
+//! * [`QLearner`] — ε-greedy temporal-difference learning over a
+//!   [`frlfi_nn::Network`] that outputs one Q-value per action;
+//! * [`Reinforce`] — Monte-Carlo policy gradient with an EMA baseline
+//!   over a network that outputs action logits;
+//! * [`EpsilonSchedule`] — the decaying exploration/exploitation ratio
+//!   that separates the paper's *training* phase (decaying ε) from its
+//!   *inference* phase (pure exploitation, §III-B);
+//! * [`run_episode`] / [`run_greedy_episode`] — seeded episode drivers.
+//!
+//! ```
+//! use frlfi_envs::{Environment, GridWorld};
+//! use frlfi_rl::{run_episode, EpsilonSchedule, Learner, QLearner};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut env = GridWorld::standard_layouts(3)[0].clone();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut learner = QLearner::gridworld_default(&mut rng)?;
+//! let summary = run_episode(&mut env, &mut learner, &mut rng);
+//! assert!(summary.steps > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod episode;
+mod learner;
+mod policy;
+mod qlearn;
+mod reinforce;
+mod schedule;
+
+pub use episode::{run_episode, run_greedy_episode, EpisodeSummary};
+pub use learner::{Learner, Transition};
+pub use policy::{eps_greedy, sample_categorical, softmax};
+pub use qlearn::QLearner;
+pub use reinforce::Reinforce;
+pub use schedule::EpsilonSchedule;

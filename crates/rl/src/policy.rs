@@ -1,0 +1,162 @@
+//! Action-selection primitives shared by the learners.
+
+use frlfi_tensor::Tensor;
+use rand::RngCore;
+
+/// Numerically stable softmax over a rank-1 logits tensor.
+///
+/// Non-finite logits (which transient faults can produce) are treated as
+/// very negative so a corrupted policy still yields a valid distribution
+/// rather than NaN-poisoning the action sampler — faults should corrupt
+/// *behaviour*, not crash the simulator.
+///
+/// ```
+/// use frlfi_rl::softmax;
+/// use frlfi_tensor::Tensor;
+///
+/// let p = softmax(&Tensor::from_vec(vec![2], vec![0.0, 0.0]).unwrap());
+/// assert!((p.data()[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let sanitized: Vec<f32> =
+        logits.data().iter().map(|&x| if x.is_finite() { x } else { -1e30 }).collect();
+    let max = sanitized.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = sanitized.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let n = exps.len();
+    let probs = if sum > 0.0 && sum.is_finite() {
+        exps.iter().map(|&e| e / sum).collect()
+    } else {
+        vec![1.0 / n as f32; n]
+    };
+    Tensor::from_vec(vec![n], probs).expect("softmax preserves length")
+}
+
+/// Samples an index from a categorical distribution.
+///
+/// Falls back to uniform if the probabilities are degenerate (all zero /
+/// non-finite), which can happen under heavy fault injection.
+pub fn sample_categorical(probs: &Tensor, rng: &mut dyn RngCore) -> usize {
+    let n = probs.len();
+    let total: f32 = probs.data().iter().filter(|p| p.is_finite() && **p > 0.0).sum();
+    if !(total.is_finite() && total > 0.0) {
+        return (rng.next_u64() % n as u64) as usize;
+    }
+    let mut u = uniform_f32(rng) * total;
+    for (i, &p) in probs.data().iter().enumerate() {
+        if p.is_finite() && p > 0.0 {
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+    }
+    n - 1
+}
+
+/// Draws a uniform f32 in `[0, 1)` from a dyn RngCore (24 high bits give
+/// full f32-mantissa resolution).
+fn uniform_f32(rng: &mut dyn RngCore) -> f32 {
+    (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+}
+
+/// ε-greedy selection over a rank-1 Q-value tensor.
+pub fn eps_greedy(q_values: &Tensor, epsilon: f32, rng: &mut dyn RngCore) -> usize {
+    let n = q_values.len();
+    let u = uniform_f32(rng);
+    if u < epsilon {
+        (rng.next_u64() % n as u64) as usize
+    } else {
+        // Ignore non-finite Q-values that faults may have produced.
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in q_values.data().iter().enumerate() {
+            if v.is_finite() && v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        assert!((p.sum() - 1.0).abs() < 1e-5);
+        assert_eq!(p.argmax(), 3);
+    }
+
+    #[test]
+    fn softmax_survives_nan_logits() {
+        let p = softmax(&Tensor::from_vec(vec![3], vec![f32::NAN, 1.0, f32::INFINITY]).unwrap());
+        assert!((p.sum() - 1.0).abs() < 1e-5);
+        assert!(p.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_all_nan_is_uniform() {
+        let p = softmax(&Tensor::from_vec(vec![2], vec![f32::NAN, f32::NAN]).unwrap());
+        assert!((p.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_respects_point_mass() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let probs = Tensor::from_vec(vec![3], vec![0.0, 1.0, 0.0]).unwrap();
+        for _ in 0..50 {
+            assert_eq!(sample_categorical(&probs, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sample_roughly_matches_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = Tensor::from_vec(vec![2], vec![0.8, 0.2]).unwrap();
+        let hits = (0..5000).filter(|_| sample_categorical(&probs, &mut rng) == 0).count();
+        let frac = hits as f32 / 5000.0;
+        assert!((frac - 0.8).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn sample_degenerate_falls_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let probs = Tensor::from_vec(vec![4], vec![0.0; 4]).unwrap();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[sample_categorical(&probs, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = Tensor::from_vec(vec![3], vec![0.1, 0.9, 0.5]).unwrap();
+        assert_eq!(eps_greedy(&q, 0.0, &mut rng), 1);
+    }
+
+    #[test]
+    fn greedy_skips_nan() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = Tensor::from_vec(vec![3], vec![0.1, f32::NAN, 0.5]).unwrap();
+        assert_eq!(eps_greedy(&q, 0.0, &mut rng), 2);
+    }
+
+    #[test]
+    fn full_epsilon_explores_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = Tensor::from_vec(vec![4], vec![9.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut seen = [false; 4];
+        for _ in 0..300 {
+            seen[eps_greedy(&q, 1.0, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

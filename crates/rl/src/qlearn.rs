@@ -1,0 +1,184 @@
+use crate::{eps_greedy, EpsilonSchedule, Learner, Transition};
+use frlfi_nn::{Network, NetworkBuilder, NnError};
+use frlfi_tensor::Tensor;
+use rand::{Rng, RngCore};
+
+/// ε-greedy temporal-difference learning over an NN Q-function.
+///
+/// The GridWorld policy is the "widely used NN-based method" of §IV-A-1:
+/// a small MLP mapping the 4-cell observation to one Q-value per action,
+/// updated online with the one-step TD target
+/// `r + γ·max_a' Q(s', a')`.
+///
+/// ```
+/// use frlfi_rl::{Learner, QLearner};
+/// use frlfi_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut q = QLearner::gridworld_default(&mut rng)?;
+/// let a = q.act_greedy(&Tensor::from_vec(vec![6], vec![0.0, -1.0, 1.0, 0.0, 1.0, 0.0])?);
+/// assert!(a < 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QLearner {
+    net: Network,
+    gamma: f32,
+    lr: f32,
+    schedule: EpsilonSchedule,
+    episode: usize,
+}
+
+impl QLearner {
+    /// Creates a learner around an existing Q-network.
+    pub fn new(net: Network, gamma: f32, lr: f32, schedule: EpsilonSchedule) -> Self {
+        QLearner { net, gamma, lr, schedule, episode: 0 }
+    }
+
+    /// The standard GridWorld configuration: MLP 6→32→32→4, γ = 0.9,
+    /// lr = 0.01, ε decaying 1.0 → 0.05 over 400 episodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors.
+    pub fn gridworld_default<R: Rng>(rng: &mut R) -> Result<Self, NnError> {
+        let net = NetworkBuilder::new(6).dense(32).relu().dense(32).relu().dense(4).build(rng)?;
+        Ok(QLearner::new(net, 0.9, 0.01, EpsilonSchedule::new(1.0, 0.05, 400)))
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Discount factor.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f32 {
+        self.schedule.epsilon(self.episode)
+    }
+}
+
+impl Learner for QLearner {
+    fn act(&mut self, state: &Tensor, rng: &mut dyn RngCore) -> usize {
+        let q = self.net.forward(state).expect("forward on observation");
+        eps_greedy(&q, self.schedule.epsilon(self.episode), rng)
+    }
+
+    fn act_greedy(&mut self, state: &Tensor) -> usize {
+        let q = self.net.forward(state).expect("forward on observation");
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in q.data().iter().enumerate() {
+            if v.is_finite() && v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn observe(&mut self, t: Transition) {
+        // One-step TD target (computed before re-running forward on the
+        // current state so layer caches hold the right activations).
+        let target = match &t.next_state {
+            Some(ns) => {
+                let next_q = self.net.forward(ns).expect("forward on next state");
+                let max_next = next_q
+                    .data()
+                    .iter()
+                    .cloned()
+                    .filter(|v| v.is_finite())
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let max_next = if max_next.is_finite() { max_next } else { 0.0 };
+                t.reward + self.gamma * max_next
+            }
+            None => t.reward,
+        };
+        let q = self.net.forward(&t.state).expect("forward on state");
+        let mut grad = vec![0.0f32; q.len()];
+        let delta = q.data()[t.action] - target;
+        // Clip the TD error so fault-corrupted outliers cannot blow up
+        // training with a single step (standard DQN-style safeguard).
+        grad[t.action] = delta.clamp(-10.0, 10.0);
+        let grad = Tensor::from_vec(vec![grad.len()], grad).expect("grad length");
+        self.net.backward(&grad).expect("backward");
+        self.net.apply_grads(self.lr);
+    }
+
+    fn end_episode(&mut self) {
+        self.episode += 1;
+    }
+
+    fn set_episode(&mut self, episode: usize) {
+        self.episode = episode;
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn observe_moves_q_toward_target() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut q = QLearner::gridworld_default(&mut rng).unwrap();
+        let s = Tensor::from_vec(vec![6], vec![0.0, 1.0, -1.0, 0.0, -1.0, 1.0]).unwrap();
+        let before = q.network_mut().forward(&s).unwrap().data()[2];
+        for _ in 0..20 {
+            q.observe(Transition { state: s.clone(), action: 2, reward: 1.0, next_state: None });
+        }
+        let after = q.network_mut().forward(&s).unwrap().data()[2];
+        assert!(
+            (after - 1.0).abs() < (before - 1.0).abs(),
+            "Q should approach target: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn epsilon_decays_with_episodes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut q = QLearner::gridworld_default(&mut rng).unwrap();
+        let e0 = q.epsilon();
+        q.set_episode(399);
+        assert!(q.epsilon() < e0);
+    }
+
+    #[test]
+    fn greedy_action_is_argmax_of_q() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut q = QLearner::gridworld_default(&mut rng).unwrap();
+        let s = Tensor::from_vec(vec![6], vec![1.0, 0.0, 0.0, -1.0, -1.0, 0.0]).unwrap();
+        let qs = q.network_mut().forward(&s).unwrap();
+        assert_eq!(q.act_greedy(&s), qs.argmax());
+    }
+
+    #[test]
+    fn terminal_transition_uses_raw_reward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut q = QLearner::gridworld_default(&mut rng).unwrap();
+        let s = Tensor::from_vec(vec![6], vec![0.0; 6]).unwrap();
+        // Hammer a terminal reward of −1 on action 0.
+        for _ in 0..600 {
+            q.observe(Transition { state: s.clone(), action: 0, reward: -1.0, next_state: None });
+        }
+        let v = q.network_mut().forward(&s).unwrap().data()[0];
+        assert!((v + 1.0).abs() < 0.2, "terminal Q should approach −1, got {v}");
+    }
+}

@@ -1,0 +1,213 @@
+use crate::{sample_categorical, softmax, Learner, Transition};
+use frlfi_nn::{Network, NetworkBuilder, NnError};
+use frlfi_tensor::Tensor;
+use rand::{Rng, RngCore};
+
+/// Monte-Carlo policy gradient (REINFORCE) with an EMA baseline.
+///
+/// The DroneNav policy "is first trained offline using REINFORCE ... and
+/// then fine-tuned online" (§IV-B-1). The network outputs logits over
+/// the 25 motion primitives; after each episode the gradient
+/// `∑_t ∇ log π(a_t|s_t) · (G_t − b)` is applied once.
+///
+/// ```
+/// use frlfi_rl::{Learner, Reinforce};
+/// use frlfi_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut pi = Reinforce::drone_default(&mut rng)?;
+/// let a = pi.act_greedy(&Tensor::zeros(vec![1, 9, 16]));
+/// assert!(a < 25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reinforce {
+    net: Network,
+    gamma: f32,
+    lr: f32,
+    baseline: f32,
+    baseline_momentum: f32,
+    episode_buf: Vec<Transition>,
+    episode: usize,
+}
+
+impl Reinforce {
+    /// Creates a REINFORCE learner around an existing logits network.
+    pub fn new(net: Network, gamma: f32, lr: f32) -> Self {
+        Reinforce {
+            net,
+            gamma,
+            lr,
+            baseline: 0.0,
+            baseline_momentum: 0.9,
+            episode_buf: Vec::new(),
+            episode: 0,
+        }
+    }
+
+    /// The standard DroneNav configuration: three conv layers and two
+    /// dense layers over the 9×16 depth image (§IV-B-1), γ = 0.98,
+    /// lr = 5e-4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors.
+    pub fn drone_default<R: Rng>(rng: &mut R) -> Result<Self, NnError> {
+        let net = NetworkBuilder::new_image(1, 9, 16)
+            .conv(8, 3)
+            .relu()
+            .conv(12, 3)
+            .relu()
+            .conv(16, 3)
+            .relu()
+            .dense(64)
+            .relu()
+            .dense(25)
+            .build(rng)?;
+        Ok(Reinforce::new(net, 0.98, 5e-4))
+    }
+
+    /// A small flat-input REINFORCE learner (useful for GridWorld
+    /// algorithm-comparison studies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors.
+    pub fn gridworld_default<R: Rng>(rng: &mut R) -> Result<Self, NnError> {
+        let net = NetworkBuilder::new(6).dense(32).relu().dense(32).relu().dense(4).build(rng)?;
+        Ok(Reinforce::new(net, 0.9, 0.005))
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Current reward baseline (EMA of episode returns).
+    pub fn baseline(&self) -> f32 {
+        self.baseline
+    }
+}
+
+impl Learner for Reinforce {
+    fn act(&mut self, state: &Tensor, rng: &mut dyn RngCore) -> usize {
+        let logits = self.net.forward(state).expect("forward on observation");
+        sample_categorical(&softmax(&logits), rng)
+    }
+
+    fn act_greedy(&mut self, state: &Tensor) -> usize {
+        let logits = self.net.forward(state).expect("forward on observation");
+        softmax(&logits).argmax()
+    }
+
+    fn observe(&mut self, t: Transition) {
+        self.episode_buf.push(t);
+    }
+
+    fn end_episode(&mut self) {
+        if self.episode_buf.is_empty() {
+            self.episode += 1;
+            return;
+        }
+        // Discounted returns, computed backward.
+        let mut returns = vec![0.0f32; self.episode_buf.len()];
+        let mut g = 0.0;
+        for (i, t) in self.episode_buf.iter().enumerate().rev() {
+            g = t.reward + self.gamma * g;
+            returns[i] = g;
+        }
+        let episode_return = returns[0];
+
+        for (t, &g_t) in self.episode_buf.iter().zip(returns.iter()) {
+            let advantage = (g_t - self.baseline).clamp(-50.0, 50.0);
+            if advantage == 0.0 {
+                continue;
+            }
+            let logits = self.net.forward(&t.state).expect("forward on recorded state");
+            let probs = softmax(&logits);
+            // ∇_logits −log π(a) · A = (π − one_hot(a)) · A
+            let mut grad: Vec<f32> = probs.data().iter().map(|&p| p * advantage).collect();
+            grad[t.action] -= advantage;
+            let grad = Tensor::from_vec(vec![grad.len()], grad).expect("grad length");
+            self.net.backward(&grad).expect("backward");
+        }
+        // One SGD step per episode, scaled by episode length.
+        let scale = self.lr / self.episode_buf.len() as f32;
+        self.net.apply_grads(scale);
+
+        self.baseline = self.baseline_momentum * self.baseline
+            + (1.0 - self.baseline_momentum) * episode_return;
+        self.episode_buf.clear();
+        self.episode += 1;
+    }
+
+    fn set_episode(&mut self, episode: usize) {
+        self.episode = episode;
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 2-armed bandit: REINFORCE must learn to prefer the rewarded arm.
+    #[test]
+    fn learns_bandit_preference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = NetworkBuilder::new(1).dense(8).relu().dense(2).build(&mut rng).unwrap();
+        let mut pi = Reinforce::new(net, 1.0, 0.1);
+        let s = Tensor::from_vec(vec![1], vec![1.0]).unwrap();
+        for _ in 0..300 {
+            let a = pi.act(&s, &mut rng);
+            let r = if a == 1 { 1.0 } else { -1.0 };
+            pi.observe(Transition { state: s.clone(), action: a, reward: r, next_state: None });
+            pi.end_episode();
+        }
+        assert_eq!(pi.act_greedy(&s), 1, "should prefer the rewarded arm");
+        let logits = pi.network_mut().forward(&s).unwrap();
+        let p = softmax(&logits);
+        assert!(p.data()[1] > 0.8, "P(best arm) = {}", p.data()[1]);
+    }
+
+    #[test]
+    fn empty_episode_is_harmless() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pi = Reinforce::gridworld_default(&mut rng).unwrap();
+        let before = pi.network().snapshot();
+        pi.end_episode();
+        assert_eq!(pi.network().snapshot(), before);
+    }
+
+    #[test]
+    fn baseline_tracks_returns() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pi = Reinforce::gridworld_default(&mut rng).unwrap();
+        let s = Tensor::from_vec(vec![6], vec![0.0; 6]).unwrap();
+        for _ in 0..50 {
+            pi.observe(Transition { state: s.clone(), action: 0, reward: 2.0, next_state: None });
+            pi.end_episode();
+        }
+        assert!(pi.baseline() > 1.0, "baseline {} should approach 2.0", pi.baseline());
+    }
+
+    #[test]
+    fn drone_default_runs_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pi = Reinforce::drone_default(&mut rng).unwrap();
+        let a = pi.act(&Tensor::zeros(vec![1, 9, 16]), &mut rng);
+        assert!(a < 25);
+    }
+}

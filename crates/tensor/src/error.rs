@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and arithmetic.
+///
+/// Every fallible operation in this crate returns `Result<_, TensorError>`
+/// so that shape bugs surface as values rather than panics deep inside an
+/// experiment campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the dims.
+    LengthMismatch {
+        /// Expected number of elements (product of dims).
+        expected: usize,
+        /// Actual length of the provided buffer.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A tensor with zero dimensions or a zero-sized dimension was requested
+    /// where it is not allowed.
+    EmptyShape,
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            TensorError::EmptyShape => write!(f, "empty shape is not allowed"),
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}

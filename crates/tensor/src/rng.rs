@@ -1,0 +1,88 @@
+//! Deterministic seed derivation.
+//!
+//! Fault-injection campaigns fan out over thousands of (cell, repeat)
+//! pairs, each of which must be reproducible in isolation. We derive
+//! per-task seeds from a campaign master seed with SplitMix64, the
+//! recommended seeding generator for xoshiro-family PRNGs. The derived
+//! seeds feed `rand`'s `StdRng`.
+
+/// A tiny SplitMix64 generator used exclusively for seed derivation.
+///
+/// Not intended as a general-purpose RNG; use `rand::rngs::StdRng` seeded
+/// via [`derive_seed`] for simulation randomness.
+///
+/// ```
+/// use frlfi_tensor::SplitMix64;
+///
+/// let mut g = SplitMix64::new(42);
+/// let a = g.next_u64();
+/// let b = g.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given state.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Produces the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives a stable sub-seed for a named stream of a master seed.
+///
+/// The same `(master, stream)` pair always yields the same seed, and
+/// distinct streams yield statistically independent seeds, so parallel
+/// campaign cells can be reproduced individually.
+///
+/// ```
+/// use frlfi_tensor::derive_seed;
+///
+/// assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+/// assert_ne!(derive_seed(7, 3), derive_seed(7, 4));
+/// ```
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut g = SplitMix64::new(master ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+    // Two rounds decorrelate adjacent streams thoroughly.
+    g.next_u64();
+    g.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let s: Vec<u64> = (0..64).map(|i| derive_seed(99, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len(), "stream seeds must be unique");
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Summary statistics and histograms.
+//!
+//! The fault-characterization campaigns reduce thousands of runs to means
+//! and standard deviations (success rate cells, flight-distance cells,
+//! Table I policy std), and Fig. 3d requires a weight-value histogram.
+
+/// Mean / population-std / min / max of a sample.
+///
+/// ```
+/// use frlfi_tensor::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean; 0 for an empty sample.
+    pub mean: f32,
+    /// Population standard deviation; 0 for an empty sample.
+    pub std: f32,
+    /// Minimum; +inf for an empty sample.
+    pub min: f32,
+    /// Maximum; -inf for an empty sample.
+    pub max: f32,
+    /// Number of values.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes the summary of a slice.
+    pub fn of(data: &[f32]) -> Summary {
+        if data.is_empty() {
+            return Summary { mean: 0.0, std: 0.0, min: f32::INFINITY, max: f32::NEG_INFINITY, count: 0 };
+        }
+        let n = data.len() as f32;
+        let mean = data.iter().sum::<f32>() / n;
+        let var = data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &x in data {
+            if x < min {
+                min = x;
+            }
+            if x > max {
+                max = x;
+            }
+        }
+        Summary { mean, std: var.sqrt(), min, max, count: data.len() }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::of(&[])
+    }
+}
+
+/// Computes a fixed-width histogram of `data` over `[lo, hi]` with `bins`
+/// buckets. Values outside the range are clamped into the end buckets,
+/// which matches how the paper visualizes the (narrow) weight
+/// distribution with outliers from bit-flips landing in the edge bins.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+///
+/// ```
+/// use frlfi_tensor::histogram;
+///
+/// let h = histogram(&[0.1, 0.2, 0.9], 0.0, 1.0, 2);
+/// assert_eq!(h, vec![2, 1]);
+/// ```
+pub fn histogram(data: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f32;
+    for &x in data {
+        let mut b = ((x - lo) / width).floor() as isize;
+        if b < 0 {
+            b = 0;
+        }
+        if b as usize >= bins {
+            b = bins as isize - 1;
+        }
+        counts[b as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant() {
+        let s = Summary::of(&[2.0; 10]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.count, 10);
+    }
+
+    #[test]
+    fn summary_std() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 1.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let h = histogram(&[-5.0, 0.5, 99.0], 0.0, 1.0, 4);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_zero_bins() {
+        histogram(&[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the tensor substrate.
+
+use frlfi_tensor::{derive_seed, histogram, Summary, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..6, 1usize..6).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-100.0f32..100.0, m * n)
+            .prop_map(move |data| Tensor::from_vec(vec![m, n], data).expect("valid"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in small_matrix()) {
+        let t = a.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(t, a);
+    }
+
+    #[test]
+    fn matmul_identity_right(a in small_matrix()) {
+        let n = a.shape().dims()[1];
+        let got = a.matmul(&Tensor::eye(n)).unwrap();
+        for (x, y) in got.data().iter().zip(a.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn add_commutes(a in small_matrix()) {
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn axpy_matches_add(a in small_matrix()) {
+        let b = a.map(|x| x + 1.0);
+        let mut c = a.clone();
+        c.axpy(1.0, &b).unwrap();
+        let d = a.add(&b).unwrap();
+        for (x, y) in c.data().iter().zip(d.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn summary_bounds(data in proptest::collection::vec(-1e3f32..1e3, 1..200)) {
+        let s = Summary::of(&data);
+        prop_assert!(s.min <= s.mean + 1e-2);
+        prop_assert!(s.mean <= s.max + 1e-2);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn histogram_conserves_count(data in proptest::collection::vec(-10.0f32..10.0, 0..100), bins in 1usize..16) {
+        let h = histogram(&data, -1.0, 1.0, bins);
+        prop_assert_eq!(h.iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn derive_seed_is_pure(master in any::<u64>(), stream in any::<u64>()) {
+        prop_assert_eq!(derive_seed(master, stream), derive_seed(master, stream));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in small_matrix()) {
+        // (A + A) * I == A*I + A*I
+        let n = a.shape().dims()[1];
+        let i = Tensor::eye(n);
+        let lhs = a.add(&a).unwrap().matmul(&i).unwrap();
+        let rhs = a.matmul(&i).unwrap().add(&a.matmul(&i).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+}
