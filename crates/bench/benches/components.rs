@@ -74,14 +74,18 @@ fn depth_render(c: &mut Criterion) {
     let mut sim = DroneSim::new(DroneConfig::default(), 7);
     let mut rng = StdRng::seed_from_u64(2);
     sim.reset(&mut rng);
-    c.bench_function("raycast_depth_render_9x16", |b| {
-        b.iter(|| black_box(sim.render_depth()))
-    });
+    c.bench_function("raycast_depth_render_9x16", |b| b.iter(|| black_box(sim.render_depth())));
 }
 
 fn detector_scan(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let net = NetworkBuilder::new(6).dense(32).relu().dense(32).relu().dense(4).build(&mut rng)
+    let net = NetworkBuilder::new(6)
+        .dense(32)
+        .relu()
+        .dense(32)
+        .relu()
+        .dense(4)
+        .build(&mut rng)
         .expect("network");
     let det = RangeDetector::fit(&net);
     let snap = net.snapshot();

@@ -3,7 +3,9 @@
 //!
 //! Usage: `all_figures [smoke|bench|full]`.
 
-use frlfi::experiments::{datatypes, fig3, fig4, fig5, fig6, fig7, fig8, fig9, layers, surfaces, table1};
+use frlfi::experiments::{
+    datatypes, fig3, fig4, fig5, fig6, fig7, fig8, fig9, layers, surfaces, table1,
+};
 use frlfi_bench::scale_from_env;
 use std::time::Instant;
 

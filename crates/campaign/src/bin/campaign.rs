@@ -1,0 +1,144 @@
+//! The `campaign` CLI: run, list and resume declarative fault-injection
+//! campaigns.
+//!
+//! ```text
+//! campaign list
+//! campaign run <spec.toml | builtin-name> [--scale smoke|bench|full]
+//!              [--out DIR] [--threads N] [--max-trials N]
+//! campaign resume <dir> [--threads N] [--max-trials N]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use frlfi::Scale;
+use frlfi_campaign::{registry, runner, RunnerConfig, Scenario};
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     campaign list\n  \
+     campaign run <spec.toml | builtin-name> [--scale smoke|bench|full] [--out DIR] \
+     [--threads N] [--max-trials N]\n  \
+     campaign resume <dir> [--threads N] [--max-trials N]"
+}
+
+struct Options {
+    scale: Option<Scale>,
+    out: Option<PathBuf>,
+    cfg: RunnerConfig,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { scale: None, out: None, cfg: RunnerConfig::default(), positional: Vec::new() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = Some(match take("--scale")? {
+                    "smoke" => Scale::Smoke,
+                    "bench" => Scale::Bench,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale {other:?}")),
+                })
+            }
+            "--out" => opts.out = Some(PathBuf::from(take("--out")?)),
+            "--threads" => {
+                opts.cfg.threads =
+                    take("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-trials" => {
+                opts.cfg.max_new_trials =
+                    Some(take("--max-trials")?.parse().map_err(|e| format!("--max-trials: {e}"))?)
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => opts.positional.push(other.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage().to_owned());
+    };
+    let opts = parse_options(&args[1..])?;
+    match command.as_str() {
+        "list" => {
+            println!("built-in scenarios:");
+            for e in registry::entries() {
+                println!("  {:<14} {}", e.name, e.description);
+            }
+            println!("\nrun one with: campaign run <name> --scale smoke");
+            Ok(())
+        }
+        "run" => {
+            let [ref target] = opts.positional[..] else {
+                return Err(usage().to_owned());
+            };
+            let scale = opts.scale.unwrap_or(Scale::Bench);
+            let scenario = load_target(target, scale)?;
+            let dir = opts.out.unwrap_or_else(|| {
+                PathBuf::from(format!(
+                    "runs/{}-{}",
+                    scenario.name,
+                    format!("{:?}", scenario.scale).to_lowercase()
+                ))
+            });
+            report(&scenario, runner::run(&scenario, &dir, &opts.cfg)?, &dir);
+            Ok(())
+        }
+        "resume" => {
+            let [ref dir] = opts.positional[..] else {
+                return Err(usage().to_owned());
+            };
+            let dir = PathBuf::from(dir);
+            let scenario = runner::load_scenario(&dir.join("campaign.toml"))?;
+            report(&scenario, runner::resume(&dir, &opts.cfg)?, &dir);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+/// A `run` target is a TOML file path or a registry name.
+fn load_target(target: &str, scale: Scale) -> Result<Scenario, String> {
+    if std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("read {target}: {e}"))?;
+        return Scenario::from_toml(&text).map_err(|e| format!("{target}: {e}"));
+    }
+    registry::builtin(target, scale).ok_or_else(|| {
+        format!("{target:?} is neither a file nor a built-in; `campaign list` shows the built-ins")
+    })
+}
+
+fn report(scenario: &Scenario, out: frlfi_campaign::CampaignOutcome, dir: &std::path::Path) {
+    println!(
+        "campaign {} ({:?}): {}/{} trials done ({} new) in {}",
+        scenario.name,
+        scenario.scale,
+        out.completed_trials,
+        out.total_trials,
+        out.new_trials,
+        dir.display(),
+    );
+    match out.table {
+        Some(table) => print!("{table}"),
+        None => println!("incomplete — continue with: campaign resume {}", dir.display()),
+    }
+}

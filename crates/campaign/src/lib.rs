@@ -1,0 +1,44 @@
+//! # frlfi-campaign
+//!
+//! Declarative scenario & campaign orchestration for the FRL-FI
+//! reproduction.
+//!
+//! The paper's entire evaluation is a family of fault-injection
+//! campaigns — `(cell × repeat)` grids of independent trials. This
+//! crate makes those campaigns *data* instead of code:
+//!
+//! * [`Scenario`] — a serde-backed, TOML-loadable description of one
+//!   campaign: system, fleet, quantization, fault model, mitigation,
+//!   [`Scale`](frlfi::Scale);
+//! * [`registry`] — named built-ins covering the paper's two systems
+//!   (`fig3a/b/c`, `fig5a/b`, `fig7a`) plus new variants
+//!   (`grid-dynamic`, `grid-dropout`, `grid-fleet`);
+//! * [`runner`] — a sharded [`runner::run`] that streams per-trial
+//!   records to a JSONL log and **resumes** interrupted campaigns by
+//!   skipping persisted `(cell, repeat)` trials; statistics are
+//!   bit-identical to an uninterrupted run at any thread count;
+//! * the `campaign` binary — `campaign run <spec.toml | builtin>`,
+//!   `campaign list`, `campaign resume <dir>`.
+//!
+//! Trial evaluation goes through the same
+//! [`frlfi::experiments::harness`] functions the figure drivers use,
+//! with the same `derive_seed` scheme — a TOML-specified Fig. 3a
+//! campaign reproduces `experiments::fig3::agent_faults` exactly.
+//!
+//! ```no_run
+//! use frlfi::Scale;
+//! use frlfi_campaign::{registry, runner, runner::RunnerConfig};
+//!
+//! let scenario = registry::builtin("fig3a", Scale::Smoke).expect("built-in");
+//! let out = runner::run(&scenario, "runs/fig3a-smoke".as_ref(), &RunnerConfig::default())
+//!     .expect("campaign");
+//! println!("{}", out.table.expect("complete").render());
+//! ```
+
+pub mod fmt;
+pub mod registry;
+pub mod runner;
+pub mod spec;
+
+pub use runner::{CampaignOutcome, RunnerConfig, TrialRecord};
+pub use spec::{Campaign, CellGrid, Scenario, SystemKind, Trials};

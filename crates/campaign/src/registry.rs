@@ -1,0 +1,226 @@
+//! Named built-in scenarios.
+//!
+//! The `fig*` entries expand to exactly the trial cells their
+//! `frlfi::experiments` figure drivers run (same geometry, same master
+//! seed), so `campaign run fig3a` reproduces the Fig. 3a table. The
+//! remaining entries are new scenario variants beyond the paper's
+//! evaluation.
+
+use frlfi::experiments::DEFAULT_SEED;
+use frlfi::Scale;
+
+use crate::spec::{MitigationSpec, Scenario, SideKind, SystemKind};
+
+/// One registry entry.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryEntry {
+    /// The scenario name used on the CLI.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    builder: fn(Scale) -> Scenario,
+}
+
+impl RegistryEntry {
+    /// Builds the scenario at `scale`.
+    pub fn scenario(&self, scale: Scale) -> Scenario {
+        (self.builder)(scale)
+    }
+}
+
+/// All built-in scenarios.
+pub fn entries() -> &'static [RegistryEntry] {
+    &[
+        RegistryEntry {
+            name: "fig3a",
+            description: "GridWorld training, agent-side faults (paper Fig. 3a)",
+            builder: fig3a,
+        },
+        RegistryEntry {
+            name: "fig3b",
+            description: "GridWorld training, server-side faults (paper Fig. 3b)",
+            builder: fig3b,
+        },
+        RegistryEntry {
+            name: "fig3c",
+            description: "GridWorld training, single-agent baseline (paper Fig. 3c)",
+            builder: fig3c,
+        },
+        RegistryEntry {
+            name: "fig5a",
+            description: "DroneNav fine-tuning, agent-side faults (paper Fig. 5a)",
+            builder: fig5a,
+        },
+        RegistryEntry {
+            name: "fig5b",
+            description: "DroneNav fine-tuning, server-side faults (paper Fig. 5b)",
+            builder: fig5b,
+        },
+        RegistryEntry {
+            name: "fig7a",
+            description: "GridWorld server faults with checkpoint mitigation (paper Fig. 7a)",
+            builder: fig7a,
+        },
+        RegistryEntry {
+            name: "grid-dynamic",
+            description: "NEW: dynamic-obstacle GridWorld layout under agent faults",
+            builder: grid_dynamic,
+        },
+        RegistryEntry {
+            name: "grid-dropout",
+            description: "NEW: federated rounds with 20% agent dropout under server faults",
+            builder: grid_dropout,
+        },
+        RegistryEntry {
+            name: "grid-fleet",
+            description: "NEW: heterogeneous fleet sizes × BER (mid-training agent faults)",
+            builder: grid_fleet,
+        },
+    ]
+}
+
+/// Looks a built-in up by name.
+pub fn builtin(name: &str, scale: Scale) -> Option<Scenario> {
+    entries().iter().find(|e| e.name == name).map(|e| e.scenario(scale))
+}
+
+fn fig3a(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("fig3a", SystemKind::GridWorld, scale);
+    s.fault.side = SideKind::Agent;
+    s
+}
+
+fn fig3b(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("fig3b", SystemKind::GridWorld, scale);
+    s.fault.side = SideKind::Server;
+    s
+}
+
+fn fig3c(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("fig3c", SystemKind::GridWorld, scale);
+    s.fault.side = SideKind::Agent;
+    s.fleet.agents = Some(1);
+    s
+}
+
+fn fig5a(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("fig5a", SystemKind::DroneNav, scale);
+    s.fault.side = SideKind::Agent;
+    s.master_seed = Some(DEFAULT_SEED ^ 0xF15);
+    s
+}
+
+fn fig5b(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("fig5b", SystemKind::DroneNav, scale);
+    s.fault.side = SideKind::Server;
+    s.master_seed = Some(DEFAULT_SEED ^ 0xF15);
+    s
+}
+
+fn fig7a(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("fig7a", SystemKind::GridWorld, scale);
+    s.fault.side = SideKind::Server;
+    s.master_seed = Some(DEFAULT_SEED ^ 0x7A);
+    // Fig. 7a's geometry diverges from the Fig. 3 defaults: a trimmed
+    // BER grid, a smoke late-inject with recovery room, and a full
+    // grid without the final ep995 point; see experiments::fig7.
+    s.fault.bers = match scale {
+        Scale::Smoke => vec![0.0, 0.2],
+        Scale::Bench => vec![0.0, 0.02, 0.05, 0.1, 0.2],
+        Scale::Full => vec![0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5],
+    };
+    s.fault.inject_episodes = match scale {
+        Scale::Smoke => vec![40, 110],
+        Scale::Bench => vec![90, 240, 390, 510, 570, 595],
+        Scale::Full => (0..10).map(|i| 100 * i + 50).collect(),
+    };
+    s.mitigation = Some(MitigationSpec {
+        p_percent: 25.0,
+        k_consecutive: scale.pick(4, 10, 50),
+        checkpoint_interval: 5,
+    });
+    s
+}
+
+fn grid_dynamic(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("grid-dynamic", SystemKind::GridWorld, scale);
+    s.env.layout = crate::spec::LayoutKind::DynamicObstacles;
+    s.fault.side = SideKind::Agent;
+    s.master_seed = Some(DEFAULT_SEED ^ 0xD1A);
+    s
+}
+
+fn grid_dropout(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("grid-dropout", SystemKind::GridWorld, scale);
+    s.fault.side = SideKind::Server;
+    s.fleet.dropout = Some(0.2);
+    s.master_seed = Some(DEFAULT_SEED ^ 0xD07);
+    s
+}
+
+fn grid_fleet(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("grid-fleet", SystemKind::GridWorld, scale);
+    s.fault.side = SideKind::Agent;
+    s.fleet.agents_sweep = scale.pick(vec![1, 2, 3], vec![1, 2, 4, 8], vec![1, 4, 8, 12]);
+    s.master_seed = Some(DEFAULT_SEED ^ 0xF1E);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_expand_at_every_scale() {
+        // Expansion is declaration only (drone pre-training is lazy),
+        // so every entry expands cheaply at every scale.
+        for e in entries() {
+            for scale in [Scale::Smoke, Scale::Bench, Scale::Full] {
+                let s = e.scenario(scale);
+                let c = s.expand().unwrap_or_else(|err| panic!("{} @ {scale:?}: {err}", e.name));
+                assert!(!c.trials.is_empty());
+                assert_eq!(c.grid.cell_count(), c.trials.len(), "{}", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fig_builtins_expand_to_their_drivers_cells() {
+        use crate::spec::Trials;
+        use frlfi::experiments::{fig3, fig7};
+        use frlfi::fault::FaultSide;
+        for scale in [Scale::Smoke, Scale::Bench, Scale::Full] {
+            let cases: Vec<(&str, Vec<frlfi::experiments::harness::GridTrial>)> = vec![
+                ("fig3a", fig3::heatmap_cells(scale, Some(FaultSide::AgentSide))),
+                ("fig3b", fig3::heatmap_cells(scale, Some(FaultSide::ServerSide))),
+                ("fig3c", fig3::heatmap_cells(scale, None)),
+                ("fig7a", fig7::gridworld_cells(scale)),
+            ];
+            for (name, driver_cells) in cases {
+                let campaign = builtin(name, scale).expect("built-in").expand().expect("expands");
+                match &campaign.trials {
+                    Trials::Grid(cells) => {
+                        assert_eq!(cells, &driver_cells, "{name} @ {scale:?}");
+                    }
+                    Trials::Drone(_) => panic!("grid campaign expected"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        assert!(builtin("fig3a", Scale::Smoke).is_some());
+        assert!(builtin("no-such", Scale::Smoke).is_none());
+    }
+
+    #[test]
+    fn builtin_round_trips_through_toml() {
+        for e in entries() {
+            let s = e.scenario(Scale::Bench);
+            let back = crate::spec::Scenario::from_toml(&s.to_toml())
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            assert_eq!(s, back, "{}", e.name);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The sharded, resumable campaign runner.
+//!
+//! A campaign directory is the unit of persistence:
+//!
+//! ```text
+//! <dir>/campaign.toml   — scenario snapshot (written once, verified on resume)
+//! <dir>/trials.jsonl    — one JSON record per completed (cell, repeat) trial
+//! <dir>/summary.txt     — rendered result table (written when complete)
+//! ```
+//!
+//! Work is sharded `(cell × repeat)` across worker threads through an
+//! atomic cursor; every trial's seed derives from the campaign master
+//! seed exactly as in [`frlfi_fault::sweep`] (`derive_seed(master,
+//! cell * repeats + repeat)`), so a campaign interrupted at any point
+//! and resumed — with any thread count — replays the missing trials
+//! with identical seeds. Final per-cell statistics fold the persisted
+//! values in repeat order through [`frlfi_fault::aggregate_in_order`],
+//! which is bit-identical to what the in-process `sweep` engine
+//! produces for the same trials.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use frlfi::report::Table;
+use frlfi::tensor::derive_seed;
+use frlfi_fault::{aggregate_in_order, CellStats};
+use serde::{Map, Value};
+
+use crate::fmt::json;
+use crate::spec::{Campaign, CellGrid, Scenario};
+
+/// Runner options.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Stop after this many *new* trials (used to exercise the
+    /// interrupt/resume path; `None` = run to completion).
+    pub max_new_trials: Option<usize>,
+}
+
+/// One persisted trial result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Cell index (row-major in the campaign's grid).
+    pub cell: usize,
+    /// Repeat index within the cell.
+    pub repeat: usize,
+    /// The derived seed the trial ran with.
+    pub seed: u64,
+    /// The trial's metric value.
+    pub value: f64,
+}
+
+impl TrialRecord {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("cell".into(), Value::Int(self.cell as i64));
+        m.insert("repeat".into(), Value::Int(self.repeat as i64));
+        m.insert("seed".into(), Value::Int(self.seed as i64));
+        m.insert("value".into(), Value::Float(self.value));
+        Value::Table(m)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let get_int = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_int)
+                .ok_or_else(|| format!("trial record missing integer `{k}`"))
+        };
+        let value = match v.get("value") {
+            Some(Value::Float(f)) => *f,
+            Some(Value::Int(i)) => *i as f64,
+            _ => return Err("trial record missing number `value`".into()),
+        };
+        Ok(TrialRecord {
+            cell: get_int("cell")? as usize,
+            repeat: get_int("repeat")? as usize,
+            seed: get_int("seed")? as u64,
+            value,
+        })
+    }
+}
+
+/// The outcome of a run/resume call.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Trials completed across all sessions (persisted).
+    pub completed_trials: usize,
+    /// Trials the whole campaign needs.
+    pub total_trials: usize,
+    /// Trials this call executed.
+    pub new_trials: usize,
+    /// Per-cell statistics — present only when the campaign completed.
+    pub stats: Option<Vec<CellStats>>,
+    /// Rendered result table — present only when the campaign completed.
+    pub table: Option<Table>,
+}
+
+impl CampaignOutcome {
+    /// Whether every (cell × repeat) trial is persisted.
+    pub fn complete(&self) -> bool {
+        self.completed_trials == self.total_trials
+    }
+}
+
+/// Runs a scenario in `dir`, resuming any persisted progress.
+///
+/// First call writes `campaign.toml`; later calls verify the stored
+/// scenario matches and skip completed `(cell, repeat)` trials.
+///
+/// # Errors
+///
+/// Returns a message on I/O failures, scenario mismatches, or corrupt
+/// trial logs.
+pub fn run(scenario: &Scenario, dir: &Path, cfg: &RunnerConfig) -> Result<CampaignOutcome, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let manifest = dir.join("campaign.toml");
+    if manifest.exists() {
+        let stored = load_scenario(&manifest)?;
+        if &stored != scenario {
+            return Err(format!(
+                "{} holds a different campaign ({} @ {:?}); refusing to mix trial logs",
+                dir.display(),
+                stored.name,
+                stored.scale,
+            ));
+        }
+    } else {
+        std::fs::write(&manifest, scenario.to_toml())
+            .map_err(|e| format!("write {}: {e}", manifest.display()))?;
+    }
+
+    let campaign = scenario.expand()?;
+    run_expanded(&campaign, dir, cfg)
+}
+
+/// Resumes the campaign persisted in `dir`.
+///
+/// # Errors
+///
+/// As for [`run`]; additionally errors if `dir` has no manifest.
+pub fn resume(dir: &Path, cfg: &RunnerConfig) -> Result<CampaignOutcome, String> {
+    let scenario = load_scenario(&dir.join("campaign.toml"))?;
+    run(&scenario, dir, cfg)
+}
+
+/// Loads the scenario manifest of a campaign directory.
+///
+/// # Errors
+///
+/// Returns a message if the manifest is missing or malformed.
+pub fn load_scenario(manifest: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(manifest)
+        .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+    Scenario::from_toml(&text).map_err(|e| format!("{}: {e}", manifest.display()))
+}
+
+fn trials_path(dir: &Path) -> PathBuf {
+    dir.join("trials.jsonl")
+}
+
+/// Reads the persisted trial log, tolerating a torn trailing line (the
+/// crash-interrupted write case). Returns the records plus the byte
+/// length of the valid prefix — the caller truncates any torn tail off
+/// before appending, so the fragment can never end up as an interior
+/// (hard-error) line of a later log.
+fn load_records(dir: &Path) -> Result<(Vec<TrialRecord>, u64), String> {
+    let path = trials_path(dir);
+    let mut text = String::new();
+    match File::open(&path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(format!("open {}: {e}", path.display())),
+        Ok(mut f) => {
+            f.read_to_string(&mut text).map_err(|e| format!("read {}: {e}", path.display()))?;
+        }
+    }
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    let pieces: Vec<&str> = text.split_inclusive('\n').collect();
+    for (i, piece) in pieces.iter().enumerate() {
+        let line = piece.trim();
+        if line.is_empty() {
+            valid_len += piece.len() as u64;
+            continue;
+        }
+        match json::parse(line).map_err(|e| e.to_string()).and_then(|v| TrialRecord::from_value(&v))
+        {
+            Ok(r) => {
+                records.push(r);
+                valid_len += piece.len() as u64;
+            }
+            Err(e) if i + 1 == pieces.len() => {
+                // Torn tail from an interrupted write: drop it (the
+                // caller truncates); the trial will re-run.
+                let _ = e;
+            }
+            Err(e) => return Err(format!("{} line {}: {e}", path.display(), i + 1)),
+        }
+    }
+    Ok((records, valid_len))
+}
+
+fn run_expanded(
+    campaign: &Campaign,
+    dir: &Path,
+    cfg: &RunnerConfig,
+) -> Result<CampaignOutcome, String> {
+    let n_cells = campaign.trials.len();
+    let repeats = campaign.repeats;
+    let total = campaign.total_trials();
+
+    // Completed-trial map from the persisted log, with integrity checks.
+    let mut done: Vec<Vec<Option<f64>>> = vec![vec![None; repeats]; n_cells];
+    let mut completed = 0usize;
+    let (records, valid_len) = load_records(dir)?;
+    for r in records {
+        if r.cell >= n_cells || r.repeat >= repeats {
+            return Err(format!(
+                "trial log refers to (cell {}, repeat {}) outside the {}×{} campaign — \
+                 wrong directory?",
+                r.cell, r.repeat, n_cells, repeats
+            ));
+        }
+        let expect_seed = derive_seed(campaign.master_seed, (r.cell * repeats + r.repeat) as u64);
+        if r.seed != expect_seed {
+            return Err(format!(
+                "trial log seed {:#x} for (cell {}, repeat {}) does not match the campaign \
+                 master seed scheme (expected {:#x})",
+                r.seed, r.cell, r.repeat, expect_seed
+            ));
+        }
+        if done[r.cell][r.repeat].is_none() {
+            completed += 1;
+        }
+        done[r.cell][r.repeat] = Some(r.value);
+    }
+
+    // Pending work, bounded by any interrupt budget.
+    let mut pending: Vec<(usize, usize)> = Vec::with_capacity(total - completed);
+    for (cell, cell_done) in done.iter().enumerate() {
+        for (rep, slot) in cell_done.iter().enumerate() {
+            if slot.is_none() {
+                pending.push((cell, rep));
+            }
+        }
+    }
+    if let Some(cap) = cfg.max_new_trials {
+        pending.truncate(cap);
+    }
+
+    let new_trials = pending.len();
+    if new_trials > 0 {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(trials_path(dir))
+            .map_err(|e| format!("open {}: {e}", trials_path(dir).display()))?;
+        // Chop any torn tail off before appending, so the fragment
+        // cannot merge with the next record into one corrupt line.
+        if file.metadata().map_err(|e| format!("stat trial log: {e}"))?.len() > valid_len {
+            file.set_len(valid_len).map_err(|e| format!("truncate torn trial log: {e}"))?;
+        }
+        let sink = Mutex::new(BufWriter::new(file));
+        let cursor = AtomicUsize::new(0);
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            cfg.threads
+        };
+        let fresh: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::with_capacity(new_trials));
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(new_trials) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(cell, rep)) = pending.get(i) else { break };
+                    let seed = derive_seed(campaign.master_seed, (cell * repeats + rep) as u64);
+                    let value = campaign.run_trial(cell, seed);
+                    let record = TrialRecord { cell, repeat: rep, seed, value };
+                    {
+                        let mut w = sink.lock().expect("sink lock");
+                        let line = json::render(&record.to_value());
+                        // Line-atomic append + flush: a kill between
+                        // trials loses at most the torn tail.
+                        writeln!(w, "{line}").expect("append trial record");
+                        w.flush().expect("flush trial record");
+                    }
+                    fresh.lock().expect("fresh lock").push((cell, rep, value));
+                });
+            }
+        });
+
+        for (cell, rep, value) in fresh.into_inner().expect("workers joined") {
+            if done[cell][rep].is_none() {
+                completed += 1;
+            }
+            done[cell][rep] = Some(value);
+        }
+    }
+
+    // Finalize when complete: per-cell stats in repeat order, exactly
+    // as the in-process sweep engine folds them.
+    let (stats, table) = if completed == total {
+        let stats: Vec<CellStats> = done
+            .iter()
+            .map(|cell| {
+                let values: Vec<f64> = cell.iter().map(|v| v.expect("campaign complete")).collect();
+                aggregate_in_order(&values)
+            })
+            .collect();
+        let table = render_table(campaign, &stats);
+        std::fs::write(dir.join("summary.txt"), table.render())
+            .map_err(|e| format!("write summary: {e}"))?;
+        (Some(stats), Some(table))
+    } else {
+        (None, None)
+    };
+
+    Ok(CampaignOutcome {
+        completed_trials: completed,
+        total_trials: total,
+        new_trials,
+        stats,
+        table,
+    })
+}
+
+/// Renders campaign statistics in the scenario's grid layout.
+pub fn render_table(campaign: &Campaign, stats: &[CellStats]) -> Table {
+    let title = format!(
+        "Campaign {} ({:?} scale): {}",
+        campaign.scenario.name,
+        campaign.scenario.scale,
+        match campaign.trials {
+            crate::spec::Trials::Grid(_) => "success rate (%)",
+            crate::spec::Trials::Drone(_) => "flight distance (m)",
+        }
+    );
+    match &campaign.grid {
+        CellGrid::BerByEpisode { bers, episodes } => {
+            frlfi::experiments::harness::heatmap_table(&title, bers, episodes, stats, 1)
+        }
+        CellGrid::FleetByBer { sizes, bers } => {
+            let mut table =
+                Table::new(title, "fleet", bers.iter().map(|b| format!("ber {b}")).collect());
+            for (si, &n) in sizes.iter().enumerate() {
+                let row: Vec<f64> =
+                    (0..bers.len()).map(|bi| stats[si * bers.len() + bi].mean).collect();
+                table.push_row(format!("n={n}"), row);
+            }
+            table
+        }
+    }
+}

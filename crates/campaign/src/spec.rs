@@ -1,0 +1,611 @@
+//! Declarative scenario specifications.
+//!
+//! A [`Scenario`] is pure data: which system, which fleet, which fault
+//! model, which mitigation, at which scale. Geometry defaults (BER
+//! grids, injection episodes, repeats) resolve from the paper's
+//! per-scale campaign geometry at *expansion* time, so one scenario
+//! file works at every [`Scale`] and a figure campaign expands to
+//! exactly the trial cells its `frlfi::experiments` driver runs.
+
+use frlfi::experiments::harness::{
+    drone_geometry, grid_geometry, DroneTrial, GridTrial, PretrainedWeights, TrialFault,
+};
+use frlfi::experiments::{DEFAULT_SEED, SYSTEM_SEED};
+use frlfi::quant::QFormat;
+use frlfi::{GridLayout, ReprKind, Scale, TrainingMitigation};
+use frlfi_fault::{FaultModel, FaultSide};
+use serde::{DeError, Deserialize, Serialize};
+
+use crate::fmt::toml;
+
+/// Which of the paper's two systems a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// §IV-A: federated Q-learning in 10×10 mazes.
+    GridWorld,
+    /// §IV-B: federated REINFORCE drone fleet.
+    DroneNav,
+}
+
+/// Fault side, spec-level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SideKind {
+    /// One agent's policy memory.
+    Agent,
+    /// Server memory during aggregation.
+    Server,
+}
+
+impl SideKind {
+    fn side(self) -> FaultSide {
+        match self {
+            SideKind::Agent => FaultSide::AgentSide,
+            SideKind::Server => FaultSide::ServerSide,
+        }
+    }
+}
+
+/// Fault model, spec-level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Independent transient multi-bit flips (the paper's default).
+    TransientMulti,
+    /// Bits stuck at 0.
+    StuckAt0,
+    /// Bits stuck at 1.
+    StuckAt1,
+}
+
+impl ModelKind {
+    fn model(self) -> FaultModel {
+        match self {
+            ModelKind::TransientMulti => FaultModel::TransientMulti,
+            ModelKind::StuckAt0 => FaultModel::StuckAt0,
+            ModelKind::StuckAt1 => FaultModel::StuckAt1,
+        }
+    }
+}
+
+/// Fault-surface representation, spec-level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReprSpec {
+    /// Symmetric int8 codes fit at injection time (deployment format).
+    Int8,
+    /// Raw IEEE-754 f32.
+    F32,
+    /// Fixed point Q(1,4,11).
+    Q4_11,
+    /// Fixed point Q(1,7,8).
+    Q7_8,
+    /// Fixed point Q(1,10,5).
+    Q10_5,
+}
+
+impl ReprSpec {
+    fn repr(self) -> ReprKind {
+        match self {
+            ReprSpec::Int8 => ReprKind::Int8,
+            ReprSpec::F32 => ReprKind::F32,
+            ReprSpec::Q4_11 => ReprKind::Fixed(QFormat::Q4_11),
+            ReprSpec::Q7_8 => ReprKind::Fixed(QFormat::Q7_8),
+            ReprSpec::Q10_5 => ReprKind::Fixed(QFormat::Q10_5),
+        }
+    }
+}
+
+/// Environment options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvSpec {
+    /// GridWorld layout family (ignored by DroneNav scenarios).
+    pub layout: LayoutKind,
+}
+
+impl Default for EnvSpec {
+    fn default() -> Self {
+        EnvSpec { layout: LayoutKind::Standard }
+    }
+}
+
+/// Layout family, spec-level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutKind {
+    /// The paper's fixed mazes.
+    Standard,
+    /// Obstacles re-jitter every episode.
+    DynamicObstacles,
+}
+
+impl LayoutKind {
+    fn layout(self) -> GridLayout {
+        match self {
+            LayoutKind::Standard => GridLayout::Standard,
+            LayoutKind::DynamicObstacles => GridLayout::DynamicObstacles,
+        }
+    }
+}
+
+/// Fleet options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FleetSpec {
+    /// Fixed fleet size (`None` = the geometry default; `1` = the
+    /// single-agent/drone baseline).
+    pub agents: Option<usize>,
+    /// When non-empty, the campaign sweeps fleet size as a cell axis
+    /// (heterogeneous-fleet study): cells = size × BER, with the fault
+    /// injected mid-training.
+    pub agents_sweep: Vec<usize>,
+    /// Per-round agent-dropout probability (GridWorld only).
+    pub dropout: Option<f64>,
+}
+
+/// Fault options. Empty vectors mean "use the per-scale geometry
+/// default".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Which side the fault strikes.
+    pub side: SideKind,
+    /// Fault model.
+    pub model: ModelKind,
+    /// Fault-surface representation.
+    pub repr: ReprSpec,
+    /// BER grid (empty = geometry default).
+    pub bers: Vec<f64>,
+    /// Injection episodes (empty = geometry default).
+    pub inject_episodes: Vec<usize>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            side: SideKind::Agent,
+            model: ModelKind::TransientMulti,
+            repr: ReprSpec::Int8,
+            bers: Vec::new(),
+            inject_episodes: Vec::new(),
+        }
+    }
+}
+
+/// Training-loop overrides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainSpec {
+    /// Training (GridWorld) / fine-tuning (DroneNav) episodes.
+    pub total_episodes: Option<usize>,
+    /// Offline pre-training episodes (DroneNav).
+    pub pretrain_episodes: Option<usize>,
+    /// Flight-distance evaluation attempts (DroneNav).
+    pub eval_attempts: Option<usize>,
+}
+
+/// Training-time mitigation parameters (enables the checkpoint scheme).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MitigationSpec {
+    /// Reward-drop threshold in percent.
+    pub p_percent: f64,
+    /// Consecutive dropping episodes before detection.
+    pub k_consecutive: usize,
+    /// Checkpoint update interval in communication rounds.
+    pub checkpoint_interval: usize,
+}
+
+impl MitigationSpec {
+    fn mitigation(&self) -> TrainingMitigation {
+        TrainingMitigation {
+            p_percent: self.p_percent as f32,
+            k_consecutive: self.k_consecutive,
+            checkpoint_interval: self.checkpoint_interval,
+        }
+    }
+}
+
+/// A complete declarative campaign scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (also the default output-directory stem).
+    pub name: String,
+    /// Which system runs.
+    pub system: SystemKind,
+    /// Experiment scale; resolves geometry defaults.
+    pub scale: Scale,
+    /// Repeats per cell (`None` = geometry default).
+    pub repeats: Option<usize>,
+    /// Campaign master seed (`None` = the experiments' default).
+    pub master_seed: Option<u64>,
+    /// System-construction seed (`None` = the experiments' default).
+    pub system_seed: Option<u64>,
+    /// Environment options.
+    pub env: EnvSpec,
+    /// Fleet options.
+    pub fleet: FleetSpec,
+    /// Fault options.
+    pub fault: FaultSpec,
+    /// Training-loop overrides.
+    pub train: TrainSpec,
+    /// Mitigation (None = unmitigated).
+    pub mitigation: Option<MitigationSpec>,
+}
+
+impl Scenario {
+    /// A fault-free GridWorld scenario skeleton at `scale`.
+    pub fn new(name: impl Into<String>, system: SystemKind, scale: Scale) -> Self {
+        Scenario {
+            name: name.into(),
+            system,
+            scale,
+            repeats: None,
+            master_seed: None,
+            system_seed: None,
+            env: EnvSpec::default(),
+            fleet: FleetSpec::default(),
+            fault: FaultSpec::default(),
+            train: TrainSpec::default(),
+            mitigation: None,
+        }
+    }
+
+    /// Parses a scenario from TOML text. The `env` / `fleet` / `fault`
+    /// / `train` sections (and any keys within them) may be omitted and
+    /// default; `name`, `system` and `scale` are required.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for syntax errors, unknown fields/variants, or
+    /// shape mismatches.
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        let mut value = toml::parse(text).map_err(|e| e.to_string())?;
+        fill_section_defaults(&mut value);
+        Scenario::deserialize(&value).map_err(|e: DeError| e.to_string())
+    }
+
+    /// Renders the scenario as TOML.
+    pub fn to_toml(&self) -> String {
+        toml::render(&self.serialize()).expect("scenario model is TOML-representable")
+    }
+
+    /// Expands the scenario into concrete campaign cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for inconsistent specs (e.g. a drone scenario
+    /// with a dropout, or an empty sweep axis).
+    pub fn expand(&self) -> Result<Campaign, String> {
+        match self.system {
+            SystemKind::GridWorld => self.expand_grid(),
+            SystemKind::DroneNav => self.expand_drone(),
+        }
+    }
+
+    fn expand_grid(&self) -> Result<Campaign, String> {
+        let g = grid_geometry(self.scale);
+        let bers =
+            if self.fault.bers.is_empty() { g.bers.clone() } else { self.fault.bers.clone() };
+        let total_episodes = self.train.total_episodes.unwrap_or(g.total_episodes);
+        let inject_episodes = if self.fault.inject_episodes.is_empty() {
+            g.inject_episodes.clone()
+        } else {
+            self.fault.inject_episodes.clone()
+        };
+        if self.train.pretrain_episodes.is_some() || self.train.eval_attempts.is_some() {
+            return Err("pretrain_episodes / eval_attempts apply to DroneNav scenarios".into());
+        }
+        let system_seed = self.system_seed.unwrap_or(SYSTEM_SEED);
+        let base = GridTrial {
+            n_agents: self.fleet.agents.unwrap_or(g.n_agents),
+            total_episodes,
+            system_seed,
+            layout: self.env.layout.layout(),
+            dropout: self.fleet.dropout.map(|d| d as f32),
+            fault: None,
+            mitigation: self.mitigation.as_ref().map(MitigationSpec::mitigation),
+            metric: frlfi::experiments::harness::GridMetric::SuccessRatePct,
+        };
+        let fault_of = |ep: usize, ber: f64| TrialFault {
+            episode: ep,
+            side: self.fault.side.side(),
+            model: self.fault.model.model(),
+            repr: self.fault.repr.repr(),
+            ber,
+        };
+
+        let (grid_kind, trials): (CellGrid, Vec<GridTrial>) = if self.fleet.agents_sweep.is_empty()
+        {
+            let trials = bers
+                .iter()
+                .flat_map(|&ber| inject_episodes.iter().map(move |&ep| (ber, ep)))
+                .map(|(ber, ep)| {
+                    let mut t = base.clone();
+                    t.fault = Some(fault_of(ep, ber));
+                    t
+                })
+                .collect();
+            (
+                CellGrid::BerByEpisode { bers: bers.clone(), episodes: inject_episodes.clone() },
+                trials,
+            )
+        } else {
+            let sizes = self.fleet.agents_sweep.clone();
+            if sizes.contains(&0) {
+                return Err("agents_sweep entries must be ≥ 1".into());
+            }
+            let mid = total_episodes / 2;
+            let trials = sizes
+                .iter()
+                .flat_map(|&n| bers.iter().map(move |&ber| (n, ber)))
+                .map(|(n, ber)| {
+                    let mut t = base.clone();
+                    t.n_agents = n;
+                    t.fault = Some(fault_of(mid, ber));
+                    t
+                })
+                .collect();
+            (CellGrid::FleetByBer { sizes, bers: bers.clone() }, trials)
+        };
+
+        Ok(Campaign {
+            scenario: self.clone(),
+            repeats: self.repeats.unwrap_or(g.repeats),
+            master_seed: self.master_seed.unwrap_or(DEFAULT_SEED),
+            grid: grid_kind,
+            trials: Trials::Grid(trials),
+        })
+    }
+
+    fn expand_drone(&self) -> Result<Campaign, String> {
+        if self.fleet.dropout.is_some() {
+            return Err("dropout is a GridWorld scenario feature".into());
+        }
+        if self.env.layout != LayoutKind::Standard {
+            return Err("layout applies to GridWorld scenarios".into());
+        }
+        let g = drone_geometry(self.scale);
+        let bers =
+            if self.fault.bers.is_empty() { g.bers.clone() } else { self.fault.bers.clone() };
+        let fine_tune = self.train.total_episodes.unwrap_or(g.fine_tune_episodes);
+        let inject_episodes = if self.fault.inject_episodes.is_empty() {
+            g.inject_episodes.clone()
+        } else {
+            self.fault.inject_episodes.clone()
+        };
+        let pretrain = self.train.pretrain_episodes.unwrap_or(g.pretrain_episodes);
+        let weights = PretrainedWeights::lazy(pretrain);
+        let base = DroneTrial {
+            n_drones: self.fleet.agents.unwrap_or(g.n_drones),
+            fine_tune_episodes: fine_tune,
+            eval_attempts: self.train.eval_attempts.unwrap_or(g.eval_attempts),
+            system_seed: self.system_seed.unwrap_or(SYSTEM_SEED),
+            comm: frlfi::experiments::harness::DroneComm::Every(1),
+            weights,
+            fault: None,
+            mitigation: self.mitigation.as_ref().map(MitigationSpec::mitigation),
+        };
+        let fault_of = |ep: usize, ber: f64| TrialFault {
+            episode: ep,
+            side: self.fault.side.side(),
+            model: self.fault.model.model(),
+            repr: self.fault.repr.repr(),
+            ber,
+        };
+
+        let (grid_kind, trials): (CellGrid, Vec<DroneTrial>) = if self.fleet.agents_sweep.is_empty()
+        {
+            let trials = bers
+                .iter()
+                .flat_map(|&ber| inject_episodes.iter().map(move |&ep| (ber, ep)))
+                .map(|(ber, ep)| {
+                    let mut t = base.clone();
+                    t.fault = Some(fault_of(ep, ber));
+                    t
+                })
+                .collect();
+            (
+                CellGrid::BerByEpisode { bers: bers.clone(), episodes: inject_episodes.clone() },
+                trials,
+            )
+        } else {
+            let sizes = self.fleet.agents_sweep.clone();
+            if sizes.contains(&0) {
+                return Err("agents_sweep entries must be ≥ 1".into());
+            }
+            let mid = fine_tune / 2;
+            let trials = sizes
+                .iter()
+                .flat_map(|&n| bers.iter().map(move |&ber| (n, ber)))
+                .map(|(n, ber)| {
+                    let mut t = base.clone();
+                    t.n_drones = n;
+                    t.fault = Some(fault_of(mid, ber));
+                    t
+                })
+                .collect();
+            (CellGrid::FleetByBer { sizes, bers: bers.clone() }, trials)
+        };
+
+        Ok(Campaign {
+            scenario: self.clone(),
+            repeats: self.repeats.unwrap_or(g.repeats),
+            master_seed: self.master_seed.unwrap_or(DEFAULT_SEED),
+            grid: grid_kind,
+            trials: Trials::Drone(trials),
+        })
+    }
+}
+
+/// Fills omitted sections/keys of a parsed scenario document with
+/// their defaults (top-level required keys are left alone).
+fn fill_section_defaults(value: &mut serde::Value) {
+    let Some(table) = value.as_table_mut() else { return };
+    let defaults = [
+        ("env", EnvSpec::default().serialize()),
+        ("fleet", FleetSpec::default().serialize()),
+        ("fault", FaultSpec::default().serialize()),
+        ("train", TrainSpec::default().serialize()),
+    ];
+    for (key, default) in defaults {
+        match table.get_mut(key) {
+            None => {
+                table.insert(key.to_owned(), default);
+            }
+            Some(existing) => merge_missing(existing, &default),
+        }
+    }
+    if let Some(m) = table.get_mut("mitigation") {
+        let d = MitigationSpec { p_percent: 25.0, k_consecutive: 50, checkpoint_interval: 5 }
+            .serialize();
+        merge_missing(m, &d);
+    }
+}
+
+fn merge_missing(dst: &mut serde::Value, defaults: &serde::Value) {
+    if let (Some(dt), Some(df)) = (dst.as_table_mut(), defaults.as_table()) {
+        for (k, v) in df {
+            dt.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+    }
+}
+
+/// The cell-axis structure, for labelling results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellGrid {
+    /// Rows = BERs, columns = injection episodes (the heatmap layout).
+    BerByEpisode {
+        /// Row axis.
+        bers: Vec<f64>,
+        /// Column axis.
+        episodes: Vec<usize>,
+    },
+    /// Rows = fleet sizes, columns = BERs (the fleet-sweep layout).
+    FleetByBer {
+        /// Row axis.
+        sizes: Vec<usize>,
+        /// Column axis.
+        bers: Vec<f64>,
+    },
+}
+
+impl CellGrid {
+    /// Rows × columns — must equal the trial count.
+    pub fn cell_count(&self) -> usize {
+        match self {
+            CellGrid::BerByEpisode { bers, episodes } => bers.len() * episodes.len(),
+            CellGrid::FleetByBer { sizes, bers } => sizes.len() * bers.len(),
+        }
+    }
+}
+
+/// The concrete trial cells of an expanded campaign.
+#[derive(Debug, Clone)]
+pub enum Trials {
+    /// GridWorld training trials.
+    Grid(Vec<GridTrial>),
+    /// DroneNav fine-tuning trials.
+    Drone(Vec<DroneTrial>),
+}
+
+impl Trials {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            Trials::Grid(t) => t.len(),
+            Trials::Drone(t) => t.len(),
+        }
+    }
+
+    /// Whether the campaign has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A scenario expanded into concrete, runnable cells.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The source scenario.
+    pub scenario: Scenario,
+    /// Repeats per cell.
+    pub repeats: usize,
+    /// Master seed of the `derive_seed` scheme.
+    pub master_seed: u64,
+    /// Cell-axis structure.
+    pub grid: CellGrid,
+    /// The cells, row-major with respect to [`Campaign::grid`].
+    pub trials: Trials,
+}
+
+impl Campaign {
+    /// Total `(cell × repeat)` trial count.
+    pub fn total_trials(&self) -> usize {
+        self.trials.len() * self.repeats
+    }
+
+    /// Evaluates one trial: pure in `(cell, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn run_trial(&self, cell: usize, seed: u64) -> f64 {
+        match &self.trials {
+            Trials::Grid(t) => frlfi::experiments::harness::run_grid_trial(&t[cell], seed),
+            Trials::Drone(t) => frlfi::experiments::harness::run_drone_trial(&t[cell], seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_round_trip_preserves_scenario() {
+        let mut s = Scenario::new("demo", SystemKind::GridWorld, Scale::Smoke);
+        s.fault.side = SideKind::Server;
+        s.fault.bers = vec![0.0, 0.05];
+        s.fleet.dropout = Some(0.25);
+        s.mitigation =
+            Some(MitigationSpec { p_percent: 25.0, k_consecutive: 4, checkpoint_interval: 5 });
+        let text = s.to_toml();
+        let back = Scenario::from_toml(&text).expect("round trip");
+        assert_eq!(s, back, "TOML:\n{text}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let mut text = Scenario::new("x", SystemKind::GridWorld, Scale::Smoke).to_toml();
+        text.push_str("\ntypo_field = 3\n");
+        let err = Scenario::from_toml(&text).unwrap_err();
+        assert!(err.contains("typo_field"), "{err}");
+    }
+
+    #[test]
+    fn grid_expansion_matches_geometry_defaults() {
+        let s = Scenario::new("g", SystemKind::GridWorld, Scale::Smoke);
+        let c = s.expand().expect("expands");
+        let g = grid_geometry(Scale::Smoke);
+        assert_eq!(c.trials.len(), g.bers.len() * g.inject_episodes.len());
+        assert_eq!(c.repeats, g.repeats);
+        assert_eq!(c.master_seed, DEFAULT_SEED);
+        assert_eq!(c.grid.cell_count(), c.trials.len());
+    }
+
+    #[test]
+    fn fleet_sweep_expands_size_by_ber() {
+        let mut s = Scenario::new("h", SystemKind::GridWorld, Scale::Smoke);
+        s.fleet.agents_sweep = vec![2, 3];
+        s.fault.bers = vec![0.0, 0.1];
+        let c = s.expand().expect("expands");
+        assert_eq!(c.trials.len(), 4);
+        match &c.trials {
+            Trials::Grid(t) => {
+                assert_eq!(t[0].n_agents, 2);
+                assert_eq!(t[3].n_agents, 3);
+            }
+            Trials::Drone(_) => panic!("grid expected"),
+        }
+    }
+
+    #[test]
+    fn drone_scenario_rejects_grid_only_features() {
+        let mut s = Scenario::new("d", SystemKind::DroneNav, Scale::Smoke);
+        s.fleet.dropout = Some(0.1);
+        assert!(s.expand().is_err());
+    }
+}

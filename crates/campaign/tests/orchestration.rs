@@ -1,0 +1,303 @@
+//! End-to-end campaign orchestration guarantees:
+//!
+//! * a declarative campaign reproduces its figure driver exactly;
+//! * interrupt + resume is bit-identical to a single pass, at multiple
+//!   thread counts;
+//! * campaign directories are defended against mixing scenarios and
+//!   torn trial logs.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use frlfi::experiments::fig3;
+use frlfi::Scale;
+use frlfi_campaign::{registry, runner, RunnerConfig, Scenario, SystemKind};
+use frlfi_fault::CellStats;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "frlfi-campaign-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cheap_grid_scenario(name: &str) -> Scenario {
+    let mut s = Scenario::new(name, SystemKind::GridWorld, Scale::Smoke);
+    s.fault.bers = vec![0.0, 0.2];
+    s.fault.inject_episodes = vec![40];
+    s.train.total_episodes = Some(60);
+    s.repeats = Some(3);
+    s
+}
+
+fn assert_stats_bit_identical(a: &[CellStats], b: &[CellStats]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.mean.to_bits(), y.mean.to_bits());
+        assert_eq!(x.std.to_bits(), y.std.to_bits());
+        assert_eq!(x.n, y.n);
+    }
+}
+
+#[test]
+fn fig3a_campaign_reproduces_the_figure_driver() {
+    let scenario = registry::builtin("fig3a", Scale::Smoke).expect("built-in");
+
+    // The campaign's expanded cells are the driver's cells, verbatim.
+    let campaign = scenario.expand().expect("expands");
+    let driver_cells = fig3::heatmap_cells(Scale::Smoke, Some(frlfi::fault::FaultSide::AgentSide));
+    match &campaign.trials {
+        frlfi_campaign::Trials::Grid(cells) => assert_eq!(cells, &driver_cells),
+        frlfi_campaign::Trials::Drone(_) => panic!("grid campaign expected"),
+    }
+
+    // And the executed campaign reproduces the driver's table exactly.
+    let dir = temp_dir("fig3a");
+    let out = runner::run(&scenario, &dir, &RunnerConfig::default()).expect("runs");
+    assert!(out.complete());
+    let table = out.table.expect("complete");
+    let driver = fig3::agent_faults(Scale::Smoke);
+    assert_eq!(table.rows.len(), driver.rows.len());
+    for (r, (_, driver_row)) in driver.rows.iter().enumerate() {
+        for (c, &v) in driver_row.iter().enumerate() {
+            assert_eq!(
+                table.value(r, c).to_bits(),
+                v.to_bits(),
+                "cell ({r}, {c}) differs from experiments::fig3"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_campaign_resumes_bit_identically_across_thread_counts() {
+    let scenario = cheap_grid_scenario("resume-test");
+
+    // Reference: one uninterrupted pass.
+    let ref_dir = temp_dir("ref");
+    let reference =
+        runner::run(&scenario, &ref_dir, &RunnerConfig { threads: 2, max_new_trials: None })
+            .expect("reference run");
+    let ref_stats = reference.stats.expect("complete");
+
+    for &threads in &[1usize, 3, 8] {
+        let dir = temp_dir("resumed");
+        // Kill after 1 trial, then after 2 more, then run to completion —
+        // with a different thread count each leg.
+        let legs = [Some(1), Some(2), None];
+        let mut last = None;
+        for (i, &max) in legs.iter().enumerate() {
+            let leg_threads = [threads, 1, threads][i];
+            let out = runner::run(
+                &scenario,
+                &dir,
+                &RunnerConfig { threads: leg_threads, max_new_trials: max },
+            )
+            .expect("leg runs");
+            last = Some(out);
+        }
+        let out = last.expect("ran");
+        assert!(out.complete());
+        assert!(out.new_trials < out.total_trials, "resume must skip persisted trials");
+        assert_stats_bit_identical(&ref_stats, &out.stats.expect("complete"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
+fn campaign_dir_rejects_a_different_scenario() {
+    let dir = temp_dir("mismatch");
+    let a = cheap_grid_scenario("scenario-a");
+    runner::run(&a, &dir, &RunnerConfig { threads: 1, max_new_trials: Some(1) })
+        .expect("first leg");
+    let mut b = cheap_grid_scenario("scenario-b");
+    b.fault.bers = vec![0.0, 0.1];
+    let err = runner::run(&b, &dir, &RunnerConfig::default()).expect_err("must refuse");
+    assert!(err.contains("different campaign"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_trailing_record_is_tolerated_and_rerun() {
+    let dir = temp_dir("torn");
+    let scenario = cheap_grid_scenario("torn-test");
+    runner::run(&scenario, &dir, &RunnerConfig { threads: 1, max_new_trials: Some(2) })
+        .expect("partial run");
+    // Simulate a crash mid-write: a torn, unparseable trailing line.
+    use std::io::Write;
+    let mut f =
+        std::fs::OpenOptions::new().append(true).open(dir.join("trials.jsonl")).expect("open log");
+    write!(f, "{{\"cell\":1,\"repe").expect("append torn tail");
+    drop(f);
+
+    // Resume in two legs: the first appends new records after the torn
+    // tail (which must be truncated away, not merged into one corrupt
+    // line), and the second re-reads the log it left behind.
+    runner::run(&scenario, &dir, &RunnerConfig { threads: 1, max_new_trials: Some(2) })
+        .expect("resume after torn tail");
+    let out = runner::run(&scenario, &dir, &RunnerConfig::default()).expect("final resume");
+    assert!(out.complete());
+
+    // And it still matches a clean single pass.
+    let clean_dir = temp_dir("torn-clean");
+    let clean = runner::run(&scenario, &clean_dir, &RunnerConfig::default()).expect("clean");
+    assert_stats_bit_identical(&clean.stats.expect("c"), &out.stats.expect("o"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}
+
+#[test]
+fn corrupt_interior_record_is_an_error() {
+    let dir = temp_dir("corrupt");
+    let scenario = cheap_grid_scenario("corrupt-test");
+    runner::run(&scenario, &dir, &RunnerConfig { threads: 1, max_new_trials: Some(1) })
+        .expect("partial run");
+    use std::io::Write;
+    let mut f =
+        std::fs::OpenOptions::new().append(true).open(dir.join("trials.jsonl")).expect("open log");
+    writeln!(f, "not json").expect("append");
+    writeln!(f, "also not json").expect("append");
+    drop(f);
+    let err = runner::run(&scenario, &dir, &RunnerConfig::default()).expect_err("must refuse");
+    assert!(err.contains("line"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spec_file_round_trip_drives_the_same_campaign() {
+    // A scenario written to TOML, re-parsed and run, is the same
+    // campaign (what `campaign run <spec.toml>` does).
+    let scenario = cheap_grid_scenario("toml-drive");
+    let reparsed = Scenario::from_toml(&scenario.to_toml()).expect("parse");
+    assert_eq!(scenario, reparsed);
+
+    let dir_a = temp_dir("toml-a");
+    let dir_b = temp_dir("toml-b");
+    let a = runner::run(&scenario, &dir_a, &RunnerConfig::default()).expect("a");
+    let b = runner::run(&reparsed, &dir_b, &RunnerConfig::default()).expect("b");
+    assert_stats_bit_identical(&a.stats.expect("a"), &b.stats.expect("b"));
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn new_scenario_variants_run_end_to_end() {
+    for name in ["grid-dynamic", "grid-dropout", "grid-fleet"] {
+        let mut scenario = registry::builtin(name, Scale::Smoke).expect("built-in");
+        // Trim to a handful of trials: variants differ in mechanism,
+        // not statistical weight, at test time.
+        scenario.fault.bers = vec![0.0, 0.2];
+        scenario.fault.inject_episodes = vec![30];
+        scenario.train.total_episodes = Some(60);
+        scenario.repeats = Some(1);
+        if name == "grid-fleet" {
+            scenario.fleet.agents_sweep = vec![1, 2];
+        }
+        let dir = temp_dir(name);
+        let out = runner::run(&scenario, &dir, &RunnerConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.complete(), "{name}");
+        let stats = out.stats.expect("complete");
+        assert!(
+            stats.iter().all(|s| (0.0..=100.0).contains(&s.mean)),
+            "{name}: success rates out of range: {stats:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn shipped_fig3_spec_file_is_the_builtin_campaign() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3a_bench.toml");
+    let text = std::fs::read_to_string(path).expect("specs/fig3a_bench.toml ships in the repo");
+    let from_file = Scenario::from_toml(&text).expect("parses");
+    let builtin = registry::builtin("fig3a", Scale::Bench).expect("built-in");
+    assert_eq!(from_file, builtin, "the shipped spec must drive the exact Fig. 3a campaign");
+}
+
+#[test]
+fn fig5a_drone_campaign_reproduces_the_figure_driver() {
+    let scenario = registry::builtin("fig5a", Scale::Smoke).expect("built-in");
+    let dir = temp_dir("fig5a");
+    let out = runner::run(&scenario, &dir, &RunnerConfig::default()).expect("runs");
+    let table = out.table.expect("complete");
+    let driver = frlfi::experiments::fig5::agent_faults(Scale::Smoke);
+    for (r, (_, driver_row)) in driver.rows.iter().enumerate() {
+        for (c, &v) in driver_row.iter().enumerate() {
+            assert_eq!(
+                table.value(r, c).to_bits(),
+                v.to_bits(),
+                "cell ({r}, {c}) differs from experiments::fig5"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_cli_runs_interrupts_and_resumes() {
+    let exe = env!("CARGO_BIN_EXE_campaign");
+    let dir = temp_dir("cli");
+    let spec_path =
+        std::env::temp_dir().join(format!("frlfi-cli-spec-{}.toml", std::process::id()));
+    std::fs::write(&spec_path, cheap_grid_scenario("cli-test").to_toml()).expect("write spec");
+
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(exe).args(args).output().expect("spawn campaign");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned()
+                + &String::from_utf8_lossy(&out.stderr),
+        )
+    };
+
+    let (ok, listing) = run(&["list"]);
+    assert!(ok, "{listing}");
+    assert!(listing.contains("fig3a") && listing.contains("grid-dropout"), "{listing}");
+
+    let dir_s = dir.to_str().expect("utf8 tmp");
+    let spec_s = spec_path.to_str().expect("utf8 tmp");
+    let (ok, first) = run(&["run", spec_s, "--out", dir_s, "--max-trials", "2", "--threads", "2"]);
+    assert!(ok, "{first}");
+    assert!(first.contains("incomplete"), "{first}");
+
+    let (ok, resumed) = run(&["resume", dir_s]);
+    assert!(ok, "{resumed}");
+    assert!(resumed.contains("Campaign cli-test"), "{resumed}");
+    assert!(std::fs::read_to_string(dir.join("summary.txt")).is_ok());
+
+    let (ok, err) = run(&["run", "no-such-builtin"]);
+    assert!(!ok);
+    assert!(err.contains("neither a file nor a built-in"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&spec_path).ok();
+}
+
+/// The acceptance check at bench scale (minutes of runtime): run with
+/// `cargo test -p frlfi-campaign --release -- --ignored`.
+#[test]
+#[ignore = "bench-scale acceptance run; minutes of runtime"]
+fn fig3a_campaign_reproduces_fig3_at_bench_scale_with_interrupt() {
+    let scenario = registry::builtin("fig3a", Scale::Bench).expect("built-in");
+    let driver = fig3::agent_faults(Scale::Bench);
+
+    // Interrupted + resumed campaign.
+    let dir = temp_dir("fig3a-bench");
+    runner::run(&scenario, &dir, &RunnerConfig { threads: 0, max_new_trials: Some(10) })
+        .expect("first leg");
+    let out = runner::run(&scenario, &dir, &RunnerConfig::default()).expect("resume");
+    let table = out.table.expect("complete");
+    for (r, (_, driver_row)) in driver.rows.iter().enumerate() {
+        for (c, &v) in driver_row.iter().enumerate() {
+            assert_eq!(table.value(r, c).to_bits(), v.to_bits(), "cell ({r}, {c})");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

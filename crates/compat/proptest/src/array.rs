@@ -1,0 +1,21 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[T; 3]` sampling each element from `element`.
+pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+    Uniform3 { element }
+}
+
+/// See [`uniform3`].
+pub struct Uniform3<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform3<S> {
+    type Value = [S::Value; 3];
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; 3] {
+        [self.element.sample(rng), self.element.sample(rng), self.element.sample(rng)]
+    }
+}

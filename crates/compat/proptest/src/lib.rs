@@ -1,0 +1,134 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of proptest this workspace uses: the
+//! [`proptest!`] macro, `prop_assert*` / [`prop_assume!`], range and
+//! `any::<T>()` strategies, tuple strategies, [`collection::vec`],
+//! [`array::uniform3`], and `prop_map` / `prop_flat_map` combinators.
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed
+//! number of deterministically seeded random cases (default 64, override
+//! with `PROPTEST_CASES`). Failures report the case's seed so a run can
+//! be reproduced exactly.
+
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a property-test module needs in scope.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministically sampled
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::case_count();
+            let test_id = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..cases {
+                let seed = $crate::test_runner::case_seed(test_id, case);
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err($crate::test_runner::TestCaseError::Reject)) => continue,
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case failed: {test_id} case {case} (seed {seed:#x})"
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_bound_samples(x in 3usize..10, y in -1.5f64..1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in crate::collection::vec(0u32..5, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_links_sizes(v in (2usize..6).prop_flat_map(|n| crate::collection::vec(0i32..3, n))) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn uniform3_gives_arrays(a in crate::array::uniform3(-1.0f32..1.0)) {
+            prop_assert_eq!(a.len(), 3);
+            prop_assert!(a.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::case_seed("some::test", 3);
+        let b = crate::test_runner::case_seed("some::test", 3);
+        assert_eq!(a, b);
+        assert_ne!(a, crate::test_runner::case_seed("some::test", 4));
+        assert_ne!(a, crate::test_runner::case_seed("other::test", 3));
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic case scheduling for [`crate::proptest!`].
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Why a test case ended without a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case does not count.
+    Reject,
+}
+
+/// Per-case random source (a seeded [`StdRng`]).
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the generator for one case seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Number of cases per property (default 64, `PROPTEST_CASES` env
+/// override).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Deterministic seed for `(test name, case index)` via FNV-1a.
+pub fn case_seed(test_id: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_id.bytes().chain(case.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,97 @@
+//! Minimal distribution support for [`crate::Rng::gen`] and
+//! [`crate::Rng::sample`].
+
+use crate::{unit_f32, unit_f64, RngCore, SampleRange};
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T>> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: full-range uniform for integers,
+/// `[0, 1)` uniform for floats, fair coin for `bool`.
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng.next_u64())
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// A uniform distribution over a half-open range.
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: Copy> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Uniform { lo, hi }
+    }
+}
+
+impl<T: Copy> Distribution<T> for Uniform<T>
+where
+    core::ops::Range<T>: SampleRange<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (self.lo..self.hi).sample_single(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn standard_types_sample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u64 = rng.gen();
+        let _: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn uniform_distribution_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new(10u32, 20);
+        for _ in 0..100 {
+            let v = rng.sample(&d);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

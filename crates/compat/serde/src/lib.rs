@@ -1,0 +1,240 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! carries its own small serialization framework under serde's name:
+//!
+//! * [`Value`] — a self-describing data model (bool / int / float /
+//!   string / array / table) that text formats parse into and render
+//!   from (`frlfi-campaign` ships TOML and JSON codecs over it);
+//! * [`Serialize`] / [`Deserialize`] — conversions between Rust types
+//!   and [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` — real derives (not stubs) for
+//!   named-field structs and unit-variant enums, implemented in
+//!   `serde_derive` without syn/quote.
+//!
+//! The API is intentionally NOT upstream-serde-compatible (no visitors,
+//! no zero-copy); it is the minimal surface the workspace needs, kept
+//! under the familiar name so a future vendored upstream can slot in.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Value};
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+
+    /// Parses a (possibly absent) table field. The default treats
+    /// absence as an error; `Option<T>` overrides it to `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the field is missing or malformed.
+    fn deserialize_field(field: &str, v: Option<&Value>) -> Result<Self, DeError> {
+        match v {
+            Some(v) => Self::deserialize(v).map_err(|e| e.in_field(field)),
+            None => Err(DeError::new(format!("missing field `{field}`"))),
+        }
+    }
+}
+
+/// A deserialization failure with a humane path-annotated message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+
+    /// An "expected X, found Y" error for type `ty`.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError::new(format!("expected {what} for {ty}"))
+    }
+
+    /// Prefixes the error with the field it occurred in.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Self {
+        DeError::new(format!("{field}: {}", self.message))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(i64::try_from(*self).expect("integer too large for the serde shim's i64 model"))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_int().ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(i).map_err(|_| DeError::new(format!("integer {i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_float().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        // f32 -> f64 -> f32 round-trips exactly.
+        Ok(v.as_float().ok_or_else(|| DeError::expected("number", "f32"))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::deserialize(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_field(field: &str, v: Option<&Value>) -> Result<Self, DeError> {
+        match v {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => T::deserialize(v).map(Some).map_err(|e| e.in_field(field)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::deserialize(&7usize.serialize()).unwrap(), 7);
+        assert_eq!(f32::deserialize(&0.25f32.serialize()).unwrap(), 0.25);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+    }
+
+    #[test]
+    fn f32_round_trip_is_exact() {
+        for bits in [0x3F80_0001u32, 0x0000_0001, 0x7F7F_FFFF] {
+            let x = f32::from_bits(bits);
+            let back = f32::deserialize(&x.serialize()).unwrap();
+            assert_eq!(back.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn option_field_semantics() {
+        assert_eq!(Option::<u32>::deserialize_field("x", None).unwrap(), None);
+        let v = Value::Int(3);
+        assert_eq!(Option::<u32>::deserialize_field("x", Some(&v)).unwrap(), Some(3));
+        assert!(u32::deserialize_field("x", None).is_err());
+    }
+
+    #[test]
+    fn int_coerces_to_float_not_vice_versa() {
+        assert_eq!(f64::deserialize(&Value::Int(3)).unwrap(), 3.0);
+        assert!(u32::deserialize(&Value::Float(3.0)).is_err());
+    }
+
+    #[test]
+    fn errors_carry_paths() {
+        let err = u32::deserialize_field("speed", None).unwrap_err();
+        assert!(err.to_string().contains("speed"));
+    }
+}

@@ -1,0 +1,128 @@
+//! The self-describing data model text formats read and write.
+
+use std::collections::BTreeMap;
+
+/// String-keyed table of values (sorted keys: stable output).
+pub type Map = BTreeMap<String, Value>;
+
+/// A dynamically typed value: the meeting point between Rust types
+/// (via [`crate::Serialize`] / [`crate::Deserialize`]) and text formats
+/// (TOML / JSON codecs in `frlfi-campaign`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence (`Option::None`; JSON `null`). Table codecs omit
+    /// null-valued entries.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed 64-bit integer (the only integer width in the model).
+    Int(i64),
+    /// IEEE-754 double.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// String-keyed table.
+    Table(Map),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers coerce.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a table, if it is one.
+    pub fn as_table(&self) -> Option<&Map> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Mutable table access, if it is one.
+    pub fn as_table_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Descends into `table[key]`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table().and_then(|t| t.get(key))
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_kinds() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(0.5).as_int(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).kind(), "bool");
+    }
+
+    #[test]
+    fn get_descends_tables() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Int(1));
+        let v = Value::Table(m);
+        assert_eq!(v.get("k"), Some(&Value::Int(1)));
+        assert_eq!(v.get("missing"), None);
+    }
+}

@@ -1,0 +1,244 @@
+//! Derive macros for the workspace serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote —
+//! neither is available offline). Supported shapes:
+//!
+//! * structs with named fields (no generics) — serialized as a
+//!   [`Value::Table`] keyed by field name; deserialization rejects
+//!   unknown keys so spec-file typos surface as errors;
+//! * enums whose variants are all unit variants — serialized as a
+//!   [`Value::Str`] of the variant name.
+//!
+//! Anything else panics at expansion time with a clear message, which is
+//! a compile error at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` (shim data-model version).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "table.insert(\"{f}\".to_string(), \
+                         ::serde::Serialize::serialize(&self.{f}));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut table = ::serde::Map::new();\n\
+                         {inserts}\n\
+                         ::serde::Value::Table(table)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (shim data-model version).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let known: String = fields.iter().map(|f| format!("\"{f}\", ")).collect();
+            let builds: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_field(\
+                         \"{f}\", table.get(\"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         let table = v.as_table().ok_or_else(|| \
+                             ::serde::DeError::expected(\"table\", \"{name}\"))?;\n\
+                         const FIELDS: &[&str] = &[{known}];\n\
+                         for key in table.keys() {{\n\
+                             if !FIELDS.contains(&key.as_str()) {{\n\
+                                 return ::core::result::Result::Err(::serde::DeError::new(\
+                                     format!(\"unknown field `{{key}}` in {name} \
+                                     (expected one of {{FIELDS:?}})\")));\n\
+                             }}\n\
+                         }}\n\
+                         ::core::result::Result::Ok({name} {{ {builds} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let names: String = variants.iter().map(|v| format!("\"{v}\", ")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         match v.as_str().ok_or_else(|| \
+                             ::serde::DeError::expected(\"string\", \"{name}\"))? {{\n\
+                             {arms}\n\
+                             other => ::core::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"unknown variant `{{other}}` for {name} \
+                                 (expected one of {{:?}})\", [{names}]))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            // Outer attribute: `#` followed by a bracketed group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else if kw == "struct" || kw == "enum" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => panic!("serde_derive: expected type name, got {other:?}"),
+                    };
+                    let body = loop {
+                        match iter.next() {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                break g;
+                            }
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                panic!("serde_derive: tuple structs are not supported ({name})");
+                            }
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                                panic!("serde_derive: generics are not supported ({name})");
+                            }
+                            Some(_) => {}
+                            None => panic!("serde_derive: {name} has no braced body"),
+                        }
+                    };
+                    let chunks = split_top_level_commas(body.stream());
+                    return if kw == "struct" {
+                        Shape::Struct {
+                            name,
+                            fields: chunks.iter().map(|c| field_name(c)).collect(),
+                        }
+                    } else {
+                        Shape::Enum {
+                            name: name.clone(),
+                            variants: chunks.iter().map(|c| unit_variant_name(c, &name)).collect(),
+                        }
+                    };
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: unsupported derive input (no struct/enum found)"),
+        }
+    }
+}
+
+/// Splits a brace-body token stream at commas that sit outside any
+/// group and outside angle brackets (so `Vec<(usize, usize)>` and
+/// `BTreeMap<String, Value>` stay in one chunk).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks non-empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// `#[attr] pub name: Type` -> `name`.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr group follows
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return id.to_string(),
+            other => panic!("serde_derive: unexpected token in field position: {other:?}"),
+        }
+    }
+    panic!("serde_derive: could not find a field name")
+}
+
+/// `#[attr] Name` -> `Name`; payload-carrying variants are rejected.
+fn unit_variant_name(chunk: &[TokenTree], enum_name: &str) -> String {
+    let mut i = 0;
+    let mut name = None;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if name.is_none() => {
+                name = Some(id.to_string());
+                i += 1;
+            }
+            TokenTree::Group(_) => panic!(
+                "serde_derive: enum {enum_name} has a payload-carrying variant; \
+                 only unit variants are supported"
+            ),
+            TokenTree::Punct(p) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the rest.
+                break;
+            }
+            other => panic!("serde_derive: unexpected token in variant: {other:?}"),
+        }
+    }
+    name.unwrap_or_else(|| panic!("serde_derive: empty variant in enum {enum_name}"))
+}

@@ -36,6 +36,17 @@ impl Scale {
     }
 }
 
+/// GridWorld maze layout family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GridLayout {
+    /// The paper's fixed per-agent mazes (Fig. 2).
+    Standard,
+    /// Obstacles re-jitter around the standard layout every episode —
+    /// a harder scenario probing policy robustness to non-stationary
+    /// worlds (not in the paper).
+    DynamicObstacles,
+}
+
 /// Configuration of a federated GridWorld system (§IV-A).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridSystemConfig {
@@ -57,6 +68,11 @@ pub struct GridSystemConfig {
     pub alpha0: f32,
     /// Rounds over which α anneals to 1/n.
     pub anneal_rounds: usize,
+    /// Maze layout family (standard fixed mazes, or dynamic obstacles).
+    pub layout: GridLayout,
+    /// Per-round probability that an agent drops out of a communication
+    /// round (`None` = reliable links, the paper's setting).
+    pub dropout: Option<f32>,
 }
 
 impl Default for GridSystemConfig {
@@ -70,6 +86,8 @@ impl Default for GridSystemConfig {
             gamma: 0.9,
             alpha0: 0.5,
             anneal_rounds: 50,
+            layout: GridLayout::Standard,
+            dropout: None,
         }
     }
 }

@@ -1,10 +1,10 @@
 use crate::config::DroneSystemConfig;
 use crate::error::FrlfiError;
+use crate::injection::MitigationStats;
 use crate::injection::{InjectionPlan, ReprKind, TrainingMitigation};
 use frlfi_envs::{DroneConfig, DroneSim, Environment};
 use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
 use frlfi_federated::{RoundHook, Server};
-use crate::injection::MitigationStats;
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
 use frlfi_rl::{run_episode, Learner, Reinforce};
 use frlfi_tensor::derive_seed;
@@ -64,10 +64,10 @@ impl DroneFrlSystem {
         let drones: Vec<Reinforce> = (0..cfg.n_drones).map(|_| template.clone()).collect();
         let train_sim = DroneConfig { max_steps: cfg.train_max_steps, ..cfg.sim };
         let envs: Vec<DroneSim> = (0..cfg.n_drones)
-            .map(|i| DroneSim::new(train_sim, derive_seed(cfg.seed, 0xE0_0 + i as u64)))
+            .map(|i| DroneSim::new(train_sim, derive_seed(cfg.seed, 0x0E00 + i as u64)))
             .collect();
         let drone_rngs = (0..cfg.n_drones)
-            .map(|i| StdRng::seed_from_u64(derive_seed(cfg.seed, 0xA0_0 + i as u64)))
+            .map(|i| StdRng::seed_from_u64(derive_seed(cfg.seed, 0x0A00 + i as u64)))
             .collect();
         let server = if cfg.n_drones >= 2 {
             Some(Server::new(cfg.n_drones, template.network().param_count())?)
@@ -151,9 +151,10 @@ impl DroneFrlSystem {
             return Ok(());
         }
         let mut learner = self.drones[0].clone();
-        let mut env =
-            DroneSim::new(DroneConfig { max_steps: self.cfg.train_max_steps, ..self.cfg.sim },
-                derive_seed(self.cfg.seed, 0x0FF));
+        let mut env = DroneSim::new(
+            DroneConfig { max_steps: self.cfg.train_max_steps, ..self.cfg.sim },
+            derive_seed(self.cfg.seed, 0x0FF),
+        );
         let mut rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0x0FF + 1));
         for _ in 0..self.cfg.pretrain_episodes {
             run_episode(&mut env, &mut learner, &mut rng);
@@ -289,10 +290,7 @@ impl DroneFrlSystem {
         let repr = plan.repr.materialize(self.drones[victim].network());
         let mut snap = self.drones[victim].network().snapshot();
         let records = inject_slice_ber(&mut snap, repr, plan.model, plan.ber, &mut self.rng);
-        self.drones[victim]
-            .network_mut()
-            .restore(&snap)
-            .expect("snapshot length invariant");
+        self.drones[victim].network_mut().restore(&snap).expect("snapshot length invariant");
         self.last_records = records;
     }
 

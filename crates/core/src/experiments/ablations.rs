@@ -7,24 +7,13 @@
 
 use crate::experiments::{DEFAULT_SEED, SYSTEM_SEED};
 use crate::report::Table;
-use crate::{
-    GridFrlSystem, GridSystemConfig, InjectionPlan, ReprKind, Scale, TrainingMitigation,
-};
+use crate::{GridFrlSystem, GridSystemConfig, InjectionPlan, ReprKind, Scale, TrainingMitigation};
 use frlfi_fault::{sweep, Ber, FaultModel};
 use frlfi_mitigation::RangeDetector;
 use frlfi_tensor::derive_seed;
 
 fn trained_system(scale: Scale) -> GridFrlSystem {
-    let episodes = scale.pick(150, 600, 1000);
-    let mut sys = GridFrlSystem::new(GridSystemConfig {
-        n_agents: scale.pick(3, 6, 12),
-        seed: SYSTEM_SEED,
-        epsilon_decay_episodes: episodes / 2,
-        ..Default::default()
-    })
-    .expect("valid config");
-    sys.train(episodes, None, None).expect("training");
-    sys
+    crate::experiments::harness::trained_grid_system(scale, scale.pick(3, 6, 12))
 }
 
 /// Ablation 1: checkpoint update interval.
@@ -91,8 +80,7 @@ pub fn detector_window(scale: Scale) -> Table {
         .expect("valid config");
         sys.reseed_faults(seed);
         let plan = InjectionPlan::server(inject_ep, Ber::new(0.2).expect("ber"));
-        sys.train(episodes, Some(&plan), Some(&TrainingMitigation::scaled(k)))
-            .expect("training");
+        sys.train(episodes, Some(&plan), Some(&TrainingMitigation::scaled(k))).expect("training");
         sys.success_rate() * 100.0
     });
 
@@ -125,7 +113,9 @@ pub fn range_margin(scale: Scale) -> Table {
     );
     for &margin in &margins {
         let detectors: Vec<RangeDetector> = (0..n_agents)
-            .map(|i| RangeDetector::fit_with_margin(frlfi_rl::Learner::network(sys.agent(i)), margin))
+            .map(|i| {
+                RangeDetector::fit_with_margin(frlfi_rl::Learner::network(sys.agent(i)), margin)
+            })
             .collect();
         let mut sr_sum = 0.0;
         let mut repair_sum = 0.0;
@@ -183,8 +173,7 @@ pub fn alpha_annealing(scale: Scale) -> Table {
         })
         .expect("valid config");
         sys.reseed_faults(seed);
-        let plan =
-            fault.then(|| InjectionPlan::agent(inject_ep, Ber::new(0.2).expect("ber")));
+        let plan = fault.then(|| InjectionPlan::agent(inject_ep, Ber::new(0.2).expect("ber")));
         sys.train(episodes, plan.as_ref(), None).expect("training");
         sys.success_rate() * 100.0
     });
@@ -225,8 +214,7 @@ pub fn comm_interval_recovery(scale: Scale) -> Table {
         })
         .expect("valid config");
         sys.reseed_faults(seed);
-        let plan =
-            fault.then(|| InjectionPlan::agent(inject_ep, Ber::new(0.2).expect("ber")));
+        let plan = fault.then(|| InjectionPlan::agent(inject_ep, Ber::new(0.2).expect("ber")));
         sys.train(episodes, plan.as_ref(), None).expect("training");
         sys.success_rate() * 100.0
     });

@@ -6,12 +6,12 @@
 //! (high-bit flips create huge outliers), while the narrow Q(1,4,11)
 //! that matches the parameter range is the most robust.
 
-use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use crate::experiments::ber_label;
+use crate::experiments::harness::{mean_over_repeats, trained_grid_system};
 use crate::report::Table;
-use crate::{GridFrlSystem, GridSystemConfig, ReprKind, Scale};
+use crate::{ReprKind, Scale};
 use frlfi_fault::{Ber, FaultModel};
 use frlfi_quant::QFormat;
-use frlfi_tensor::derive_seed;
 
 /// The three studied formats.
 pub fn formats() -> [QFormat; 3] {
@@ -20,7 +20,6 @@ pub fn formats() -> [QFormat; 3] {
 
 /// Runs the data-type study on the GridWorld system (success rate %).
 pub fn run(scale: Scale) -> Table {
-    let episodes = scale.pick(150, 600, 1000);
     let n_agents = scale.pick(3, 6, 12);
     let repeats = scale.pick(2, 6, 100);
     // The formats discriminate at low flip counts (a single Q10.5
@@ -32,14 +31,7 @@ pub fn run(scale: Scale) -> Table {
         vec![0.0, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3],
     );
 
-    let mut sys = GridFrlSystem::new(GridSystemConfig {
-        n_agents,
-        seed: SYSTEM_SEED,
-        epsilon_decay_episodes: episodes / 2,
-        ..Default::default()
-    })
-    .expect("valid config");
-    sys.train(episodes, None, None).expect("training");
+    let mut sys = trained_grid_system(scale, n_agents);
 
     let mut table = Table::new(
         "Data-type study: SR (%) under static faults by fixed-point format",
@@ -48,22 +40,21 @@ pub fn run(scale: Scale) -> Table {
     );
     for (bi, &ber) in bers.iter().enumerate() {
         let ber_v = Ber::new(ber).expect("valid ber");
-        let mut row = Vec::with_capacity(3);
-        for (qi, q) in formats().into_iter().enumerate() {
-            let mut sum = 0.0;
-            for r in 0..repeats {
-                let seed =
-                    derive_seed(DEFAULT_SEED ^ 0xDA7A, ((bi * 3 + qi) * repeats + r) as u64);
-                sum += sys.with_faulted_policies(
-                    FaultModel::TransientMulti,
-                    ber_v,
-                    ReprKind::Fixed(q),
-                    seed,
-                    |s| s.success_rate(),
-                );
-            }
-            row.push(sum / repeats as f64 * 100.0);
-        }
+        let row: Vec<f64> = formats()
+            .into_iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                mean_over_repeats(0xDA7A, bi * 3 + qi, repeats, |seed| {
+                    sys.with_faulted_policies(
+                        FaultModel::TransientMulti,
+                        ber_v,
+                        ReprKind::Fixed(q),
+                        seed,
+                        |s| s.success_rate(),
+                    )
+                }) * 100.0
+            })
+            .collect();
         table.push_row(ber_label(ber), row);
     }
     table

@@ -4,102 +4,43 @@
 //!   heatmaps of average success rate over (BER × injection episode);
 //! * (d) trained policy weight distribution and 0/1-bit census;
 //! * (e) episodes to re-converge after a fault at the end of training.
+//!
+//! The campaigns are declared through [`harness`] trial specs, the same
+//! specs the `frlfi-campaign` subsystem drives — `campaign run fig3a`
+//! reproduces these tables exactly.
 
+use crate::experiments::harness::{
+    self, ber_episode_grid, grid_geometry, heatmap_table, GridMetric, GridTrial, TrialFault,
+};
 use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
 use crate::report::Table;
-use crate::{GridFrlSystem, GridSystemConfig, InjectionPlan, Scale};
-use frlfi_fault::{sweep, Ber, FaultSide};
+use crate::{GridFrlSystem, GridSystemConfig, Scale};
+use frlfi_fault::{sweep, FaultSide};
 use frlfi_quant::{BitCensus, SymInt8Quantizer};
-use frlfi_tensor::histogram;
 use frlfi_rl::Learner;
+use frlfi_tensor::histogram;
 
-/// Campaign geometry for one heatmap.
-#[derive(Debug, Clone)]
-struct Geometry {
-    bers: Vec<f64>,
-    inject_episodes: Vec<usize>,
-    total_episodes: usize,
-    n_agents: usize,
-    repeats: usize,
-}
-
-fn geometry(scale: Scale) -> Geometry {
-    match scale {
-        Scale::Smoke => Geometry {
-            bers: vec![0.0, 0.05, 0.2],
-            inject_episodes: vec![40, 125],
-            total_episodes: 130,
-            n_agents: 3,
-            repeats: 2,
-        },
-        Scale::Bench => Geometry {
-            bers: vec![0.0, 0.01, 0.02, 0.05, 0.1, 0.2],
-            inject_episodes: vec![90, 240, 390, 510, 570, 595],
-            total_episodes: 600,
-            n_agents: 6,
-            repeats: 4,
-        },
-        Scale::Full => Geometry {
-            bers: vec![0.0, 0.005, 0.01, 0.02, 0.05, 0.08, 0.12, 0.16, 0.2, 0.3, 0.5],
-            inject_episodes: (0..10).map(|i| 100 * i + 50).chain([995]).collect(),
-            total_episodes: 1000,
-            n_agents: 12,
-            repeats: 50,
-        },
-    }
+/// Builds the Fig. 3 heatmap cell list for a fault side (`None` = the
+/// single-agent baseline, Fig. 3c). Shared with `frlfi-campaign`.
+pub fn heatmap_cells(scale: Scale, side: Option<FaultSide>) -> Vec<GridTrial> {
+    let g = grid_geometry(scale);
+    let n_agents = if side.is_none() { 1 } else { g.n_agents };
+    let side = side.unwrap_or(FaultSide::AgentSide);
+    ber_episode_grid(&g.bers, &g.inject_episodes)
+        .into_iter()
+        .map(|(ber, ep)| {
+            GridTrial::new(n_agents, g.total_episodes)
+                .with_fault(TrialFault::transient_int8(side, ep, ber))
+        })
+        .collect()
 }
 
 /// Runs one training-fault heatmap.
-///
-/// `side = None` requests the single-agent baseline (Fig. 3c):
-/// `n_agents = 1`, faults strike the lone agent.
 fn heatmap(scale: Scale, side: Option<FaultSide>, title: &str) -> Table {
-    let g = geometry(scale);
-    let n_agents = if side.is_none() { 1 } else { g.n_agents };
-    let cells: Vec<(f64, usize)> = g
-        .bers
-        .iter()
-        .flat_map(|&b| g.inject_episodes.iter().map(move |&e| (b, e)))
-        .collect();
-
-    let stats = sweep(&cells, g.repeats, DEFAULT_SEED, |&(ber, ep), seed| {
-        // Fixed system, per-repeat fault stream: cell statistics then
-        // measure fault impact, not training variance.
-        let cfg = GridSystemConfig {
-            n_agents,
-            seed: SYSTEM_SEED,
-            epsilon_decay_episodes: g.total_episodes / 2,
-            ..Default::default()
-        };
-        let mut sys = GridFrlSystem::new(cfg).expect("valid config");
-        sys.reseed_faults(seed);
-        let plan = if ber > 0.0 {
-            let side = side.unwrap_or(FaultSide::AgentSide);
-            Some(match side {
-                FaultSide::AgentSide => InjectionPlan::agent(ep, Ber::new(ber).expect("valid ber")),
-                FaultSide::ServerSide => {
-                    InjectionPlan::server(ep, Ber::new(ber).expect("valid ber"))
-                }
-            })
-        } else {
-            None
-        };
-        sys.train(g.total_episodes, plan.as_ref(), None).expect("training");
-        sys.success_rate() * 100.0
-    });
-
-    let mut table = Table::new(
-        title,
-        "BER",
-        g.inject_episodes.iter().map(|e| format!("ep{e}")).collect(),
-    );
-    for (bi, &ber) in g.bers.iter().enumerate() {
-        let row: Vec<f64> = (0..g.inject_episodes.len())
-            .map(|ei| stats[bi * g.inject_episodes.len() + ei].mean)
-            .collect();
-        table.push_row(ber_label(ber), row);
-    }
-    table
+    let g = grid_geometry(scale);
+    let cells = heatmap_cells(scale, side);
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED, harness::run_grid_trial);
+    heatmap_table(title, &g.bers, &g.inject_episodes, &stats, 1)
 }
 
 /// Fig. 3a: FRL training heatmap under **agent** faults.
@@ -154,12 +95,9 @@ pub fn weight_distribution(scale: Scale) -> WeightDistribution {
     let hi = weights.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let bins = 16;
     let counts = histogram(&weights, lo, hi, bins);
-    let mut table = Table::new(
-        "Fig 3d: trained policy weight histogram",
-        "bin",
-        vec!["count".into()],
-    )
-    .with_precision(0);
+    let mut table =
+        Table::new("Fig 3d: trained policy weight histogram", "bin", vec!["count".into()])
+            .with_precision(0);
     let width = (hi - lo) / bins as f32;
     for (i, &c) in counts.iter().enumerate() {
         let centre = lo + (i as f32 + 0.5) * width;
@@ -181,35 +119,24 @@ pub fn weight_distribution(scale: Scale) -> WeightDistribution {
 /// Fig. 3e: episodes to re-converge (SR ≥ 96%) after a fault injected
 /// near the end of training, for agent vs server faults.
 pub fn convergence(scale: Scale) -> Table {
-    let g = geometry(scale);
+    let g = grid_geometry(scale);
     let bers: Vec<f64> = g.bers.iter().copied().filter(|&b| b > 0.0).collect();
     let late_ep = g.total_episodes * 9 / 10;
     let check_every = scale.pick(20, 25, 50);
     let max_extra = g.total_episodes * 2;
+    let metric = GridMetric::EpisodesToConverge { threshold: 0.96, check_every, max_extra };
 
-    let cells: Vec<(f64, FaultSide)> = bers
+    let cells: Vec<GridTrial> = bers
         .iter()
-        .flat_map(|&b| [(b, FaultSide::AgentSide), (b, FaultSide::ServerSide)])
+        .flat_map(|&b| {
+            [FaultSide::AgentSide, FaultSide::ServerSide].map(|side| {
+                GridTrial::new(g.n_agents, g.total_episodes)
+                    .with_fault(TrialFault::transient_int8(side, late_ep, b))
+                    .with_metric(metric)
+            })
+        })
         .collect();
-    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x3E, |&(ber, side), seed| {
-        let cfg = GridSystemConfig {
-            n_agents: g.n_agents,
-            seed: SYSTEM_SEED,
-            epsilon_decay_episodes: g.total_episodes / 2,
-            ..Default::default()
-        };
-        let mut sys = GridFrlSystem::new(cfg).expect("valid config");
-        sys.reseed_faults(seed);
-        let plan = match side {
-            FaultSide::AgentSide => InjectionPlan::agent(late_ep, Ber::new(ber).expect("ber")),
-            FaultSide::ServerSide => InjectionPlan::server(late_ep, Ber::new(ber).expect("ber")),
-        };
-        sys.train(g.total_episodes, Some(&plan), None).expect("training");
-        match sys.episodes_to_converge(0.96, check_every, max_extra).expect("training") {
-            Some(extra) => (g.total_episodes + extra) as f64,
-            None => (g.total_episodes + max_extra) as f64,
-        }
-    });
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x3E, harness::run_grid_trial);
 
     let mut table = Table::new(
         "Fig 3e: episodes to converge after late fault",
@@ -249,5 +176,13 @@ mod tests {
         );
         assert!((d.zero_bit_fraction + d.one_bit_fraction - 1.0).abs() < 1e-9);
         assert!(d.min_weight < d.max_weight);
+    }
+
+    #[test]
+    fn heatmap_cells_single_agent_variant() {
+        let cells = heatmap_cells(Scale::Smoke, None);
+        assert!(cells.iter().all(|c| c.n_agents == 1));
+        let cells = heatmap_cells(Scale::Smoke, Some(FaultSide::ServerSide));
+        assert!(cells.iter().all(|c| c.n_agents == 3));
     }
 }

@@ -12,11 +12,11 @@
 //! single-agent one at every BER, and stuck-at-1 dominates stuck-at-0
 //! (0 bits dominate trained policies).
 
-use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use crate::experiments::ber_label;
+use crate::experiments::harness::{mean_over_repeats, trained_grid_system};
 use crate::report::Table;
-use crate::{GridFrlSystem, GridSystemConfig, ReprKind, Scale};
+use crate::{ReprKind, Scale};
 use frlfi_fault::{Ber, FaultModel};
-use frlfi_tensor::derive_seed;
 
 /// BER grid per scale (fractions; the paper sweeps 0–2%).
 fn bers(scale: Scale) -> Vec<f64> {
@@ -30,27 +30,11 @@ fn bers(scale: Scale) -> Vec<f64> {
 /// Runs Fig. 4: trains the multi- and single-agent systems once, then
 /// sweeps static/dynamic inference faults over the BER grid.
 pub fn run(scale: Scale) -> Table {
-    let episodes = scale.pick(150, 600, 1000);
     let n_agents = scale.pick(3, 6, 12);
     let repeats = scale.pick(2, 6, 100);
 
-    let mut multi = GridFrlSystem::new(GridSystemConfig {
-        n_agents,
-        seed: SYSTEM_SEED,
-        epsilon_decay_episodes: episodes / 2,
-        ..Default::default()
-    })
-    .expect("valid config");
-    multi.train(episodes, None, None).expect("training");
-
-    let mut single = GridFrlSystem::new(GridSystemConfig {
-        n_agents: 1,
-        seed: SYSTEM_SEED,
-        epsilon_decay_episodes: episodes / 2,
-        ..Default::default()
-    })
-    .expect("valid config");
-    single.train(episodes, None, None).expect("training");
+    let mut multi = trained_grid_system(scale, n_agents);
+    let mut single = trained_grid_system(scale, 1);
 
     let columns = vec![
         "Single-Trans-M".to_owned(),
@@ -63,44 +47,54 @@ pub fn run(scale: Scale) -> Table {
 
     for (bi, &ber) in bers(scale).iter().enumerate() {
         let ber_v = Ber::new(ber).expect("valid ber");
-        let mut sums = [0.0f64; 5];
-        for r in 0..repeats {
-            let seed = derive_seed(DEFAULT_SEED ^ 0xF16_4, (bi * repeats + r) as u64);
-            sums[0] += single.with_faulted_policies(
-                FaultModel::TransientMulti,
-                ber_v,
-                ReprKind::Int8,
-                seed,
-                |s| s.success_rate(),
-            );
-            sums[1] += multi.with_faulted_policies(
-                FaultModel::TransientMulti,
-                ber_v,
-                ReprKind::Int8,
-                seed,
-                |s| s.success_rate(),
-            );
-            sums[2] += if ber == 0.0 {
-                multi.success_rate()
-            } else {
-                multi.success_rate_transient1(ber_v, ReprKind::Int8, seed)
-            };
-            sums[3] += multi.with_faulted_policies(
-                FaultModel::StuckAt0,
-                ber_v,
-                ReprKind::Int8,
-                seed,
-                |s| s.success_rate(),
-            );
-            sums[4] += multi.with_faulted_policies(
-                FaultModel::StuckAt1,
-                ber_v,
-                ReprKind::Int8,
-                seed,
-                |s| s.success_rate(),
-            );
-        }
-        let row: Vec<f64> = sums.iter().map(|s| s / repeats as f64 * 100.0).collect();
+        // One shared seed stream per (BER, repeat): the five columns see
+        // the same fault sites, a paired comparison.
+        let col = |f: &mut dyn FnMut(u64) -> f64| mean_over_repeats(0xF164, bi, repeats, f) * 100.0;
+        let row = vec![
+            col(&mut |seed| {
+                single.with_faulted_policies(
+                    FaultModel::TransientMulti,
+                    ber_v,
+                    ReprKind::Int8,
+                    seed,
+                    |s| s.success_rate(),
+                )
+            }),
+            col(&mut |seed| {
+                multi.with_faulted_policies(
+                    FaultModel::TransientMulti,
+                    ber_v,
+                    ReprKind::Int8,
+                    seed,
+                    |s| s.success_rate(),
+                )
+            }),
+            col(&mut |seed| {
+                if ber == 0.0 {
+                    multi.success_rate()
+                } else {
+                    multi.success_rate_transient1(ber_v, ReprKind::Int8, seed)
+                }
+            }),
+            col(&mut |seed| {
+                multi.with_faulted_policies(
+                    FaultModel::StuckAt0,
+                    ber_v,
+                    ReprKind::Int8,
+                    seed,
+                    |s| s.success_rate(),
+                )
+            }),
+            col(&mut |seed| {
+                multi.with_faulted_policies(
+                    FaultModel::StuckAt1,
+                    ber_v,
+                    ReprKind::Int8,
+                    seed,
+                    |s| s.success_rate(),
+                )
+            }),
+        ];
         table.push_row(ber_label(ber), row);
     }
     table

@@ -6,128 +6,38 @@
 //! baseline. The paper's trends: later + stronger faults hurt more,
 //! server faults dominate, the FRL fleet beats the single drone.
 
-use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use std::sync::Arc;
+
+use crate::experiments::harness::{
+    self, ber_episode_grid, drone_geometry, heatmap_table, DroneTrial, PretrainedWeights,
+    TrialFault,
+};
+use crate::experiments::DEFAULT_SEED;
 use crate::report::Table;
-use crate::{DroneFrlSystem, DroneSystemConfig, InjectionPlan, ReprKind, Scale};
-use frlfi_fault::{sweep, Ber, FaultModel, FaultSide};
+use crate::Scale;
+use frlfi_fault::{sweep, FaultSide};
 
-/// Campaign geometry for the drone heatmaps.
-#[derive(Debug, Clone)]
-pub(crate) struct DroneGeometry {
-    pub bers: Vec<f64>,
-    pub inject_episodes: Vec<usize>,
-    pub fine_tune_episodes: usize,
-    pub n_drones: usize,
-    pub repeats: usize,
-    pub pretrain_episodes: usize,
-    pub eval_attempts: usize,
-}
-
-pub(crate) fn geometry(scale: Scale) -> DroneGeometry {
-    match scale {
-        Scale::Smoke => DroneGeometry {
-            bers: vec![0.0, 1e-2],
-            inject_episodes: vec![4, 10],
-            fine_tune_episodes: 12,
-            n_drones: 2,
-            repeats: 1,
-            pretrain_episodes: 6,
-            eval_attempts: 2,
-        },
-        Scale::Bench => DroneGeometry {
-            bers: vec![0.0, 1e-4, 1e-3, 1e-2, 1e-1],
-            inject_episodes: vec![8, 20, 32],
-            fine_tune_episodes: 36,
-            n_drones: 4,
-            repeats: 3,
-            pretrain_episodes: 400,
-            eval_attempts: 6,
-        },
-        Scale::Full => DroneGeometry {
-            bers: vec![0.0, 1e-4, 1e-3, 1e-2, 1e-1],
-            inject_episodes: vec![1000, 3000, 5000],
-            fine_tune_episodes: 6000,
-            n_drones: 4,
-            repeats: 25,
-            pretrain_episodes: 2000,
-            eval_attempts: 10,
-        },
-    }
-}
-
-/// Pre-trains one policy offline and returns its weights; shared across
-/// all campaign cells so cells differ only in faults (paper protocol).
-pub(crate) fn pretrained_weights(g: &DroneGeometry) -> Vec<f32> {
-    let mut sys = DroneFrlSystem::new(DroneSystemConfig {
-        n_drones: 1,
-        seed: SYSTEM_SEED,
-        pretrain_episodes: g.pretrain_episodes,
-        ..Default::default()
-    })
-    .expect("valid config");
-    sys.pretrain().expect("pretraining");
-    sys.fleet_weights()
+/// Builds the Fig. 5 heatmap cell list for a fault side (`None` = the
+/// single-drone baseline, Fig. 5c). Shared with `frlfi-campaign`.
+pub fn heatmap_cells(scale: Scale, side: Option<FaultSide>) -> Vec<DroneTrial> {
+    let g = drone_geometry(scale);
+    let n_drones = if side.is_none() { 1 } else { g.n_drones };
+    let weights = PretrainedWeights::lazy(g.pretrain_episodes);
+    let side = side.unwrap_or(FaultSide::AgentSide);
+    ber_episode_grid(&g.bers, &g.inject_episodes)
+        .into_iter()
+        .map(|(ber, ep)| {
+            DroneTrial::new(&g, Arc::clone(&weights), n_drones)
+                .with_fault(TrialFault::transient_int8(side, ep, ber))
+        })
+        .collect()
 }
 
 fn heatmap(scale: Scale, side: Option<FaultSide>, title: &str) -> Table {
-    let g = geometry(scale);
-    let n_drones = if side.is_none() { 1 } else { g.n_drones };
-    let weights = pretrained_weights(&g);
-
-    let cells: Vec<(f64, usize)> = g
-        .bers
-        .iter()
-        .flat_map(|&b| g.inject_episodes.iter().map(move |&e| (b, e)))
-        .collect();
-
-    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0xF15, |&(ber, ep), seed| {
-        let mut sys = DroneFrlSystem::new(DroneSystemConfig {
-            n_drones,
-            seed: SYSTEM_SEED,
-            pretrain_episodes: 0,
-            ..Default::default()
-        })
-        .expect("valid config");
-        sys.set_fleet_weights(&weights).expect("weights fit");
-        sys.reseed_faults(seed);
-        let plan = if ber > 0.0 {
-            let ber = Ber::new(ber).expect("valid ber");
-            Some(match side.unwrap_or(FaultSide::AgentSide) {
-                FaultSide::AgentSide => InjectionPlan {
-                    episode: ep,
-                    side: FaultSide::AgentSide,
-                    model: FaultModel::TransientMulti,
-                    ber,
-                    repr: ReprKind::Int8,
-                },
-                FaultSide::ServerSide => InjectionPlan {
-                    episode: ep,
-                    side: FaultSide::ServerSide,
-                    model: FaultModel::TransientMulti,
-                    ber,
-                    repr: ReprKind::Int8,
-                },
-            })
-        } else {
-            None
-        };
-        sys.fine_tune(g.fine_tune_episodes, plan.as_ref(), None).expect("fine-tune");
-        sys.safe_flight_distance(g.eval_attempts)
-    });
-
-    let mut table = Table::new(
-        title,
-        "BER",
-        g.inject_episodes.iter().map(|e| format!("ep{e}")).collect(),
-    )
-    .with_precision(0);
-    for (bi, &ber) in g.bers.iter().enumerate() {
-        let row: Vec<f64> = (0..g.inject_episodes.len())
-            .map(|ei| stats[bi * g.inject_episodes.len() + ei].mean)
-            .collect();
-        table.push_row(ber_label(ber), row);
-    }
-    table
+    let g = drone_geometry(scale);
+    let cells = heatmap_cells(scale, side);
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0xF15, harness::run_drone_trial);
+    heatmap_table(title, &g.bers, &g.inject_episodes, &stats, 0)
 }
 
 /// Fig. 5a: drone fine-tuning heatmap under **agent** faults.

@@ -6,50 +6,36 @@
 //!   interval late in fine-tuning cuts communication cost and
 //!   server-fault exposure but slows recovery from agent faults.
 
-use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
-use crate::report::Table;
-use crate::{DroneFrlSystem, DroneSystemConfig, InjectionPlan, ReprKind, Scale};
-use frlfi_fault::{sweep, Ber, FaultModel, FaultSide};
-use frlfi_federated::CommSchedule;
+use std::sync::Arc;
 
-use super::fig5::{geometry, pretrained_weights};
+use crate::experiments::harness::{
+    self, drone_geometry, DroneComm, DroneTrial, PretrainedWeights, TrialFault,
+};
+use crate::experiments::{ber_label, DEFAULT_SEED};
+use crate::report::Table;
+use crate::Scale;
+use frlfi_fault::{sweep, FaultSide};
+use frlfi_federated::CommSchedule;
 
 /// Fig. 6a: flight distance vs BER for each (drone count, fault side).
 pub fn drone_count(scale: Scale) -> Table {
-    let g = geometry(scale);
-    let weights = pretrained_weights(&g);
+    let g = drone_geometry(scale);
+    let weights = PretrainedWeights::lazy(g.pretrain_episodes);
     let counts: Vec<usize> = scale.pick(vec![2, 3], vec![2, 4, 6], vec![2, 4, 6]);
     let inject_ep = g.fine_tune_episodes / 2;
 
-    let mut cells: Vec<(usize, FaultSide, f64)> = Vec::new();
+    let mut cells: Vec<DroneTrial> = Vec::new();
     for &n in &counts {
         for side in [FaultSide::ServerSide, FaultSide::AgentSide] {
             for &b in &g.bers {
-                cells.push((n, side, b));
+                cells.push(
+                    DroneTrial::new(&g, Arc::clone(&weights), n)
+                        .with_fault(TrialFault::transient_int8(side, inject_ep, b)),
+                );
             }
         }
     }
-
-    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x6A, |&(n, side, ber), seed| {
-        let mut sys = DroneFrlSystem::new(DroneSystemConfig {
-            n_drones: n,
-            seed: SYSTEM_SEED,
-            pretrain_episodes: 0,
-            ..Default::default()
-        })
-        .expect("valid config");
-        sys.set_fleet_weights(&weights).expect("weights fit");
-        sys.reseed_faults(seed);
-        let plan = (ber > 0.0).then(|| InjectionPlan {
-            episode: inject_ep,
-            side,
-            model: FaultModel::TransientMulti,
-            ber: Ber::new(ber).expect("valid ber"),
-            repr: ReprKind::Int8,
-        });
-        sys.fine_tune(g.fine_tune_episodes, plan.as_ref(), None).expect("fine-tune");
-        sys.safe_flight_distance(g.eval_attempts)
-    });
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x6A, harness::run_drone_trial);
 
     let mut table = Table::new(
         "Fig 6a: flight distance vs BER by (drones, fault side) (m)",
@@ -73,67 +59,43 @@ pub fn drone_count(scale: Scale) -> Table {
 /// ×3 after the switch episode); columns are no-fault / agent-fault /
 /// server-fault flight distance plus the relative communication cost.
 pub fn comm_interval(scale: Scale) -> Table {
-    let g = geometry(scale);
-    let weights = pretrained_weights(&g);
+    let g = drone_geometry(scale);
+    let weights = PretrainedWeights::lazy(g.pretrain_episodes);
     // The paper boosts the interval "after the 2000th episode"; scaled
     // here to 60% of fine-tuning, with faults striking after the switch.
     let switch = g.fine_tune_episodes * 3 / 5;
     let inject_ep = switch + (g.fine_tune_episodes - switch) / 2;
-    let fault_ber = Ber::new(1e-2).expect("valid ber");
+    let fault_ber = 1e-2;
 
     let multipliers = [1usize, 2, 3];
-    #[derive(Clone, Copy)]
-    enum Case {
-        NoFault,
-        Agent,
-        Server,
-    }
-    let cells: Vec<(usize, u8)> = multipliers
-        .iter()
-        .flat_map(|&m| [(m, 0u8), (m, 1), (m, 2)])
-        .collect();
-
-    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x6B, |&(mult, case), seed| {
-        let comm = if mult == 1 {
-            CommSchedule::every(1)
+    let comm_of = |mult: usize| {
+        if mult == 1 {
+            DroneComm::Every(1)
         } else {
-            CommSchedule::with_boost(1, switch, mult)
-        };
-        let mut sys = DroneFrlSystem::new(DroneSystemConfig {
-            n_drones: g.n_drones,
-            seed: SYSTEM_SEED,
-            pretrain_episodes: 0,
-            comm,
-            ..Default::default()
+            DroneComm::Boost { base: 1, switch, mult }
+        }
+    };
+    let cells: Vec<DroneTrial> = multipliers
+        .iter()
+        .flat_map(|&mult| {
+            let base =
+                DroneTrial::new(&g, Arc::clone(&weights), g.n_drones).with_comm(comm_of(mult));
+            [
+                base.clone(),
+                base.clone().with_fault(TrialFault::transient_int8(
+                    FaultSide::AgentSide,
+                    inject_ep,
+                    fault_ber,
+                )),
+                base.with_fault(TrialFault::transient_int8(
+                    FaultSide::ServerSide,
+                    inject_ep,
+                    fault_ber,
+                )),
+            ]
         })
-        .expect("valid config");
-        sys.set_fleet_weights(&weights).expect("weights fit");
-        sys.reseed_faults(seed);
-        let case = match case {
-            0 => Case::NoFault,
-            1 => Case::Agent,
-            _ => Case::Server,
-        };
-        let plan = match case {
-            Case::NoFault => None,
-            Case::Agent => Some(InjectionPlan {
-                episode: inject_ep,
-                side: FaultSide::AgentSide,
-                model: FaultModel::TransientMulti,
-                ber: fault_ber,
-                repr: ReprKind::Int8,
-            }),
-            Case::Server => Some(InjectionPlan {
-                episode: inject_ep,
-                side: FaultSide::ServerSide,
-                model: FaultModel::TransientMulti,
-                ber: fault_ber,
-                repr: ReprKind::Int8,
-            }),
-        };
-        sys.fine_tune(g.fine_tune_episodes, plan.as_ref(), None).expect("fine-tune");
-        sys.safe_flight_distance(g.eval_attempts)
-    });
+        .collect();
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x6B, harness::run_drone_trial);
 
     let mut table = Table::new(
         "Fig 6b: communication-interval trade-off",
@@ -147,20 +109,11 @@ pub fn comm_interval(scale: Scale) -> Table {
     )
     .with_precision(1);
     for (mi, &mult) in multipliers.iter().enumerate() {
-        let comm = if mult == 1 {
-            CommSchedule::every(1)
-        } else {
-            CommSchedule::with_boost(1, switch, mult)
-        };
+        let comm: CommSchedule = comm_of(mult).schedule();
         let saving = comm.cost_saving_vs_base(g.fine_tune_episodes) * 100.0;
         table.push_row(
             format!("{mult}x C.I."),
-            vec![
-                stats[mi * 3].mean,
-                stats[mi * 3 + 1].mean,
-                stats[mi * 3 + 2].mean,
-                saving,
-            ],
+            vec![stats[mi * 3].mean, stats[mi * 3 + 1].mean, stats[mi * 3 + 2].mean, saving],
         );
     }
     table

@@ -5,20 +5,23 @@
 //! result: success rate stays >96% (GridWorld) and flight distance
 //! recovers to >712 m (drone) across the whole heatmap.
 
-use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
-use crate::report::Table;
-use crate::{
-    DroneFrlSystem, DroneSystemConfig, GridFrlSystem, GridSystemConfig, InjectionPlan, ReprKind,
-    Scale, TrainingMitigation,
+use std::sync::Arc;
+
+use crate::experiments::harness::{
+    self, ber_episode_grid, drone_geometry, heatmap_table, DroneTrial, GridTrial,
+    PretrainedWeights, TrialFault,
 };
-use frlfi_fault::{sweep, Ber, FaultModel, FaultSide};
+use crate::experiments::DEFAULT_SEED;
+use crate::report::Table;
+use crate::{Scale, TrainingMitigation};
+use frlfi_fault::{sweep, FaultSide};
 
-use super::fig5::{geometry as drone_geometry, pretrained_weights};
-
-/// Fig. 7a: GridWorld server-fault heatmap with mitigation enabled.
-pub fn gridworld(scale: Scale) -> Table {
-    let (bers, inject_eps, total_eps, n_agents, repeats) = match scale {
-        Scale::Smoke => (vec![0.0, 0.2], vec![40, 125], 130usize, 3usize, 2usize),
+/// Geometry of the mitigated GridWorld heatmap (Fig. 7a); the smoke
+/// scale late-injects at 110 (not Fig. 3's 125) so the shortened k=4
+/// detector has episodes left to fire and recover.
+fn fig7a_geometry(scale: Scale) -> (Vec<f64>, Vec<usize>, usize, usize, usize) {
+    match scale {
+        Scale::Smoke => (vec![0.0, 0.2], vec![40, 110], 130usize, 3usize, 2usize),
         Scale::Bench => {
             (vec![0.0, 0.02, 0.05, 0.1, 0.2], vec![90, 240, 390, 510, 570, 595], 600, 6, 4)
         }
@@ -29,87 +32,62 @@ pub fn gridworld(scale: Scale) -> Table {
             12,
             50,
         ),
-    };
+    }
+}
+
+/// Builds the Fig. 7a mitigated heatmap cells. Shared with
+/// `frlfi-campaign`.
+pub fn gridworld_cells(scale: Scale) -> Vec<GridTrial> {
+    let (bers, inject_eps, total_eps, n_agents, _) = fig7a_geometry(scale);
     // Detection window scaled to the shortened training runs (the paper
     // uses k = 50 at 1000 episodes).
     let mitigation = TrainingMitigation::scaled(scale.pick(4, 10, 50));
-
-    let cells: Vec<(f64, usize)> =
-        bers.iter().flat_map(|&b| inject_eps.iter().map(move |&e| (b, e))).collect();
-    let stats = sweep(&cells, repeats, DEFAULT_SEED ^ 0x7A, |&(ber, ep), seed| {
-        let mut sys = GridFrlSystem::new(GridSystemConfig {
-            n_agents,
-            seed: SYSTEM_SEED,
-            epsilon_decay_episodes: total_eps / 2,
-            ..Default::default()
+    ber_episode_grid(&bers, &inject_eps)
+        .into_iter()
+        .map(|(ber, ep)| {
+            GridTrial::new(n_agents, total_eps)
+                .with_fault(TrialFault::transient_int8(FaultSide::ServerSide, ep, ber))
+                .with_mitigation(mitigation)
         })
-        .expect("valid config");
-        sys.reseed_faults(seed);
-        let plan = (ber > 0.0)
-            .then(|| InjectionPlan::server(ep, Ber::new(ber).expect("valid ber")));
-        sys.train(total_eps, plan.as_ref(), Some(&mitigation)).expect("training");
-        sys.success_rate() * 100.0
-    });
+        .collect()
+}
 
-    let mut table = Table::new(
+/// Fig. 7a: GridWorld server-fault heatmap with mitigation enabled.
+pub fn gridworld(scale: Scale) -> Table {
+    let (bers, inject_eps, _, _, repeats) = fig7a_geometry(scale);
+    let cells = gridworld_cells(scale);
+    let stats = sweep(&cells, repeats, DEFAULT_SEED ^ 0x7A, harness::run_grid_trial);
+    heatmap_table(
         "Fig 7a: GridWorld server faults WITH checkpoint mitigation (SR %)",
-        "BER",
-        inject_eps.iter().map(|e| format!("ep{e}")).collect(),
-    );
-    for (bi, &ber) in bers.iter().enumerate() {
-        let row: Vec<f64> =
-            (0..inject_eps.len()).map(|ei| stats[bi * inject_eps.len() + ei].mean).collect();
-        table.push_row(ber_label(ber), row);
-    }
-    table
+        &bers,
+        &inject_eps,
+        &stats,
+        1,
+    )
 }
 
 /// Fig. 7b: DroneNav server-fault heatmap with mitigation enabled.
 pub fn drone(scale: Scale) -> Table {
     let g = drone_geometry(scale);
-    let weights = pretrained_weights(&g);
+    let weights = PretrainedWeights::lazy(g.pretrain_episodes);
     let mitigation = TrainingMitigation::scaled(scale.pick(3, 6, 200));
 
-    let cells: Vec<(f64, usize)> = g
-        .bers
-        .iter()
-        .flat_map(|&b| g.inject_episodes.iter().map(move |&e| (b, e)))
-        .collect();
-    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x7B, |&(ber, ep), seed| {
-        let mut sys = DroneFrlSystem::new(DroneSystemConfig {
-            n_drones: g.n_drones,
-            seed: SYSTEM_SEED,
-            pretrain_episodes: 0,
-            ..Default::default()
+    let cells: Vec<DroneTrial> = ber_episode_grid(&g.bers, &g.inject_episodes)
+        .into_iter()
+        .map(|(ber, ep)| {
+            DroneTrial::new(&g, Arc::clone(&weights), g.n_drones)
+                .with_fault(TrialFault::transient_int8(FaultSide::ServerSide, ep, ber))
+                .with_mitigation(mitigation)
         })
-        .expect("valid config");
-        sys.set_fleet_weights(&weights).expect("weights fit");
-        sys.reseed_faults(seed);
-        let plan = (ber > 0.0).then(|| InjectionPlan {
-            episode: ep,
-            side: FaultSide::ServerSide,
-            model: FaultModel::TransientMulti,
-            ber: Ber::new(ber).expect("valid ber"),
-            repr: ReprKind::Int8,
-        });
-        sys.fine_tune(g.fine_tune_episodes, plan.as_ref(), Some(&mitigation))
-            .expect("fine-tune");
-        sys.safe_flight_distance(g.eval_attempts)
-    });
-
-    let mut table = Table::new(
+        .collect();
+    let stats = sweep(&cells, g.repeats, DEFAULT_SEED ^ 0x7B, harness::run_drone_trial);
+    heatmap_table(
         "Fig 7b: DroneNav server faults WITH checkpoint mitigation (m)",
-        "BER",
-        g.inject_episodes.iter().map(|e| format!("ep{e}")).collect(),
+        &g.bers,
+        &g.inject_episodes,
+        &stats,
+        0,
     )
-    .with_precision(0);
-    for (bi, &ber) in g.bers.iter().enumerate() {
-        let row: Vec<f64> = (0..g.inject_episodes.len())
-            .map(|ei| stats[bi * g.inject_episodes.len() + ei].mean)
-            .collect();
-        table.push_row(ber_label(ber), row);
-    }
-    table
 }
 
 #[cfg(test)]
@@ -122,11 +100,8 @@ mod tests {
         // The mitigated worst cell should stay within reach of the
         // fault-free cell (paper: recovery to near baseline).
         let baseline = t.value(0, 0);
-        let worst = t
-            .rows
-            .iter()
-            .flat_map(|(_, row)| row.iter().copied())
-            .fold(f64::INFINITY, f64::min);
+        let worst =
+            t.rows.iter().flat_map(|(_, row)| row.iter().copied()).fold(f64::INFINITY, f64::min);
         assert!(
             worst >= baseline - 40.0,
             "mitigation should prevent collapse: baseline {baseline}, worst {worst}"

@@ -6,19 +6,20 @@
 //! weights before execution. The paper reports up to 3.3× (GridWorld)
 //! and 1.38× (drone) improvement at high BER.
 
-use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use std::sync::Arc;
+
+use crate::experiments::harness::{
+    drone_geometry, drone_pretrained_weights, mean_over_repeats, trained_grid_system,
+};
+use crate::experiments::{ber_label, SYSTEM_SEED};
 use crate::report::Table;
-use crate::{DroneFrlSystem, DroneSystemConfig, GridFrlSystem, GridSystemConfig, ReprKind, Scale};
+use crate::{DroneFrlSystem, DroneSystemConfig, ReprKind, Scale};
 use frlfi_fault::{Ber, FaultModel};
 use frlfi_mitigation::RangeDetector;
-use frlfi_tensor::derive_seed;
-
-use super::fig5::{geometry as drone_geometry, pretrained_weights};
 use frlfi_rl::Learner;
 
 /// Fig. 8a: GridWorld inference with/without range-based detection.
 pub fn gridworld(scale: Scale) -> Table {
-    let episodes = scale.pick(150, 600, 1000);
     let n_agents = scale.pick(3, 6, 12);
     let repeats = scale.pick(2, 6, 100);
     let bers: Vec<f64> = scale.pick(
@@ -27,14 +28,7 @@ pub fn gridworld(scale: Scale) -> Table {
         (0..=8).map(|i| i as f64 * 0.0025).collect(),
     );
 
-    let mut sys = GridFrlSystem::new(GridSystemConfig {
-        n_agents,
-        seed: SYSTEM_SEED,
-        epsilon_decay_episodes: episodes / 2,
-        ..Default::default()
-    })
-    .expect("valid config");
-    sys.train(episodes, None, None).expect("training");
+    let mut sys = trained_grid_system(scale, n_agents);
     let detectors: Vec<RangeDetector> =
         (0..n_agents).map(|i| RangeDetector::fit(sys.agent(i).network())).collect();
 
@@ -50,34 +44,20 @@ pub fn gridworld(scale: Scale) -> Table {
     // analysis predicts, see EXPERIMENTS.md.)
     for (bi, &ber) in bers.iter().enumerate() {
         let ber_v = Ber::new(ber).expect("valid ber");
-        let mut unmit = 0.0;
-        let mut mit = 0.0;
-        for r in 0..repeats {
-            let seed = derive_seed(DEFAULT_SEED ^ 0x8A, (bi * repeats + r) as u64);
-            unmit += sys.with_faulted_policies(
-                FaultModel::TransientMulti,
-                ber_v,
-                ReprKind::F32,
-                seed,
-                |s| s.success_rate(),
-            );
-            mit += sys.with_faulted_policies(
-                FaultModel::TransientMulti,
-                ber_v,
-                ReprKind::F32,
-                seed,
-                |s| {
-                    for (i, det) in detectors.iter().enumerate() {
-                        det.repair(s.agent_mut(i).network_mut());
-                    }
-                    s.success_rate()
-                },
-            );
-        }
-        table.push_row(
-            ber_label(ber),
-            vec![unmit / repeats as f64 * 100.0, mit / repeats as f64 * 100.0],
-        );
+        let unmit = mean_over_repeats(0x8A, bi, repeats, |seed| {
+            sys.with_faulted_policies(FaultModel::TransientMulti, ber_v, ReprKind::F32, seed, |s| {
+                s.success_rate()
+            })
+        });
+        let mit = mean_over_repeats(0x8A, bi, repeats, |seed| {
+            sys.with_faulted_policies(FaultModel::TransientMulti, ber_v, ReprKind::F32, seed, |s| {
+                for (i, det) in detectors.iter().enumerate() {
+                    det.repair(s.agent_mut(i).network_mut());
+                }
+                s.success_rate()
+            })
+        });
+        table.push_row(ber_label(ber), vec![unmit * 100.0, mit * 100.0]);
     }
     table
 }
@@ -85,11 +65,12 @@ pub fn gridworld(scale: Scale) -> Table {
 /// Fig. 8b: DroneNav inference with/without range-based detection.
 pub fn drone(scale: Scale) -> Table {
     let g = drone_geometry(scale);
-    let bers: Vec<f64> =
-        scale.pick(vec![0.0, 1e-2], vec![0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1], vec![
-            0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
-        ]);
-    let weights = pretrained_weights(&g);
+    let bers: Vec<f64> = scale.pick(
+        vec![0.0, 1e-2],
+        vec![0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+        vec![0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+    );
+    let weights = Arc::new(drone_pretrained_weights(g.pretrain_episodes));
 
     let mut sys = DroneFrlSystem::new(DroneSystemConfig {
         n_drones: g.n_drones,
@@ -111,34 +92,20 @@ pub fn drone(scale: Scale) -> Table {
     .with_precision(0);
     for (bi, &ber) in bers.iter().enumerate() {
         let ber_v = Ber::new(ber).expect("valid ber");
-        let mut unmit = 0.0;
-        let mut mit = 0.0;
-        for r in 0..g.repeats {
-            let seed = derive_seed(DEFAULT_SEED ^ 0x8B, (bi * g.repeats + r) as u64);
-            unmit += sys.with_faulted_policies(
-                FaultModel::TransientMulti,
-                ber_v,
-                ReprKind::F32,
-                seed,
-                |s| s.safe_flight_distance(g.eval_attempts),
-            );
-            mit += sys.with_faulted_policies(
-                FaultModel::TransientMulti,
-                ber_v,
-                ReprKind::F32,
-                seed,
-                |s| {
-                    for (i, det) in detectors.iter().enumerate() {
-                        det.repair(s.drone_mut(i).network_mut());
-                    }
-                    s.safe_flight_distance(g.eval_attempts)
-                },
-            );
-        }
-        table.push_row(
-            ber_label(ber),
-            vec![unmit / g.repeats as f64, mit / g.repeats as f64],
-        );
+        let unmit = mean_over_repeats(0x8B, bi, g.repeats, |seed| {
+            sys.with_faulted_policies(FaultModel::TransientMulti, ber_v, ReprKind::F32, seed, |s| {
+                s.safe_flight_distance(g.eval_attempts)
+            })
+        });
+        let mit = mean_over_repeats(0x8B, bi, g.repeats, |seed| {
+            sys.with_faulted_policies(FaultModel::TransientMulti, ber_v, ReprKind::F32, seed, |s| {
+                for (i, det) in detectors.iter().enumerate() {
+                    det.repair(s.drone_mut(i).network_mut());
+                }
+                s.safe_flight_distance(g.eval_attempts)
+            })
+        });
+        table.push_row(ber_label(ber), vec![unmit, mit]);
     }
     table
 }

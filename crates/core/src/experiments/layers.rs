@@ -6,31 +6,22 @@
 //! faults into each layer of the trained policy separately and reports
 //! the resulting success rate.
 
-use crate::experiments::{DEFAULT_SEED, SYSTEM_SEED};
+use crate::experiments::harness::{mean_over_repeats, trained_grid_system};
 use crate::report::Table;
-use crate::{GridFrlSystem, GridSystemConfig, ReprKind, Scale};
+use crate::{ReprKind, Scale};
 use frlfi_fault::{inject_slice, FaultModel};
-use frlfi_tensor::derive_seed;
+use frlfi_rl::Learner;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use frlfi_rl::Learner;
 
 /// Runs the per-layer study: `faults_per_layer` bit flips confined to
 /// one layer at a time (int8 surface), averaged over repeats.
 pub fn run(scale: Scale) -> Table {
-    let episodes = scale.pick(150, 600, 1000);
     let n_agents = scale.pick(3, 6, 12);
     let repeats = scale.pick(2, 8, 100);
     let fault_counts: Vec<usize> = scale.pick(vec![4, 16], vec![2, 8, 32], vec![2, 8, 32, 128]);
 
-    let mut sys = GridFrlSystem::new(GridSystemConfig {
-        n_agents,
-        seed: SYSTEM_SEED,
-        epsilon_decay_episodes: episodes / 2,
-        ..Default::default()
-    })
-    .expect("valid config");
-    sys.train(episodes, None, None).expect("training");
+    let mut sys = trained_grid_system(scale, n_agents);
 
     let spans = sys.agent(0).network().param_spans();
     let mut table = Table::new(
@@ -42,18 +33,13 @@ pub fn run(scale: Scale) -> Table {
     for (fi, &n_faults) in fault_counts.iter().enumerate() {
         let mut row = Vec::with_capacity(spans.len());
         for (si, span) in spans.iter().enumerate() {
-            let mut sum = 0.0;
-            for r in 0..repeats {
-                let seed = derive_seed(
-                    DEFAULT_SEED ^ 0x1A7E,
-                    ((fi * spans.len() + si) * repeats + r) as u64,
-                );
+            let sr = mean_over_repeats(0x1A7E, fi * spans.len() + si, repeats, |seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
                 // Snapshot all agents, corrupt the span, evaluate, restore.
                 let clean: Vec<Vec<f32>> =
                     (0..n_agents).map(|i| sys.agent(i).network().snapshot()).collect();
-                for i in 0..n_agents {
-                    let mut snap = clean[i].clone();
+                for (i, clean_snap) in clean.iter().enumerate() {
+                    let mut snap = clean_snap.clone();
                     let repr = ReprKind::Int8.materialize_for(&snap);
                     inject_slice(
                         &mut snap[span.range()],
@@ -67,15 +53,16 @@ pub fn run(scale: Scale) -> Table {
                         .restore(&snap)
                         .expect("snapshot length invariant");
                 }
-                sum += sys.success_rate();
-                for i in 0..n_agents {
+                let sr = sys.success_rate();
+                for (i, clean_snap) in clean.iter().enumerate() {
                     sys.agent_mut(i)
                         .network_mut()
-                        .restore(&clean[i])
+                        .restore(clean_snap)
                         .expect("snapshot length invariant");
                 }
-            }
-            row.push(sum / repeats as f64 * 100.0);
+                sr
+            });
+            row.push(sr * 100.0);
         }
         table.push_row(format!("{n_faults}"), row);
     }

@@ -31,6 +31,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod harness;
 pub mod layers;
 pub mod surfaces;
 pub mod table1;

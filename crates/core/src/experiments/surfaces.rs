@@ -12,15 +12,14 @@
 //! * **register** — one corrupted action computation per episode
 //!   (`Multi-Trans-1`).
 
-use crate::experiments::{ber_label, DEFAULT_SEED, SYSTEM_SEED};
+use crate::experiments::ber_label;
+use crate::experiments::harness::{mean_over_repeats, trained_grid_system};
 use crate::report::Table;
-use crate::{GridFrlSystem, GridSystemConfig, ReprKind, Scale};
+use crate::{ReprKind, Scale};
 use frlfi_fault::{Ber, FaultModel};
-use frlfi_tensor::derive_seed;
 
 /// Runs the surface comparison on the GridWorld system (SR %).
 pub fn run(scale: Scale) -> Table {
-    let episodes = scale.pick(150, 600, 1000);
     let n_agents = scale.pick(3, 6, 12);
     let repeats = scale.pick(2, 6, 100);
     let bers: Vec<f64> = scale.pick(
@@ -29,14 +28,7 @@ pub fn run(scale: Scale) -> Table {
         (0..=8).map(|i| i as f64 * 0.0025).collect(),
     );
 
-    let mut sys = GridFrlSystem::new(GridSystemConfig {
-        n_agents,
-        seed: SYSTEM_SEED,
-        epsilon_decay_episodes: episodes / 2,
-        ..Default::default()
-    })
-    .expect("valid config");
-    sys.train(episodes, None, None).expect("training");
+    let mut sys = trained_grid_system(scale, n_agents);
 
     let mut table = Table::new(
         "Fault-surface comparison: SR (%) by surface (int8, GridWorld inference)",
@@ -45,31 +37,31 @@ pub fn run(scale: Scale) -> Table {
     );
     for (bi, &ber) in bers.iter().enumerate() {
         let ber_v = Ber::new(ber).expect("valid ber");
-        let mut sums = [0.0f64; 3];
-        for r in 0..repeats {
-            let seed = derive_seed(DEFAULT_SEED ^ 0x5F, (bi * repeats + r) as u64);
-            sums[0] += sys.with_faulted_policies(
+        let weights = mean_over_repeats(0x5F, bi, repeats, |seed| {
+            sys.with_faulted_policies(
                 FaultModel::TransientMulti,
                 ber_v,
                 ReprKind::Int8,
                 seed,
                 |s| s.success_rate(),
-            );
-            sums[1] += if ber == 0.0 {
+            )
+        });
+        let activations = mean_over_repeats(0x5F, bi, repeats, |seed| {
+            if ber == 0.0 {
                 sys.success_rate()
             } else {
                 sys.success_rate_activation_faults(ber_v, ReprKind::Int8, seed)
-            };
-            sums[2] += if ber == 0.0 {
+            }
+        });
+        let register = mean_over_repeats(0x5F, bi, repeats, |seed| {
+            if ber == 0.0 {
                 sys.success_rate()
             } else {
                 sys.success_rate_transient1(ber_v, ReprKind::Int8, seed)
-            };
-        }
-        table.push_row(
-            ber_label(ber),
-            sums.iter().map(|s| s / repeats as f64 * 100.0).collect(),
-        );
+            }
+        });
+        table
+            .push_row(ber_label(ber), vec![weights * 100.0, activations * 100.0, register * 100.0]);
     }
     table
 }

@@ -55,10 +55,9 @@ pub fn run(scale: Scale) -> Table {
         };
         let mut sys = GridFrlSystem::new(cfg).expect("valid config");
         sys.train(episodes, None, None).expect("training");
-        margins.push(
-            crate::metrics::policy_differentiation(sys.agent_mut(0).network_mut(), &probes)
-                as f64,
-        );
+        margins
+            .push(crate::metrics::policy_differentiation(sys.agent_mut(0).network_mut(), &probes)
+                as f64);
         stds.push(
             crate::metrics::policy_action_std(sys.agent_mut(0).network_mut(), &states) as f64,
         );

@@ -1,10 +1,10 @@
-use crate::config::GridSystemConfig;
+use crate::config::{GridLayout, GridSystemConfig};
 use crate::error::FrlfiError;
+use crate::injection::MitigationStats;
 use crate::injection::{InjectionPlan, ReprKind, TrainingMitigation};
 use frlfi_envs::{Environment, GridWorld, Outcome, GRID_SIZE};
 use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
 use frlfi_federated::{RoundHook, Server};
-use crate::injection::MitigationStats;
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
 use frlfi_rl::{run_episode, run_greedy_episode, EpsilonSchedule, Learner, QLearner};
 use frlfi_tensor::{derive_seed, Tensor};
@@ -36,6 +36,7 @@ pub struct GridFrlSystem {
     server: Option<Server>,
     rng: StdRng,
     agent_rngs: Vec<StdRng>,
+    dropout_rng: StdRng,
     episodes_done: usize,
     comm_rounds: usize,
     pending_server_fault: Option<InjectionPlan>,
@@ -55,8 +56,20 @@ impl GridFrlSystem {
         if cfg.n_agents == 0 {
             return Err(FrlfiError::BadConfig { detail: "n_agents must be ≥ 1".into() });
         }
+        if let Some(p) = cfg.dropout {
+            if !(0.0..1.0).contains(&p) {
+                return Err(FrlfiError::BadConfig {
+                    detail: format!("dropout probability {p} must lie in [0, 1)"),
+                });
+            }
+        }
         let specs = frlfi_envs::standard_layout_specs(cfg.seed, cfg.n_agents);
-        let envs: Vec<GridWorld> = specs.iter().map(GridWorld::from_spec).collect();
+        let envs: Vec<GridWorld> = match cfg.layout {
+            GridLayout::Standard => specs.iter().map(GridWorld::from_spec).collect(),
+            GridLayout::DynamicObstacles => {
+                specs.iter().map(|s| GridWorld::with_dynamic_obstacles(s, 1)).collect()
+            }
+        };
         let mut agents = Vec::with_capacity(cfg.n_agents);
         let mut agent_rngs = Vec::with_capacity(cfg.n_agents);
         for i in 0..cfg.n_agents {
@@ -84,6 +97,7 @@ impl GridFrlSystem {
         };
         Ok(GridFrlSystem {
             rng: StdRng::seed_from_u64(derive_seed(cfg.seed, 0x515)),
+            dropout_rng: StdRng::seed_from_u64(derive_seed(cfg.seed, 0xD80)),
             cfg,
             agents,
             envs,
@@ -177,7 +191,8 @@ impl GridFrlSystem {
             let mut rewards = Vec::with_capacity(self.cfg.n_agents);
             for i in 0..self.cfg.n_agents {
                 self.agents[i].set_episode(global_ep);
-                let summary = run_episode(&mut self.envs[i], &mut self.agents[i], &mut self.agent_rngs[i]);
+                let summary =
+                    run_episode(&mut self.envs[i], &mut self.agents[i], &mut self.agent_rngs[i]);
                 rewards.push(summary.total_reward);
             }
 
@@ -261,14 +276,27 @@ impl GridFrlSystem {
         let repr = plan.repr.materialize(self.agents[victim].network());
         let mut snap = self.agents[victim].network().snapshot();
         let records = inject_slice_ber(&mut snap, repr, plan.model, plan.ber, &mut self.rng);
-        self.agents[victim]
-            .network_mut()
-            .restore(&snap)
-            .expect("snapshot length invariant");
+        self.agents[victim].network_mut().restore(&snap).expect("snapshot length invariant");
         self.last_records = records;
     }
 
     fn communicate(&mut self) -> Result<(), FrlfiError> {
+        // Draw the participant mask before borrowing the server, and
+        // draw it even when a round ends up skipped, so the dropout
+        // stream stays aligned with the round index.
+        let participants: Option<Vec<bool>> = self.cfg.dropout.map(|p| {
+            (0..self.cfg.n_agents).map(|_| !self.dropout_rng.gen_bool(f64::from(p))).collect()
+        });
+        if let Some(mask) = &participants {
+            if mask.iter().filter(|&&p| p).count() < 2 {
+                // Too few participants: the round is skipped entirely.
+                // Leave any pending server fault queued — server memory
+                // is only exposed during an actual aggregation.
+                self.comm_rounds += 1;
+                return Ok(());
+            }
+        }
+
         let server = self.server.as_mut().expect("communicate requires a server");
         let mut uploads: Vec<Vec<f32>> =
             self.agents.iter().map(|a| a.network().snapshot()).collect();
@@ -278,12 +306,24 @@ impl GridFrlSystem {
             rng: StdRng::seed_from_u64(self.rng.gen()),
             records: Vec::new(),
         };
-        let outputs = server.aggregate_with_hook(&mut uploads, &mut hook)?;
+        match participants {
+            None => {
+                let outputs = server.aggregate_with_hook(&mut uploads, &mut hook)?;
+                for (agent, out) in self.agents.iter_mut().zip(outputs.iter()) {
+                    agent.network_mut().restore(out)?;
+                }
+            }
+            Some(mask) => {
+                let outputs = server.aggregate_subset(&mut uploads, &mask, &mut hook)?;
+                for (agent, out) in self.agents.iter_mut().zip(outputs.iter()) {
+                    if let Some(out) = out {
+                        agent.network_mut().restore(out)?;
+                    }
+                }
+            }
+        }
         if !hook.records.is_empty() {
             self.last_records = hook.records;
-        }
-        for (agent, out) in self.agents.iter_mut().zip(outputs.iter()) {
-            agent.network_mut().restore(out)?;
         }
         self.comm_rounds += 1;
         Ok(())
@@ -428,8 +468,7 @@ impl GridFrlSystem {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut outcomes = Vec::with_capacity(self.cfg.n_agents);
         for i in 0..self.cfg.n_agents {
-            let mut eval_rng =
-                StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xE7A1 + i as u64));
+            let mut eval_rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xE7A1 + i as u64));
             let mut state = self.envs[i].reset(&mut eval_rng);
             let mut outcome = Outcome::Timeout;
             for _ in 0..200 {
@@ -640,11 +679,7 @@ mod tests {
         let mut s = GridFrlSystem::new(small_cfg(2)).unwrap();
         s.train(60, None, None).unwrap();
         let clean = s.agent(0).network().snapshot();
-        let sr = s.success_rate_activation_faults(
-            Ber::new(0.01).unwrap(),
-            ReprKind::Int8,
-            3,
-        );
+        let sr = s.success_rate_activation_faults(Ber::new(0.01).unwrap(), ReprKind::Int8, 3);
         assert!((0.0..=1.0).contains(&sr));
         // Activation faults are transient: stored weights untouched.
         assert_eq!(s.agent(0).network().snapshot(), clean);
@@ -657,11 +692,7 @@ mod tests {
         let avg = |s: &mut GridFrlSystem, ber: f64| -> f64 {
             (0..6u64)
                 .map(|seed| {
-                    s.success_rate_activation_faults(
-                        Ber::new(ber).unwrap(),
-                        ReprKind::Int8,
-                        seed,
-                    )
+                    s.success_rate_activation_faults(Ber::new(ber).unwrap(), ReprKind::Int8, seed)
                 })
                 .sum::<f64>()
                 / 6.0
@@ -692,6 +723,63 @@ mod tests {
             s.last_fault_records().iter().map(|r| (r.index, r.bit)).collect()
         };
         assert_ne!(sites(&a), sites(&b));
+    }
+
+    #[test]
+    fn dynamic_layout_trains_and_evaluates() {
+        let cfg = GridSystemConfig { layout: crate::GridLayout::DynamicObstacles, ..small_cfg(2) };
+        let mut s = GridFrlSystem::new(cfg).unwrap();
+        s.train(60, None, None).unwrap();
+        let sr = s.success_rate();
+        assert!((0.0..=1.0).contains(&sr));
+    }
+
+    #[test]
+    fn dropout_training_is_deterministic_and_converges() {
+        let cfg = GridSystemConfig { dropout: Some(0.3), ..small_cfg(3) };
+        let run = || {
+            let mut s = GridFrlSystem::new(cfg.clone()).unwrap();
+            s.train(250, None, None).unwrap();
+            (s.agent(0).network().snapshot(), s.success_rate())
+        };
+        let (w1, sr1) = run();
+        let (w2, _) = run();
+        assert_eq!(w1, w2, "dropout masks must derive from the config seed");
+        assert!(sr1 >= 2.0 / 3.0, "dropout-trained FRL success rate too low: {sr1}");
+    }
+
+    #[test]
+    fn dropout_changes_training_trajectory() {
+        let mut with =
+            GridFrlSystem::new(GridSystemConfig { dropout: Some(0.5), ..small_cfg(3) }).unwrap();
+        let mut without = GridFrlSystem::new(small_cfg(3)).unwrap();
+        with.train(40, None, None).unwrap();
+        without.train(40, None, None).unwrap();
+        assert_ne!(with.agent(0).network().snapshot(), without.agent(0).network().snapshot());
+    }
+
+    #[test]
+    fn pending_server_fault_survives_skipped_dropout_rounds() {
+        // With 95% dropout nearly every round lacks the 2 participants
+        // an aggregation needs; the queued server fault must stay
+        // pending until a round actually aggregates, not vanish with
+        // the first skipped round.
+        let cfg = GridSystemConfig { dropout: Some(0.95), ..small_cfg(3) };
+        let mut s = GridFrlSystem::new(cfg).unwrap();
+        s.train(30, None, None).unwrap();
+        let plan = InjectionPlan::server(0, Ber::new(0.05).unwrap());
+        s.inject_now(&plan);
+        s.train(400, None, None).unwrap();
+        assert!(
+            !s.last_fault_records().is_empty(),
+            "server fault was dropped without ever striking server memory"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_dropout() {
+        let cfg = GridSystemConfig { dropout: Some(1.5), ..small_cfg(3) };
+        assert!(GridFrlSystem::new(cfg).is_err());
     }
 
     #[test]

@@ -157,11 +157,11 @@ impl DroneSim {
         let data = img.data_mut();
         for iy in 0..DEPTH_H {
             // Elevation from +30° (top row) to −30° (bottom row).
-            let elev = (0.5 - (iy as f32 + 0.5) / DEPTH_H as f32) * std::f32::consts::FRAC_PI_3 * 2.0;
+            let elev =
+                (0.5 - (iy as f32 + 0.5) / DEPTH_H as f32) * std::f32::consts::FRAC_PI_3 * 2.0;
             for ix in 0..DEPTH_W {
                 // Azimuth from −45° (left) to +45° (right).
-                let azim =
-                    ((ix as f32 + 0.5) / DEPTH_W as f32 - 0.5) * std::f32::consts::FRAC_PI_2;
+                let azim = ((ix as f32 + 0.5) / DEPTH_W as f32 - 0.5) * std::f32::consts::FRAC_PI_2;
                 let dir = [elev.cos() * azim.cos(), elev.cos() * azim.sin(), elev.sin()];
                 let ray = Ray { origin: self.pos, dir };
                 let mut depth = cfg.max_range;
@@ -261,11 +261,7 @@ impl Environment for DroneSim {
         self.steps += 1;
 
         if self.collided() {
-            return Step {
-                state: self.render_depth(),
-                reward: -2.0,
-                outcome: Outcome::Crash,
-            };
+            return Step { state: self.render_depth(), reward: -2.0, outcome: Outcome::Crash };
         }
         let img = self.render_depth();
         let reward = self.depth_reward(&img);

@@ -52,6 +52,18 @@ pub struct GridWorld {
     goal: (usize, usize),
     agent: (usize, usize),
     steps: usize,
+    /// When set, obstacles re-jitter around the base layout on every
+    /// reset (dynamic-obstacle scenario).
+    dynamic: Option<DynamicObstacles>,
+}
+
+/// Dynamic-obstacle configuration: each reset, every obstacle of the
+/// base layout shifts by up to `jitter` cells per axis (re-drawn until
+/// the maze stays solvable).
+#[derive(Debug, Clone)]
+struct DynamicObstacles {
+    base: LayoutSpec,
+    jitter: usize,
 }
 
 impl GridWorld {
@@ -71,7 +83,95 @@ impl GridWorld {
         }
         cells[spec.source.0][spec.source.1] = Cell::Source;
         cells[spec.goal.0][spec.goal.1] = Cell::Goal;
-        GridWorld { cells, source: spec.source, goal: spec.goal, agent: spec.source, steps: 0 }
+        GridWorld {
+            cells,
+            source: spec.source,
+            goal: spec.goal,
+            agent: spec.source,
+            steps: 0,
+            dynamic: None,
+        }
+    }
+
+    /// Builds a maze whose obstacles re-jitter around `spec` by up to
+    /// `jitter` cells per axis on every [`Environment::reset`] — the
+    /// dynamic-obstacle scenario variant. Jittered layouts are re-drawn
+    /// (bounded attempts) until solvable; the base layout is the
+    /// fallback, so every episode is winnable.
+    ///
+    /// The jitter draws from the `reset` rng, so episode layouts are a
+    /// deterministic function of the caller's exploration stream.
+    ///
+    /// # Panics
+    ///
+    /// As for [`GridWorld::from_spec`].
+    pub fn with_dynamic_obstacles(spec: &LayoutSpec, jitter: usize) -> Self {
+        let mut world = GridWorld::from_spec(spec);
+        world.dynamic = Some(DynamicObstacles { base: spec.clone(), jitter });
+        world
+    }
+
+    /// Whether this maze re-jitters obstacles on reset.
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic.is_some()
+    }
+
+    /// Replaces the obstacle set with a solvable jitter of the base
+    /// layout.
+    fn rejitter(&mut self, rng: &mut dyn RngCore) {
+        use rand::Rng;
+        let Some(dynamic) = self.dynamic.clone() else { return };
+        let j = dynamic.jitter as isize;
+        let base = &dynamic.base;
+        let free_for = |hells: &[(usize, usize)], cand: (usize, usize)| {
+            cand != base.source && cand != base.goal && !hells.contains(&cand)
+        };
+        for _attempt in 0..8 {
+            let mut hells: Vec<(usize, usize)> = Vec::with_capacity(base.hells.len());
+            for &(r, c) in &base.hells {
+                let mut placed = None;
+                for _try in 0..4 {
+                    let nr = r as isize + rng.gen_range(-j..=j);
+                    let nc = c as isize + rng.gen_range(-j..=j);
+                    if nr < 0 || nc < 0 || nr as usize >= GRID_SIZE || nc as usize >= GRID_SIZE {
+                        continue;
+                    }
+                    let cand = (nr as usize, nc as usize);
+                    if free_for(&hells, cand) {
+                        placed = Some(cand);
+                        break;
+                    }
+                }
+                // Fall back to the base cell, and if another jittered
+                // obstacle took it, to the first free cell — the
+                // obstacle count never shrinks (difficulty would drift).
+                let placed =
+                    placed.or_else(|| free_for(&hells, (r, c)).then_some((r, c))).or_else(|| {
+                        (0..GRID_SIZE * GRID_SIZE)
+                            .map(|i| (i / GRID_SIZE, i % GRID_SIZE))
+                            .find(|&cand| free_for(&hells, cand))
+                    });
+                if let Some(placed) = placed {
+                    hells.push(placed);
+                }
+            }
+            let spec = LayoutSpec { source: base.source, goal: base.goal, hells };
+            if spec.hells.len() == base.hells.len() && crate::layouts::is_solvable(&spec) {
+                self.install_hells(&spec.hells);
+                return;
+            }
+        }
+        // Fallback: the validated base layout.
+        self.install_hells(&base.hells);
+    }
+
+    fn install_hells(&mut self, hells: &[(usize, usize)]) {
+        self.cells = [[Cell::Free; GRID_SIZE]; GRID_SIZE];
+        for &(r, c) in hells {
+            self.cells[r][c] = Cell::Hell;
+        }
+        self.cells[self.source.0][self.source.1] = Cell::Source;
+        self.cells[self.goal.0][self.goal.1] = Cell::Goal;
     }
 
     /// The 12 standard mazes for a master seed (paper Fig. 2: four grids
@@ -188,7 +288,10 @@ impl Environment for GridWorld {
         N_GRID_ACTIONS
     }
 
-    fn reset(&mut self, _rng: &mut dyn RngCore) -> Tensor {
+    fn reset(&mut self, rng: &mut dyn RngCore) -> Tensor {
+        if self.dynamic.is_some() {
+            self.rejitter(rng);
+        }
         self.agent = self.source;
         self.steps = 0;
         self.observe()
@@ -222,8 +325,7 @@ impl Environment for GridWorld {
                 self.agent = np;
                 let outcome =
                     if self.steps >= MAX_STEPS { Outcome::Timeout } else { Outcome::Continue };
-                let reward =
-                    if self.manhattan_to_goal(np) < prev_dist { 0.1 } else { -0.1 };
+                let reward = if self.manhattan_to_goal(np) < prev_dist { 0.1 } else { -0.1 };
                 Step { state: self.observe(), reward, outcome }
             }
         }
@@ -272,7 +374,8 @@ mod tests {
 
     #[test]
     fn reaching_goal_terminates_with_plus_one() {
-        let mut w = GridWorld::from_spec(&LayoutSpec { source: (1, 5), goal: (0, 5), hells: vec![] });
+        let mut w =
+            GridWorld::from_spec(&LayoutSpec { source: (1, 5), goal: (0, 5), hells: vec![] });
         let mut rng = StdRng::seed_from_u64(0);
         w.reset(&mut rng);
         let s = w.step(0, &mut rng);
@@ -282,11 +385,8 @@ mod tests {
 
     #[test]
     fn hitting_hell_crashes() {
-        let mut w = GridWorld::from_spec(&LayoutSpec {
-            source: (1, 5),
-            goal: (9, 9),
-            hells: vec![(0, 5)],
-        });
+        let mut w =
+            GridWorld::from_spec(&LayoutSpec { source: (1, 5), goal: (9, 9), hells: vec![(0, 5)] });
         let mut rng = StdRng::seed_from_u64(0);
         w.reset(&mut rng);
         let s = w.step(0, &mut rng);
@@ -296,7 +396,8 @@ mod tests {
 
     #[test]
     fn leaving_grid_crashes() {
-        let mut w = GridWorld::from_spec(&LayoutSpec { source: (0, 0), goal: (9, 9), hells: vec![] });
+        let mut w =
+            GridWorld::from_spec(&LayoutSpec { source: (0, 0), goal: (9, 9), hells: vec![] });
         let mut rng = StdRng::seed_from_u64(0);
         w.reset(&mut rng);
         let s = w.step(0, &mut rng); // up and out
@@ -305,11 +406,8 @@ mod tests {
 
     #[test]
     fn observation_encodes_hell_and_goal() {
-        let mut w = GridWorld::from_spec(&LayoutSpec {
-            source: (5, 5),
-            goal: (4, 5),
-            hells: vec![(6, 5)],
-        });
+        let mut w =
+            GridWorld::from_spec(&LayoutSpec { source: (5, 5), goal: (4, 5), hells: vec![(6, 5)] });
         let mut rng = StdRng::seed_from_u64(0);
         let obs = w.reset(&mut rng);
         // up = goal(+1), down = hell(−1), right/left free.
@@ -318,7 +416,8 @@ mod tests {
 
     #[test]
     fn walls_read_as_hell() {
-        let mut w = GridWorld::from_spec(&LayoutSpec { source: (0, 0), goal: (9, 9), hells: vec![] });
+        let mut w =
+            GridWorld::from_spec(&LayoutSpec { source: (0, 0), goal: (9, 9), hells: vec![] });
         let mut rng = StdRng::seed_from_u64(0);
         let obs = w.reset(&mut rng);
         // up and left are out of bounds.
@@ -327,7 +426,8 @@ mod tests {
 
     #[test]
     fn episode_times_out() {
-        let mut w = GridWorld::from_spec(&LayoutSpec { source: (5, 0), goal: (5, 9), hells: vec![] });
+        let mut w =
+            GridWorld::from_spec(&LayoutSpec { source: (5, 0), goal: (5, 9), hells: vec![] });
         let mut rng = StdRng::seed_from_u64(0);
         w.reset(&mut rng);
         // Bounce left-right forever (never reaching the goal).
@@ -346,5 +446,92 @@ mod tests {
     #[test]
     fn standard_layouts_have_expected_count() {
         assert_eq!(GridWorld::standard_layouts(0).len(), 12);
+    }
+
+    #[test]
+    fn dynamic_obstacles_move_between_resets() {
+        let spec = crate::standard_layout_specs(3, 1).remove(0);
+        let mut w = GridWorld::with_dynamic_obstacles(&spec, 2);
+        assert!(w.is_dynamic());
+        let mut rng = StdRng::seed_from_u64(5);
+        let hell_set = |w: &GridWorld| -> Vec<(usize, usize)> {
+            let mut v = Vec::new();
+            for r in 0..GRID_SIZE {
+                for c in 0..GRID_SIZE {
+                    if w.cell(r, c) == Cell::Hell {
+                        v.push((r, c));
+                    }
+                }
+            }
+            v
+        };
+        w.reset(&mut rng);
+        let first = hell_set(&w);
+        let mut moved = false;
+        for _ in 0..10 {
+            w.reset(&mut rng);
+            if hell_set(&w) != first {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved, "obstacles never moved across 10 resets");
+    }
+
+    #[test]
+    fn dynamic_resets_stay_solvable_and_deterministic() {
+        let spec = crate::standard_layout_specs(9, 1).remove(0);
+        let run = |seed: u64| -> Vec<Vec<(usize, usize)>> {
+            let mut w = GridWorld::with_dynamic_obstacles(&spec, 1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..6)
+                .map(|_| {
+                    w.reset(&mut rng);
+                    let mut hells = Vec::new();
+                    for r in 0..GRID_SIZE {
+                        for c in 0..GRID_SIZE {
+                            if w.cell(r, c) == Cell::Hell {
+                                hells.push((r, c));
+                            }
+                        }
+                    }
+                    let layout =
+                        LayoutSpec { source: w.source, goal: w.goal, hells: hells.clone() };
+                    assert!(crate::layouts::is_solvable(&layout));
+                    hells
+                })
+                .collect()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+
+    #[test]
+    fn dynamic_resets_preserve_obstacle_count() {
+        // Jitter must relocate obstacles, never lose them — a shrinking
+        // hell count would silently ease the maze.
+        let spec = crate::standard_layout_specs(11, 1).remove(0);
+        let n_base = spec.hells.len();
+        let mut w = GridWorld::with_dynamic_obstacles(&spec, 2);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..50 {
+            w.reset(&mut rng);
+            let count = (0..GRID_SIZE)
+                .flat_map(|r| (0..GRID_SIZE).map(move |c| (r, c)))
+                .filter(|&(r, c)| w.cell(r, c) == Cell::Hell)
+                .count();
+            assert_eq!(count, n_base);
+        }
+    }
+
+    #[test]
+    fn static_world_ignores_rng_stream() {
+        let spec = crate::standard_layout_specs(3, 1).remove(0);
+        let mut w = GridWorld::from_spec(&spec);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let a = w.reset(&mut r1);
+        let b = w.reset(&mut r2);
+        assert_eq!(a.data(), b.data());
     }
 }

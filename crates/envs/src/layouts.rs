@@ -92,12 +92,7 @@ pub(crate) fn is_solvable(spec: &LayoutSpec) -> bool {
         if (r, c) == spec.goal {
             return true;
         }
-        let neighbours = [
-            (r.wrapping_sub(1), c),
-            (r + 1, c),
-            (r, c.wrapping_sub(1)),
-            (r, c + 1),
-        ];
+        let neighbours = [(r.wrapping_sub(1), c), (r + 1, c), (r, c.wrapping_sub(1)), (r, c + 1)];
         for (nr, nc) in neighbours {
             if nr < n && nc < n && !seen[nr * n + nc] && !blocked((nr, nc)) {
                 seen[nr * n + nc] = true;
@@ -137,11 +132,7 @@ mod tests {
     #[test]
     fn solvable_detects_walled_goal() {
         // Goal at a corner fully enclosed by hells.
-        let spec = LayoutSpec {
-            source: (5, 5),
-            goal: (0, 0),
-            hells: vec![(0, 1), (1, 0), (1, 1)],
-        };
+        let spec = LayoutSpec { source: (5, 5), goal: (0, 0), hells: vec![(0, 1), (1, 0), (1, 1)] };
         assert!(!is_solvable(&spec));
     }
 }

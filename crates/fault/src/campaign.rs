@@ -6,10 +6,27 @@
 //! derives its own seed from the campaign master seed, so any single
 //! cell/repeat can be reproduced in isolation and results are identical
 //! regardless of thread count.
+//!
+//! # Aggregation
+//!
+//! Per-cell statistics are accumulated with [`Welford`] streaming
+//! accumulators — O(1) memory per chunk instead of buffering every
+//! sample. To keep results **bit-identical across thread counts**, each
+//! cell's repeats are split into a fixed number of contiguous chunks
+//! (independent of the worker count); workers accumulate chunks locally
+//! and the engine merges each cell's chunk accumulators in chunk order.
+//! [`aggregate_in_order`] applies the same chunking to a flat slice of
+//! per-repeat values, so external runners (`frlfi-campaign`) that
+//! persist raw trial values reproduce `sweep`'s statistics exactly.
 
 use frlfi_tensor::derive_seed;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Upper bound on Welford chunk accumulators per cell. Controls both
+/// the engine's memory per cell (≤ 32 accumulators regardless of the
+/// repeat count) and the work-sharing granularity of the repeat axis.
+const MAX_CHUNKS_PER_CELL: usize = 32;
 
 /// Aggregated statistics of one campaign cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,16 +39,97 @@ pub struct CellStats {
     pub n: usize,
 }
 
-impl CellStats {
-    fn of(samples: &[f64]) -> CellStats {
-        if samples.is_empty() {
+/// Welford's streaming mean/variance accumulator.
+///
+/// O(1) state, one pass, no sample buffering. `merge` implements the
+/// Chan et al. parallel combination, used by the campaign engine to
+/// fold per-chunk accumulators deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub const fn new() -> Self {
+        Welford { n: 0, mean: 0.0, m2: 0.0 }
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Folds another accumulator in (order matters at the ulp level;
+    /// the engine always merges in chunk order).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let total = na + nb;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (na * nb / total);
+        self.mean += delta * (nb / total);
+        self.n += other.n;
+    }
+
+    /// Number of samples folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The accumulated statistics (population std).
+    pub fn stats(&self) -> CellStats {
+        if self.n == 0 {
             return CellStats { mean: 0.0, std: 0.0, n: 0 };
         }
-        let n = samples.len() as f64;
-        let mean = samples.iter().sum::<f64>() / n;
-        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        CellStats { mean, std: var.sqrt(), n: samples.len() }
+        CellStats {
+            mean: self.mean,
+            std: (self.m2 / self.n as f64).max(0.0).sqrt(),
+            n: self.n as usize,
+        }
     }
+}
+
+/// Number of chunks one cell's repeat axis is split into.
+fn chunks_per_cell(repeats: usize) -> usize {
+    repeats.min(MAX_CHUNKS_PER_CELL)
+}
+
+/// Contiguous repeat range of chunk `c` of `k` over `repeats` repeats.
+fn chunk_bounds(repeats: usize, k: usize, c: usize) -> (usize, usize) {
+    (c * repeats / k, (c + 1) * repeats / k)
+}
+
+/// Folds per-repeat values (in repeat order) exactly the way the
+/// parallel engine does: chunked Welford accumulation, chunks merged in
+/// order. `sweep` over the same values yields bit-identical
+/// [`CellStats`].
+pub fn aggregate_in_order(values: &[f64]) -> CellStats {
+    if values.is_empty() {
+        return Welford::new().stats();
+    }
+    let k = chunks_per_cell(values.len());
+    let mut acc = Welford::new();
+    for c in 0..k {
+        let (lo, hi) = chunk_bounds(values.len(), k, c);
+        let mut chunk = Welford::new();
+        for &v in &values[lo..hi] {
+            chunk.push(v);
+        }
+        acc.merge(&chunk);
+    }
+    acc.stats()
 }
 
 /// Runs `repeats` evaluations of every cell in parallel and aggregates
@@ -76,32 +174,48 @@ where
 {
     assert!(threads > 0, "need at least one worker thread");
     assert!(repeats > 0, "need at least one repeat per cell");
-    let n_tasks = cells.len() * repeats;
-    if n_tasks == 0 {
+    if cells.is_empty() {
         return Vec::new();
     }
 
-    let results: Vec<Mutex<Vec<f64>>> =
-        (0..cells.len()).map(|_| Mutex::new(Vec::with_capacity(repeats))).collect();
+    let k = chunks_per_cell(repeats);
+    let n_units = cells.len() * k;
+    // One slot per (cell, chunk) work unit; each is written exactly once.
+    let slots: Vec<OnceLock<Welford>> = (0..n_units).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
+    let eval = &eval;
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(n_tasks) {
-            scope.spawn(|_| loop {
-                let task = next.fetch_add(1, Ordering::Relaxed);
-                if task >= n_tasks {
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n_units) {
+            scope.spawn(|| loop {
+                let unit = next.fetch_add(1, Ordering::Relaxed);
+                if unit >= n_units {
                     break;
                 }
-                let cell = task / repeats;
-                let seed = derive_seed(master_seed, task as u64);
-                let value = eval(&cells[cell], seed);
-                results[cell].lock().push(value);
+                let (cell, chunk) = (unit / k, unit % k);
+                let (lo, hi) = chunk_bounds(repeats, k, chunk);
+                let mut acc = Welford::new();
+                for r in lo..hi {
+                    let task = cell * repeats + r;
+                    let seed = derive_seed(master_seed, task as u64);
+                    acc.push(eval(&cells[cell], seed));
+                }
+                slots[unit].set(acc).expect("each work unit is computed exactly once");
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
-    results.into_iter().map(|m| CellStats::of(&m.into_inner())).collect()
+    (0..cells.len())
+        .map(|cell| {
+            let mut acc = Welford::new();
+            for chunk in 0..k {
+                let slot =
+                    slots[cell * k + chunk].get().expect("all work units completed before join");
+                acc.merge(slot);
+            }
+            acc.stats()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -109,6 +223,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::sync::Mutex;
 
     #[test]
     fn aggregates_per_cell() {
@@ -121,17 +236,20 @@ mod tests {
     }
 
     #[test]
-    fn thread_count_does_not_change_results() {
+    fn thread_count_does_not_change_results_bitwise() {
         let cells: Vec<u64> = (0..5).collect();
         let eval = |&c: &u64, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             c as f64 + rng.gen_range(0.0..1.0)
         };
         let seq = sweep_with_threads(&cells, 16, 9, 1, eval);
-        let par = sweep_with_threads(&cells, 16, 9, 8, eval);
-        for (a, b) in seq.iter().zip(par.iter()) {
-            assert!((a.mean - b.mean).abs() < 1e-12);
-            assert!((a.std - b.std).abs() < 1e-9);
+        for threads in [2, 3, 8, 32] {
+            let par = sweep_with_threads(&cells, 16, 9, threads, eval);
+            for (a, b) in seq.iter().zip(par.iter()) {
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+                assert_eq!(a.std.to_bits(), b.std.to_bits());
+                assert_eq!(a.n, b.n);
+            }
         }
     }
 
@@ -140,10 +258,10 @@ mod tests {
         let cells = vec![(); 3];
         let seen = Mutex::new(Vec::new());
         sweep_with_threads(&cells, 5, 3, 4, |_, seed| {
-            seen.lock().push(seed);
+            seen.lock().expect("uncontended").push(seed);
             0.0
         });
-        let mut seeds = seen.into_inner();
+        let mut seeds = seen.into_inner().expect("scope joined");
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 15);
@@ -159,5 +277,55 @@ mod tests {
     #[should_panic]
     fn zero_repeats_panics() {
         sweep_with_threads(&[1u8], 0, 0, 1, |_, _| 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..500).map(|_| rng.gen_range(-3.0..7.0)).collect();
+        let mut w = Welford::new();
+        for &s in &samples {
+            w.push(s);
+        }
+        let stats = w.stats();
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!((stats.mean - mean).abs() < 1e-12);
+        assert!((stats.std - var.sqrt()).abs() < 1e-12);
+        assert_eq!(stats.n, samples.len());
+    }
+
+    #[test]
+    fn aggregate_in_order_matches_sweep_bitwise() {
+        for repeats in [1usize, 2, 7, 32, 100] {
+            let cells = vec![3u64, 11];
+            let eval = |&c: &u64, seed: u64| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                c as f64 * rng.gen_range(0.0..1.0)
+            };
+            let stats = sweep_with_threads(&cells, repeats, 5, 4, eval);
+            for (ci, &cell) in cells.iter().enumerate() {
+                let values: Vec<f64> = (0..repeats)
+                    .map(|r| eval(&cell, derive_seed(5, (ci * repeats + r) as u64)))
+                    .collect();
+                let agg = aggregate_in_order(&values);
+                assert_eq!(agg.mean.to_bits(), stats[ci].mean.to_bits());
+                assert_eq!(agg.std.to_bits(), stats[ci].std.to_bits());
+                assert_eq!(agg.n, stats[ci].n);
+            }
+        }
+    }
+
+    #[test]
+    fn welford_merge_handles_empties() {
+        let mut a = Welford::new();
+        let b = Welford::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        let mut c = Welford::new();
+        c.push(2.0);
+        a.merge(&c);
+        assert_eq!(a.stats().mean, 2.0);
     }
 }

@@ -23,7 +23,7 @@ pub fn inject_slice(
         return Vec::new();
     }
     let n_faults = match model {
-        FaultModel::TransientSingle => 1.min(n_faults.max(1)),
+        FaultModel::TransientSingle => 1,
         _ => n_faults,
     };
     let total_bits = repr.total_bits(params.len());
@@ -135,8 +135,7 @@ mod tests {
     fn transient_single_is_one_bit() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut buf = vec![0.5f32; 64];
-        let recs =
-            inject_slice(&mut buf, DataRepr::F32, FaultModel::TransientSingle, 99, &mut rng);
+        let recs = inject_slice(&mut buf, DataRepr::F32, FaultModel::TransientSingle, 99, &mut rng);
         assert_eq!(recs.len(), 1);
         let changed = buf.iter().filter(|&&v| v != 0.5).count();
         assert_eq!(changed, 1);
@@ -212,8 +211,7 @@ mod tests {
     #[test]
     fn network_injection_changes_outputs() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut net =
-            NetworkBuilder::new(4).dense(16).relu().dense(4).build(&mut rng).unwrap();
+        let mut net = NetworkBuilder::new(4).dense(16).relu().dense(4).build(&mut rng).unwrap();
         let x = frlfi_tensor::Tensor::from_vec(vec![4], vec![1.0, -1.0, 0.5, 0.0]).unwrap();
         let before = net.forward(&x).unwrap();
         // Flip many high bits; outputs should change.
@@ -225,8 +223,7 @@ mod tests {
     #[test]
     fn network_ber_uses_repr_width() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut net =
-            NetworkBuilder::new(4).dense(16).relu().dense(4).build(&mut rng).unwrap();
+        let mut net = NetworkBuilder::new(4).dense(16).relu().dense(4).build(&mut rng).unwrap();
         let n_params = net.param_count();
         let q = Int8Quantizer::from_range(-1.0, 1.0).unwrap();
         let recs = inject_network_ber(

@@ -48,7 +48,7 @@ mod model;
 mod record;
 mod repr;
 
-pub use campaign::{sweep, sweep_with_threads, CellStats};
+pub use campaign::{aggregate_in_order, sweep, sweep_with_threads, CellStats, Welford};
 pub use error::FaultError;
 pub use inject::{inject_network, inject_network_ber, inject_slice, inject_slice_ber};
 pub use location::{FaultLocation, FaultSide};

@@ -1,8 +1,6 @@
 //! Property-based tests for the fault injector and campaign engine.
 
-use frlfi_fault::{
-    inject_slice, inject_slice_ber, sweep_with_threads, Ber, DataRepr, FaultModel,
-};
+use frlfi_fault::{inject_slice, inject_slice_ber, sweep_with_threads, Ber, DataRepr, FaultModel};
 use frlfi_quant::{QFormat, SymInt8Quantizer};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -41,7 +41,11 @@ impl CommSchedule {
     /// Panics if `base_interval == 0` or `multiplier == 0`.
     pub fn with_boost(base_interval: usize, switch_episode: usize, multiplier: usize) -> Self {
         assert!(base_interval > 0 && multiplier > 0, "interval and multiplier must be positive");
-        CommSchedule { base_interval, switch_episode: Some(switch_episode), late_multiplier: multiplier }
+        CommSchedule {
+            base_interval,
+            switch_episode: Some(switch_episode),
+            late_multiplier: multiplier,
+        }
     }
 
     /// The interval in force at a given episode.
@@ -54,7 +58,7 @@ impl CommSchedule {
 
     /// Whether a communication round happens after this episode.
     pub fn communicates_at(&self, episode: usize) -> bool {
-        episode % self.interval_at(episode) == 0
+        episode.is_multiple_of(self.interval_at(episode))
     }
 
     /// Total communication rounds over `total_episodes` episodes.

@@ -48,17 +48,8 @@ impl Server {
             return Err(FederatedError::EmptyParams);
         }
         let floor = 1.0 / n_agents as f32;
-        assert!(
-            (floor..=1.0).contains(&alpha0),
-            "alpha0 {alpha0} must lie in [1/n, 1]"
-        );
-        Ok(Server {
-            n_agents,
-            consensus: vec![0.0; param_len],
-            round: 0,
-            alpha0,
-            anneal_rounds,
-        })
+        assert!((floor..=1.0).contains(&alpha0), "alpha0 {alpha0} must lie in [1/n, 1]");
+        Ok(Server { n_agents, consensus: vec![0.0; param_len], round: 0, alpha0, anneal_rounds })
     }
 
     /// Number of participating agents.
@@ -172,6 +163,96 @@ impl Server {
         self.round += 1;
         Ok(outputs)
     }
+
+    /// Performs one aggregation round over a *subset* of agents — the
+    /// agent-dropout scenario, where unreliable links keep some agents
+    /// out of a communication round.
+    ///
+    /// `participants[i]` marks whether agent `i` uploads this round.
+    /// Dropped agents neither contribute to nor receive the smoothing
+    /// average (their slot in the result is `None`); the self-weight is
+    /// floored at `1/m` for the `m` participants so the update stays a
+    /// valid convex combination. If fewer than two agents participate
+    /// the round is skipped entirely (no aggregation, round counter
+    /// unchanged) and all slots are `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number or length of uploads is wrong, or
+    /// if the mask length differs from the agent count.
+    pub fn aggregate_subset(
+        &mut self,
+        uploads: &mut [Vec<f32>],
+        participants: &[bool],
+        hook: &mut dyn RoundHook,
+    ) -> Result<Vec<Option<Vec<f32>>>, FederatedError> {
+        if uploads.len() != self.n_agents || participants.len() != self.n_agents {
+            return Err(FederatedError::WrongUploadCount {
+                expected: self.n_agents,
+                actual: uploads.len().min(participants.len()),
+            });
+        }
+        let len = self.consensus.len();
+        for (i, u) in uploads.iter().enumerate() {
+            if u.len() != len {
+                return Err(FederatedError::ParamLengthMismatch {
+                    agent: i,
+                    expected: len,
+                    actual: u.len(),
+                });
+            }
+        }
+        let m = participants.iter().filter(|&&p| p).count();
+        if m < 2 {
+            return Ok(vec![None; self.n_agents]);
+        }
+
+        for (i, u) in uploads.iter_mut().enumerate() {
+            if participants[i] {
+                hook.on_uplink(i, u);
+            }
+        }
+
+        let mut sum = vec![0.0f32; len];
+        for (i, u) in uploads.iter().enumerate() {
+            if participants[i] {
+                for (s, &v) in sum.iter_mut().zip(u.iter()) {
+                    *s += v;
+                }
+            }
+        }
+        let inv_m = 1.0 / m as f32;
+        for (c, &s) in self.consensus.iter_mut().zip(sum.iter()) {
+            *c = s * inv_m;
+        }
+
+        let alpha = self.alpha().max(inv_m);
+        let beta = (1.0 - alpha) / (m as f32 - 1.0);
+        let mut dense: Vec<Vec<f32>> = uploads
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| participants[*i])
+            .map(|(_, u)| {
+                u.iter()
+                    .zip(sum.iter())
+                    .map(|(&own, &total)| alpha * own + beta * (total - own))
+                    .collect()
+            })
+            .collect();
+
+        hook.on_server(&mut dense);
+        let mut dense_iter = dense.into_iter();
+        let mut outputs: Vec<Option<Vec<f32>>> =
+            participants.iter().map(|&p| if p { dense_iter.next() } else { None }).collect();
+        for (i, o) in outputs.iter_mut().enumerate() {
+            if let Some(o) = o.as_mut() {
+                hook.on_downlink(i, o);
+            }
+        }
+
+        self.round += 1;
+        Ok(outputs)
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +346,50 @@ mod tests {
         let out = s.aggregate_with_hook(&mut uploads, &mut ZeroAgent0).unwrap();
         // Server saw 0.0 for agent 0, so outputs reflect the corruption.
         assert!(out[1][0] < 2.0);
+    }
+
+    #[test]
+    fn subset_round_matches_full_round_when_all_participate() {
+        let uploads = vec![vec![1.0f32, -2.0], vec![0.5, 4.0], vec![-1.0, 0.0]];
+        let mut full = Server::new(3, 2).unwrap();
+        let expected = full.aggregate(&uploads).unwrap();
+        let mut subset = Server::new(3, 2).unwrap();
+        let mut ups = uploads.clone();
+        let got =
+            subset.aggregate_subset(&mut ups, &[true, true, true], &mut crate::NoopHook).unwrap();
+        for (e, g) in expected.iter().zip(got.iter()) {
+            assert_eq!(e, g.as_ref().unwrap());
+        }
+        assert_eq!(full.consensus(), subset.consensus());
+    }
+
+    #[test]
+    fn dropped_agents_get_no_output() {
+        let mut s = Server::new(3, 1).unwrap();
+        let mut ups = vec![vec![0.0f32], vec![6.0], vec![100.0]];
+        let out = s.aggregate_subset(&mut ups, &[true, true, false], &mut crate::NoopHook).unwrap();
+        assert!(out[0].is_some() && out[1].is_some());
+        assert!(out[2].is_none());
+        // Consensus is the mean over participants only.
+        assert!((s.consensus()[0] - 3.0).abs() < 1e-6);
+        assert_eq!(s.round(), 1);
+    }
+
+    #[test]
+    fn lonely_round_is_skipped() {
+        let mut s = Server::new(3, 1).unwrap();
+        let mut ups = vec![vec![1.0f32]; 3];
+        let out =
+            s.aggregate_subset(&mut ups, &[true, false, false], &mut crate::NoopHook).unwrap();
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(s.round(), 0, "skipped rounds must not advance annealing");
+    }
+
+    #[test]
+    fn subset_rejects_bad_mask() {
+        let mut s = Server::new(3, 1).unwrap();
+        let mut ups = vec![vec![1.0f32]; 3];
+        assert!(s.aggregate_subset(&mut ups, &[true, true], &mut crate::NoopHook).is_err());
     }
 
     #[test]

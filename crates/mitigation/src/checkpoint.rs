@@ -49,7 +49,7 @@ impl ServerCheckpoint {
     /// (round 0 initializes the checkpoint so recovery is always
     /// possible).
     pub fn on_round(&mut self, round: usize, consensus: &[f32]) {
-        if self.stored.is_none() || round % self.interval_rounds == 0 {
+        if self.stored.is_none() || round.is_multiple_of(self.interval_rounds) {
             self.stored = Some(consensus.to_vec());
             self.updates += 1;
         }

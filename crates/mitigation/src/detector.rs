@@ -105,11 +105,8 @@ impl RewardDropDetector {
         // (streak at least k/2) when the first one confirms. A lone
         // dropping agent is always an agent fault (there is no server to
         // blame in a single-agent system).
-        let dropping = self
-            .drop_streaks
-            .iter()
-            .filter(|&&s| s >= (self.k_consecutive / 2).max(2))
-            .count();
+        let dropping =
+            self.drop_streaks.iter().filter(|&&s| s >= (self.k_consecutive / 2).max(2)).count();
         if dropping >= 2 && dropping * 2 > self.baselines.len() {
             self.drop_streaks.iter_mut().for_each(|s| *s = 0);
             Detection::ServerFault

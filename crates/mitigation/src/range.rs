@@ -121,11 +121,8 @@ mod tests {
         let det = RangeDetector::fit(&n);
         let mut snap = n.snapshot();
         // Nudge the maximum weight up by 5% — inside the 10% margin.
-        let (max_idx, &max_v) = snap
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let (max_idx, &max_v) =
+            snap.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
         snap[max_idx] = max_v * 1.05;
         assert!(det.scan(&snap).is_empty());
     }
@@ -168,12 +165,8 @@ mod tests {
         let repaired = n.forward(&x).unwrap();
         assert!(repaired.data().iter().all(|v| v.is_finite()));
         // Repaired output is close to clean (one weight zeroed).
-        let dist: f32 = repaired
-            .data()
-            .iter()
-            .zip(clean.data().iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let dist: f32 =
+            repaired.data().iter().zip(clean.data().iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(dist < 5.0, "repair should approximately preserve behaviour, dist {dist}");
     }
 

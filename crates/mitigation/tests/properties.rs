@@ -1,8 +1,7 @@
 //! Property-based tests for the mitigation schemes.
 
 use frlfi_mitigation::{
-    Detection, DronePlatform, ProtectionScheme, RangeDetector, RewardDropDetector,
-    ServerCheckpoint,
+    Detection, DronePlatform, ProtectionScheme, RangeDetector, RewardDropDetector, ServerCheckpoint,
 };
 use frlfi_nn::NetworkBuilder;
 use proptest::prelude::*;

@@ -251,7 +251,8 @@ mod tests {
         let mut c = Conv2d::new("c", 1, 1, 2, &mut rng);
         c.w = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         c.b = Tensor::from_vec(vec![1], vec![0.5]).unwrap();
-        let x = Tensor::from_vec(vec![1, 3, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 3, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0])
+            .unwrap();
         let y = c.forward(&x).unwrap();
         // Main-diagonal sums + bias: (1+5, 2+6, 4+8, 5+9) + 0.5
         assert_eq!(y.data(), &[6.5, 8.5, 12.5, 14.5]);

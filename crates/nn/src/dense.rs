@@ -34,7 +34,12 @@ pub struct Dense {
 
 impl Dense {
     /// Creates a dense layer with He-uniform weights and zero bias.
-    pub fn new<R: Rng>(name: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        name: impl Into<String>,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
         Dense {
             name: name.into(),
             w: Tensor::random(vec![out_dim, in_dim], Init::HeUniform, rng),

@@ -37,7 +37,10 @@ impl fmt::Display for NnError {
             }
             NnError::EmptyNetwork => write!(f, "network must contain at least one layer"),
             NnError::SnapshotLengthMismatch { expected, actual } => {
-                write!(f, "snapshot of {actual} values does not fit network with {expected} parameters")
+                write!(
+                    f,
+                    "snapshot of {actual} values does not fit network with {expected} parameters"
+                )
             }
             NnError::BadDimensions { detail } => write!(f, "bad dimensions: {detail}"),
         }

@@ -211,7 +211,11 @@ impl Network {
 
     /// Applies a function to the parameters in a flat span (used for
     /// layer-targeted injection and per-layer quantization).
-    pub fn map_span_mut(&mut self, range: std::ops::Range<usize>, mut f: impl FnMut(usize, &mut f32)) {
+    pub fn map_span_mut(
+        &mut self,
+        range: std::ops::Range<usize>,
+        mut f: impl FnMut(usize, &mut f32),
+    ) {
         self.for_each_param_mut(|idx, v| {
             if range.contains(&idx) {
                 f(idx, v);
@@ -328,11 +332,22 @@ impl NetworkBuilder {
         for spec in &self.specs {
             match *spec {
                 LayerSpec::Dense { in_dim, out_dim } => {
-                    layers.push(Box::new(Dense::new(format!("dense{dense_idx}"), in_dim, out_dim, rng)));
+                    layers.push(Box::new(Dense::new(
+                        format!("dense{dense_idx}"),
+                        in_dim,
+                        out_dim,
+                        rng,
+                    )));
                     dense_idx += 1;
                 }
                 LayerSpec::Conv { in_c, out_c, k } => {
-                    layers.push(Box::new(Conv2d::new(format!("conv{conv_idx}"), in_c, out_c, k, rng)));
+                    layers.push(Box::new(Conv2d::new(
+                        format!("conv{conv_idx}"),
+                        in_c,
+                        out_c,
+                        k,
+                        rng,
+                    )));
                     conv_idx += 1;
                 }
                 LayerSpec::Relu => {
@@ -382,10 +397,7 @@ mod tests {
     #[test]
     fn restore_rejects_wrong_length() {
         let mut net = mlp();
-        assert!(matches!(
-            net.restore(&[0.0; 3]),
-            Err(NnError::SnapshotLengthMismatch { .. })
-        ));
+        assert!(matches!(net.restore(&[0.0; 3]), Err(NnError::SnapshotLengthMismatch { .. })));
     }
 
     #[test]

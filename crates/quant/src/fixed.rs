@@ -76,11 +76,8 @@ impl QFormat {
     /// the representable range. Non-finite inputs saturate toward the sign.
     pub fn encode(&self, value: f32) -> u16 {
         let scaled = value / self.resolution();
-        let clamped = if scaled.is_nan() {
-            0.0
-        } else {
-            scaled.clamp(i16::MIN as f32, i16::MAX as f32)
-        };
+        let clamped =
+            if scaled.is_nan() { 0.0 } else { scaled.clamp(i16::MIN as f32, i16::MAX as f32) };
         (clamped.round() as i16) as u16
     }
 

@@ -35,8 +35,7 @@ pub fn run_episode(
         let step = env.step(action, rng);
         total_reward += step.reward;
         steps += 1;
-        let next_state =
-            if step.outcome.is_terminal() { None } else { Some(step.state.clone()) };
+        let next_state = if step.outcome.is_terminal() { None } else { Some(step.state.clone()) };
         learner.observe(Transition { state, action, reward: step.reward, next_state });
         state = step.state;
         if step.outcome.is_terminal() {

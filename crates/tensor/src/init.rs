@@ -15,13 +15,14 @@ use rand::Rng;
 /// let w = Tensor::random(vec![8, 4], Init::HeUniform, &mut rng);
 /// assert!(w.data().iter().all(|x| x.abs() < 2.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Init {
     /// All zeros (used for biases).
     Zeros,
     /// Constant value.
     Constant(f32),
     /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
+    #[default]
     XavierUniform,
     /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / fan_in)`; suited
     /// to ReLU networks.
@@ -46,12 +47,6 @@ impl Init {
             }
             Init::Uniform(lo, hi) => rng.gen_range(lo..=hi),
         }
-    }
-}
-
-impl Default for Init {
-    fn default() -> Self {
-        Init::XavierUniform
     }
 }
 

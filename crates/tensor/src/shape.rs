@@ -39,7 +39,7 @@ impl Shape {
 
     /// Returns an error if the shape is empty or has a zero-sized dimension.
     pub fn validate(&self) -> Result<(), TensorError> {
-        if self.dims.is_empty() || self.dims.iter().any(|&d| d == 0) {
+        if self.dims.is_empty() || self.dims.contains(&0) {
             Err(TensorError::EmptyShape)
         } else {
             Ok(())

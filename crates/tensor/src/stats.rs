@@ -32,7 +32,13 @@ impl Summary {
     /// Computes the summary of a slice.
     pub fn of(data: &[f32]) -> Summary {
         if data.is_empty() {
-            return Summary { mean: 0.0, std: 0.0, min: f32::INFINITY, max: f32::NEG_INFINITY, count: 0 };
+            return Summary {
+                mean: 0.0,
+                std: 0.0,
+                min: f32::INFINITY,
+                max: f32::NEG_INFINITY,
+                count: 0,
+            };
         }
         let n = data.len() as f32;
         let mean = data.iter().sum::<f32>() / n;

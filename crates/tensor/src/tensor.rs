@@ -62,7 +62,10 @@ impl Tensor {
         let shape = shape.into();
         shape.validate()?;
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -321,7 +324,10 @@ impl Tensor {
         let shape = shape.into();
         shape.validate()?;
         if shape.volume() != self.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: self.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.len(),
+            });
         }
         Ok(Tensor { shape, data: self.data.clone() })
     }

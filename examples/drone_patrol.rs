@@ -12,12 +12,8 @@ use frlfi::rl::Learner;
 use frlfi::{DroneFrlSystem, DroneSystemConfig, ReprKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = DroneSystemConfig {
-        n_drones: 4,
-        seed: 11,
-        pretrain_episodes: 30,
-        ..Default::default()
-    };
+    let cfg =
+        DroneSystemConfig { n_drones: 4, seed: 11, pretrain_episodes: 30, ..Default::default() };
     let mut fleet = DroneFrlSystem::new(cfg)?;
 
     println!("offline pre-training (REINFORCE)...");
@@ -33,29 +29,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (0..fleet.n_drones()).map(|i| RangeDetector::fit(fleet.drone(i).network())).collect();
 
     let ber = Ber::new(1e-2)?;
-    let unprotected = fleet.with_faulted_policies(
-        FaultModel::TransientMulti,
-        ber,
-        ReprKind::F32,
-        99,
-        |f| f.safe_flight_distance(3),
-    );
+    let unprotected =
+        fleet.with_faulted_policies(FaultModel::TransientMulti, ber, ReprKind::F32, 99, |f| {
+            f.safe_flight_distance(3)
+        });
     println!("  with BER 1e-2 memory faults:  {unprotected:.0} m");
 
-    let protected = fleet.with_faulted_policies(
-        FaultModel::TransientMulti,
-        ber,
-        ReprKind::F32,
-        99,
-        |f| {
+    let protected =
+        fleet.with_faulted_policies(FaultModel::TransientMulti, ber, ReprKind::F32, 99, |f| {
             let mut repaired = 0;
             for (i, det) in detectors.iter().enumerate() {
                 repaired += det.repair(f.drone_mut(i).network_mut());
             }
             println!("  range detector repaired {repaired} anomalous weights");
             f.safe_flight_distance(3)
-        },
-    );
+        });
     println!("  with range-based detection:   {protected:.0} m");
     if unprotected > 0.0 {
         println!("  improvement: {:.2}x", protected / unprotected);

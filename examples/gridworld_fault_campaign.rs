@@ -15,7 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train the system once; the campaign then corrupts copies of its
     // deployed (int8-quantized) policy.
     println!("training the policy under test...");
-    let cfg = GridSystemConfig { n_agents: 4, seed: 21, epsilon_decay_episodes: 200, ..Default::default() };
+    let cfg = GridSystemConfig {
+        n_agents: 4,
+        seed: 21,
+        epsilon_decay_episodes: 200,
+        ..Default::default()
+    };
     let mut sys = GridFrlSystem::new(cfg)?;
     sys.train(400, None, None)?;
     println!("  clean success rate: {:.0}%\n", sys.success_rate() * 100.0);
@@ -23,18 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (0..4).map(|i| frlfi::rl::Learner::network(sys.agent(i)).snapshot()).collect();
 
     let bers = [0.0, 0.005, 0.01, 0.02, 0.05];
-    let models = [
-        FaultModel::TransientMulti,
-        FaultModel::StuckAt0,
-        FaultModel::StuckAt1,
-    ];
+    let models = [FaultModel::TransientMulti, FaultModel::StuckAt0, FaultModel::StuckAt1];
     let cells: Vec<(f64, FaultModel)> =
         bers.iter().flat_map(|&b| models.iter().map(move |&m| (b, m))).collect();
 
     // Each campaign task rebuilds the trained system from the saved
     // weights (cheap) and evaluates one corrupted deployment.
     let stats = sweep(&cells, 8, 0xCA3D, |&(ber, model), seed| {
-        let cfg = GridSystemConfig { n_agents: 4, seed: 21, epsilon_decay_episodes: 200, ..Default::default() };
+        let cfg = GridSystemConfig {
+            n_agents: 4,
+            seed: 21,
+            epsilon_decay_episodes: 200,
+            ..Default::default()
+        };
         let mut sys = GridFrlSystem::new(cfg).expect("valid config");
         for (i, w) in clean_weights.iter().enumerate() {
             frlfi::rl::Learner::network_mut(sys.agent_mut(i)).restore(w).expect("weights fit");

@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut faulty = GridFrlSystem::new(cfg.clone())?;
     faulty.train(400, Some(&plan), None)?;
     println!("  faulty success rate:   {:.0}%", faulty.success_rate() * 100.0);
-    println!(
-        "  fault injected {} bit flips into server memory",
-        faulty.last_fault_records().len()
-    );
+    println!("  fault injected {} bit flips into server memory", faulty.last_fault_records().len());
 
     // Same fault, but with the paper's mitigation: reward-drop detection
     // plus server checkpointing every 5 communication rounds.

@@ -13,8 +13,7 @@ use frlfi::{GridFrlSystem, GridSystemConfig, ReprKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Step 1: pick a fixed-point format for the policy ==");
-    let mut sys =
-        GridFrlSystem::new(GridSystemConfig {
+    let mut sys = GridFrlSystem::new(GridSystemConfig {
         n_agents: 4,
         seed: 3,
         epsilon_decay_episodes: 200,

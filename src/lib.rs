@@ -1,0 +1,10 @@
+//! Workspace façade crate.
+//!
+//! Exists so the repository root is a package: the end-to-end suites in
+//! `tests/` and the runnable `examples/` hang off it. Downstream code
+//! should depend on [`frlfi`] (systems + experiments) and
+//! [`frlfi_campaign`] (declarative campaign orchestration) directly;
+//! both are re-exported here for convenience.
+
+pub use frlfi;
+pub use frlfi_campaign as campaign;

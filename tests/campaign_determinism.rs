@@ -10,12 +10,9 @@ use rand::SeedableRng;
 #[test]
 fn training_is_bitwise_reproducible() {
     let run = |seed: u64| {
-        let mut sys = GridFrlSystem::new(GridSystemConfig {
-            n_agents: 3,
-            seed,
-            ..Default::default()
-        })
-        .expect("valid config");
+        let mut sys =
+            GridFrlSystem::new(GridSystemConfig { n_agents: 3, seed, ..Default::default() })
+                .expect("valid config");
         sys.train(80, None, None).expect("training");
         sys.agent(0).network().snapshot()
     };
@@ -26,12 +23,9 @@ fn training_is_bitwise_reproducible() {
 #[test]
 fn injected_training_is_reproducible() {
     let run = || {
-        let mut sys = GridFrlSystem::new(GridSystemConfig {
-            n_agents: 3,
-            seed: 50,
-            ..Default::default()
-        })
-        .expect("valid config");
+        let mut sys =
+            GridFrlSystem::new(GridSystemConfig { n_agents: 3, seed: 50, ..Default::default() })
+                .expect("valid config");
         let plan = InjectionPlan::server(20, Ber::new(0.01).expect("ber"));
         sys.train(60, Some(&plan), None).expect("training");
         // Compare bit patterns: f32 faults can produce NaN weights, and

@@ -30,8 +30,7 @@ fn checkpointing_beats_no_mitigation_under_server_fault() {
         unmit += without.success_rate();
 
         let mut with = system(seed);
-        with.train(400, Some(&plan), Some(&TrainingMitigation::scaled(8)))
-            .expect("training");
+        with.train(400, Some(&plan), Some(&TrainingMitigation::scaled(8))).expect("training");
         mit += with.success_rate();
     }
     assert!(
@@ -51,20 +50,15 @@ fn range_detection_repairs_static_outliers() {
     // the per-layer ranges catch.
     let ber = Ber::new(0.02).expect("ber");
     let mut repaired_any = false;
-    let sr_mit = sys.with_faulted_policies(
-        FaultModel::TransientMulti,
-        ber,
-        ReprKind::F32,
-        77,
-        |s| {
+    let sr_mit =
+        sys.with_faulted_policies(FaultModel::TransientMulti, ber, ReprKind::F32, 77, |s| {
             for (i, det) in detectors.iter().enumerate() {
                 if det.repair(s.agent_mut(i).network_mut()) > 0 {
                     repaired_any = true;
                 }
             }
             s.success_rate()
-        },
-    );
+        });
     assert!(repaired_any, "BER 2% on f32 weights must trip the range detector");
     assert!((0.0..=1.0).contains(&sr_mit));
 }

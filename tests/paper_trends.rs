@@ -40,10 +40,7 @@ fn stuck_at_1_worse_than_stuck_at_0() {
             s.success_rate()
         });
     }
-    assert!(
-        sr1 <= sr0,
-        "stuck-at-1 should hurt at least as much as stuck-at-0: {sr1} vs {sr0}"
-    );
+    assert!(sr1 <= sr0, "stuck-at-1 should hurt at least as much as stuck-at-0: {sr1} vs {sr0}");
 }
 
 #[test]
@@ -94,16 +91,10 @@ fn transient1_is_negligible_vs_transient_m() {
     let mut tm = 0.0;
     for seed in 0..8u64 {
         t1 += sys.success_rate_transient1(ber, ReprKind::Int8, seed);
-        tm += sys.with_faulted_policies(
-            FaultModel::TransientMulti,
-            ber,
-            ReprKind::Int8,
-            seed,
-            |s| s.success_rate(),
-        );
+        tm +=
+            sys.with_faulted_policies(FaultModel::TransientMulti, ber, ReprKind::Int8, seed, |s| {
+                s.success_rate()
+            });
     }
-    assert!(
-        t1 >= tm,
-        "one-step faults should be no worse than persistent ones: t1 {t1}, tm {tm}"
-    );
+    assert!(t1 >= tm, "one-step faults should be no worse than persistent ones: t1 {t1}, tm {tm}");
 }
