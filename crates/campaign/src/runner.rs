@@ -275,21 +275,26 @@ fn run_expanded(
 
         std::thread::scope(|scope| {
             for _ in 0..threads.min(new_trials) {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(cell, rep)) = pending.get(i) else { break };
-                    let seed = derive_seed(campaign.master_seed, (cell * repeats + rep) as u64);
-                    let value = campaign.run_trial(cell, seed);
-                    let record = TrialRecord { cell, repeat: rep, seed, value };
-                    {
-                        let mut w = sink.lock().expect("sink lock");
-                        let line = json::render(&record.to_value());
-                        // Line-atomic append + flush: a kill between
-                        // trials loses at most the torn tail.
-                        writeln!(w, "{line}").expect("append trial record");
-                        w.flush().expect("flush trial record");
+                scope.spawn(|| {
+                    // One inference scratch arena per worker, reused
+                    // across every trial this worker evaluates.
+                    let mut ctx = frlfi::nn::InferCtx::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(cell, rep)) = pending.get(i) else { break };
+                        let seed = derive_seed(campaign.master_seed, (cell * repeats + rep) as u64);
+                        let value = campaign.run_trial_ctx(cell, seed, &mut ctx);
+                        let record = TrialRecord { cell, repeat: rep, seed, value };
+                        {
+                            let mut w = sink.lock().expect("sink lock");
+                            let line = json::render(&record.to_value());
+                            // Line-atomic append + flush: a kill between
+                            // trials loses at most the torn tail.
+                            writeln!(w, "{line}").expect("append trial record");
+                            w.flush().expect("flush trial record");
+                        }
+                        fresh.lock().expect("fresh lock").push((cell, rep, value));
                     }
-                    fresh.lock().expect("fresh lock").push((cell, rep, value));
                 });
             }
         });

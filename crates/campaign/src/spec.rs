@@ -543,9 +543,23 @@ impl Campaign {
     ///
     /// Panics if `cell` is out of range.
     pub fn run_trial(&self, cell: usize, seed: u64) -> f64 {
+        self.run_trial_ctx(cell, seed, &mut frlfi::nn::InferCtx::new())
+    }
+
+    /// [`Campaign::run_trial`] with an external inference scratch
+    /// context. The runner allocates one per worker thread and reuses
+    /// it across every trial that worker evaluates; trial values are
+    /// unaffected (the fast path is bit-identical to the slow one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn run_trial_ctx(&self, cell: usize, seed: u64, ctx: &mut frlfi::nn::InferCtx) -> f64 {
         match &self.trials {
-            Trials::Grid(t) => frlfi::experiments::harness::run_grid_trial(&t[cell], seed),
-            Trials::Drone(t) => frlfi::experiments::harness::run_drone_trial(&t[cell], seed),
+            Trials::Grid(t) => frlfi::experiments::harness::run_grid_trial_ctx(&t[cell], seed, ctx),
+            Trials::Drone(t) => {
+                frlfi::experiments::harness::run_drone_trial_ctx(&t[cell], seed, ctx)
+            }
         }
     }
 }

@@ -2,15 +2,24 @@
 //!
 //! Provides just enough of criterion's API — [`Criterion`],
 //! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
-//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] — to
-//! compile and run this workspace's benches without crates.io access.
+//! [`Bencher::iter`], [`BenchmarkGroup::throughput`],
+//! [`criterion_group!`], [`criterion_main!`] — to compile and run this
+//! workspace's benches without crates.io access.
 //!
 //! Measurement is deliberately simple: a short calibration pass sizes
 //! the batch, then `sample_size` batches are timed and min / median /
-//! max per-iteration times are printed. No statistics beyond that, no
-//! HTML reports.
+//! max per-iteration times are printed, plus an elements-per-second
+//! throughput when one is configured. No HTML reports.
+//!
+//! Two environment variables support perf tracking across PRs:
+//!
+//! * `CRITERION_JSON=<path>` — on process exit ([`criterion_main!`]),
+//!   write every result as machine-readable JSON to `<path>`.
+//! * `CRITERION_QUICK=1` — shrink the per-bench time budget ~10× (CI
+//!   smoke mode; numbers are noisier but the pipeline is exercised).
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export so benches can use `criterion::black_box` if they want.
@@ -21,6 +30,116 @@ pub fn black_box<T>(x: T) -> T {
 /// Target measurement time per benchmark.
 const TARGET_TIME: Duration = Duration::from_millis(400);
 
+/// `CRITERION_QUICK` measurement time per benchmark.
+const QUICK_TIME: Duration = Duration::from_millis(40);
+
+fn target_time() -> Duration {
+    if quick_mode() {
+        QUICK_TIME
+    } else {
+        TARGET_TIME
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as `elem/s`).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as `B/s`).
+    Bytes(u64),
+}
+
+/// One completed measurement, kept for the JSON summary.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    min_s: f64,
+    median_s: f64,
+    max_s: f64,
+    samples: usize,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Units per second at the median time, when a throughput is set.
+    fn units_per_sec(&self) -> Option<f64> {
+        let per_iter = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+        };
+        (self.median_s > 0.0).then(|| per_iter / self.median_s)
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"name\":{name},\"min_ns\":{min:.1},\"median_ns\":{med:.1},\"max_ns\":{max:.1},\
+             \"samples\":{samples},\"iters_per_sample\":{iters}",
+            name = json_string(&self.name),
+            min = self.min_s * 1e9,
+            med = self.median_s * 1e9,
+            max = self.max_s * 1e9,
+            samples = self.samples,
+            iters = self.iters,
+        );
+        match (self.throughput, self.units_per_sec()) {
+            (Some(Throughput::Elements(n)), Some(rate)) => {
+                s.push_str(&format!(",\"elements\":{n},\"elements_per_sec\":{rate:.1}"));
+            }
+            (Some(Throughput::Bytes(n)), Some(rate)) => {
+                s.push_str(&format!(",\"bytes\":{n},\"bytes_per_sec\":{rate:.1}"));
+            }
+            _ => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+/// Writes every recorded result as a JSON document to the path named
+/// by `CRITERION_JSON`, if set. Called by [`criterion_main!`] after
+/// all groups ran; harmless to call again.
+pub fn write_json_summary() {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else { return };
+    let results = results().lock().expect("results lock");
+    let mut doc = String::from("{\"benchmarks\":[\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str("  ");
+        doc.push_str(&r.to_json());
+    }
+    doc.push_str("\n]}\n");
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("criterion: cannot write {}: {e}", std::path::Path::new(&path).display());
+    }
+}
+
 /// The bench harness entry point.
 pub struct Criterion {
     sample_size: usize,
@@ -28,20 +147,21 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion { sample_size: if quick_mode() { 10 } else { 20 } }
     }
 }
 
 impl Criterion {
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_bench(name, self.sample_size, &mut f);
+        run_bench(name, self.sample_size, None, &mut f);
         self
     }
 
     /// Opens a named group of benchmarks (shared configuration).
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.to_owned(), sample_size: 20 }
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _parent: self, name: name.to_owned(), sample_size, throughput: None }
     }
 }
 
@@ -50,6 +170,7 @@ pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -59,10 +180,17 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the work per iteration; subsequent benchmarks in the
+    /// group report elements/bytes per second alongside times.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one named benchmark inside the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
-        run_bench(&full, self.sample_size, &mut f);
+        run_bench(&full, self.sample_size, self.throughput, &mut f);
         self
     }
 
@@ -88,12 +216,17 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
     // Calibrate: how many iterations fit the per-sample budget?
     let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
-    let budget = TARGET_TIME / samples.max(1) as u32;
+    let budget = target_time() / samples.max(1) as u32;
     let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
     let mut times: Vec<f64> = Vec::with_capacity(samples);
@@ -103,6 +236,15 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
         times.push(b.elapsed.as_secs_f64() / iters as f64);
     }
     times.sort_by(f64::total_cmp);
+    let result = BenchResult {
+        name: name.to_owned(),
+        min_s: times[0],
+        median_s: times[times.len() / 2],
+        max_s: *times.last().expect("non-empty"),
+        samples: times.len(),
+        iters,
+        throughput,
+    };
     let fmt = |secs: f64| {
         if secs >= 1.0 {
             format!("{secs:.3} s")
@@ -114,14 +256,20 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
             format!("{:.1} ns", secs * 1e9)
         }
     };
+    let rate = match (result.throughput, result.units_per_sec()) {
+        (Some(Throughput::Elements(_)), Some(r)) => format!("  {:.3} Melem/s", r / 1e6),
+        (Some(Throughput::Bytes(_)), Some(r)) => format!("  {:.3} MiB/s", r / (1024.0 * 1024.0)),
+        _ => String::new(),
+    };
     println!(
-        "{name:<50} [{} {} {}] ({} samples x {} iters)",
-        fmt(times[0]),
-        fmt(times[times.len() / 2]),
-        fmt(*times.last().expect("non-empty")),
-        times.len(),
-        iters,
+        "{name:<50} [{} {} {}] ({} samples x {} iters){rate}",
+        fmt(result.min_s),
+        fmt(result.median_s),
+        fmt(result.max_s),
+        result.samples,
+        result.iters,
     );
+    results().lock().expect("results lock").push(result);
 }
 
 /// Declares a bench group runner function.
@@ -135,12 +283,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`.
+/// Declares the bench binary's `main`. After every group runs, results
+/// are written to `$CRITERION_JSON` when that variable is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_summary();
         }
     };
 }
@@ -162,7 +312,29 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         group.sample_size(3);
+        group.throughput(Throughput::Elements(128));
         group.bench_function("noop", |b| b.iter(|| 1 + 1));
         group.finish();
+    }
+
+    #[test]
+    fn results_capture_throughput_rates() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("tp");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("spin", |b| b.iter(|| std::hint::black_box(3u64).pow(7)));
+        group.finish();
+        let results = results().lock().expect("lock");
+        let r = results.iter().rev().find(|r| r.name == "tp/spin").expect("recorded");
+        assert_eq!(r.throughput, Some(Throughput::Elements(1000)));
+        assert!(r.units_per_sec().expect("rate") > 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"elements_per_sec\""), "{json}");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
     }
 }

@@ -6,6 +6,7 @@ use frlfi_envs::{DroneConfig, DroneSim, Environment};
 use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
 use frlfi_federated::{RoundHook, Server};
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
+use frlfi_nn::InferCtx;
 use frlfi_rl::{run_episode, Learner, Reinforce};
 use frlfi_tensor::derive_seed;
 use rand::rngs::StdRng;
@@ -137,6 +138,15 @@ impl DroneFrlSystem {
     /// runs (reset at the start of each mitigated call).
     pub fn mitigation_stats(&self) -> MitigationStats {
         self.mitigation_stats
+    }
+
+    /// Drops every drone's layer input caches ([`frlfi_nn::Network::eval_mode`]),
+    /// shrinking resident memory for the eval-only phase of a campaign
+    /// trial. Fine-tuning transparently re-caches.
+    pub fn eval_mode(&mut self) {
+        for drone in &mut self.drones {
+            drone.network_mut().eval_mode();
+        }
     }
 
     /// Offline pre-training (§IV-B-1): REINFORCE on a single learner,
@@ -319,6 +329,13 @@ impl DroneFrlSystem {
     /// Evaluation uses the full step budget of `cfg.sim` regardless of
     /// the (shorter) training cap.
     pub fn safe_flight_distance(&mut self, attempts: usize) -> f64 {
+        self.safe_flight_distance_ctx(attempts, &mut InferCtx::new())
+    }
+
+    /// [`DroneFrlSystem::safe_flight_distance`] on the zero-allocation
+    /// inference fast path, reusing `ctx` across every evaluation step
+    /// of every drone (campaign workers keep one context per thread).
+    pub fn safe_flight_distance_ctx(&mut self, attempts: usize, ctx: &mut InferCtx) -> f64 {
         let mut total = 0.0;
         let mut count = 0;
         for i in 0..self.cfg.n_drones {
@@ -328,7 +345,7 @@ impl DroneFrlSystem {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x1);
                 let mut state = env.reset(&mut rng);
                 loop {
-                    let action = self.drones[i].act_greedy(&state);
+                    let action = self.drones[i].act_greedy_ctx(&state, ctx);
                     let step = env.step(action, &mut rng);
                     state = step.state;
                     if step.outcome.is_terminal() {

@@ -20,6 +20,7 @@ use crate::{
 };
 use frlfi_fault::{Ber, CellStats, FaultModel, FaultSide};
 use frlfi_federated::CommSchedule;
+use frlfi_nn::InferCtx;
 use frlfi_tensor::derive_seed;
 
 /// Campaign geometry of the GridWorld training heatmaps (Fig. 3/7a).
@@ -287,6 +288,18 @@ impl GridTrial {
 /// Panics on invalid trial configuration (campaign cells are validated
 /// when specs are built).
 pub fn run_grid_trial(t: &GridTrial, seed: u64) -> f64 {
+    run_grid_trial_ctx(t, seed, &mut InferCtx::new())
+}
+
+/// [`run_grid_trial`] with an external inference scratch context: the
+/// post-training eval loop drops layer caches ([`GridFrlSystem::eval_mode`])
+/// and runs greedy episodes on the zero-allocation fast path. Campaign
+/// workers reuse one context across all their trials.
+///
+/// # Panics
+///
+/// Panics on invalid trial configuration.
+pub fn run_grid_trial_ctx(t: &GridTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
     let cfg = GridSystemConfig {
         n_agents: t.n_agents,
         seed: t.system_seed,
@@ -299,10 +312,14 @@ pub fn run_grid_trial(t: &GridTrial, seed: u64) -> f64 {
     sys.reseed_faults(seed);
     let plan = t.fault.as_ref().and_then(TrialFault::plan);
     sys.train(t.total_episodes, plan.as_ref(), t.mitigation.as_ref()).expect("training");
+    sys.eval_mode();
     match t.metric {
-        GridMetric::SuccessRatePct => sys.success_rate() * 100.0,
+        GridMetric::SuccessRatePct => sys.success_rate_ctx(ctx) * 100.0,
         GridMetric::EpisodesToConverge { threshold, check_every, max_extra } => {
-            match sys.episodes_to_converge(threshold, check_every, max_extra).expect("training") {
+            match sys
+                .episodes_to_converge_ctx(threshold, check_every, max_extra, ctx)
+                .expect("training")
+            {
                 Some(extra) => (t.total_episodes + extra) as f64,
                 None => (t.total_episodes + max_extra) as f64,
             }
@@ -402,6 +419,16 @@ impl DroneTrial {
 ///
 /// Panics on invalid trial configuration.
 pub fn run_drone_trial(t: &DroneTrial, seed: u64) -> f64 {
+    run_drone_trial_ctx(t, seed, &mut InferCtx::new())
+}
+
+/// [`run_drone_trial`] with an external inference scratch context (see
+/// [`run_grid_trial_ctx`]).
+///
+/// # Panics
+///
+/// Panics on invalid trial configuration.
+pub fn run_drone_trial_ctx(t: &DroneTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
     let mut sys = DroneFrlSystem::new(DroneSystemConfig {
         n_drones: t.n_drones,
         seed: t.system_seed,
@@ -414,7 +441,8 @@ pub fn run_drone_trial(t: &DroneTrial, seed: u64) -> f64 {
     sys.reseed_faults(seed);
     let plan = t.fault.as_ref().and_then(TrialFault::plan);
     sys.fine_tune(t.fine_tune_episodes, plan.as_ref(), t.mitigation.as_ref()).expect("fine-tune");
-    sys.safe_flight_distance(t.eval_attempts)
+    sys.eval_mode();
+    sys.safe_flight_distance_ctx(t.eval_attempts, ctx)
 }
 
 /// The `(BER × inject episode)` cell grid shared by the training

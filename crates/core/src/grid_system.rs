@@ -6,7 +6,10 @@ use frlfi_envs::{Environment, GridWorld, Outcome, GRID_SIZE};
 use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
 use frlfi_federated::{RoundHook, Server};
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
-use frlfi_rl::{run_episode, run_greedy_episode, EpsilonSchedule, Learner, QLearner};
+use frlfi_nn::InferCtx;
+use frlfi_rl::{
+    greedy_argmax, run_episode, run_greedy_episode_ctx, EpsilonSchedule, Learner, QLearner,
+};
 use frlfi_tensor::{derive_seed, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -163,6 +166,15 @@ impl GridFrlSystem {
     /// runs (reset at the start of each mitigated call).
     pub fn mitigation_stats(&self) -> MitigationStats {
         self.mitigation_stats
+    }
+
+    /// Drops every agent's layer input caches ([`frlfi_nn::Network::eval_mode`]),
+    /// shrinking resident memory for the eval-only phase of a campaign
+    /// trial. Training transparently re-caches.
+    pub fn eval_mode(&mut self) {
+        for agent in &mut self.agents {
+            agent.network_mut().eval_mode();
+        }
     }
 
     /// Trains for `episodes` episodes, optionally applying a dynamic
@@ -333,16 +345,29 @@ impl GridFrlSystem {
     /// the paper's `SR = (1/n) Σ SRᵢ`. GridWorld is deterministic, so a
     /// single greedy attempt per agent fully determines `SRᵢ`.
     pub fn success_rate(&mut self) -> f64 {
-        let outcomes = self.eval_outcomes();
+        self.success_rate_ctx(&mut InferCtx::new())
+    }
+
+    /// [`GridFrlSystem::success_rate`] reusing an external inference
+    /// scratch context (campaign workers keep one per thread).
+    pub fn success_rate_ctx(&mut self, ctx: &mut InferCtx) -> f64 {
+        let outcomes = self.eval_outcomes_ctx(ctx);
         crate::metrics::success_rate_of(&outcomes)
     }
 
     /// One greedy episode per agent, returning the outcomes.
     pub fn eval_outcomes(&mut self) -> Vec<Outcome> {
+        self.eval_outcomes_ctx(&mut InferCtx::new())
+    }
+
+    /// [`GridFrlSystem::eval_outcomes`] on the inference fast path,
+    /// reusing `ctx` across all agents' greedy episodes.
+    pub fn eval_outcomes_ctx(&mut self, ctx: &mut InferCtx) -> Vec<Outcome> {
         let mut outcomes = Vec::with_capacity(self.cfg.n_agents);
         for i in 0..self.cfg.n_agents {
             let mut eval_rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xE7A1 + i as u64));
-            let summary = run_greedy_episode(&mut self.envs[i], &mut self.agents[i], &mut eval_rng);
+            let summary =
+                run_greedy_episode_ctx(&mut self.envs[i], &mut self.agents[i], &mut eval_rng, ctx);
             outcomes.push(summary.outcome);
         }
         outcomes
@@ -362,15 +387,31 @@ impl GridFrlSystem {
         check_every: usize,
         max_extra: usize,
     ) -> Result<Option<usize>, FrlfiError> {
+        self.episodes_to_converge_ctx(threshold, check_every, max_extra, &mut InferCtx::new())
+    }
+
+    /// [`GridFrlSystem::episodes_to_converge`] reusing an external
+    /// inference scratch context for every convergence check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn episodes_to_converge_ctx(
+        &mut self,
+        threshold: f64,
+        check_every: usize,
+        max_extra: usize,
+        ctx: &mut InferCtx,
+    ) -> Result<Option<usize>, FrlfiError> {
         let mut used = 0;
         while used < max_extra {
-            if self.success_rate() >= threshold {
+            if self.success_rate_ctx(ctx) >= threshold {
                 return Ok(Some(used));
             }
             self.train(check_every, None, None)?;
             used += check_every;
         }
-        Ok(if self.success_rate() >= threshold { Some(used) } else { None })
+        Ok(if self.success_rate_ctx(ctx) >= threshold { Some(used) } else { None })
     }
 
     /// Runs `f` with every agent's policy deployed in `repr` (weights
@@ -410,10 +451,13 @@ impl GridFrlSystem {
     /// exactly one step and then vanishes.
     pub fn success_rate_transient1(&mut self, ber: Ber, repr: ReprKind, seed: u64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = InferCtx::new();
         let mut outcomes = Vec::with_capacity(self.cfg.n_agents);
         for i in 0..self.cfg.n_agents {
             let fault_step = rng.gen_range(0..20usize);
-            outcomes.push(self.greedy_episode_with_step_fault(i, fault_step, ber, repr, &mut rng));
+            outcomes.push(
+                self.greedy_episode_with_step_fault(i, fault_step, ber, repr, &mut rng, &mut ctx),
+            );
         }
         crate::metrics::success_rate_of(&outcomes)
     }
@@ -425,6 +469,7 @@ impl GridFrlSystem {
         ber: Ber,
         repr: ReprKind,
         rng: &mut StdRng,
+        ctx: &mut InferCtx,
     ) -> Outcome {
         let mut eval_rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xE7A1 + agent as u64));
         let mut state = self.envs[agent].reset(&mut eval_rng);
@@ -439,14 +484,14 @@ impl GridFrlSystem {
                     .network_mut()
                     .restore(&corrupted)
                     .expect("snapshot length invariant");
-                let a = self.agents[agent].act_greedy(&state);
+                let a = self.agents[agent].act_greedy_ctx(&state, ctx);
                 self.agents[agent]
                     .network_mut()
                     .restore(&clean)
                     .expect("snapshot length invariant");
                 a
             } else {
-                self.agents[agent].act_greedy(&state)
+                self.agents[agent].act_greedy_ctx(&state, ctx)
             };
             let step_result = self.envs[agent].step(action, &mut eval_rng);
             state = step_result.state;
@@ -465,6 +510,22 @@ impl GridFrlSystem {
     /// on every inference step, emulating upsets in an accelerator's
     /// activation buffers.
     pub fn success_rate_activation_faults(&mut self, ber: Ber, repr: ReprKind, seed: u64) -> f64 {
+        self.success_rate_activation_faults_ctx(ber, repr, seed, &mut InferCtx::new())
+    }
+
+    /// [`GridFrlSystem::success_rate_activation_faults`] on the
+    /// zero-allocation inference fast path: the per-layer corruption
+    /// hook runs over the scratch-buffer activations, and the fault
+    /// RNG consumes the exact same stream as the slow path (one hook
+    /// call per layer, in layer order), so statistics are
+    /// bit-identical.
+    pub fn success_rate_activation_faults_ctx(
+        &mut self,
+        ber: Ber,
+        repr: ReprKind,
+        seed: u64,
+        ctx: &mut InferCtx,
+    ) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut outcomes = Vec::with_capacity(self.cfg.n_agents);
         for i in 0..self.cfg.n_agents {
@@ -473,23 +534,15 @@ impl GridFrlSystem {
             let mut outcome = Outcome::Timeout;
             for _ in 0..200 {
                 let action = {
-                    let net = self.agents[i].network_mut();
+                    let net = self.agents[i].network();
                     let out = net
-                        .forward_with_activation_faults(&state, &mut |buf| {
+                        .infer_with_activation_faults(&state, ctx, &mut |buf| {
                             let repr = repr.materialize_for(buf);
                             inject_slice_ber(buf, repr, FaultModel::TransientMulti, ber, &mut rng);
                         })
-                        .expect("forward");
+                        .expect("infer");
                     // Greedy over (possibly corrupted) outputs.
-                    let mut best = 0;
-                    let mut best_v = f32::NEG_INFINITY;
-                    for (a, &v) in out.data().iter().enumerate() {
-                        if v.is_finite() && v > best_v {
-                            best_v = v;
-                            best = a;
-                        }
-                    }
-                    best
+                    greedy_argmax(out)
                 };
                 let step = self.envs[i].step(action, &mut eval_rng);
                 state = step.state;

@@ -37,24 +37,56 @@ pub struct CellStats {
     pub std: f64,
     /// Number of repeats.
     pub n: usize,
+    /// Smallest repeat value (0.0 for an empty cell).
+    pub min: f64,
+    /// Largest repeat value (0.0 for an empty cell).
+    pub max: f64,
 }
 
-/// Welford's streaming mean/variance accumulator.
+impl CellStats {
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// of the mean, `1.96 · s / √n` with the *sample* standard
+    /// deviation `s` (Bessel-corrected from the stored population
+    /// `std`). Returns `0.0` for `n < 2`, where no spread is
+    /// estimable. The paper's heatmaps need only means; ablations use
+    /// this to judge whether cell differences exceed repeat noise.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let sample_std = self.std * (n / (n - 1.0)).sqrt();
+        1.96 * sample_std / n.sqrt()
+    }
+}
+
+/// Welford's streaming mean/variance accumulator, extended with
+/// min/max tracking.
 ///
 /// O(1) state, one pass, no sample buffering. `merge` implements the
 /// Chan et al. parallel combination, used by the campaign engine to
-/// fold per-chunk accumulators deterministically.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// fold per-chunk accumulators deterministically. The min/max fields
+/// ride along without touching the mean/variance recurrences, so
+/// adding them keeps historical means bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Welford {
     n: u64,
     mean: f64,
     m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Welford::new()
+    }
 }
 
 impl Welford {
     /// An empty accumulator.
     pub const fn new() -> Self {
-        Welford { n: 0, mean: 0.0, m2: 0.0 }
+        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Folds one sample in.
@@ -63,6 +95,8 @@ impl Welford {
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
         self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
     }
 
     /// Folds another accumulator in (order matters at the ulp level;
@@ -81,6 +115,8 @@ impl Welford {
         self.m2 += other.m2 + delta * delta * (na * nb / total);
         self.mean += delta * (nb / total);
         self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Number of samples folded in.
@@ -91,12 +127,14 @@ impl Welford {
     /// The accumulated statistics (population std).
     pub fn stats(&self) -> CellStats {
         if self.n == 0 {
-            return CellStats { mean: 0.0, std: 0.0, n: 0 };
+            return CellStats { mean: 0.0, std: 0.0, n: 0, min: 0.0, max: 0.0 };
         }
         CellStats {
             mean: self.mean,
             std: (self.m2 / self.n as f64).max(0.0).sqrt(),
             n: self.n as usize,
+            min: self.min,
+            max: self.max,
         }
     }
 }
@@ -315,6 +353,45 @@ mod tests {
                 assert_eq!(agg.n, stats[ci].n);
             }
         }
+    }
+
+    #[test]
+    fn min_max_track_extremes_across_chunks_and_threads() {
+        let cells: Vec<u64> = (0..3).collect();
+        let eval = |&c: &u64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            c as f64 + rng.gen_range(-2.0..5.0)
+        };
+        for threads in [1, 4] {
+            let stats = sweep_with_threads(&cells, 40, 11, threads, eval);
+            for (ci, &cell) in cells.iter().enumerate() {
+                let values: Vec<f64> =
+                    (0..40).map(|r| eval(&cell, derive_seed(11, (ci * 40 + r) as u64))).collect();
+                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(stats[ci].min, lo);
+                assert_eq!(stats[ci].max, hi);
+                assert!(stats[ci].min <= stats[ci].mean && stats[ci].mean <= stats[ci].max);
+            }
+        }
+    }
+
+    #[test]
+    fn ci95_half_width_matches_by_hand() {
+        let values = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let stats = aggregate_in_order(&values);
+        // Sample std of 1..5 is sqrt(2.5); half-width = 1.96*s/sqrt(5).
+        let expect = 1.96 * 2.5f64.sqrt() / 5f64.sqrt();
+        assert!((stats.ci95_half_width() - expect).abs() < 1e-12);
+        // Degenerate cells report no interval.
+        assert_eq!(aggregate_in_order(&[7.0]).ci95_half_width(), 0.0);
+        assert_eq!(aggregate_in_order(&[]).ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_have_neutral_extremes() {
+        let s = Welford::new().stats();
+        assert_eq!((s.min, s.max, s.n), (0.0, 0.0, 0));
     }
 
     #[test]

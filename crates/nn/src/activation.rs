@@ -1,4 +1,4 @@
-use crate::{Layer, LayerKind, NnError};
+use crate::{ActShape, Layer, LayerKind, NnError};
 use frlfi_tensor::Tensor;
 
 /// Rectified linear unit, `y = max(x, 0)`, applied elementwise.
@@ -30,6 +30,26 @@ impl Layer for Relu {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         self.cached_input = Some(input.clone());
         Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn out_shape(&self, in_shape: &ActShape) -> Result<ActShape, NnError> {
+        Ok(*in_shape)
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        _in_shape: &ActShape,
+        out: &mut [f32],
+    ) -> Result<(), NnError> {
+        for (o, &x) in out.iter_mut().zip(input.iter()) {
+            *o = x.max(0.0);
+        }
+        Ok(())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

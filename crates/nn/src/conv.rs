@@ -1,4 +1,4 @@
-use crate::{Layer, LayerKind, NnError};
+use crate::{ActShape, Layer, LayerKind, NnError};
 use frlfi_tensor::{Init, Tensor, TensorError};
 use rand::Rng;
 
@@ -76,7 +76,10 @@ impl Conv2d {
     }
 
     fn check_input(&self, input: &Tensor) -> Result<(usize, usize), NnError> {
-        let dims = input.shape().dims();
+        self.check_dims(input.shape().dims())
+    }
+
+    fn check_dims(&self, dims: &[usize]) -> Result<(usize, usize), NnError> {
         if dims.len() != 3 || dims[0] != self.in_c {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 left: vec![self.in_c],
@@ -85,6 +88,94 @@ impl Conv2d {
             }));
         }
         self.out_hw(dims[1], dims[2])
+    }
+
+    /// The blocked generic inference kernel: convolution as a sum of
+    /// weight-scaled shifted input rows. The loop nest is
+    /// `oc → ic → ky → oy → kx → ox`, so every *output element* still
+    /// accumulates its terms in the reference `ic → ky → kx` order
+    /// (bit-identical to [`Layer::forward`]) while the innermost `ox`
+    /// sweep updates independent elements and vectorizes.
+    fn forward_into_generic(
+        &self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        out: &mut [f32],
+    ) {
+        let k = self.k;
+        let wt = self.w.data();
+        let b = self.b.data();
+        for oc in 0..self.out_c {
+            let out_plane = &mut out[oc * oh * ow..(oc + 1) * oh * ow];
+            out_plane.fill(b[oc]);
+            for ic in 0..self.in_c {
+                let x_chan = &x[ic * h * w..(ic + 1) * h * w];
+                let w_base = (oc * self.in_c + ic) * k * k;
+                for ky in 0..k {
+                    let w_row = &wt[w_base + ky * k..w_base + (ky + 1) * k];
+                    for oy in 0..oh {
+                        let x_row = &x_chan[(oy + ky) * w..(oy + ky) * w + w];
+                        let o_row = &mut out_plane[oy * ow..(oy + 1) * ow];
+                        for (kx, &wv) in w_row.iter().enumerate() {
+                            let x_shift = &x_row[kx..kx + ow];
+                            for (o, &xv) in o_row.iter_mut().zip(x_shift.iter()) {
+                                *o += xv * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kernel-size-specialized inference path for the ubiquitous 3×3
+    /// case (the DroneNav policy is three k=3 convs): the `kx` loop is
+    /// fully unrolled into three in-order `+=` updates per output
+    /// element, preserving the reference accumulation order.
+    fn forward_into_k3(
+        &self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        out: &mut [f32],
+    ) {
+        let wt = self.w.data();
+        let b = self.b.data();
+        for oc in 0..self.out_c {
+            let out_plane = &mut out[oc * oh * ow..(oc + 1) * oh * ow];
+            out_plane.fill(b[oc]);
+            for ic in 0..self.in_c {
+                let x_chan = &x[ic * h * w..(ic + 1) * h * w];
+                let w_base = (oc * self.in_c + ic) * 9;
+                for ky in 0..3 {
+                    let w_row = &wt[w_base + ky * 3..w_base + ky * 3 + 3];
+                    let (w0, w1, w2) = (w_row[0], w_row[1], w_row[2]);
+                    for oy in 0..oh {
+                        let x_row = &x_chan[(oy + ky) * w..(oy + ky) * w + w];
+                        let o_row = &mut out_plane[oy * ow..(oy + 1) * ow];
+                        // Three shifted, equal-length views of the input
+                        // row: the zip carries no bounds checks and the
+                        // per-element updates are independent, so the
+                        // loop vectorizes while each output element
+                        // still receives its kx = 0, 1, 2 terms in
+                        // order.
+                        let x0 = &x_row[..ow];
+                        let x1 = &x_row[1..1 + ow];
+                        let x2 = &x_row[2..2 + ow];
+                        for (((o, &a), &b), &c) in o_row.iter_mut().zip(x0).zip(x1).zip(x2) {
+                            *o += a * w0;
+                            *o += b * w1;
+                            *o += c * w2;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -126,6 +217,32 @@ impl Layer for Conv2d {
         }
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn out_shape(&self, in_shape: &ActShape) -> Result<ActShape, NnError> {
+        let (oh, ow) = self.check_dims(in_shape.dims())?;
+        Ok(ActShape::image(self.out_c, oh, ow))
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        in_shape: &ActShape,
+        out: &mut [f32],
+    ) -> Result<(), NnError> {
+        let (oh, ow) = self.check_dims(in_shape.dims())?;
+        let dims = in_shape.dims();
+        let (h, w) = (dims[1], dims[2]);
+        if self.k == 3 {
+            self.forward_into_k3(input, h, w, oh, ow, out);
+        } else {
+            self.forward_into_generic(input, h, w, oh, ow, out);
+        }
+        Ok(())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

@@ -1,5 +1,5 @@
-use crate::{Layer, LayerKind, NnError};
-use frlfi_tensor::{Init, Tensor};
+use crate::{ActShape, Layer, LayerKind, NnError};
+use frlfi_tensor::{Init, Tensor, TensorError};
 use rand::Rng;
 
 /// A fully connected layer: `y = W·x + b` with `W ∈ [out, in]`.
@@ -88,6 +88,71 @@ impl Layer for Dense {
         out.axpy(1.0, &self.b)?;
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn out_shape(&self, in_shape: &ActShape) -> Result<ActShape, NnError> {
+        // Any shape whose volume matches `in_dim` flattens implicitly,
+        // exactly as in `forward`.
+        if in_shape.volume() != self.in_dim() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                left: self.w.shape().dims().to_vec(),
+                right: in_shape.dims().to_vec(),
+                op: "matvec",
+            }));
+        }
+        Ok(ActShape::flat(self.out_dim()))
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        in_shape: &ActShape,
+        out: &mut [f32],
+    ) -> Result<(), NnError> {
+        self.out_shape(in_shape)?;
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        let w = self.w.data();
+        let b = self.b.data();
+        let x = &input[..in_dim];
+        // Register-blocked matvec: four output rows per pass share one
+        // streaming read of `x`. Each row keeps its own accumulator and
+        // sums `w[i][j] * x[j]` sequentially in `j`, which is the exact
+        // accumulation order of `Tensor::matvec` — the blocking is over
+        // independent rows, so results stay bit-identical to `forward`.
+        let mut i = 0;
+        while i + 4 <= out_dim {
+            let r0 = &w[i * in_dim..(i + 1) * in_dim];
+            let r1 = &w[(i + 1) * in_dim..(i + 2) * in_dim];
+            let r2 = &w[(i + 2) * in_dim..(i + 3) * in_dim];
+            let r3 = &w[(i + 3) * in_dim..(i + 4) * in_dim];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for j in 0..in_dim {
+                let xj = x[j];
+                a0 += r0[j] * xj;
+                a1 += r1[j] * xj;
+                a2 += r2[j] * xj;
+                a3 += r3[j] * xj;
+            }
+            out[i] = a0 + b[i];
+            out[i + 1] = a1 + b[i + 1];
+            out[i + 2] = a2 + b[i + 2];
+            out[i + 3] = a3 + b[i + 3];
+            i += 4;
+        }
+        while i < out_dim {
+            let row = &w[i * in_dim..(i + 1) * in_dim];
+            let mut acc = 0.0f32;
+            for (wv, xv) in row.iter().zip(x.iter()) {
+                acc += wv * xv;
+            }
+            out[i] = acc + b[i];
+            i += 1;
+        }
+        Ok(())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

@@ -1,0 +1,156 @@
+//! Zero-allocation inference fast path.
+//!
+//! Campaign throughput is bounded by `Network::forward`, which clones
+//! the input, heap-allocates a fresh output tensor per layer and caches
+//! a clone of every layer input for a backward pass that eval loops
+//! never run. [`InferCtx`] replaces all of that with two preallocated
+//! ping-pong scratch buffers that layers write into through
+//! [`crate::Layer::forward_into`]; after the first call on a given
+//! architecture, inference performs no allocation at all.
+//!
+//! The fast path is **bit-identical** to `forward`: every kernel in
+//! `Dense`/`Conv2d`/`Relu` preserves the exact floating-point
+//! accumulation order of the reference implementation, so campaign
+//! statistics computed through [`crate::Network::infer`] match the slow
+//! path to the last ulp (golden-equivalence proptests enforce this).
+
+use crate::NnError;
+
+/// Shape of an activation flowing through the fast path.
+///
+/// Networks in this workspace only ever pass rank-1 (flat) or rank-3
+/// (`[c, h, w]`) activations between layers, so the shape is a small
+/// copyable value instead of a heap-backed `Shape`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActShape {
+    dims: [usize; 3],
+    rank: usize,
+}
+
+impl ActShape {
+    /// A flat (rank-1) activation of `n` elements.
+    pub fn flat(n: usize) -> Self {
+        ActShape { dims: [n, 1, 1], rank: 1 }
+    }
+
+    /// A `[c, h, w]` image activation.
+    pub fn image(c: usize, h: usize, w: usize) -> Self {
+        ActShape { dims: [c, h, w], rank: 3 }
+    }
+
+    /// Builds a shape from tensor dims (rank 1–3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadDimensions`] for rank 0 or rank > 3.
+    pub fn from_dims(dims: &[usize]) -> Result<Self, NnError> {
+        match *dims {
+            [n] => Ok(ActShape::flat(n)),
+            [h, w] => Ok(ActShape { dims: [h, w, 1], rank: 2 }),
+            [c, h, w] => Ok(ActShape::image(c, h, w)),
+            _ => Err(NnError::BadDimensions {
+                detail: format!("inference path supports rank 1-3 activations, got {dims:?}"),
+            }),
+        }
+    }
+
+    /// The shape as a dim slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank]
+    }
+
+    /// Number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims().iter().product()
+    }
+}
+
+/// Reusable inference scratch arena: two ping-pong activation buffers.
+///
+/// One ctx serves any number of networks and input shapes — buffers
+/// grow to the high-water mark and are then reused allocation-free.
+/// The campaign runner keeps one per worker thread; the episode runner
+/// reuses one across all steps of a greedy episode.
+///
+/// ```
+/// use frlfi_nn::{InferCtx, NetworkBuilder};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use frlfi_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = NetworkBuilder::new(4).dense(8).relu().dense(2).build(&mut rng)?;
+/// let mut ctx = InferCtx::new();
+/// let x = Tensor::from_vec(vec![4], vec![1.0, 0.0, -1.0, 0.5])?;
+/// let out = net.infer(&x, &mut ctx)?;
+/// assert_eq!(out.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct InferCtx {
+    bufs: [Vec<f32>; 2],
+}
+
+impl InferCtx {
+    /// An empty context; buffers are sized on first use.
+    pub fn new() -> Self {
+        InferCtx::default()
+    }
+
+    /// A context preallocated for activations up to `max_len` elements,
+    /// so even the first inference allocates nothing.
+    pub fn with_capacity(max_len: usize) -> Self {
+        InferCtx { bufs: [vec![0.0; max_len], vec![0.0; max_len]] }
+    }
+
+    /// Largest activation either buffer can currently hold without
+    /// reallocating.
+    pub fn capacity(&self) -> usize {
+        self.bufs[0].len().min(self.bufs[1].len())
+    }
+
+    /// Runs `layers` over `input`, writing each layer's output into the
+    /// scratch buffers and calling `visit` on every freshly produced
+    /// activation (the activation-fault hook point). Returns the final
+    /// activation slice and its shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub(crate) fn run<'c>(
+        &'c mut self,
+        layers: &[Box<dyn crate::Layer>],
+        input: &[f32],
+        input_shape: ActShape,
+        mut visit: impl FnMut(&mut [f32]),
+    ) -> Result<(&'c [f32], ActShape), NnError> {
+        let mut shape = input_shape;
+        // Which scratch buffer holds the current activation; the input
+        // itself backs the first layer's read.
+        let mut cur: Option<usize> = None;
+        for layer in layers {
+            let out_shape = layer.out_shape(&shape)?;
+            let n = out_shape.volume();
+            let dst = match cur {
+                None => 0,
+                Some(c) => 1 - c,
+            };
+            if self.bufs[dst].len() < n {
+                self.bufs[dst].resize(n, 0.0);
+            }
+            let (a, b) = self.bufs.split_at_mut(1);
+            let (src, out): (&[f32], &mut [f32]) = match cur {
+                None => (input, &mut a[0][..n]),
+                Some(0) => (&a[0][..shape.volume()], &mut b[0][..n]),
+                Some(_) => (&b[0][..shape.volume()], &mut a[0][..n]),
+            };
+            layer.forward_into(src, &shape, out)?;
+            visit(out);
+            cur = Some(dst);
+            shape = out_shape;
+        }
+        let idx = cur.ok_or(NnError::EmptyNetwork)?;
+        Ok((&self.bufs[idx][..shape.volume()], shape))
+    }
+}

@@ -1,4 +1,4 @@
-use crate::NnError;
+use crate::{ActShape, NnError};
 use frlfi_tensor::Tensor;
 
 /// Coarse classification of a layer, used by the layer-type resilience
@@ -65,6 +65,37 @@ pub trait Layer: Send {
     ///
     /// Returns an error if the input shape is incompatible.
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Output shape for an input of `in_shape` on the inference fast
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn out_shape(&self, in_shape: &ActShape) -> Result<ActShape, NnError>;
+
+    /// Inference-only forward: reads the flat activation `input` (laid
+    /// out as `in_shape`) and writes the full output activation into
+    /// `out`, which the caller sizes to `out_shape(in_shape).volume()`.
+    ///
+    /// Contract: no allocation, no input caching, and **bit-identical**
+    /// output to [`Layer::forward`] — implementations must preserve the
+    /// reference kernels' floating-point accumulation order exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn forward_into(
+        &self,
+        input: &[f32],
+        in_shape: &ActShape,
+        out: &mut [f32],
+    ) -> Result<(), NnError>;
+
+    /// Drops the cached forward input (if any), shrinking resident
+    /// memory for eval-only deployments. A later [`Layer::backward`]
+    /// without a fresh [`Layer::forward`] then fails.
+    fn clear_cache(&mut self);
 
     /// Back-propagates `grad_out`, accumulating parameter gradients and
     /// returning the gradient with respect to the layer input.

@@ -33,6 +33,7 @@ mod activation;
 mod conv;
 mod dense;
 mod error;
+mod infer;
 mod layer;
 mod network;
 
@@ -40,5 +41,6 @@ pub use activation::Relu;
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use error::NnError;
+pub use infer::{ActShape, InferCtx};
 pub use layer::{Layer, LayerKind, ParamSpan};
 pub use network::{Network, NetworkBuilder};

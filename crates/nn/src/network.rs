@@ -1,4 +1,4 @@
-use crate::{Conv2d, Dense, Layer, NnError, ParamSpan, Relu};
+use crate::{ActShape, Conv2d, Dense, InferCtx, Layer, NnError, ParamSpan, Relu};
 use frlfi_tensor::{Summary, Tensor};
 use rand::Rng;
 
@@ -26,11 +26,18 @@ use rand::Rng;
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
     input_dim: usize,
+    // Total trainable parameters, fixed at construction (layer tensor
+    // sizes never change), so snapshot/restore size exactly once.
+    param_total: usize,
 }
 
 impl Clone for Network {
     fn clone(&self) -> Self {
-        Network { layers: self.layers.clone(), input_dim: self.input_dim }
+        Network {
+            layers: self.layers.clone(),
+            input_dim: self.input_dim,
+            param_total: self.param_total,
+        }
     }
 }
 
@@ -53,7 +60,8 @@ impl Network {
         if layers.is_empty() {
             return Err(NnError::EmptyNetwork);
         }
-        Ok(Network { layers, input_dim })
+        let param_total = layers.iter().map(|l| l.param_count()).sum();
+        Ok(Network { layers, input_dim, param_total })
     }
 
     /// Expected flat input volume.
@@ -103,6 +111,54 @@ impl Network {
         Ok(x)
     }
 
+    /// Runs the network forward on the zero-allocation inference fast
+    /// path, reusing `ctx`'s scratch buffers for every intermediate
+    /// activation. No layer caches its input (so no subsequent
+    /// [`Network::backward`] is possible from this call), and outputs
+    /// are **bit-identical** to [`Network::forward`].
+    ///
+    /// The returned slice borrows from `ctx` and is valid until the
+    /// next inference through the same context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn infer<'c>(&self, input: &Tensor, ctx: &'c mut InferCtx) -> Result<&'c [f32], NnError> {
+        let shape = ActShape::from_dims(input.shape().dims())?;
+        let (out, _) = ctx.run(&self.layers, input.data(), shape, |_| {})?;
+        Ok(out)
+    }
+
+    /// [`Network::infer`] with the activation-fault hook of
+    /// [`Network::forward_with_activation_faults`]: `corrupt` mutates
+    /// every freshly produced activation buffer (including the final
+    /// output), in layer order, on the same fast path — so seeded
+    /// fault campaigns produce bit-identical statistics on either path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn infer_with_activation_faults<'c>(
+        &self,
+        input: &Tensor,
+        ctx: &'c mut InferCtx,
+        corrupt: &mut dyn FnMut(&mut [f32]),
+    ) -> Result<&'c [f32], NnError> {
+        let shape = ActShape::from_dims(input.shape().dims())?;
+        let (out, _) = ctx.run(&self.layers, input.data(), shape, |buf| corrupt(buf))?;
+        Ok(out)
+    }
+
+    /// Drops every layer's cached forward input, shrinking resident
+    /// memory in eval-only deployments (campaign eval loops never call
+    /// backward). Training transparently re-caches on the next
+    /// [`Network::forward`].
+    pub fn eval_mode(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_cache();
+        }
+    }
+
     /// Back-propagates a gradient of the loss with respect to the output,
     /// accumulating parameter gradients in every layer.
     ///
@@ -132,9 +188,9 @@ impl Network {
         }
     }
 
-    /// Total number of trainable parameters.
+    /// Total number of trainable parameters (precomputed; O(1)).
     pub fn param_count(&self) -> usize {
-        self.layers.iter().map(|l| l.param_count()).sum()
+        self.param_total
     }
 
     /// Copies all parameters into a flat vector (layer order, weights
@@ -177,7 +233,7 @@ impl Network {
     /// Describes where each parameterized layer's scalars live in the
     /// flat vector.
     pub fn param_spans(&self) -> Vec<ParamSpan> {
-        let mut spans = Vec::new();
+        let mut spans = Vec::with_capacity(self.layers.len());
         let mut off = 0;
         for layer in &self.layers {
             let len = layer.param_count();
@@ -486,6 +542,88 @@ mod tests {
             let lo = slice.iter().cloned().fold(f32::INFINITY, f32::min);
             assert_eq!(summary.min, lo);
         }
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut net = mlp();
+        let mut ctx = InferCtx::new();
+        let x = Tensor::from_vec(vec![4], vec![1.0, -1.0, 0.5, 0.25]).unwrap();
+        let slow = net.forward(&x).unwrap();
+        let fast = net.infer(&x, &mut ctx).unwrap();
+        assert_eq!(slow.data(), fast);
+        // Conv stack too.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = NetworkBuilder::new_image(2, 8, 9)
+            .conv(3, 3)
+            .relu()
+            .conv(4, 2)
+            .relu()
+            .dense(10)
+            .build(&mut rng)
+            .unwrap();
+        let x = Tensor::random(vec![2, 8, 9], frlfi_tensor::Init::Uniform(-1.0, 1.0), &mut rng);
+        let slow = net.forward(&x).unwrap();
+        let fast = net.infer(&x, &mut ctx).unwrap();
+        assert_eq!(slow.data(), fast);
+    }
+
+    #[test]
+    fn infer_with_activation_faults_matches_slow_path() {
+        let mut net = mlp();
+        let x = Tensor::from_vec(vec![4], vec![0.3, -0.2, 0.9, -1.5]).unwrap();
+        let corrupt_with = |mut rng: StdRng| {
+            move |buf: &mut [f32]| {
+                use rand::Rng;
+                let i = rng.gen_range(0..buf.len());
+                buf[i] = f32::from_bits(buf[i].to_bits() ^ (1 << rng.gen_range(0..32)));
+            }
+        };
+        let mut slow_corrupt = corrupt_with(StdRng::seed_from_u64(11));
+        let slow = net.forward_with_activation_faults(&x, &mut slow_corrupt).unwrap();
+        let mut ctx = InferCtx::new();
+        let mut fast_corrupt = corrupt_with(StdRng::seed_from_u64(11));
+        let fast = net.infer_with_activation_faults(&x, &mut ctx, &mut fast_corrupt).unwrap();
+        assert_eq!(slow.data(), fast);
+    }
+
+    #[test]
+    fn infer_performs_no_allocation_after_warmup() {
+        let net = mlp();
+        let x = Tensor::zeros(vec![4]);
+        let mut ctx = InferCtx::new();
+        net.infer(&x, &mut ctx).unwrap();
+        let cap = ctx.capacity();
+        for _ in 0..10 {
+            net.infer(&x, &mut ctx).unwrap();
+        }
+        assert_eq!(ctx.capacity(), cap, "warm ctx must not grow");
+        // A presized ctx never grows at all.
+        let mut pre = InferCtx::with_capacity(8);
+        net.infer(&x, &mut pre).unwrap();
+        assert_eq!(pre.capacity(), 8);
+    }
+
+    #[test]
+    fn eval_mode_drops_caches_and_blocks_backward() {
+        let mut net = mlp();
+        let x = Tensor::zeros(vec![4]);
+        net.forward(&x).unwrap();
+        net.eval_mode();
+        assert!(matches!(
+            net.backward(&Tensor::zeros(vec![4])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+        // Training re-caches transparently.
+        net.forward(&x).unwrap();
+        net.backward(&Tensor::zeros(vec![4])).unwrap();
+    }
+
+    #[test]
+    fn infer_propagates_shape_errors() {
+        let net = mlp();
+        let mut ctx = InferCtx::new();
+        assert!(net.infer(&Tensor::zeros(vec![5]), &mut ctx).is_err());
     }
 
     #[test]

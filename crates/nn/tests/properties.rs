@@ -1,14 +1,52 @@
 //! Property-based tests for the network substrate.
 
-use frlfi_nn::{Layer, NetworkBuilder, Relu};
+use frlfi_nn::{InferCtx, Layer, NetworkBuilder, Relu};
 use frlfi_tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn mlp(seed: u64, in_dim: usize, hidden: usize, out_dim: usize) -> frlfi_nn::Network {
     let mut rng = StdRng::seed_from_u64(seed);
     NetworkBuilder::new(in_dim).dense(hidden).relu().dense(out_dim).build(&mut rng).expect("mlp")
+}
+
+/// A random Dense/Conv/ReLU stack over a `[c, h, w]` image input, with
+/// 0–2 conv stages (k ∈ {1, 2, 3}, the 3 case exercising the
+/// specialized kernel) feeding 1–2 dense stages.
+fn random_stack(seed: u64, c: usize, h: usize, w: usize) -> (frlfi_nn::Network, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new_image(c, h, w);
+    let n_convs = rng.gen_range(0..3usize);
+    for _ in 0..n_convs {
+        let k = rng.gen_range(1..=3usize);
+        let out_c = rng.gen_range(1..5usize);
+        b = b.conv(out_c, k);
+        if rng.gen_bool(0.5) {
+            b = b.relu();
+        }
+    }
+    b = b.dense(rng.gen_range(1..12usize));
+    if rng.gen_bool(0.5) {
+        b = b.relu();
+        b = b.dense(rng.gen_range(1..6usize));
+    }
+    let net = b.build(&mut rng).expect("stack dims stay >= 3x3");
+    let x = Tensor::random(vec![c, h, w], frlfi_tensor::Init::Uniform(-2.0, 2.0), &mut rng);
+    (net, x)
+}
+
+/// Deterministic bit-flip corruptor factory: both the slow and the fast
+/// activation-fault paths get an identical RNG stream.
+fn bit_flipper(seed: u64) -> impl FnMut(&mut [f32]) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    move |buf: &mut [f32]| {
+        for _ in 0..2 {
+            let i = rng.gen_range(0..buf.len());
+            let bit = rng.gen_range(0..32u32);
+            buf[i] = f32::from_bits(buf[i].to_bits() ^ (1 << bit));
+        }
+    }
 }
 
 proptest! {
@@ -78,5 +116,86 @@ proptest! {
         let mut net = mlp(seed, 4, 8, 3);
         let bad = vec![0.0; net.param_count() + extra];
         prop_assert!(net.restore(&bad).is_err());
+    }
+
+    // ---- Golden equivalence: the inference fast path is bit-identical
+    // ---- to the reference forward pass.
+
+    #[test]
+    fn infer_equals_forward_bitwise_on_mlps(
+        seed in any::<u64>(),
+        dims in (1usize..8, 1usize..16, 1usize..8),
+        x in proptest::collection::vec(-5.0f32..5.0, 4),
+    ) {
+        let (i, h, o) = dims;
+        let mut net = mlp(seed, 4, 8, 3);
+        let input = Tensor::from_vec(vec![4], x).expect("input");
+        let slow = net.forward(&input).expect("forward");
+        let mut ctx = InferCtx::new();
+        let fast = net.infer(&input, &mut ctx).expect("infer");
+        prop_assert_eq!(slow.data(), fast);
+        // Differently shaped MLP through the same (warm) ctx.
+        let mut net2 = mlp(seed ^ 0x9E37, i, h, o);
+        let input2 = Tensor::full(vec![i], 0.37);
+        let slow2 = net2.forward(&input2).expect("forward");
+        let fast2 = net2.infer(&input2, &mut ctx).expect("infer");
+        prop_assert_eq!(slow2.data(), fast2);
+    }
+
+    #[test]
+    fn infer_equals_forward_bitwise_on_conv_stacks(
+        seed in any::<u64>(),
+        c in 1usize..3,
+        h in 5usize..10,
+        w in 5usize..12,
+    ) {
+        let (mut net, x) = random_stack(seed, c, h, w);
+        let slow = net.forward(&x).expect("forward");
+        let mut ctx = InferCtx::new();
+        let fast = net.infer(&x, &mut ctx).expect("infer");
+        prop_assert_eq!(slow.data(), fast);
+        // Repeated inference through the same warm ctx stays identical.
+        let again = net.infer(&x, &mut ctx).expect("infer");
+        prop_assert_eq!(slow.data(), again);
+    }
+
+    #[test]
+    fn infer_with_activation_faults_equals_slow_path(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        c in 1usize..3,
+        h in 5usize..10,
+        w in 5usize..12,
+    ) {
+        let (mut net, x) = random_stack(seed, c, h, w);
+        let mut slow_corrupt = bit_flipper(fault_seed);
+        let slow = net
+            .forward_with_activation_faults(&x, &mut slow_corrupt)
+            .expect("forward");
+        let mut ctx = InferCtx::new();
+        let mut fast_corrupt = bit_flipper(fault_seed);
+        let fast = net
+            .infer_with_activation_faults(&x, &mut ctx, &mut fast_corrupt)
+            .expect("infer");
+        // Bit-level comparison: flips can produce NaN, and NaN != NaN.
+        let slow_bits: Vec<u32> = slow.data().iter().map(|v| v.to_bits()).collect();
+        let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(slow_bits, fast_bits);
+    }
+
+    #[test]
+    fn infer_leaves_parameters_and_caches_untouched(
+        seed in any::<u64>(),
+        c in 1usize..3,
+        h in 5usize..9,
+        w in 5usize..9,
+    ) {
+        let (mut net, x) = random_stack(seed, c, h, w);
+        let snap = net.snapshot();
+        let mut ctx = InferCtx::new();
+        net.infer(&x, &mut ctx).expect("infer");
+        prop_assert_eq!(net.snapshot(), snap, "infer must not write parameters");
+        // No input caching: backward without a prior forward() fails.
+        prop_assert!(net.backward(&Tensor::full(vec![1], 1.0)).is_err());
     }
 }

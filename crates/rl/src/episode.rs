@@ -1,5 +1,6 @@
 use crate::{Learner, Transition};
 use frlfi_envs::{Environment, Outcome};
+use frlfi_nn::InferCtx;
 use rand::RngCore;
 
 /// The result of running one episode.
@@ -47,17 +48,31 @@ pub fn run_episode(
 }
 
 /// Runs one *inference* episode: pure greedy exploitation, no learning
-/// (§III-B's second phase).
+/// (§III-B's second phase). Allocates one scratch [`InferCtx`] for the
+/// whole episode; callers evaluating many episodes should pass their
+/// own through [`run_greedy_episode_ctx`] instead.
 pub fn run_greedy_episode(
     env: &mut dyn Environment,
     learner: &mut dyn Learner,
     rng: &mut dyn RngCore,
 ) -> EpisodeSummary {
+    run_greedy_episode_ctx(env, learner, rng, &mut InferCtx::new())
+}
+
+/// [`run_greedy_episode`] on the zero-allocation inference fast path:
+/// every greedy action of the episode reuses `ctx`'s scratch buffers,
+/// so a warm context makes the policy evaluation allocation-free.
+pub fn run_greedy_episode_ctx(
+    env: &mut dyn Environment,
+    learner: &mut dyn Learner,
+    rng: &mut dyn RngCore,
+    ctx: &mut InferCtx,
+) -> EpisodeSummary {
     let mut state = env.reset(rng);
     let mut total_reward = 0.0;
     let mut steps = 0;
     let outcome = loop {
-        let action = learner.act_greedy(&state);
+        let action = learner.act_greedy_ctx(&state, ctx);
         let step = env.step(action, rng);
         total_reward += step.reward;
         steps += 1;

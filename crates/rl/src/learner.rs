@@ -1,4 +1,4 @@
-use frlfi_nn::Network;
+use frlfi_nn::{InferCtx, Network};
 use frlfi_tensor::Tensor;
 use rand::RngCore;
 
@@ -27,6 +27,16 @@ pub trait Learner: Send {
 
     /// Selects an action greedily (inference phase: pure exploitation).
     fn act_greedy(&mut self, state: &Tensor) -> usize;
+
+    /// [`Learner::act_greedy`] on the zero-allocation inference fast
+    /// path, reusing `ctx`'s scratch buffers across calls. Must select
+    /// the same action as `act_greedy` for the same state (the fast
+    /// path is bit-identical), which the default delegation trivially
+    /// guarantees for implementors that have no fast path.
+    fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> usize {
+        let _ = ctx;
+        self.act_greedy(state)
+    }
 
     /// Feeds one transition; value methods may update online here.
     fn observe(&mut self, transition: Transition);

@@ -38,9 +38,9 @@ mod qlearn;
 mod reinforce;
 mod schedule;
 
-pub use episode::{run_episode, run_greedy_episode, EpisodeSummary};
+pub use episode::{run_episode, run_greedy_episode, run_greedy_episode_ctx, EpisodeSummary};
 pub use learner::{Learner, Transition};
-pub use policy::{eps_greedy, sample_categorical, softmax};
+pub use policy::{eps_greedy, greedy_argmax, sample_categorical, softmax, softmax_argmax};
 pub use qlearn::QLearner;
 pub use reinforce::Reinforce;
 pub use schedule::EpsilonSchedule;

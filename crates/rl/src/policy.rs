@@ -60,6 +60,54 @@ fn uniform_f32(rng: &mut dyn RngCore) -> f32 {
     (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
 }
 
+/// Index of the largest *finite* value (faults may have produced NaN /
+/// ±∞ entries; those are skipped). Ties and the all-non-finite case
+/// resolve to the earliest index — the exact greedy rule the learners
+/// have always used, shared here so the inference fast path cannot
+/// drift from the tensor path.
+pub fn greedy_argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_finite() && v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Allocation-free equivalent of `softmax(logits).argmax()`, selecting
+/// the same index **bit for bit**: it replays the exact computation of
+/// [`softmax`] (sanitize → subtract max → `exp` → normalize) on the
+/// fly instead of materializing the probability tensor, so even
+/// rounding-induced ties and the degenerate all-non-finite fallback
+/// (uniform → index 0) resolve identically. This keeps the greedy
+/// inference fast path free of per-step heap allocation.
+pub fn softmax_argmax(logits: &[f32]) -> usize {
+    let sanitize = |x: f32| if x.is_finite() { x } else { -1e30 };
+    let max = logits.iter().map(|&x| sanitize(x)).fold(f32::NEG_INFINITY, f32::max);
+    let sum: f32 = logits.iter().map(|&x| (sanitize(x) - max).exp()).sum();
+    if !(sum > 0.0 && sum.is_finite()) {
+        // softmax falls back to the uniform distribution, whose argmax
+        // is the first index.
+        return 0;
+    }
+    let mut best = 0;
+    let mut best_p = f32::NEG_INFINITY;
+    for (i, &x) in logits.iter().enumerate() {
+        // `exp` is deterministic, so recomputing yields the same bits
+        // `softmax` stored; strict `>` keeps the first of any ties,
+        // matching `Tensor::argmax`.
+        let p = (sanitize(x) - max).exp() / sum;
+        if p > best_p {
+            best_p = p;
+            best = i;
+        }
+    }
+    best
+}
+
 /// ε-greedy selection over a rank-1 Q-value tensor.
 pub fn eps_greedy(q_values: &Tensor, epsilon: f32, rng: &mut dyn RngCore) -> usize {
     let n = q_values.len();
@@ -68,15 +116,7 @@ pub fn eps_greedy(q_values: &Tensor, epsilon: f32, rng: &mut dyn RngCore) -> usi
         (rng.next_u64() % n as u64) as usize
     } else {
         // Ignore non-finite Q-values that faults may have produced.
-        let mut best = 0;
-        let mut best_v = f32::NEG_INFINITY;
-        for (i, &v) in q_values.data().iter().enumerate() {
-            if v.is_finite() && v > best_v {
-                best_v = v;
-                best = i;
-            }
-        }
-        best
+        greedy_argmax(q_values.data())
     }
 }
 
@@ -104,6 +144,27 @@ mod tests {
     fn softmax_all_nan_is_uniform() {
         let p = softmax(&Tensor::from_vec(vec![2], vec![f32::NAN, f32::NAN]).unwrap());
         assert!((p.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_argmax_matches_tensor_path_bitwise() {
+        let cases: Vec<Vec<f32>> = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 0.0],
+            vec![f32::NAN, 1.0, f32::INFINITY],
+            vec![f32::NAN, f32::NAN],
+            vec![f32::NEG_INFINITY, -1e30, -1e38],
+            vec![-1000.0, -900.0, 10.0],
+            // Rounding-collapsed near-tie: distinct logits, equal probs.
+            vec![1.0, 1.0 + 1e-9],
+            vec![5.0; 7],
+            vec![0.25],
+        ];
+        for logits in cases {
+            let n = logits.len();
+            let t = Tensor::from_vec(vec![n], logits.clone()).unwrap();
+            assert_eq!(softmax_argmax(&logits), softmax(&t).argmax(), "divergence on {logits:?}");
+        }
     }
 
     #[test]

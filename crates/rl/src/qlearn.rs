@@ -1,5 +1,5 @@
-use crate::{eps_greedy, EpsilonSchedule, Learner, Transition};
-use frlfi_nn::{Network, NetworkBuilder, NnError};
+use crate::{eps_greedy, greedy_argmax, EpsilonSchedule, Learner, Transition};
+use frlfi_nn::{InferCtx, Network, NetworkBuilder, NnError};
 use frlfi_tensor::Tensor;
 use rand::{Rng, RngCore};
 
@@ -73,15 +73,12 @@ impl Learner for QLearner {
 
     fn act_greedy(&mut self, state: &Tensor) -> usize {
         let q = self.net.forward(state).expect("forward on observation");
-        let mut best = 0;
-        let mut best_v = f32::NEG_INFINITY;
-        for (i, &v) in q.data().iter().enumerate() {
-            if v.is_finite() && v > best_v {
-                best_v = v;
-                best = i;
-            }
-        }
-        best
+        greedy_argmax(q.data())
+    }
+
+    fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> usize {
+        let q = self.net.infer(state, ctx).expect("infer on observation");
+        greedy_argmax(q)
     }
 
     fn observe(&mut self, t: Transition) {

@@ -1,5 +1,5 @@
-use crate::{sample_categorical, softmax, Learner, Transition};
-use frlfi_nn::{Network, NetworkBuilder, NnError};
+use crate::{sample_categorical, softmax, softmax_argmax, Learner, Transition};
+use frlfi_nn::{InferCtx, Network, NetworkBuilder, NnError};
 use frlfi_tensor::Tensor;
 use rand::{Rng, RngCore};
 
@@ -101,6 +101,14 @@ impl Learner for Reinforce {
     fn act_greedy(&mut self, state: &Tensor) -> usize {
         let logits = self.net.forward(state).expect("forward on observation");
         softmax(&logits).argmax()
+    }
+
+    fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> usize {
+        // `softmax_argmax` replays `softmax(..).argmax()` bit-exactly
+        // over the borrowed activation slice, keeping the whole greedy
+        // step allocation-free.
+        let logits = self.net.infer(state, ctx).expect("infer on observation");
+        softmax_argmax(logits)
     }
 
     fn observe(&mut self, t: Transition) {

@@ -99,4 +99,58 @@ proptest! {
         q.observe(Transition { state: s.clone(), action: 0, reward, next_state: Some(s) });
         prop_assert!(q.network().snapshot().iter().all(|w| w.is_finite()));
     }
+
+    #[test]
+    fn greedy_fast_path_selects_identical_actions(
+        seed in any::<u64>(),
+        obs in proptest::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = frlfi_nn::InferCtx::new();
+        let mut q = QLearner::gridworld_default(&mut rng).expect("learner");
+        let s = Tensor::from_vec(vec![6], obs.clone()).expect("state");
+        prop_assert_eq!(q.act_greedy(&s), q.act_greedy_ctx(&s, &mut ctx));
+        let mut pi = Reinforce::gridworld_default(&mut rng).expect("learner");
+        prop_assert_eq!(pi.act_greedy(&s), pi.act_greedy_ctx(&s, &mut ctx));
+    }
+
+    #[test]
+    fn greedy_episode_matches_reference_action_loop(seed in any::<u64>()) {
+        use frlfi_envs::Environment;
+        // Reference: hand-rolled greedy loop on the slow tensor path.
+        let mut env = GridWorld::standard_layouts(1)[0].clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut learner = QLearner::gridworld_default(&mut rng).expect("learner");
+        let mut ep_rng = StdRng::seed_from_u64(seed);
+        let mut state = env.reset(&mut ep_rng);
+        let mut slow_actions = Vec::new();
+        loop {
+            let a = learner.act_greedy(&state);
+            slow_actions.push(a);
+            let step = env.step(a, &mut ep_rng);
+            state = step.state;
+            if step.outcome.is_terminal() {
+                break;
+            }
+        }
+        // Fast path: the same loop on the inference scratch arena must
+        // choose the identical action sequence.
+        let mut env = GridWorld::standard_layouts(1)[0].clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut learner = QLearner::gridworld_default(&mut rng).expect("learner");
+        let mut ep_rng = StdRng::seed_from_u64(seed);
+        let mut ctx = frlfi_nn::InferCtx::new();
+        let mut state = env.reset(&mut ep_rng);
+        let mut fast_actions = Vec::new();
+        loop {
+            let a = learner.act_greedy_ctx(&state, &mut ctx);
+            fast_actions.push(a);
+            let step = env.step(a, &mut ep_rng);
+            state = step.state;
+            if step.outcome.is_terminal() {
+                break;
+            }
+        }
+        prop_assert_eq!(slow_actions, fast_actions);
+    }
 }

@@ -1,0 +1,109 @@
+//! Golden-equivalence gate for the inference fast path.
+//!
+//! The constants below were captured on the pre-fast-path build (seed
+//! `Network::forward` everywhere). The whole stack — trial harness,
+//! sweep engine, campaign runner — now evaluates greedy policies
+//! through `Network::infer`, and these tests pin the campaign-level
+//! statistics to the slow path's values **bit for bit**. Any kernel
+//! change that reorders floating-point accumulation will trip them.
+
+use frlfi::experiments::harness::{
+    drone_geometry, run_drone_trial, run_grid_trial, DroneTrial, GridTrial, PretrainedWeights,
+    TrialFault,
+};
+use frlfi::experiments::DEFAULT_SEED;
+use frlfi::fault::FaultSide;
+use frlfi::tensor::derive_seed;
+use frlfi::Scale;
+use frlfi_repro as _;
+
+/// `(ber, inject_episode)` cells of the fig3-at-test-scale campaign.
+const GRID_CELLS: [(f64, usize); 3] = [(0.2, 40), (0.5, 125), (0.35, 90)];
+
+/// Pre-fast-path per-trial success rates (%), bit-exact, in
+/// `cell-major` repeat order (2 repeats per cell).
+const GRID_GOLDEN_BITS: [u64; 6] = [
+    0x4059000000000000, // cell 0 rep 0: 100.0
+    0x4050aaaaaaaaaaaa, // cell 0 rep 1: 66.66666666666666
+    0x4050aaaaaaaaaaaa, // cell 1 rep 0
+    0x4050aaaaaaaaaaaa, // cell 1 rep 1
+    0x4059000000000000, // cell 2 rep 0
+    0x4059000000000000, // cell 2 rep 1
+];
+
+fn grid_cells() -> Vec<GridTrial> {
+    GRID_CELLS
+        .iter()
+        .map(|&(ber, ep)| {
+            GridTrial::new(3, 130).with_fault(TrialFault::transient_int8(
+                FaultSide::AgentSide,
+                ep,
+                ber,
+            ))
+        })
+        .collect()
+}
+
+#[test]
+fn fig3_test_scale_trials_match_pre_fast_path_values_bitwise() {
+    let cells = grid_cells();
+    for (ci, cell) in cells.iter().enumerate() {
+        for r in 0..2u64 {
+            let seed = derive_seed(DEFAULT_SEED, ci as u64 * 2 + r);
+            let v = run_grid_trial(cell, seed);
+            assert_eq!(
+                v.to_bits(),
+                GRID_GOLDEN_BITS[ci * 2 + r as usize],
+                "cell {ci} repeat {r}: fast-path trial value {v} drifted from the seed build"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_test_scale_campaign_statistics_unchanged() {
+    // The parallel sweep engine (per-worker InferCtx reuse included)
+    // must fold the same per-trial values into the same cell means as
+    // the seed build — this is the campaign-level statistics gate.
+    let cells = grid_cells();
+    let stats = frlfi::fault::sweep_with_threads(&cells, 2, DEFAULT_SEED, 3, |t, seed| {
+        frlfi::experiments::harness::run_grid_trial(t, seed)
+    });
+    for (ci, s) in stats.iter().enumerate() {
+        let golden: Vec<f64> =
+            (0..2).map(|r| f64::from_bits(GRID_GOLDEN_BITS[ci * 2 + r])).collect();
+        let expect = frlfi::fault::aggregate_in_order(&golden);
+        assert_eq!(s.mean.to_bits(), expect.mean.to_bits(), "cell {ci} mean drifted");
+        assert_eq!(s.std.to_bits(), expect.std.to_bits(), "cell {ci} std drifted");
+        assert_eq!(s.min, golden.iter().cloned().fold(f64::INFINITY, f64::min));
+        assert_eq!(s.max, golden.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+}
+
+/// Pre-fast-path drone flight distances (m), bit-exact (smoke
+/// geometry, 2 drones, agent-side transient int8 at episode 4,
+/// BER 1e-2).
+const DRONE_GOLDEN_BITS: [u64; 2] = [
+    0x4060300000000000, // rep 0: 129.5
+    0x405fe00000000000, // rep 1: 127.5
+];
+
+#[test]
+fn drone_smoke_trials_match_pre_fast_path_values_bitwise() {
+    let g = drone_geometry(Scale::Smoke);
+    let weights = PretrainedWeights::lazy(g.pretrain_episodes);
+    let t = DroneTrial::new(&g, weights, 2).with_fault(TrialFault::transient_int8(
+        FaultSide::AgentSide,
+        4,
+        1e-2,
+    ));
+    for r in 0..2u64 {
+        let seed = derive_seed(DEFAULT_SEED ^ 0xD0, r);
+        let v = run_drone_trial(&t, seed);
+        assert_eq!(
+            v.to_bits(),
+            DRONE_GOLDEN_BITS[r as usize],
+            "drone repeat {r}: fast-path trial value {v} drifted from the seed build"
+        );
+    }
+}
