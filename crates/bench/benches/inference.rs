@@ -12,7 +12,7 @@
 //! comparable across policies of different size.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use frlfi::nn::{InferCtx, Network, NetworkBuilder};
+use frlfi::nn::{ActShape, BatchInferCtx, InferCtx, Network, NetworkBuilder};
 use frlfi::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +83,34 @@ fn policy_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched multi-trial inference: one `infer_batch` call serves a
+/// whole batch of observations (one campaign-cell trial batch), so
+/// throughput is `params × batch` elements per iteration. Batch 1
+/// exposes the transpose overhead of the batched path; batch ≥ 32 is
+/// the campaign sweet spot the ≥2x acceptance gate measures against
+/// `drone_policy_infer_fast` (the per-observation path).
+fn batched_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_batched");
+    let (net, _) = drone_policy();
+    let mut rng = StdRng::seed_from_u64(7);
+    let vol = 9 * 16;
+    let mut ctx = BatchInferCtx::new();
+    for &batch in &[1usize, 8, 32, 128] {
+        let obs =
+            Tensor::random(vec![batch * vol], frlfi::tensor::Init::Uniform(-1.0, 1.0), &mut rng);
+        let flat = obs.data();
+        let shape = ActShape::image(1, 9, 16);
+        net.infer_batch(flat, &shape, batch, &mut ctx).expect("warmup");
+        group.throughput(Throughput::Elements(net.param_count() as u64 * batch as u64));
+        group.bench_function(format!("drone_policy_infer_batch{batch}").as_str(), |b| {
+            b.iter(|| {
+                black_box(net.infer_batch(flat, &shape, batch, &mut ctx).expect("infer")).len()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn activation_fault_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference_faulted");
     let (net, obs) = grid_policy();
@@ -105,5 +133,5 @@ fn activation_fault_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, policy_inference, activation_fault_inference);
+criterion_group!(benches, policy_inference, batched_inference, activation_fault_inference);
 criterion_main!(benches);

@@ -4,9 +4,15 @@
 //! ```text
 //! campaign list
 //! campaign run <spec.toml | builtin-name> [--scale smoke|bench|full]
-//!              [--out DIR] [--threads N] [--max-trials N]
-//! campaign resume <dir> [--threads N] [--max-trials N]
+//!              [--out DIR] [--threads N] [--max-trials N] [--batched] [--wide]
+//! campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide]
 //! ```
+//!
+//! `--batched` hands each worker a shard of one cell's repeats and
+//! runs every trial's evaluation episodes in lock-step on the batched
+//! inference fast path (bit-identical values, higher throughput);
+//! `--wide` appends the per-cell mean/min/max/ci95 spread table to
+//! `summary.txt`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,8 +24,8 @@ fn usage() -> &'static str {
     "usage:\n  \
      campaign list\n  \
      campaign run <spec.toml | builtin-name> [--scale smoke|bench|full] [--out DIR] \
-     [--threads N] [--max-trials N]\n  \
-     campaign resume <dir> [--threads N] [--max-trials N]"
+     [--threads N] [--max-trials N] [--batched] [--wide]\n  \
+     campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide]"
 }
 
 struct Options {
@@ -55,6 +61,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.cfg.max_new_trials =
                     Some(take("--max-trials")?.parse().map_err(|e| format!("--max-trials: {e}"))?)
             }
+            "--batched" => opts.cfg.batched = true,
+            "--wide" => opts.cfg.wide_summary = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => opts.positional.push(other.to_owned()),
         }

@@ -40,6 +40,21 @@ pub struct RunnerConfig {
     /// Stop after this many *new* trials (used to exercise the
     /// interrupt/resume path; `None` = run to completion).
     pub max_new_trials: Option<usize>,
+    /// Batched evaluation mode: each worker claims a contiguous shard
+    /// of one cell's pending repeats and runs it through
+    /// [`crate::Campaign::run_trials_batched`], where every trial's
+    /// post-training evaluation executes its episodes in lock-step on
+    /// the [`frlfi::nn::BatchInferCtx`] fast path (the batch axis is a
+    /// trial's concurrent eval episodes — training remains sequential
+    /// per repeat). Trial values, the persisted log and the final
+    /// statistics are bit-identical to the per-observation mode — only
+    /// throughput changes, so the two modes mix freely across resume
+    /// sessions.
+    pub batched: bool,
+    /// Append the wide per-cell statistics table (mean / min / max /
+    /// 95% CI half-width over repeats) to `summary.txt` after the
+    /// standard means grid.
+    pub wide_summary: bool,
 }
 
 /// One persisted trial result.
@@ -98,6 +113,9 @@ pub struct CampaignOutcome {
     pub stats: Option<Vec<CellStats>>,
     /// Rendered result table — present only when the campaign completed.
     pub table: Option<Table>,
+    /// Wide per-cell spread table — present only when the campaign
+    /// completed *and* [`RunnerConfig::wide_summary`] was set.
+    pub wide_table: Option<Table>,
 }
 
 impl CampaignOutcome {
@@ -272,32 +290,81 @@ fn run_expanded(
             cfg.threads
         };
         let fresh: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::with_capacity(new_trials));
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(new_trials) {
-                scope.spawn(|| {
-                    // One inference scratch arena per worker, reused
-                    // across every trial this worker evaluates.
-                    let mut ctx = frlfi::nn::InferCtx::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(cell, rep)) = pending.get(i) else { break };
-                        let seed = derive_seed(campaign.master_seed, (cell * repeats + rep) as u64);
-                        let value = campaign.run_trial_ctx(cell, seed, &mut ctx);
-                        let record = TrialRecord { cell, repeat: rep, seed, value };
-                        {
-                            let mut w = sink.lock().expect("sink lock");
-                            let line = json::render(&record.to_value());
-                            // Line-atomic append + flush: a kill between
-                            // trials loses at most the torn tail.
-                            writeln!(w, "{line}").expect("append trial record");
-                            w.flush().expect("flush trial record");
-                        }
-                        fresh.lock().expect("fresh lock").push((cell, rep, value));
-                    }
-                });
+        // Persists one finished trial: line-atomic append + flush, so a
+        // kill between records loses at most the torn tail.
+        let commit = |cell: usize, rep: usize, seed: u64, value: f64| {
+            let record = TrialRecord { cell, repeat: rep, seed, value };
+            {
+                let mut w = sink.lock().expect("sink lock");
+                let line = json::render(&record.to_value());
+                writeln!(w, "{line}").expect("append trial record");
+                w.flush().expect("flush trial record");
             }
-        });
+            fresh.lock().expect("fresh lock").push((cell, rep, value));
+        };
+
+        if cfg.batched {
+            // Batched mode: contiguous shards of one cell's pending
+            // repeats are the work unit; each worker runs its shard
+            // through the batched trial path with a per-worker
+            // BatchInferCtx arena. Several shards per worker per cell
+            // keep the tail balanced when repeat durations vary.
+            let mut shards: Vec<(usize, Vec<usize>)> = Vec::new();
+            let mut i = 0;
+            while i < pending.len() {
+                let cell = pending[i].0;
+                let mut reps = Vec::new();
+                while i < pending.len() && pending[i].0 == cell {
+                    reps.push(pending[i].1);
+                    i += 1;
+                }
+                let shard_len = reps.len().div_ceil(threads * 4).max(1);
+                for chunk in reps.chunks(shard_len) {
+                    shards.push((cell, chunk.to_vec()));
+                }
+            }
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(shards.len()) {
+                    scope.spawn(|| {
+                        let mut ctx = frlfi::nn::BatchInferCtx::new();
+                        loop {
+                            let s = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((cell, reps)) = shards.get(s) else { break };
+                            let seeds: Vec<u64> = reps
+                                .iter()
+                                .map(|&r| {
+                                    derive_seed(campaign.master_seed, (cell * repeats + r) as u64)
+                                })
+                                .collect();
+                            let values = campaign.run_trials_batched(*cell, &seeds, &mut ctx);
+                            for ((&rep, &seed), &value) in
+                                reps.iter().zip(seeds.iter()).zip(values.iter())
+                            {
+                                commit(*cell, rep, seed, value);
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(new_trials) {
+                    scope.spawn(|| {
+                        // One inference scratch arena per worker, reused
+                        // across every trial this worker evaluates.
+                        let mut ctx = frlfi::nn::InferCtx::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(cell, rep)) = pending.get(i) else { break };
+                            let seed =
+                                derive_seed(campaign.master_seed, (cell * repeats + rep) as u64);
+                            let value = campaign.run_trial_ctx(cell, seed, &mut ctx);
+                            commit(cell, rep, seed, value);
+                        }
+                    });
+                }
+            });
+        }
 
         for (cell, rep, value) in fresh.into_inner().expect("workers joined") {
             if done[cell][rep].is_none() {
@@ -309,7 +376,7 @@ fn run_expanded(
 
     // Finalize when complete: per-cell stats in repeat order, exactly
     // as the in-process sweep engine folds them.
-    let (stats, table) = if completed == total {
+    let (stats, table, wide_table) = if completed == total {
         let stats: Vec<CellStats> = done
             .iter()
             .map(|cell| {
@@ -318,11 +385,16 @@ fn run_expanded(
             })
             .collect();
         let table = render_table(campaign, &stats);
-        std::fs::write(dir.join("summary.txt"), table.render())
-            .map_err(|e| format!("write summary: {e}"))?;
-        (Some(stats), Some(table))
+        let wide_table = cfg.wide_summary.then(|| render_wide_table(campaign, &stats));
+        let mut text = table.render();
+        if let Some(wide) = &wide_table {
+            text.push('\n');
+            text.push_str(&wide.render());
+        }
+        std::fs::write(dir.join("summary.txt"), text).map_err(|e| format!("write summary: {e}"))?;
+        (Some(stats), Some(table), wide_table)
     } else {
-        (None, None)
+        (None, None, None)
     };
 
     Ok(CampaignOutcome {
@@ -331,7 +403,40 @@ fn run_expanded(
         new_trials,
         stats,
         table,
+        wide_table,
     })
+}
+
+/// Renders the wide per-cell spread table: one row per campaign cell
+/// (row-major in the scenario's grid), with the PR 2 `CellStats`
+/// spread columns — mean, min, max and the 95% confidence-interval
+/// half-width of the mean — that the standard means grid omits.
+pub fn render_wide_table(campaign: &Campaign, stats: &[CellStats]) -> Table {
+    let title = format!(
+        "Campaign {} ({:?} scale): per-cell spread over {} repeats",
+        campaign.scenario.name, campaign.scenario.scale, campaign.repeats,
+    );
+    let mut table =
+        Table::new(title, "cell", vec!["mean".into(), "min".into(), "max".into(), "ci95".into()])
+            .with_precision(2);
+    let labels: Vec<String> = match &campaign.grid {
+        CellGrid::BerByEpisode { bers, episodes } => bers
+            .iter()
+            .flat_map(|&b| {
+                episodes
+                    .iter()
+                    .map(move |&e| format!("ber {} @ ep{e}", frlfi::experiments::ber_label(b)))
+            })
+            .collect(),
+        CellGrid::FleetByBer { sizes, bers } => sizes
+            .iter()
+            .flat_map(|&n| bers.iter().map(move |&b| format!("n={n} @ ber {b}")))
+            .collect(),
+    };
+    for (label, s) in labels.into_iter().zip(stats.iter()) {
+        table.push_row(label, vec![s.mean, s.min, s.max, s.ci95_half_width()]);
+    }
+    table
 }
 
 /// Renders campaign statistics in the scenario's grid layout.

@@ -562,6 +562,32 @@ impl Campaign {
             }
         }
     }
+
+    /// Evaluates one cell's shard of repeats on the **batched**
+    /// inference fast path: each trial's post-training evaluation runs
+    /// its episodes in lock-step through one shared
+    /// [`frlfi::nn::BatchInferCtx`] arena, and values come back in
+    /// `seeds` order, bit-identical to [`Campaign::run_trial_ctx`] per
+    /// `(cell, seed)`. This is the batched runner mode's work unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn run_trials_batched(
+        &self,
+        cell: usize,
+        seeds: &[u64],
+        ctx: &mut frlfi::nn::BatchInferCtx,
+    ) -> Vec<f64> {
+        match &self.trials {
+            Trials::Grid(t) => {
+                frlfi::experiments::harness::run_grid_trials_batched(&t[cell], seeds, ctx)
+            }
+            Trials::Drone(t) => {
+                frlfi::experiments::harness::run_drone_trials_batched(&t[cell], seeds, ctx)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

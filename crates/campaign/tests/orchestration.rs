@@ -81,7 +81,7 @@ fn interrupted_campaign_resumes_bit_identically_across_thread_counts() {
     // Reference: one uninterrupted pass.
     let ref_dir = temp_dir("ref");
     let reference =
-        runner::run(&scenario, &ref_dir, &RunnerConfig { threads: 2, max_new_trials: None })
+        runner::run(&scenario, &ref_dir, &RunnerConfig { threads: 2, ..RunnerConfig::default() })
             .expect("reference run");
     let ref_stats = reference.stats.expect("complete");
 
@@ -96,7 +96,11 @@ fn interrupted_campaign_resumes_bit_identically_across_thread_counts() {
             let out = runner::run(
                 &scenario,
                 &dir,
-                &RunnerConfig { threads: leg_threads, max_new_trials: max },
+                &RunnerConfig {
+                    threads: leg_threads,
+                    max_new_trials: max,
+                    ..RunnerConfig::default()
+                },
             )
             .expect("leg runs");
             last = Some(out);
@@ -111,11 +115,94 @@ fn interrupted_campaign_resumes_bit_identically_across_thread_counts() {
 }
 
 #[test]
+fn batched_mode_matches_per_observation_mode_bitwise() {
+    let scenario = cheap_grid_scenario("batched-mode");
+    let ref_dir = temp_dir("batched-ref");
+    let reference = runner::run(&scenario, &ref_dir, &RunnerConfig::default()).expect("reference");
+    let ref_stats = reference.stats.expect("complete");
+
+    for &threads in &[1usize, 3] {
+        let dir = temp_dir("batched");
+        let out = runner::run(
+            &scenario,
+            &dir,
+            &RunnerConfig { threads, batched: true, ..RunnerConfig::default() },
+        )
+        .expect("batched run");
+        assert!(out.complete());
+        assert_stats_bit_identical(&ref_stats, &out.stats.expect("complete"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Modes mix freely across resume legs: a batched leg continues a
+    // per-observation leg and the final statistics are unchanged.
+    let dir = temp_dir("batched-mixed");
+    runner::run(
+        &scenario,
+        &dir,
+        &RunnerConfig { threads: 2, max_new_trials: Some(2), ..RunnerConfig::default() },
+    )
+    .expect("per-observation leg");
+    let out = runner::run(
+        &scenario,
+        &dir,
+        &RunnerConfig { threads: 2, batched: true, ..RunnerConfig::default() },
+    )
+    .expect("batched resume leg");
+    assert!(out.complete());
+    assert!(out.new_trials < out.total_trials, "resume must skip persisted trials");
+    assert_stats_bit_identical(&ref_stats, &out.stats.expect("complete"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
+fn wide_summary_adds_spread_columns_without_touching_the_means_grid() {
+    let scenario = cheap_grid_scenario("wide-summary");
+    let plain_dir = temp_dir("wide-off");
+    let plain = runner::run(&scenario, &plain_dir, &RunnerConfig::default()).expect("plain");
+    let plain_text = std::fs::read_to_string(plain_dir.join("summary.txt")).expect("summary");
+    assert!(plain.wide_table.is_none(), "wide table is opt-in");
+
+    let wide_dir = temp_dir("wide-on");
+    let out = runner::run(
+        &scenario,
+        &wide_dir,
+        &RunnerConfig { wide_summary: true, batched: true, ..RunnerConfig::default() },
+    )
+    .expect("wide");
+    let text = std::fs::read_to_string(wide_dir.join("summary.txt")).expect("summary");
+    // The standard means grid is byte-identical up front...
+    assert!(text.starts_with(&plain_text), "means grid must be unchanged:\n{text}");
+    // ...followed by the wide table: header row + one labelled row per
+    // cell with mean/min/max/ci95 columns.
+    let wide = out.wide_table.expect("wide table present");
+    assert_eq!(wide.columns, vec!["mean", "min", "max", "ci95"]);
+    assert_eq!(wide.rows.len(), 2, "one row per campaign cell");
+    assert!(text.contains("per-cell spread over 3 repeats"), "{text}");
+    assert!(text.contains("ber 20% @ ep40"), "{text}");
+    let stats = out.stats.expect("complete");
+    for (r, s) in stats.iter().enumerate() {
+        assert_eq!(wide.value(r, 0).to_bits(), s.mean.to_bits());
+        assert_eq!(wide.value(r, 1).to_bits(), s.min.to_bits());
+        assert_eq!(wide.value(r, 2).to_bits(), s.max.to_bits());
+        assert_eq!(wide.value(r, 3).to_bits(), s.ci95_half_width().to_bits());
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+    std::fs::remove_dir_all(&plain_dir).ok();
+    std::fs::remove_dir_all(&wide_dir).ok();
+}
+
+#[test]
 fn campaign_dir_rejects_a_different_scenario() {
     let dir = temp_dir("mismatch");
     let a = cheap_grid_scenario("scenario-a");
-    runner::run(&a, &dir, &RunnerConfig { threads: 1, max_new_trials: Some(1) })
-        .expect("first leg");
+    runner::run(
+        &a,
+        &dir,
+        &RunnerConfig { threads: 1, max_new_trials: Some(1), ..RunnerConfig::default() },
+    )
+    .expect("first leg");
     let mut b = cheap_grid_scenario("scenario-b");
     b.fault.bers = vec![0.0, 0.1];
     let err = runner::run(&b, &dir, &RunnerConfig::default()).expect_err("must refuse");
@@ -127,8 +214,12 @@ fn campaign_dir_rejects_a_different_scenario() {
 fn torn_trailing_record_is_tolerated_and_rerun() {
     let dir = temp_dir("torn");
     let scenario = cheap_grid_scenario("torn-test");
-    runner::run(&scenario, &dir, &RunnerConfig { threads: 1, max_new_trials: Some(2) })
-        .expect("partial run");
+    runner::run(
+        &scenario,
+        &dir,
+        &RunnerConfig { threads: 1, max_new_trials: Some(2), ..RunnerConfig::default() },
+    )
+    .expect("partial run");
     // Simulate a crash mid-write: a torn, unparseable trailing line.
     use std::io::Write;
     let mut f =
@@ -139,8 +230,12 @@ fn torn_trailing_record_is_tolerated_and_rerun() {
     // Resume in two legs: the first appends new records after the torn
     // tail (which must be truncated away, not merged into one corrupt
     // line), and the second re-reads the log it left behind.
-    runner::run(&scenario, &dir, &RunnerConfig { threads: 1, max_new_trials: Some(2) })
-        .expect("resume after torn tail");
+    runner::run(
+        &scenario,
+        &dir,
+        &RunnerConfig { threads: 1, max_new_trials: Some(2), ..RunnerConfig::default() },
+    )
+    .expect("resume after torn tail");
     let out = runner::run(&scenario, &dir, &RunnerConfig::default()).expect("final resume");
     assert!(out.complete());
 
@@ -156,8 +251,12 @@ fn torn_trailing_record_is_tolerated_and_rerun() {
 fn corrupt_interior_record_is_an_error() {
     let dir = temp_dir("corrupt");
     let scenario = cheap_grid_scenario("corrupt-test");
-    runner::run(&scenario, &dir, &RunnerConfig { threads: 1, max_new_trials: Some(1) })
-        .expect("partial run");
+    runner::run(
+        &scenario,
+        &dir,
+        &RunnerConfig { threads: 1, max_new_trials: Some(1), ..RunnerConfig::default() },
+    )
+    .expect("partial run");
     use std::io::Write;
     let mut f =
         std::fs::OpenOptions::new().append(true).open(dir.join("trials.jsonl")).expect("open log");
@@ -290,8 +389,12 @@ fn fig3a_campaign_reproduces_fig3_at_bench_scale_with_interrupt() {
 
     // Interrupted + resumed campaign.
     let dir = temp_dir("fig3a-bench");
-    runner::run(&scenario, &dir, &RunnerConfig { threads: 0, max_new_trials: Some(10) })
-        .expect("first leg");
+    runner::run(
+        &scenario,
+        &dir,
+        &RunnerConfig { threads: 0, max_new_trials: Some(10), ..RunnerConfig::default() },
+    )
+    .expect("first leg");
     let out = runner::run(&scenario, &dir, &RunnerConfig::default()).expect("resume");
     let table = out.table.expect("complete");
     for (r, (_, driver_row)) in driver.rows.iter().enumerate() {

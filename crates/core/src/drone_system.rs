@@ -6,8 +6,8 @@ use frlfi_envs::{DroneConfig, DroneSim, Environment};
 use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
 use frlfi_federated::{RoundHook, Server};
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
-use frlfi_nn::InferCtx;
-use frlfi_rl::{run_episode, Learner, Reinforce};
+use frlfi_nn::{BatchInferCtx, InferCtx};
+use frlfi_rl::{run_episode, run_greedy_episodes_batch, Learner, Reinforce};
 use frlfi_tensor::derive_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -363,6 +363,50 @@ impl DroneFrlSystem {
         }
     }
 
+    /// [`DroneFrlSystem::safe_flight_distance`] on the **batched**
+    /// inference fast path: each drone's `attempts` evaluation
+    /// corridors run in lock-step, one batched forward per step over
+    /// the drone's conv policy ([`frlfi_rl::run_greedy_episodes_batch`]),
+    /// retiring finished corridors from the batch. Every batched action
+    /// is bit-identical to single-observation greedy selection and
+    /// every corridor keeps its own seed-derived environment and RNG
+    /// streams, so the returned distance matches
+    /// [`DroneFrlSystem::safe_flight_distance_ctx`] bit for bit.
+    pub fn safe_flight_distance_batched(
+        &mut self,
+        attempts: usize,
+        ctx: &mut BatchInferCtx,
+    ) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for i in 0..self.cfg.n_drones {
+            let mut envs: Vec<DroneSim> = (0..attempts)
+                .map(|a| {
+                    let seed = derive_seed(self.cfg.seed, 0xEA17 + (i * attempts + a) as u64);
+                    DroneSim::new(self.cfg.sim, seed)
+                })
+                .collect();
+            let mut rngs: Vec<StdRng> = (0..attempts)
+                .map(|a| {
+                    let seed = derive_seed(self.cfg.seed, 0xEA17 + (i * attempts + a) as u64);
+                    StdRng::seed_from_u64(seed ^ 0x1)
+                })
+                .collect();
+            run_greedy_episodes_batch(&mut self.drones[i], &mut envs, &mut rngs, ctx);
+            // Sum in the exact (drone, attempt) order of the sequential
+            // path so the mean folds identically.
+            for env in &envs {
+                total += env.distance() as f64;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
     /// Runs `f` with every drone's policy corrupted by a static
     /// inference-time fault, then restores the clean weights.
     pub fn with_faulted_policies<T>(
@@ -475,6 +519,18 @@ mod tests {
         let d = s.safe_flight_distance(1);
         let max = s.config().sim.max_steps as f64 * s.config().sim.speed as f64;
         assert!(d > 0.0 && d <= max, "distance {d} out of range (max {max})");
+    }
+
+    #[test]
+    fn batched_flight_distance_matches_sequential_bitwise() {
+        let mut s = DroneFrlSystem::new(tiny_cfg(2)).unwrap();
+        s.pretrain().unwrap();
+        s.fine_tune(2, None, None).unwrap();
+        for attempts in [1usize, 3] {
+            let seq = s.safe_flight_distance_ctx(attempts, &mut InferCtx::new());
+            let bat = s.safe_flight_distance_batched(attempts, &mut BatchInferCtx::new());
+            assert_eq!(bat.to_bits(), seq.to_bits(), "attempts {attempts}");
+        }
     }
 
     #[test]

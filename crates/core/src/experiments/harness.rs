@@ -20,7 +20,7 @@ use crate::{
 };
 use frlfi_fault::{Ber, CellStats, FaultModel, FaultSide};
 use frlfi_federated::CommSchedule;
-use frlfi_nn::InferCtx;
+use frlfi_nn::{BatchInferCtx, InferCtx};
 use frlfi_tensor::derive_seed;
 
 /// Campaign geometry of the GridWorld training heatmaps (Fig. 3/7a).
@@ -300,6 +300,45 @@ pub fn run_grid_trial(t: &GridTrial, seed: u64) -> f64 {
 ///
 /// Panics on invalid trial configuration.
 pub fn run_grid_trial_ctx(t: &GridTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
+    let mut sys = grid_trial_system(t, seed);
+    match t.metric {
+        GridMetric::SuccessRatePct => sys.success_rate_ctx(ctx) * 100.0,
+        GridMetric::EpisodesToConverge { threshold, check_every, max_extra } => {
+            let extra = sys
+                .episodes_to_converge_ctx(threshold, check_every, max_extra, ctx)
+                .expect("training");
+            converge_metric(t, extra, max_extra)
+        }
+    }
+}
+
+/// [`run_grid_trial`] with the post-training evaluation on the
+/// **batched** inference fast path
+/// ([`GridFrlSystem::success_rate_batched`]): agents holding identical
+/// post-consensus parameters evaluate their environments in lock-step
+/// through shared batched forwards. Trial values are bit-identical to
+/// [`run_grid_trial_ctx`].
+///
+/// # Panics
+///
+/// Panics on invalid trial configuration.
+pub fn run_grid_trial_batched(t: &GridTrial, seed: u64, ctx: &mut BatchInferCtx) -> f64 {
+    let mut sys = grid_trial_system(t, seed);
+    match t.metric {
+        GridMetric::SuccessRatePct => sys.success_rate_batched(ctx) * 100.0,
+        GridMetric::EpisodesToConverge { threshold, check_every, max_extra } => {
+            let extra = sys
+                .episodes_to_converge_batched(threshold, check_every, max_extra, ctx)
+                .expect("training");
+            converge_metric(t, extra, max_extra)
+        }
+    }
+}
+
+/// Builds, fault-injects and trains the system of one GridWorld trial,
+/// ready for greedy evaluation — shared by the per-observation and
+/// batched paths so the trial setup can never drift between modes.
+fn grid_trial_system(t: &GridTrial, seed: u64) -> GridFrlSystem {
     let cfg = GridSystemConfig {
         n_agents: t.n_agents,
         seed: t.system_seed,
@@ -313,18 +352,24 @@ pub fn run_grid_trial_ctx(t: &GridTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
     let plan = t.fault.as_ref().and_then(TrialFault::plan);
     sys.train(t.total_episodes, plan.as_ref(), t.mitigation.as_ref()).expect("training");
     sys.eval_mode();
-    match t.metric {
-        GridMetric::SuccessRatePct => sys.success_rate_ctx(ctx) * 100.0,
-        GridMetric::EpisodesToConverge { threshold, check_every, max_extra } => {
-            match sys
-                .episodes_to_converge_ctx(threshold, check_every, max_extra, ctx)
-                .expect("training")
-            {
-                Some(extra) => (t.total_episodes + extra) as f64,
-                None => (t.total_episodes + max_extra) as f64,
-            }
-        }
+    sys
+}
+
+/// Folds an episodes-to-converge result into the reported metric.
+fn converge_metric(t: &GridTrial, extra: Option<usize>, max_extra: usize) -> f64 {
+    match extra {
+        Some(extra) => (t.total_episodes + extra) as f64,
+        None => (t.total_episodes + max_extra) as f64,
     }
+}
+
+/// Evaluates one cell's shard of repeats on the batched path: repeat
+/// `r` of the shard runs [`run_grid_trial_batched`] with `seeds[r]`,
+/// all sharing `ctx`'s arena. This is the campaign runner's
+/// batched-mode work unit; values are returned in seed order and are
+/// bit-identical to evaluating each `(trial, seed)` alone.
+pub fn run_grid_trials_batched(t: &GridTrial, seeds: &[u64], ctx: &mut BatchInferCtx) -> Vec<f64> {
+    seeds.iter().map(|&s| run_grid_trial_batched(t, s, ctx)).collect()
 }
 
 /// Communication schedule of a drone trial, as pure data.
@@ -429,6 +474,28 @@ pub fn run_drone_trial(t: &DroneTrial, seed: u64) -> f64 {
 ///
 /// Panics on invalid trial configuration.
 pub fn run_drone_trial_ctx(t: &DroneTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
+    drone_trial_system(t, seed).safe_flight_distance_ctx(t.eval_attempts, ctx)
+}
+
+/// [`run_drone_trial`] with the flight-distance evaluation on the
+/// **batched** inference fast path
+/// ([`DroneFrlSystem::safe_flight_distance_batched`]): each drone's
+/// evaluation corridors run in lock-step, one batched conv-policy
+/// forward per step. Trial values are bit-identical to
+/// [`run_drone_trial_ctx`].
+///
+/// # Panics
+///
+/// Panics on invalid trial configuration.
+pub fn run_drone_trial_batched(t: &DroneTrial, seed: u64, ctx: &mut BatchInferCtx) -> f64 {
+    drone_trial_system(t, seed).safe_flight_distance_batched(t.eval_attempts, ctx)
+}
+
+/// Builds, fault-injects and fine-tunes the system of one DroneNav
+/// trial, ready for flight-distance evaluation — shared by the
+/// per-observation and batched paths so the trial setup can never
+/// drift between modes.
+fn drone_trial_system(t: &DroneTrial, seed: u64) -> DroneFrlSystem {
     let mut sys = DroneFrlSystem::new(DroneSystemConfig {
         n_drones: t.n_drones,
         seed: t.system_seed,
@@ -442,7 +509,17 @@ pub fn run_drone_trial_ctx(t: &DroneTrial, seed: u64, ctx: &mut InferCtx) -> f64
     let plan = t.fault.as_ref().and_then(TrialFault::plan);
     sys.fine_tune(t.fine_tune_episodes, plan.as_ref(), t.mitigation.as_ref()).expect("fine-tune");
     sys.eval_mode();
-    sys.safe_flight_distance_ctx(t.eval_attempts, ctx)
+    sys
+}
+
+/// Evaluates one cell's shard of repeats on the batched path (see
+/// [`run_grid_trials_batched`]).
+pub fn run_drone_trials_batched(
+    t: &DroneTrial,
+    seeds: &[u64],
+    ctx: &mut BatchInferCtx,
+) -> Vec<f64> {
+    seeds.iter().map(|&s| run_drone_trial_batched(t, s, ctx)).collect()
 }
 
 /// The `(BER × inject episode)` cell grid shared by the training
@@ -552,6 +629,32 @@ mod tests {
                 .collect();
             let agg = frlfi_fault::aggregate_in_order(&by_hand);
             assert_eq!(agg.mean.to_bits(), stats[ci].mean.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_trials_match_sequential_bitwise() {
+        let t = GridTrial::new(2, 40).with_fault(TrialFault::transient_int8(
+            FaultSide::AgentSide,
+            20,
+            0.1,
+        ));
+        let seeds = [7u64, 8, 9];
+        let mut bctx = BatchInferCtx::new();
+        let batched = run_grid_trials_batched(&t, &seeds, &mut bctx);
+        for (r, &seed) in seeds.iter().enumerate() {
+            assert_eq!(batched[r].to_bits(), run_grid_trial(&t, seed).to_bits(), "repeat {r}");
+        }
+        let g = drone_geometry(Scale::Smoke);
+        let weights = PretrainedWeights::lazy(g.pretrain_episodes);
+        let dt = DroneTrial::new(&g, weights, 2).with_fault(TrialFault::transient_int8(
+            FaultSide::AgentSide,
+            4,
+            1e-2,
+        ));
+        let batched = run_drone_trials_batched(&dt, &seeds[..2], &mut bctx);
+        for (r, &seed) in seeds[..2].iter().enumerate() {
+            assert_eq!(batched[r].to_bits(), run_drone_trial(&dt, seed).to_bits(), "drone {r}");
         }
     }
 

@@ -49,8 +49,9 @@ pub const DEFAULT_SEED: u64 = 0xF1F1_2022;
 /// count at the bench scale.
 pub const SYSTEM_SEED: u64 = 7;
 
-/// Formats a BER for row labels, e.g. `0.2%` or `1e-3`.
-pub(crate) fn ber_label(ber: f64) -> String {
+/// Formats a BER for row labels, e.g. `0.2%` or `1e-3` (shared with
+/// the campaign runner's summary tables).
+pub fn ber_label(ber: f64) -> String {
     if ber == 0.0 {
         "0".to_owned()
     } else if ber >= 0.001 {

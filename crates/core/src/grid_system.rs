@@ -6,9 +6,10 @@ use frlfi_envs::{Environment, GridWorld, Outcome, GRID_SIZE};
 use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
 use frlfi_federated::{RoundHook, Server};
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
-use frlfi_nn::InferCtx;
+use frlfi_nn::{BatchInferCtx, InferCtx};
 use frlfi_rl::{
-    greedy_argmax, run_episode, run_greedy_episode_ctx, EpsilonSchedule, Learner, QLearner,
+    greedy_argmax, run_episode, run_greedy_episode_ctx, run_greedy_episodes_batch, EpsilonSchedule,
+    Learner, QLearner,
 };
 use frlfi_tensor::{derive_seed, Tensor};
 use rand::rngs::StdRng;
@@ -373,6 +374,58 @@ impl GridFrlSystem {
         outcomes
     }
 
+    /// [`GridFrlSystem::success_rate`] on the **batched** inference
+    /// fast path (see [`GridFrlSystem::eval_outcomes_batched`]).
+    pub fn success_rate_batched(&mut self, ctx: &mut BatchInferCtx) -> f64 {
+        let outcomes = self.eval_outcomes_batched(ctx);
+        crate::metrics::success_rate_of(&outcomes)
+    }
+
+    /// [`GridFrlSystem::eval_outcomes`] on the batched inference fast
+    /// path: agents whose policies hold bit-identical parameters (the
+    /// common case after annealed consensus drives every aggregation
+    /// output to the same vector) share **one batched forward per
+    /// lock-step evaluation step** across their environments, with
+    /// finished episodes retired from the batch; agents with distinct
+    /// parameters fall back to singleton batches on the same code
+    /// path. Per-agent environments, RNG streams and greedy actions are
+    /// exactly those of [`GridFrlSystem::eval_outcomes_ctx`], so the
+    /// outcomes are identical.
+    pub fn eval_outcomes_batched(&mut self, ctx: &mut BatchInferCtx) -> Vec<Outcome> {
+        let n = self.cfg.n_agents;
+        let seed = self.cfg.seed;
+        // Group agents by identical parameter vectors (ascending index
+        // order within and across groups).
+        let snaps: Vec<Vec<f32>> = self.agents.iter().map(|a| a.network().snapshot()).collect();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            match groups.iter_mut().find(|g| snaps[g[0]] == snaps[i]) {
+                Some(g) => g.push(i),
+                None => groups.push(vec![i]),
+            }
+        }
+        let agents = &mut self.agents;
+        let envs = &mut self.envs;
+        let mut outcomes = vec![Outcome::Timeout; n];
+        for group in &groups {
+            let mut rngs: Vec<StdRng> = group
+                .iter()
+                .map(|&i| StdRng::seed_from_u64(derive_seed(seed, 0xE7A1 + i as u64)))
+                .collect();
+            let mut group_envs: Vec<&mut GridWorld> = envs
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, e)| group.contains(&i).then_some(e))
+                .collect();
+            let summaries =
+                run_greedy_episodes_batch(&mut agents[group[0]], &mut group_envs, &mut rngs, ctx);
+            for (k, &i) in group.iter().enumerate() {
+                outcomes[i] = summaries[k].outcome;
+            }
+        }
+        outcomes
+    }
+
     /// Keeps training in `check_every`-episode chunks until the success
     /// rate reaches `threshold`, returning the extra episodes used, or
     /// `None` if `max_extra` episodes were not enough — the paper's
@@ -403,15 +456,49 @@ impl GridFrlSystem {
         max_extra: usize,
         ctx: &mut InferCtx,
     ) -> Result<Option<usize>, FrlfiError> {
+        self.episodes_to_converge_with(threshold, check_every, max_extra, |sys| {
+            sys.success_rate_ctx(ctx)
+        })
+    }
+
+    /// [`GridFrlSystem::episodes_to_converge`] with every convergence
+    /// check on the batched inference fast path; decisions and the
+    /// returned episode count are identical to the `_ctx` variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn episodes_to_converge_batched(
+        &mut self,
+        threshold: f64,
+        check_every: usize,
+        max_extra: usize,
+        ctx: &mut BatchInferCtx,
+    ) -> Result<Option<usize>, FrlfiError> {
+        self.episodes_to_converge_with(threshold, check_every, max_extra, |sys| {
+            sys.success_rate_batched(ctx)
+        })
+    }
+
+    /// The train-until-converged loop, parameterized over the
+    /// success-rate evaluation path so the per-observation and batched
+    /// variants share one decision sequence.
+    fn episodes_to_converge_with(
+        &mut self,
+        threshold: f64,
+        check_every: usize,
+        max_extra: usize,
+        mut success_rate: impl FnMut(&mut Self) -> f64,
+    ) -> Result<Option<usize>, FrlfiError> {
         let mut used = 0;
         while used < max_extra {
-            if self.success_rate_ctx(ctx) >= threshold {
+            if success_rate(self) >= threshold {
                 return Ok(Some(used));
             }
             self.train(check_every, None, None)?;
             used += check_every;
         }
-        Ok(if self.success_rate_ctx(ctx) >= threshold { Some(used) } else { None })
+        Ok(if success_rate(self) >= threshold { Some(used) } else { None })
     }
 
     /// Runs `f` with every agent's policy deployed in `repr` (weights
@@ -833,6 +920,26 @@ mod tests {
     fn rejects_invalid_dropout() {
         let cfg = GridSystemConfig { dropout: Some(1.5), ..small_cfg(3) };
         assert!(GridFrlSystem::new(cfg).is_err());
+    }
+
+    #[test]
+    fn batched_eval_matches_sequential_outcomes() {
+        let mut s = GridFrlSystem::new(small_cfg(3)).unwrap();
+        s.train(120, None, None).unwrap();
+        // Perturb one agent so the eval spans a mixed group structure
+        // (two identical policies + one distinct).
+        let mut snap = s.agent(0).network().snapshot();
+        let copy = snap.clone();
+        s.agent_mut(1).network_mut().restore(&copy).unwrap();
+        snap[0] += 0.25;
+        s.agent_mut(2).network_mut().restore(&snap).unwrap();
+        let sequential = s.eval_outcomes_ctx(&mut InferCtx::new());
+        let batched = s.eval_outcomes_batched(&mut BatchInferCtx::new());
+        assert_eq!(batched, sequential);
+        assert_eq!(
+            s.success_rate_batched(&mut BatchInferCtx::new()).to_bits(),
+            s.success_rate_ctx(&mut InferCtx::new()).to_bits()
+        );
     }
 
     #[test]

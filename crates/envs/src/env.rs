@@ -61,3 +61,28 @@ pub trait Environment: Send {
         self.obs_shape().iter().product()
     }
 }
+
+// Mutable references delegate, so batched evaluation loops can run over
+// scattered `&mut E` collections (e.g. one agent group's environments
+// picked out of a fleet) exactly like owned environment slices.
+impl<E: Environment + ?Sized> Environment for &mut E {
+    fn obs_shape(&self) -> Vec<usize> {
+        (**self).obs_shape()
+    }
+
+    fn n_actions(&self) -> usize {
+        (**self).n_actions()
+    }
+
+    fn reset(&mut self, rng: &mut dyn RngCore) -> Tensor {
+        (**self).reset(rng)
+    }
+
+    fn step(&mut self, action: usize, rng: &mut dyn RngCore) -> Step {
+        (**self).step(action, rng)
+    }
+
+    fn state_dim(&self) -> usize {
+        (**self).state_dim()
+    }
+}

@@ -48,6 +48,21 @@ impl Layer for Relu {
         Ok(())
     }
 
+    fn forward_batch_into(
+        &self,
+        input: &[f32],
+        _in_shape: &ActShape,
+        _batch: usize,
+        out: &mut [f32],
+    ) -> Result<(), NnError> {
+        // Elementwise and layout-oblivious: the batch-minor buffer is
+        // clamped in place, identical per sample to `forward_into`.
+        for (o, &x) in out.iter_mut().zip(input.iter()) {
+            *o = x.max(0.0);
+        }
+        Ok(())
+    }
+
     fn clear_cache(&mut self) {
         self.cached_input = None;
     }

@@ -177,6 +177,140 @@ impl Conv2d {
             }
         }
     }
+
+    /// The batched generic inference kernel over **batch-minor**
+    /// activations (element `j` of sample `b` at `j * batch + b`): the
+    /// loop nest is `oc → ic → ky → oy → kx → ox → batch`, so each
+    /// kernel-window weight is applied to all batch rows at once — the
+    /// innermost sweep updates `batch` contiguous, independent
+    /// per-sample accumulators and vectorizes across the batch axis —
+    /// while every *output element* of every sample still accumulates
+    /// its terms in the reference `ic → ky → kx` order, bit-identical
+    /// to [`Layer::forward_into`] on that sample alone.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch_into_generic(
+        &self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        batch: usize,
+        out: &mut [f32],
+    ) {
+        let k = self.k;
+        let wt = self.w.data();
+        let b = self.b.data();
+        for oc in 0..self.out_c {
+            let out_plane = &mut out[oc * oh * ow * batch..(oc + 1) * oh * ow * batch];
+            out_plane.fill(b[oc]);
+            for ic in 0..self.in_c {
+                let x_chan = &x[ic * h * w * batch..(ic + 1) * h * w * batch];
+                let w_base = (oc * self.in_c + ic) * k * k;
+                for ky in 0..k {
+                    let w_row = &wt[w_base + ky * k..w_base + (ky + 1) * k];
+                    for oy in 0..oh {
+                        let x_row = &x_chan[(oy + ky) * w * batch..(oy + ky + 1) * w * batch];
+                        let o_row = &mut out_plane[oy * ow * batch..(oy + 1) * ow * batch];
+                        for (kx, &wv) in w_row.iter().enumerate() {
+                            for ox in 0..ow {
+                                let xs = &x_row[(ox + kx) * batch..(ox + kx + 1) * batch];
+                                let os = &mut o_row[ox * batch..(ox + 1) * batch];
+                                for (o, &xv) in os.iter_mut().zip(xs.iter()) {
+                                    *o += xv * wv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched kernel-size-3 specialization (see
+    /// [`Conv2d::forward_into_k3`]): the whole 3×3 window is fused
+    /// into nine in-order `+=` updates per output element, applied to
+    /// all batch rows of each window position in one pass — the output
+    /// row is loaded and stored once per input channel instead of once
+    /// per kernel row, and the inner loop runs over `batch` contiguous
+    /// independent accumulators, vectorizing across the batch axis.
+    /// Per element the contributions still arrive in the reference
+    /// `ky → kx` order within each `ic`, so every sample's output is
+    /// bit-identical to the single-observation kernel.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch_into_k3(
+        &self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        batch: usize,
+        out: &mut [f32],
+    ) {
+        let wt = self.w.data();
+        let b = self.b.data();
+        for oc in 0..self.out_c {
+            let out_plane = &mut out[oc * oh * ow * batch..(oc + 1) * oh * ow * batch];
+            out_plane.fill(b[oc]);
+            for ic in 0..self.in_c {
+                let x_chan = &x[ic * h * w * batch..(ic + 1) * h * w * batch];
+                let w_base = (oc * self.in_c + ic) * 9;
+                let wv: [f32; 9] = wt[w_base..w_base + 9].try_into().expect("3x3 kernel");
+                for oy in 0..oh {
+                    let r0 = &x_chan[oy * w * batch..(oy + 1) * w * batch];
+                    let r1 = &x_chan[(oy + 1) * w * batch..(oy + 2) * w * batch];
+                    let r2 = &x_chan[(oy + 2) * w * batch..(oy + 3) * w * batch];
+                    let o_row = &mut out_plane[oy * ow * batch..(oy + 1) * ow * batch];
+                    for (ox, os) in o_row.chunks_exact_mut(batch).enumerate() {
+                        let base = ox * batch;
+                        fn win(r: &[f32], base: usize, kx: usize, batch: usize) -> &[f32] {
+                            &r[base + kx * batch..base + (kx + 1) * batch]
+                        }
+                        let (x00, x01, x02) = (
+                            win(r0, base, 0, batch),
+                            win(r0, base, 1, batch),
+                            win(r0, base, 2, batch),
+                        );
+                        let (x10, x11, x12) = (
+                            win(r1, base, 0, batch),
+                            win(r1, base, 1, batch),
+                            win(r1, base, 2, batch),
+                        );
+                        let (x20, x21, x22) = (
+                            win(r2, base, 0, batch),
+                            win(r2, base, 1, batch),
+                            win(r2, base, 2, batch),
+                        );
+                        let it = os
+                            .iter_mut()
+                            .zip(x00)
+                            .zip(x01)
+                            .zip(x02)
+                            .zip(x10)
+                            .zip(x11)
+                            .zip(x12)
+                            .zip(x20)
+                            .zip(x21)
+                            .zip(x22);
+                        for (((((((((o, &a0), &a1), &a2), &b0), &b1), &b2), &c0), &c1), &c2) in it {
+                            let mut acc = *o;
+                            acc += a0 * wv[0];
+                            acc += a1 * wv[1];
+                            acc += a2 * wv[2];
+                            acc += b0 * wv[3];
+                            acc += b1 * wv[4];
+                            acc += b2 * wv[5];
+                            acc += c0 * wv[6];
+                            acc += c1 * wv[7];
+                            acc += c2 * wv[8];
+                            *o = acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Layer for Conv2d {
@@ -237,6 +371,24 @@ impl Layer for Conv2d {
             self.forward_into_k3(input, h, w, oh, ow, out);
         } else {
             self.forward_into_generic(input, h, w, oh, ow, out);
+        }
+        Ok(())
+    }
+
+    fn forward_batch_into(
+        &self,
+        input: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        out: &mut [f32],
+    ) -> Result<(), NnError> {
+        let (oh, ow) = self.check_dims(in_shape.dims())?;
+        let dims = in_shape.dims();
+        let (h, w) = (dims[1], dims[2]);
+        if self.k == 3 {
+            self.forward_batch_into_k3(input, h, w, oh, ow, batch, out);
+        } else {
+            self.forward_batch_into_generic(input, h, w, oh, ow, batch, out);
         }
         Ok(())
     }

@@ -13,8 +13,15 @@
 //! accumulation order of the reference implementation, so campaign
 //! statistics computed through [`crate::Network::infer`] match the slow
 //! path to the last ulp (golden-equivalence proptests enforce this).
+//!
+//! [`BatchInferCtx`] adds a batch axis on top: campaign cells repeat
+//! the same policy over many trials, so one kernel invocation can
+//! serve a whole batch of observations, amortizing every weight load
+//! across the batch and vectorizing across independent per-sample
+//! accumulators (see [`crate::Layer::forward_batch_into`]). Each
+//! output row stays bit-identical to single-observation inference.
 
-use crate::NnError;
+use crate::{Layer, NnError};
 
 /// Shape of an activation flowing through the fast path.
 ///
@@ -152,5 +159,188 @@ impl InferCtx {
         }
         let idx = cur.ok_or(NnError::EmptyNetwork)?;
         Ok((&self.bufs[idx][..shape.volume()], shape))
+    }
+}
+
+/// Per-sample activation hook of the batched fault path: called with
+/// `(sample_index, activation_row)` for every freshly produced layer
+/// output row.
+pub(crate) type SampleVisitor<'a> = &'a mut dyn FnMut(usize, &mut [f32]);
+
+/// Reusable *batched* inference scratch arena: two ping-pong activation
+/// buffers sized `batch × features`, plus staging buffers for the
+/// sample-major ↔ batch-minor transposes at the edges.
+///
+/// Internally activations flow **batch-minor** (feature-major): element
+/// `j` of sample `b` lives at index `j * batch + b`, so every kernel's
+/// innermost loop runs over contiguous, independent per-sample
+/// accumulators and vectorizes across the batch axis while each
+/// sample's floating-point accumulation order stays exactly that of the
+/// single-observation reference kernels. Callers see only the natural
+/// sample-major layout: inputs are `batch` concatenated observation
+/// rows, and the returned activation is `batch` concatenated output
+/// rows.
+///
+/// One ctx serves any number of networks, input shapes and batch sizes
+/// (including ragged final batches) — buffers grow to the high-water
+/// mark and are then reused allocation-free.
+///
+/// ```
+/// use frlfi_nn::{BatchInferCtx, NetworkBuilder};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = NetworkBuilder::new(4).dense(8).relu().dense(2).build(&mut rng)?;
+/// let mut ctx = BatchInferCtx::new();
+/// let batch = vec![0.5f32; 3 * 4]; // three observations of 4 features
+/// let out = net.infer_batch(&batch, &frlfi_nn::ActShape::flat(4), 3, &mut ctx)?;
+/// assert_eq!(out.len(), 3 * 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchInferCtx {
+    /// Ping-pong batch-minor activation arenas.
+    bufs: [Vec<f32>; 2],
+    /// Transposed input on entry; gathered sample-major output on exit.
+    staging: Vec<f32>,
+    /// One sample's activation row, for the activation-fault hook.
+    row: Vec<f32>,
+}
+
+impl BatchInferCtx {
+    /// An empty context; buffers are sized on first use.
+    pub fn new() -> Self {
+        BatchInferCtx::default()
+    }
+
+    /// A context preallocated for batched activations up to `max_len`
+    /// (`batch × features`) elements, so even the first inference
+    /// allocates nothing beyond the per-sample fault-hook row.
+    pub fn with_capacity(max_len: usize) -> Self {
+        BatchInferCtx {
+            bufs: [vec![0.0; max_len], vec![0.0; max_len]],
+            staging: vec![0.0; max_len],
+            row: Vec::new(),
+        }
+    }
+
+    /// Largest batched activation (`batch × features` elements) the
+    /// arena can currently hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.bufs[0].len().min(self.bufs[1].len()).min(self.staging.len())
+    }
+
+    /// Runs `layers` over `batch` sample-major observation rows in
+    /// `input`, ping-ponging batch-minor activations through the
+    /// scratch arena. When `visit` is present it is called once per
+    /// `(layer, sample)` — samples in order within each layer — with
+    /// the sample's freshly produced activation row (the activation
+    /// -fault hook point); mutations propagate to the next layer.
+    /// Returns the final activation as `batch` sample-major rows, plus
+    /// the per-sample output shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors; rejects `batch == 0` and input
+    /// length mismatches.
+    pub(crate) fn run<'c>(
+        &'c mut self,
+        layers: &[Box<dyn Layer>],
+        input: &[f32],
+        input_shape: ActShape,
+        batch: usize,
+        mut visit: Option<SampleVisitor<'_>>,
+    ) -> Result<(&'c [f32], ActShape), NnError> {
+        let in_vol = input_shape.volume();
+        if batch == 0 || input.len() != batch * in_vol {
+            return Err(NnError::BadDimensions {
+                detail: format!(
+                    "batched inference needs batch >= 1 and input len batch * volume; got \
+                     batch {batch}, volume {in_vol}, len {}",
+                    input.len()
+                ),
+            });
+        }
+        // Transpose the observations into the batch-minor staging area
+        // (for one sample the layouts coincide, so it is a plain copy).
+        if self.staging.len() < batch * in_vol {
+            self.staging.resize(batch * in_vol, 0.0);
+        }
+        if batch == 1 {
+            self.staging[..in_vol].copy_from_slice(input);
+        } else {
+            for (b, sample) in input.chunks_exact(in_vol).enumerate() {
+                for (j, &v) in sample.iter().enumerate() {
+                    self.staging[j * batch + b] = v;
+                }
+            }
+        }
+
+        let mut shape = input_shape;
+        let mut cur: Option<usize> = None;
+        for layer in layers {
+            let out_shape = layer.out_shape(&shape)?;
+            let n = out_shape.volume() * batch;
+            let dst = match cur {
+                None => 0,
+                Some(c) => 1 - c,
+            };
+            if self.bufs[dst].len() < n {
+                self.bufs[dst].resize(n, 0.0);
+            }
+            let src_n = shape.volume() * batch;
+            let (a, b) = self.bufs.split_at_mut(1);
+            let (src, out): (&[f32], &mut [f32]) = match cur {
+                None => (&self.staging[..src_n], &mut a[0][..n]),
+                Some(0) => (&a[0][..src_n], &mut b[0][..n]),
+                Some(_) => (&b[0][..src_n], &mut a[0][..n]),
+            };
+            if batch == 1 {
+                // A 1-sample batch-minor activation *is* the flat
+                // single-observation activation, so the reference
+                // kernels apply directly — a batch of one runs at
+                // per-observation kernel speed (plus the edge copies).
+                layer.forward_into(src, &shape, out)?;
+            } else {
+                layer.forward_batch_into(src, &shape, batch, out)?;
+            }
+            if let Some(visit) = visit.as_deref_mut() {
+                // Gather each sample's strided activation into a
+                // contiguous row, expose it to the hook, scatter back.
+                let vol = out_shape.volume();
+                if self.row.len() < vol {
+                    self.row.resize(vol, 0.0);
+                }
+                for s in 0..batch {
+                    for j in 0..vol {
+                        self.row[j] = out[j * batch + s];
+                    }
+                    visit(s, &mut self.row[..vol]);
+                    for j in 0..vol {
+                        out[j * batch + s] = self.row[j];
+                    }
+                }
+            }
+            cur = Some(dst);
+            shape = out_shape;
+        }
+        let idx = cur.ok_or(NnError::EmptyNetwork)?;
+        // Gather the batch-minor result into sample-major output rows.
+        let vol = shape.volume();
+        if self.staging.len() < batch * vol {
+            self.staging.resize(batch * vol, 0.0);
+        }
+        if batch == 1 {
+            self.staging[..vol].copy_from_slice(&self.bufs[idx][..vol]);
+        } else {
+            for b in 0..batch {
+                for j in 0..vol {
+                    self.staging[b * vol + j] = self.bufs[idx][j * batch + b];
+                }
+            }
+        }
+        Ok((&self.staging[..batch * vol], shape))
     }
 }

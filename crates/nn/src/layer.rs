@@ -92,6 +92,47 @@ pub trait Layer: Send {
         out: &mut [f32],
     ) -> Result<(), NnError>;
 
+    /// Batched inference-only forward over **batch-minor** activations:
+    /// element `j` of sample `b` lives at `input[j * batch + b]`, and
+    /// the layer writes the full batched output in the same layout into
+    /// `out`, which the caller sizes to
+    /// `out_shape(in_shape).volume() * batch`.
+    ///
+    /// Contract: every sample's output row must be **bit-identical** to
+    /// running [`Layer::forward_into`] on that sample alone — batching
+    /// may only reorder work *across* samples and output elements,
+    /// never the floating-point accumulation order *within* one output
+    /// element. The provided default gathers each sample into a
+    /// scratch row and delegates to `forward_into` (allocating;
+    /// correct for any layer); `Dense`/`Conv2d`/`Relu` override it with
+    /// allocation-free kernels that vectorize across the batch axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn forward_batch_into(
+        &self,
+        input: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        out: &mut [f32],
+    ) -> Result<(), NnError> {
+        let in_vol = in_shape.volume();
+        let out_vol = self.out_shape(in_shape)?.volume();
+        let mut row_in = vec![0.0f32; in_vol];
+        let mut row_out = vec![0.0f32; out_vol];
+        for b in 0..batch {
+            for j in 0..in_vol {
+                row_in[j] = input[j * batch + b];
+            }
+            self.forward_into(&row_in, in_shape, &mut row_out)?;
+            for (j, &v) in row_out.iter().enumerate() {
+                out[j * batch + b] = v;
+            }
+        }
+        Ok(())
+    }
+
     /// Drops the cached forward input (if any), shrinking resident
     /// memory for eval-only deployments. A later [`Layer::backward`]
     /// without a fresh [`Layer::forward`] then fails.

@@ -41,6 +41,6 @@ pub use activation::Relu;
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use error::NnError;
-pub use infer::{ActShape, InferCtx};
+pub use infer::{ActShape, BatchInferCtx, InferCtx};
 pub use layer::{Layer, LayerKind, ParamSpan};
 pub use network::{Network, NetworkBuilder};

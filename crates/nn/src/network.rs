@@ -1,4 +1,4 @@
-use crate::{ActShape, Conv2d, Dense, InferCtx, Layer, NnError, ParamSpan, Relu};
+use crate::{ActShape, BatchInferCtx, Conv2d, Dense, InferCtx, Layer, NnError, ParamSpan, Relu};
 use frlfi_tensor::{Summary, Tensor};
 use rand::Rng;
 
@@ -146,6 +146,58 @@ impl Network {
     ) -> Result<&'c [f32], NnError> {
         let shape = ActShape::from_dims(input.shape().dims())?;
         let (out, _) = ctx.run(&self.layers, input.data(), shape, |buf| corrupt(buf))?;
+        Ok(out)
+    }
+
+    /// Runs the network forward over a whole **batch** of observations
+    /// at once on the zero-allocation batched fast path. `inputs` holds
+    /// `batch` concatenated sample-major observation rows (each of
+    /// `in_shape.volume()` elements); the returned slice holds `batch`
+    /// concatenated output rows and borrows from `ctx` until the next
+    /// batched inference.
+    ///
+    /// Each output row is **bit-identical** to [`Network::infer`] on
+    /// that observation alone — the batched kernels only share weight
+    /// loads and vectorize across samples, never reorder any single
+    /// sample's accumulation — so batched campaign evaluation produces
+    /// exactly the per-observation statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors; rejects `batch == 0` and input
+    /// length mismatches.
+    pub fn infer_batch<'c>(
+        &self,
+        inputs: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        ctx: &'c mut BatchInferCtx,
+    ) -> Result<&'c [f32], NnError> {
+        let (out, _) = ctx.run(&self.layers, inputs, *in_shape, batch, None)?;
+        Ok(out)
+    }
+
+    /// [`Network::infer_batch`] with the activation-fault hook:
+    /// `corrupt(sample, row)` is called for every freshly produced
+    /// per-sample activation row (including the final output), layer by
+    /// layer with samples in order inside each layer, and mutations
+    /// propagate to the next layer. Driving sample `b` from its own
+    /// fault stream reproduces
+    /// [`Network::infer_with_activation_faults`] on that observation
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Network::infer_batch`].
+    pub fn infer_batch_with_activation_faults<'c>(
+        &self,
+        inputs: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        ctx: &'c mut BatchInferCtx,
+        corrupt: &mut dyn FnMut(usize, &mut [f32]),
+    ) -> Result<&'c [f32], NnError> {
+        let (out, _) = ctx.run(&self.layers, inputs, *in_shape, batch, Some(corrupt))?;
         Ok(out)
     }
 
@@ -602,6 +654,105 @@ mod tests {
         let mut pre = InferCtx::with_capacity(8);
         net.infer(&x, &mut pre).unwrap();
         assert_eq!(pre.capacity(), 8);
+    }
+
+    #[test]
+    fn infer_batch_rows_match_single_inference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = NetworkBuilder::new_image(1, 9, 16)
+            .conv(4, 3)
+            .relu()
+            .conv(6, 2)
+            .relu()
+            .dense(10)
+            .relu()
+            .dense(5)
+            .build(&mut rng)
+            .unwrap();
+        let mut ctx = InferCtx::new();
+        let mut bctx = BatchInferCtx::new();
+        for batch in [1usize, 2, 3, 16, 17] {
+            let obs: Vec<Tensor> = (0..batch)
+                .map(|_| {
+                    Tensor::random(vec![1, 9, 16], frlfi_tensor::Init::Uniform(-1.5, 1.5), &mut rng)
+                })
+                .collect();
+            let flat: Vec<f32> = obs.iter().flat_map(|t| t.data().iter().copied()).collect();
+            let out = net.infer_batch(&flat, &ActShape::image(1, 9, 16), batch, &mut bctx).unwrap();
+            assert_eq!(out.len(), batch * 5);
+            for (b, o) in obs.iter().enumerate() {
+                let single = net.infer(o, &mut ctx).unwrap();
+                assert_eq!(&out[b * 5..(b + 1) * 5], single, "row {b} of batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn infer_batch_with_activation_faults_matches_per_sample_streams() {
+        let net = mlp();
+        let mut rng = StdRng::seed_from_u64(33);
+        let batch = 5usize;
+        let obs: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::random(vec![4], frlfi_tensor::Init::Uniform(-2.0, 2.0), &mut rng))
+            .collect();
+        let flat: Vec<f32> = obs.iter().flat_map(|t| t.data().iter().copied()).collect();
+        let corrupt_with = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            move |buf: &mut [f32]| {
+                use rand::Rng;
+                let i = rng.gen_range(0..buf.len());
+                buf[i] = f32::from_bits(buf[i].to_bits() ^ (1 << rng.gen_range(0..32)));
+            }
+        };
+        // Batched: one independent fault stream per sample.
+        let mut streams: Vec<_> = (0..batch).map(|b| corrupt_with(100 + b as u64)).collect();
+        let mut bctx = BatchInferCtx::new();
+        let out = net
+            .infer_batch_with_activation_faults(
+                &flat,
+                &ActShape::flat(4),
+                batch,
+                &mut bctx,
+                &mut |s, row| streams[s](row),
+            )
+            .unwrap()
+            .to_vec();
+        // Per-observation reference with the same per-sample streams.
+        let mut ctx = InferCtx::new();
+        for (b, o) in obs.iter().enumerate() {
+            let mut stream = corrupt_with(100 + b as u64);
+            let single = net.infer_with_activation_faults(o, &mut ctx, &mut stream).unwrap();
+            let batch_bits: Vec<u32> =
+                out[b * 4..(b + 1) * 4].iter().map(|v| v.to_bits()).collect();
+            let single_bits: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, single_bits, "faulted row {b} diverged");
+        }
+    }
+
+    #[test]
+    fn infer_batch_performs_no_allocation_after_warmup() {
+        let net = mlp();
+        let flat = vec![0.25f32; 8 * 4];
+        let mut ctx = BatchInferCtx::new();
+        net.infer_batch(&flat, &ActShape::flat(4), 8, &mut ctx).unwrap();
+        let cap = ctx.capacity();
+        for batch in [8usize, 3, 1, 8] {
+            net.infer_batch(&flat[..batch * 4], &ActShape::flat(4), batch, &mut ctx).unwrap();
+        }
+        assert_eq!(ctx.capacity(), cap, "warm batch ctx must not grow");
+        let mut pre = BatchInferCtx::with_capacity(8 * 8);
+        net.infer_batch(&flat, &ActShape::flat(4), 8, &mut pre).unwrap();
+        assert_eq!(pre.capacity(), 8 * 8);
+    }
+
+    #[test]
+    fn infer_batch_rejects_bad_batches() {
+        let net = mlp();
+        let mut ctx = BatchInferCtx::new();
+        let flat = vec![0.0f32; 8];
+        assert!(net.infer_batch(&flat, &ActShape::flat(4), 0, &mut ctx).is_err());
+        assert!(net.infer_batch(&flat, &ActShape::flat(4), 3, &mut ctx).is_err());
+        assert!(net.infer_batch(&flat, &ActShape::flat(8), 1, &mut ctx).is_err());
     }
 
     #[test]

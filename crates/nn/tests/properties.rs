@@ -1,6 +1,6 @@
 //! Property-based tests for the network substrate.
 
-use frlfi_nn::{InferCtx, Layer, NetworkBuilder, Relu};
+use frlfi_nn::{ActShape, BatchInferCtx, InferCtx, Layer, NetworkBuilder, Relu};
 use frlfi_tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -181,6 +181,119 @@ proptest! {
         let slow_bits: Vec<u32> = slow.data().iter().map(|v| v.to_bits()).collect();
         let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(slow_bits, fast_bits);
+    }
+
+    // ---- Golden equivalence: batched inference rows are bit-identical
+    // ---- to per-observation fast-path inference.
+
+    #[test]
+    fn batch_rows_equal_single_inference_on_mlps(
+        seed in any::<u64>(),
+        dims in (1usize..8, 1usize..16, 1usize..8),
+        batch in 1usize..40,
+    ) {
+        // Batch sizes cover 1, ragged remainders of the 16-wide dense
+        // tile, and multi-tile batches.
+        let (i, h, o) = dims;
+        let net = mlp(seed, i, h, o);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+        let obs: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::random(vec![i], frlfi_tensor::Init::Uniform(-3.0, 3.0), &mut rng))
+            .collect();
+        let flat: Vec<f32> = obs.iter().flat_map(|t| t.data().iter().copied()).collect();
+        let mut bctx = BatchInferCtx::new();
+        let out = net.infer_batch(&flat, &ActShape::flat(i), batch, &mut bctx).expect("batch");
+        let mut ctx = InferCtx::new();
+        for (b, obs) in obs.iter().enumerate() {
+            let single = net.infer(obs, &mut ctx).expect("infer");
+            prop_assert_eq!(&out[b * o..(b + 1) * o], single, "row {} of batch {}", b, batch);
+        }
+    }
+
+    #[test]
+    fn batch_rows_equal_single_inference_on_conv_stacks(
+        seed in any::<u64>(),
+        c in 1usize..3,
+        h in 5usize..10,
+        w in 5usize..12,
+        batch in 1usize..12,
+    ) {
+        let (net, x0) = random_stack(seed, c, h, w);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0B57);
+        let mut obs = vec![x0];
+        for _ in 1..batch {
+            obs.push(Tensor::random(
+                vec![c, h, w],
+                frlfi_tensor::Init::Uniform(-2.0, 2.0),
+                &mut rng,
+            ));
+        }
+        let flat: Vec<f32> = obs.iter().flat_map(|t| t.data().iter().copied()).collect();
+        let mut bctx = BatchInferCtx::new();
+        let out = net
+            .infer_batch(&flat, &ActShape::image(c, h, w), batch, &mut bctx)
+            .expect("batch")
+            .to_vec();
+        let mut ctx = InferCtx::new();
+        let vol = out.len() / batch;
+        for (b, obs) in obs.iter().enumerate() {
+            let single = net.infer(obs, &mut ctx).expect("infer");
+            prop_assert_eq!(&out[b * vol..(b + 1) * vol], single, "row {} of {}", b, batch);
+        }
+        // A second pass through the warm ctx stays identical.
+        let again = net.infer_batch(&flat, &ActShape::image(c, h, w), batch, &mut bctx)
+            .expect("batch");
+        prop_assert_eq!(&out[..], again);
+    }
+
+    #[test]
+    fn batch_activation_faults_equal_per_sample_streams(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        c in 1usize..3,
+        h in 5usize..10,
+        w in 5usize..12,
+        batch in 1usize..8,
+    ) {
+        let (net, x0) = random_stack(seed, c, h, w);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+        let mut obs = vec![x0];
+        for _ in 1..batch {
+            obs.push(Tensor::random(
+                vec![c, h, w],
+                frlfi_tensor::Init::Uniform(-2.0, 2.0),
+                &mut rng,
+            ));
+        }
+        let flat: Vec<f32> = obs.iter().flat_map(|t| t.data().iter().copied()).collect();
+        // Batched: per-sample fault streams, dispatched by sample index.
+        let mut streams: Vec<_> =
+            (0..batch).map(|b| bit_flipper(fault_seed ^ b as u64)).collect();
+        let mut bctx = BatchInferCtx::new();
+        let out = net
+            .infer_batch_with_activation_faults(
+                &flat,
+                &ActShape::image(c, h, w),
+                batch,
+                &mut bctx,
+                &mut |s, row| streams[s](row),
+            )
+            .expect("batch")
+            .to_vec();
+        // Reference: each observation alone on the single fast path,
+        // with an identical fault stream.
+        let mut ctx = InferCtx::new();
+        let vol = out.len() / batch;
+        for (b, obs) in obs.iter().enumerate() {
+            let mut stream = bit_flipper(fault_seed ^ b as u64);
+            let single = net
+                .infer_with_activation_faults(obs, &mut ctx, &mut stream)
+                .expect("infer");
+            let batch_bits: Vec<u32> =
+                out[b * vol..(b + 1) * vol].iter().map(|v| v.to_bits()).collect();
+            let single_bits: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(batch_bits, single_bits, "faulted row {} of {}", b, batch);
+        }
     }
 
     #[test]

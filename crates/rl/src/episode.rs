@@ -1,6 +1,6 @@
 use crate::{Learner, Transition};
 use frlfi_envs::{Environment, Outcome};
-use frlfi_nn::InferCtx;
+use frlfi_nn::{ActShape, BatchInferCtx, InferCtx};
 use rand::RngCore;
 
 /// The result of running one episode.
@@ -84,6 +84,84 @@ pub fn run_greedy_episode_ctx(
     EpisodeSummary { total_reward, steps, outcome }
 }
 
+/// Lock-step batched greedy evaluation: runs every environment in
+/// `envs` through one shared policy simultaneously, selecting all
+/// active environments' actions with **one batched forward per step**
+/// ([`Learner::act_greedy_batch`]) and retiring finished episodes from
+/// the batch as they terminate.
+///
+/// Environment `i` uses `rngs[i]` for its entire episode, so each
+/// episode consumes exactly the streams it would consume under
+/// [`run_greedy_episode_ctx`] — and since every batched action is
+/// bit-identical to single-observation greedy selection, the returned
+/// summaries (in environment order) match running the episodes one at
+/// a time exactly.
+///
+/// All environments must share one observation shape (they are fed to
+/// the same policy).
+///
+/// # Panics
+///
+/// Panics if `rngs.len() != envs.len()` or the observation shapes
+/// diverge.
+pub fn run_greedy_episodes_batch<E: Environment, R: RngCore>(
+    learner: &mut dyn Learner,
+    envs: &mut [E],
+    rngs: &mut [R],
+    ctx: &mut BatchInferCtx,
+) -> Vec<EpisodeSummary> {
+    let n = envs.len();
+    assert_eq!(rngs.len(), n, "one RNG per environment");
+    if n == 0 {
+        return Vec::new();
+    }
+    let dims = envs[0].obs_shape();
+    let shape = ActShape::from_dims(&dims).expect("environment observation shape");
+    let vol = shape.volume();
+
+    // Active environment indices and their current observations, kept
+    // compacted: slot `s` of `states` is the observation of environment
+    // `active[s]`.
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut states: Vec<f32> = vec![0.0; n * vol];
+    for (s, (env, rng)) in envs.iter_mut().zip(rngs.iter_mut()).enumerate() {
+        assert_eq!(env.obs_shape(), dims, "batched environments must share an obs shape");
+        let obs = env.reset(rng);
+        states[s * vol..(s + 1) * vol].copy_from_slice(obs.data());
+    }
+
+    let mut totals = vec![0.0f32; n];
+    let mut step_counts = vec![0usize; n];
+    let mut actions = vec![0usize; n];
+    let mut summaries: Vec<Option<EpisodeSummary>> = vec![None; n];
+    while !active.is_empty() {
+        let b = active.len();
+        learner.act_greedy_batch(&states[..b * vol], &shape, b, ctx, &mut actions[..b]);
+        // Step every active environment; survivors compact in place so
+        // the next batched forward sees only live episodes.
+        let mut live = 0;
+        for s in 0..b {
+            let i = active[s];
+            let step = envs[i].step(actions[s], &mut rngs[i]);
+            totals[i] += step.reward;
+            step_counts[i] += 1;
+            if step.outcome.is_terminal() {
+                summaries[i] = Some(EpisodeSummary {
+                    total_reward: totals[i],
+                    steps: step_counts[i],
+                    outcome: step.outcome,
+                });
+            } else {
+                active[live] = i;
+                states[live * vol..(live + 1) * vol].copy_from_slice(step.state.data());
+                live += 1;
+            }
+        }
+        active.truncate(live);
+    }
+    summaries.into_iter().map(|s| s.expect("every episode terminated")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +189,64 @@ mod tests {
         let before = learner.network().snapshot();
         run_greedy_episode(&mut env, &mut learner, &mut rng);
         assert_eq!(learner.network().snapshot(), before);
+    }
+
+    #[test]
+    fn batched_episodes_match_sequential_greedy_runs() {
+        // Train one policy, then evaluate the same four environments
+        // sequentially and in lock-step: summaries must be identical
+        // (actions are bit-identical, env RNG streams are per-episode).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut learner = QLearner::gridworld_default(&mut rng).unwrap();
+        let layouts = GridWorld::standard_layouts(4);
+        for env in layouts.iter().take(4) {
+            let mut env = env.clone();
+            for _ in 0..120 {
+                run_episode(&mut env, &mut learner, &mut rng);
+            }
+        }
+        let mut seq_envs: Vec<GridWorld> = layouts.iter().take(4).cloned().collect();
+        let sequential: Vec<EpisodeSummary> = seq_envs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, env)| {
+                let mut eval_rng = StdRng::seed_from_u64(1000 + i as u64);
+                run_greedy_episode_ctx(env, &mut learner, &mut eval_rng, &mut InferCtx::new())
+            })
+            .collect();
+        let mut batch_envs: Vec<GridWorld> = layouts.iter().take(4).cloned().collect();
+        let mut eval_rngs: Vec<StdRng> =
+            (0..4).map(|i| StdRng::seed_from_u64(1000 + i as u64)).collect();
+        let batched = run_greedy_episodes_batch(
+            &mut learner,
+            &mut batch_envs,
+            &mut eval_rngs,
+            &mut BatchInferCtx::new(),
+        );
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn batched_runner_handles_empty_and_single() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut learner = QLearner::gridworld_default(&mut rng).unwrap();
+        let none: Vec<EpisodeSummary> = run_greedy_episodes_batch(
+            &mut learner,
+            &mut Vec::<GridWorld>::new(),
+            &mut Vec::<StdRng>::new(),
+            &mut BatchInferCtx::new(),
+        );
+        assert!(none.is_empty());
+        let mut envs = vec![GridWorld::standard_layouts(1)[0].clone()];
+        let mut rngs = vec![StdRng::seed_from_u64(7)];
+        let one = run_greedy_episodes_batch(
+            &mut learner,
+            &mut envs,
+            &mut rngs,
+            &mut BatchInferCtx::new(),
+        );
+        assert_eq!(one.len(), 1);
+        assert!(one[0].outcome.is_terminal());
     }
 
     #[test]

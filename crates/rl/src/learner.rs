@@ -1,4 +1,4 @@
-use frlfi_nn::{InferCtx, Network};
+use frlfi_nn::{ActShape, BatchInferCtx, InferCtx, Network};
 use frlfi_tensor::Tensor;
 use rand::RngCore;
 
@@ -36,6 +36,38 @@ pub trait Learner: Send {
     fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> usize {
         let _ = ctx;
         self.act_greedy(state)
+    }
+
+    /// Greedy action selection over a whole **batch** of observations:
+    /// `states` holds `batch` concatenated sample-major observation
+    /// rows (each of `in_shape.volume()` elements) and the selected
+    /// actions are written to `actions[..batch]`. Must pick, for every
+    /// row, exactly the action [`Learner::act_greedy_ctx`] picks for
+    /// that observation alone — the batched inference path is
+    /// bit-identical per sample, which the default (per-sample
+    /// delegation to [`Learner::act_greedy`]) trivially guarantees for
+    /// implementors without a fast path.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `states` or `actions` are shorter
+    /// than the batch demands.
+    fn act_greedy_batch(
+        &mut self,
+        states: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        ctx: &mut BatchInferCtx,
+        actions: &mut [usize],
+    ) {
+        let _ = ctx;
+        let vol = in_shape.volume();
+        for b in 0..batch {
+            let row = states[b * vol..(b + 1) * vol].to_vec();
+            let obs = Tensor::from_vec(in_shape.dims().to_vec(), row)
+                .expect("observation row matches shape");
+            actions[b] = self.act_greedy(&obs);
+        }
     }
 
     /// Feeds one transition; value methods may update online here.

@@ -38,7 +38,10 @@ mod qlearn;
 mod reinforce;
 mod schedule;
 
-pub use episode::{run_episode, run_greedy_episode, run_greedy_episode_ctx, EpisodeSummary};
+pub use episode::{
+    run_episode, run_greedy_episode, run_greedy_episode_ctx, run_greedy_episodes_batch,
+    EpisodeSummary,
+};
 pub use learner::{Learner, Transition};
 pub use policy::{eps_greedy, greedy_argmax, sample_categorical, softmax, softmax_argmax};
 pub use qlearn::QLearner;

@@ -1,5 +1,5 @@
 use crate::{eps_greedy, greedy_argmax, EpsilonSchedule, Learner, Transition};
-use frlfi_nn::{InferCtx, Network, NetworkBuilder, NnError};
+use frlfi_nn::{ActShape, BatchInferCtx, InferCtx, Network, NetworkBuilder, NnError};
 use frlfi_tensor::Tensor;
 use rand::{Rng, RngCore};
 
@@ -79,6 +79,21 @@ impl Learner for QLearner {
     fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> usize {
         let q = self.net.infer(state, ctx).expect("infer on observation");
         greedy_argmax(q)
+    }
+
+    fn act_greedy_batch(
+        &mut self,
+        states: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        ctx: &mut BatchInferCtx,
+        actions: &mut [usize],
+    ) {
+        let q = self.net.infer_batch(states, in_shape, batch, ctx).expect("batched infer");
+        let n = q.len() / batch;
+        for (b, row) in q.chunks_exact(n).enumerate() {
+            actions[b] = greedy_argmax(row);
+        }
     }
 
     fn observe(&mut self, t: Transition) {

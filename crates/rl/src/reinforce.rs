@@ -1,5 +1,5 @@
 use crate::{sample_categorical, softmax, softmax_argmax, Learner, Transition};
-use frlfi_nn::{InferCtx, Network, NetworkBuilder, NnError};
+use frlfi_nn::{ActShape, BatchInferCtx, InferCtx, Network, NetworkBuilder, NnError};
 use frlfi_tensor::Tensor;
 use rand::{Rng, RngCore};
 
@@ -109,6 +109,23 @@ impl Learner for Reinforce {
         // step allocation-free.
         let logits = self.net.infer(state, ctx).expect("infer on observation");
         softmax_argmax(logits)
+    }
+
+    fn act_greedy_batch(
+        &mut self,
+        states: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        ctx: &mut BatchInferCtx,
+        actions: &mut [usize],
+    ) {
+        // One batched forward, then the allocation-free bit-exact
+        // softmax-argmax replay per logits row (see `act_greedy_ctx`).
+        let logits = self.net.infer_batch(states, in_shape, batch, ctx).expect("batched infer");
+        let n = logits.len() / batch;
+        for (b, row) in logits.chunks_exact(n).enumerate() {
+            actions[b] = softmax_argmax(row);
+        }
     }
 
     fn observe(&mut self, t: Transition) {

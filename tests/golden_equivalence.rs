@@ -88,6 +88,112 @@ const DRONE_GOLDEN_BITS: [u64; 2] = [
     0x405fe00000000000, // rep 1: 127.5
 ];
 
+// ---- Batched-path gates (PR 3). The constants below were captured on
+// ---- the pre-batching build (per-observation `InferCtx` everywhere)
+// ---- by running these exact scenarios through the campaign runner.
+
+/// Per-trial values of the pinned GridWorld campaign (smoke geometry,
+/// 130 episodes, 3 agents; BER rows [0.2, 0.5] × episodes [40, 125],
+/// 2 repeats), in `[cell][repeat]` order.
+const GRID_CAMPAIGN_GOLDEN: [[f64; 2]; 4] =
+    [[100.0, 66.66666666666666], [100.0, 100.0], [100.0, 100.0], [33.33333333333333, 0.0]];
+
+/// The pinned campaign's pre-batching `summary.txt`, byte for byte.
+const GRID_CAMPAIGN_SUMMARY: &str = "\
+== Campaign golden-batch-grid (Smoke scale): success rate (%) ==
+BER   ep40  ep125
+20%   83.3  100.0
+50%  100.0   16.7
+";
+
+/// Per-trial values of the pinned DroneNav campaign (smoke geometry,
+/// 2 drones; BER rows [0.01, 0.1] × episode [4], 2 repeats).
+const DRONE_CAMPAIGN_GOLDEN: [[f64; 2]; 2] = [[13.5, 117.0], [36.0, 12.0]];
+
+/// The pinned drone campaign's pre-batching `summary.txt`.
+const DRONE_CAMPAIGN_SUMMARY: &str = "\
+== Campaign golden-batch-drone (Smoke scale): flight distance (m) ==
+BER   ep4
+1%   65.2
+10%  24.0
+";
+
+fn golden_scenario(
+    name: &str,
+    system: frlfi_campaign::SystemKind,
+    bers: Vec<f64>,
+    inject_episodes: Vec<usize>,
+) -> frlfi_campaign::Scenario {
+    let mut s = frlfi_campaign::Scenario::new(name, system, Scale::Smoke);
+    s.repeats = Some(2);
+    s.fault.bers = bers;
+    s.fault.inject_episodes = inject_episodes;
+    s
+}
+
+fn run_golden_campaign(scenario: &frlfi_campaign::Scenario, golden: &[[f64; 2]], summary: &str) {
+    let dir = std::env::temp_dir().join(format!(
+        "frlfi-golden-batch-{}-{}",
+        scenario.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = frlfi_campaign::RunnerConfig {
+        threads: 3,
+        batched: true,
+        ..frlfi_campaign::RunnerConfig::default()
+    };
+    let out = frlfi_campaign::runner::run(scenario, &dir, &cfg).expect("campaign runs");
+    assert!(out.complete());
+    // Per-trial values, bit for bit against the pre-batching build.
+    let campaign = scenario.expand().expect("expands");
+    let stats = out.stats.expect("complete");
+    for (cell, reps) in golden.iter().enumerate() {
+        let expect = frlfi::fault::aggregate_in_order(reps);
+        let s = stats[cell];
+        assert_eq!(s.mean.to_bits(), expect.mean.to_bits(), "cell {cell} mean drifted");
+        assert_eq!(s.std.to_bits(), expect.std.to_bits(), "cell {cell} std drifted");
+        let seeds: Vec<u64> =
+            (0..2).map(|r| derive_seed(campaign.master_seed, (cell * 2 + r) as u64)).collect();
+        let values =
+            campaign.run_trials_batched(cell, &seeds, &mut frlfi::nn::BatchInferCtx::new());
+        for (r, (&v, &g)) in values.iter().zip(reps.iter()).enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                g.to_bits(),
+                "cell {cell} repeat {r}: batched trial value {v} drifted from the \
+                 per-observation seed build ({g})"
+            );
+        }
+    }
+    // And the rendered summary.txt statistics are byte-identical.
+    let text = std::fs::read_to_string(dir.join("summary.txt")).expect("summary written");
+    assert_eq!(text, summary, "summary.txt drifted from the pre-batching build");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batched_grid_campaign_reproduces_pre_batching_summary() {
+    let scenario = golden_scenario(
+        "golden-batch-grid",
+        frlfi_campaign::SystemKind::GridWorld,
+        vec![0.2, 0.5],
+        vec![40, 125],
+    );
+    run_golden_campaign(&scenario, &GRID_CAMPAIGN_GOLDEN, GRID_CAMPAIGN_SUMMARY);
+}
+
+#[test]
+fn batched_drone_campaign_reproduces_pre_batching_summary() {
+    let scenario = golden_scenario(
+        "golden-batch-drone",
+        frlfi_campaign::SystemKind::DroneNav,
+        vec![0.01, 0.1],
+        vec![4],
+    );
+    run_golden_campaign(&scenario, &DRONE_CAMPAIGN_GOLDEN, DRONE_CAMPAIGN_SUMMARY);
+}
+
 #[test]
 fn drone_smoke_trials_match_pre_fast_path_values_bitwise() {
     let g = drone_geometry(Scale::Smoke);
