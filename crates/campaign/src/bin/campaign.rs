@@ -3,16 +3,20 @@
 //!
 //! ```text
 //! campaign list
+//! campaign expand <spec.toml | builtin-name | --all> [--scale smoke|bench|full]
 //! campaign run <spec.toml | builtin-name> [--scale smoke|bench|full]
 //!              [--out DIR] [--threads N] [--max-trials N] [--batched] [--wide]
 //! campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide]
 //! ```
 //!
-//! `--batched` hands each worker a shard of one cell's repeats and
-//! runs every trial's evaluation episodes in lock-step on the batched
-//! inference fast path (bit-identical values, higher throughput);
-//! `--wide` appends the per-cell mean/min/max/ci95 spread table to
-//! `summary.txt`.
+//! `expand` validates and expands a scenario without running anything
+//! (CI uses `expand --all` to prove every builtin declares cleanly at
+//! every scale).
+//!
+//! `--batched` runs every trial's evaluation episodes in lock-step on
+//! the batched inference fast path (bit-identical values, higher
+//! throughput); `--wide` appends the per-cell mean/min/max/ci95 spread
+//! table to `summary.txt`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,6 +27,7 @@ use frlfi_campaign::{registry, runner, RunnerConfig, Scenario};
 fn usage() -> &'static str {
     "usage:\n  \
      campaign list\n  \
+     campaign expand <spec.toml | builtin-name | --all> [--scale smoke|bench|full]\n  \
      campaign run <spec.toml | builtin-name> [--scale smoke|bench|full] [--out DIR] \
      [--threads N] [--max-trials N] [--batched] [--wide]\n  \
      campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide]"
@@ -31,19 +36,26 @@ fn usage() -> &'static str {
 struct Options {
     scale: Option<Scale>,
     out: Option<PathBuf>,
+    all: bool,
     cfg: RunnerConfig,
     positional: Vec<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { scale: None, out: None, cfg: RunnerConfig::default(), positional: Vec::new() };
+    let mut opts = Options {
+        scale: None,
+        out: None,
+        all: false,
+        cfg: RunnerConfig::default(),
+        positional: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| {
             it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
+            "--all" => opts.all = true,
             "--scale" => {
                 opts.scale = Some(match take("--scale")? {
                     "smoke" => Scale::Smoke,
@@ -89,13 +101,48 @@ fn run_cli(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "list" => {
             println!("built-in scenarios:");
+            let mut last_system = None;
             for e in registry::entries() {
+                if last_system != Some(e.system) {
+                    println!("\n{:?}:", e.system);
+                    last_system = Some(e.system);
+                }
                 println!("  {:<14} {}", e.name, e.description);
             }
             println!("\nrun one with: campaign run <name> --scale smoke");
             Ok(())
         }
+        "expand" => {
+            let scale = opts.scale.unwrap_or(Scale::Bench);
+            let scenarios: Vec<Scenario> = if opts.all {
+                if !opts.positional.is_empty() {
+                    return Err("pass either a target or --all, not both".into());
+                }
+                registry::entries().iter().map(|e| e.scenario(scale)).collect()
+            } else {
+                let [ref target] = opts.positional[..] else {
+                    return Err(usage().to_owned());
+                };
+                vec![load_target(target, scale)?]
+            };
+            for scenario in &scenarios {
+                let campaign = scenario.expand().map_err(|e| format!("{}: {e}", scenario.name))?;
+                println!(
+                    "{:<14} {:?} @ {:?}: {} cells × {} repeats = {} trials",
+                    scenario.name,
+                    scenario.system,
+                    scenario.scale,
+                    campaign.trials.len(),
+                    campaign.repeats,
+                    campaign.total_trials(),
+                );
+            }
+            Ok(())
+        }
         "run" => {
+            if opts.all {
+                return Err("--all is only valid with `campaign expand`".into());
+            }
             let [ref target] = opts.positional[..] else {
                 return Err(usage().to_owned());
             };
@@ -112,6 +159,9 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "resume" => {
+            if opts.all {
+                return Err("--all is only valid with `campaign expand`".into());
+            }
             let [ref dir] = opts.positional[..] else {
                 return Err(usage().to_owned());
             };

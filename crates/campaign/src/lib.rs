@@ -41,4 +41,4 @@ pub mod runner;
 pub mod spec;
 
 pub use runner::{CampaignOutcome, RunnerConfig, TrialRecord};
-pub use spec::{Campaign, CellGrid, Scenario, SystemKind, Trials};
+pub use spec::{Campaign, CellGrid, Scenario, SpecError, SystemKind, Trials};

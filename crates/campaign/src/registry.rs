@@ -3,8 +3,13 @@
 //! The `fig*` entries expand to exactly the trial cells their
 //! `frlfi::experiments` figure drivers run (same geometry, same master
 //! seed), so `campaign run fig3a` reproduces the Fig. 3a table. The
-//! remaining entries are new scenario variants beyond the paper's
-//! evaluation.
+//! remaining entries are scenario variants beyond the paper's
+//! evaluation: dynamic-obstacle layouts, unreliable federated links
+//! and heterogeneous fleets, for both systems.
+//!
+//! Entries are grouped by system and kept alphabetical within each
+//! group, so `campaign list` output is deterministic and stable across
+//! releases (a test enforces the ordering).
 
 use frlfi::experiments::DEFAULT_SEED;
 use frlfi::Scale;
@@ -16,6 +21,8 @@ use crate::spec::{MitigationSpec, Scenario, SideKind, SystemKind};
 pub struct RegistryEntry {
     /// The scenario name used on the CLI.
     pub name: &'static str,
+    /// Which system the scenario runs (entries are grouped by system).
+    pub system: SystemKind,
     /// One-line description.
     pub description: &'static str,
     builder: fn(Scale) -> Scenario,
@@ -28,53 +35,75 @@ impl RegistryEntry {
     }
 }
 
-/// All built-in scenarios.
+/// All built-in scenarios, grouped by system ([`SystemKind::GridWorld`]
+/// first) and alphabetical by name within each group.
 pub fn entries() -> &'static [RegistryEntry] {
     &[
         RegistryEntry {
             name: "fig3a",
+            system: SystemKind::GridWorld,
             description: "GridWorld training, agent-side faults (paper Fig. 3a)",
             builder: fig3a,
         },
         RegistryEntry {
             name: "fig3b",
+            system: SystemKind::GridWorld,
             description: "GridWorld training, server-side faults (paper Fig. 3b)",
             builder: fig3b,
         },
         RegistryEntry {
             name: "fig3c",
+            system: SystemKind::GridWorld,
             description: "GridWorld training, single-agent baseline (paper Fig. 3c)",
             builder: fig3c,
         },
         RegistryEntry {
+            name: "fig7a",
+            system: SystemKind::GridWorld,
+            description: "GridWorld server faults with checkpoint mitigation (paper Fig. 7a)",
+            builder: fig7a,
+        },
+        RegistryEntry {
+            name: "grid-dropout",
+            system: SystemKind::GridWorld,
+            description: "federated rounds with 20% agent dropout under server faults",
+            builder: grid_dropout,
+        },
+        RegistryEntry {
+            name: "grid-dynamic",
+            system: SystemKind::GridWorld,
+            description: "dynamic-obstacle GridWorld layout under agent faults",
+            builder: grid_dynamic,
+        },
+        RegistryEntry {
+            name: "grid-fleet",
+            system: SystemKind::GridWorld,
+            description: "heterogeneous fleet sizes × BER (mid-training agent faults)",
+            builder: grid_fleet,
+        },
+        RegistryEntry {
+            name: "drone-dropout",
+            system: SystemKind::DroneNav,
+            description: "drone fleet with 20% per-round dropout under server faults",
+            builder: drone_dropout,
+        },
+        RegistryEntry {
+            name: "drone-dynamic",
+            system: SystemKind::DroneNav,
+            description: "oscillating-obstacle corridors under agent faults",
+            builder: drone_dynamic,
+        },
+        RegistryEntry {
             name: "fig5a",
+            system: SystemKind::DroneNav,
             description: "DroneNav fine-tuning, agent-side faults (paper Fig. 5a)",
             builder: fig5a,
         },
         RegistryEntry {
             name: "fig5b",
+            system: SystemKind::DroneNav,
             description: "DroneNav fine-tuning, server-side faults (paper Fig. 5b)",
             builder: fig5b,
-        },
-        RegistryEntry {
-            name: "fig7a",
-            description: "GridWorld server faults with checkpoint mitigation (paper Fig. 7a)",
-            builder: fig7a,
-        },
-        RegistryEntry {
-            name: "grid-dynamic",
-            description: "NEW: dynamic-obstacle GridWorld layout under agent faults",
-            builder: grid_dynamic,
-        },
-        RegistryEntry {
-            name: "grid-dropout",
-            description: "NEW: federated rounds with 20% agent dropout under server faults",
-            builder: grid_dropout,
-        },
-        RegistryEntry {
-            name: "grid-fleet",
-            description: "NEW: heterogeneous fleet sizes × BER (mid-training agent faults)",
-            builder: grid_fleet,
         },
     ]
 }
@@ -166,6 +195,22 @@ fn grid_fleet(scale: Scale) -> Scenario {
     s
 }
 
+fn drone_dynamic(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("drone-dynamic", SystemKind::DroneNav, scale);
+    s.env.layout = crate::spec::LayoutKind::DynamicObstacles;
+    s.fault.side = SideKind::Agent;
+    s.master_seed = Some(DEFAULT_SEED ^ 0xDD1A);
+    s
+}
+
+fn drone_dropout(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("drone-dropout", SystemKind::DroneNav, scale);
+    s.fault.side = SideKind::Server;
+    s.fleet.dropout = Some(0.2);
+    s.master_seed = Some(DEFAULT_SEED ^ 0xDD07);
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,7 +225,60 @@ mod tests {
                 let c = s.expand().unwrap_or_else(|err| panic!("{} @ {scale:?}: {err}", e.name));
                 assert!(!c.trials.is_empty());
                 assert_eq!(c.grid.cell_count(), c.trials.len(), "{}", e.name);
+                assert_eq!(s.system, e.system, "{}: entry system must match the scenario", e.name);
             }
+        }
+    }
+
+    #[test]
+    fn entries_are_grouped_by_system_and_alphabetical_within() {
+        let list = entries();
+        // GridWorld block first, DroneNav block second, no interleaving.
+        let first_drone =
+            list.iter().position(|e| e.system == SystemKind::DroneNav).expect("drone entries");
+        assert!(
+            list[..first_drone].iter().all(|e| e.system == SystemKind::GridWorld)
+                && list[first_drone..].iter().all(|e| e.system == SystemKind::DroneNav),
+            "entries must be grouped by system"
+        );
+        for block in [&list[..first_drone], &list[first_drone..]] {
+            let names: Vec<&str> = block.iter().map(|e| e.name).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted, "entries must be alphabetical within each system");
+        }
+    }
+
+    #[test]
+    fn descriptions_carry_no_stale_markers() {
+        for e in entries() {
+            assert!(
+                !e.description.contains("NEW:"),
+                "{}: shipped scenarios must not advertise themselves as new",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn drone_variants_expand_with_their_knobs() {
+        use crate::spec::Trials;
+        use frlfi::DroneLayout;
+        let c = builtin("drone-dynamic", Scale::Smoke).expect("built-in").expand().expect("ok");
+        match &c.trials {
+            Trials::Drone(t) => {
+                assert!(t.iter().all(|t| t.layout == DroneLayout::DynamicObstacles));
+                assert!(t.iter().all(|t| t.dropout.is_none()));
+            }
+            Trials::Grid(_) => panic!("drone campaign expected"),
+        }
+        let c = builtin("drone-dropout", Scale::Smoke).expect("built-in").expand().expect("ok");
+        match &c.trials {
+            Trials::Drone(t) => {
+                assert!(t.iter().all(|t| t.layout == DroneLayout::Standard));
+                assert!(t.iter().all(|t| t.dropout == Some(0.2)));
+            }
+            Trials::Grid(_) => panic!("drone campaign expected"),
         }
     }
 
@@ -211,6 +309,7 @@ mod tests {
     #[test]
     fn builtin_lookup() {
         assert!(builtin("fig3a", Scale::Smoke).is_some());
+        assert!(builtin("drone-dynamic", Scale::Smoke).is_some());
         assert!(builtin("no-such", Scale::Smoke).is_none());
     }
 

@@ -40,11 +40,11 @@ pub struct RunnerConfig {
     /// Stop after this many *new* trials (used to exercise the
     /// interrupt/resume path; `None` = run to completion).
     pub max_new_trials: Option<usize>,
-    /// Batched evaluation mode: each worker claims a contiguous shard
-    /// of one cell's pending repeats and runs it through
-    /// [`crate::Campaign::run_trials_batched`], where every trial's
-    /// post-training evaluation executes its episodes in lock-step on
-    /// the [`frlfi::nn::BatchInferCtx`] fast path (the batch axis is a
+    /// Batched evaluation mode: workers claim `(cell, repeat)` trials
+    /// exactly as in per-observation mode, but each trial runs through
+    /// [`crate::Campaign::run_trials_batched`], where its post-training
+    /// evaluation executes its episodes in lock-step on the
+    /// [`frlfi::nn::BatchInferCtx`] fast path (the batch axis is a
     /// trial's concurrent eval episodes — training remains sequential
     /// per repeat). Trial values, the persisted log and the final
     /// statistics are bit-identical to the per-observation mode — only
@@ -152,7 +152,7 @@ pub fn run(scenario: &Scenario, dir: &Path, cfg: &RunnerConfig) -> Result<Campai
             .map_err(|e| format!("write {}: {e}", manifest.display()))?;
     }
 
-    let campaign = scenario.expand()?;
+    let campaign = scenario.expand().map_err(|e| e.to_string())?;
     run_expanded(&campaign, dir, cfg)
 }
 
@@ -304,44 +304,25 @@ fn run_expanded(
         };
 
         if cfg.batched {
-            // Batched mode: contiguous shards of one cell's pending
-            // repeats are the work unit; each worker runs its shard
-            // through the batched trial path with a per-worker
-            // BatchInferCtx arena. Several shards per worker per cell
-            // keep the tail balanced when repeat durations vary.
-            let mut shards: Vec<(usize, Vec<usize>)> = Vec::new();
-            let mut i = 0;
-            while i < pending.len() {
-                let cell = pending[i].0;
-                let mut reps = Vec::new();
-                while i < pending.len() && pending[i].0 == cell {
-                    reps.push(pending[i].1);
-                    i += 1;
-                }
-                let shard_len = reps.len().div_ceil(threads * 4).max(1);
-                for chunk in reps.chunks(shard_len) {
-                    shards.push((cell, chunk.to_vec()));
-                }
-            }
+            // Batched mode: the work unit is one (cell, repeat) trial,
+            // exactly as in per-observation mode — the batch axis
+            // lives *inside* a trial (its evaluation episodes run in
+            // lock-step through the per-worker BatchInferCtx arena),
+            // so per-trial sharding costs no batching opportunity
+            // while keeping per-trial durability: every finished trial
+            // is persisted before the next one starts, and a kill
+            // loses at most the trial in flight.
             std::thread::scope(|scope| {
-                for _ in 0..threads.min(shards.len()) {
+                for _ in 0..threads.min(new_trials) {
                     scope.spawn(|| {
                         let mut ctx = frlfi::nn::BatchInferCtx::new();
                         loop {
-                            let s = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some((cell, reps)) = shards.get(s) else { break };
-                            let seeds: Vec<u64> = reps
-                                .iter()
-                                .map(|&r| {
-                                    derive_seed(campaign.master_seed, (cell * repeats + r) as u64)
-                                })
-                                .collect();
-                            let values = campaign.run_trials_batched(*cell, &seeds, &mut ctx);
-                            for ((&rep, &seed), &value) in
-                                reps.iter().zip(seeds.iter()).zip(values.iter())
-                            {
-                                commit(*cell, rep, seed, value);
-                            }
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(cell, rep)) = pending.get(i) else { break };
+                            let seed =
+                                derive_seed(campaign.master_seed, (cell * repeats + rep) as u64);
+                            let values = campaign.run_trials_batched(cell, &[seed], &mut ctx);
+                            commit(cell, rep, seed, values[0]);
                         }
                     });
                 }

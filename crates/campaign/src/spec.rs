@@ -12,11 +12,36 @@ use frlfi::experiments::harness::{
 };
 use frlfi::experiments::{DEFAULT_SEED, SYSTEM_SEED};
 use frlfi::quant::QFormat;
-use frlfi::{GridLayout, ReprKind, Scale, TrainingMitigation};
+use frlfi::{DroneLayout, GridLayout, ReprKind, Scale, TrainingMitigation};
 use frlfi_fault::{FaultModel, FaultSide};
 use serde::{DeError, Deserialize, Serialize};
 
 use crate::fmt::toml;
+
+/// A scenario-level parse or validation failure.
+///
+/// Everything a spec can get wrong — TOML syntax, unknown fields,
+/// inconsistent knob combinations, out-of-range values — surfaces here
+/// at *declaration* time ([`Scenario::from_toml`] / [`Scenario::expand`]),
+/// never as a panic inside a campaign worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        SpecError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// Which of the paper's two systems a scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,7 +121,8 @@ impl ReprSpec {
 /// Environment options.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnvSpec {
-    /// GridWorld layout family (ignored by DroneNav scenarios).
+    /// Layout family — GridWorld maze jitter or DroneNav oscillating
+    /// obstacles, depending on the scenario's system.
     pub layout: LayoutKind,
 }
 
@@ -109,9 +135,10 @@ impl Default for EnvSpec {
 /// Layout family, spec-level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LayoutKind {
-    /// The paper's fixed mazes.
+    /// The paper's fixed mazes / static corridors.
     Standard,
-    /// Obstacles re-jitter every episode.
+    /// GridWorld: obstacles re-jitter every episode. DroneNav:
+    /// obstacles oscillate during the episode.
     DynamicObstacles,
 }
 
@@ -120,6 +147,13 @@ impl LayoutKind {
         match self {
             LayoutKind::Standard => GridLayout::Standard,
             LayoutKind::DynamicObstacles => GridLayout::DynamicObstacles,
+        }
+    }
+
+    fn drone_layout(self) -> DroneLayout {
+        match self {
+            LayoutKind::Standard => DroneLayout::Standard,
+            LayoutKind::DynamicObstacles => DroneLayout::DynamicObstacles,
         }
     }
 }
@@ -134,7 +168,7 @@ pub struct FleetSpec {
     /// (heterogeneous-fleet study): cells = size × BER, with the fault
     /// injected mid-training.
     pub agents_sweep: Vec<usize>,
-    /// Per-round agent-dropout probability (GridWorld only).
+    /// Per-round agent/drone-dropout probability, in `[0, 1)`.
     pub dropout: Option<f64>,
 }
 
@@ -249,12 +283,12 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns a message for syntax errors, unknown fields/variants, or
-    /// shape mismatches.
-    pub fn from_toml(text: &str) -> Result<Self, String> {
-        let mut value = toml::parse(text).map_err(|e| e.to_string())?;
+    /// Returns a [`SpecError`] for syntax errors, unknown
+    /// fields/variants, or shape mismatches.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        let mut value = toml::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
         fill_section_defaults(&mut value);
-        Scenario::deserialize(&value).map_err(|e: DeError| e.to_string())
+        Scenario::deserialize(&value).map_err(|e: DeError| SpecError::new(e.to_string()))
     }
 
     /// Renders the scenario as TOML.
@@ -264,18 +298,54 @@ impl Scenario {
 
     /// Expands the scenario into concrete campaign cells.
     ///
+    /// Every knob a trial function would otherwise panic on mid-campaign
+    /// (`run_grid_trial`'s "valid trial config" expect, deep inside a
+    /// worker thread) is validated here, at declaration time.
+    ///
     /// # Errors
     ///
-    /// Returns a message for inconsistent specs (e.g. a drone scenario
-    /// with a dropout, or an empty sweep axis).
-    pub fn expand(&self) -> Result<Campaign, String> {
+    /// Returns a [`SpecError`] for inconsistent specs (e.g. an
+    /// out-of-range dropout, a zero fleet, or DroneNav-only training
+    /// knobs on a GridWorld scenario).
+    pub fn expand(&self) -> Result<Campaign, SpecError> {
+        self.validate_common()?;
         match self.system {
             SystemKind::GridWorld => self.expand_grid(),
             SystemKind::DroneNav => self.expand_drone(),
         }
     }
 
-    fn expand_grid(&self) -> Result<Campaign, String> {
+    /// System-independent knob validation.
+    fn validate_common(&self) -> Result<(), SpecError> {
+        if let Some(d) = self.fleet.dropout {
+            // Validate the f32 the trial actually runs with: an f64
+            // just below 1.0 rounds up to 1.0f32, which the system
+            // constructors reject — that must fail here, not as a
+            // worker-thread panic.
+            if !(0.0..1.0).contains(&d) || !(0.0..1.0).contains(&(d as f32)) {
+                return Err(SpecError::new(format!("fleet.dropout = {d} must lie in [0, 1)")));
+            }
+        }
+        if self.fleet.agents == Some(0) {
+            return Err(SpecError::new("fleet.agents must be ≥ 1"));
+        }
+        if self.repeats == Some(0) {
+            return Err(SpecError::new("repeats must be ≥ 1"));
+        }
+        if self.train.eval_attempts == Some(0) {
+            // Zero attempts would make every flight-distance trial a
+            // silent 0.0, not an error.
+            return Err(SpecError::new("train.eval_attempts must be ≥ 1"));
+        }
+        for &b in &self.fault.bers {
+            if !(0.0..=1.0).contains(&b) {
+                return Err(SpecError::new(format!("fault.bers entry {b} must lie in [0, 1]")));
+            }
+        }
+        Ok(())
+    }
+
+    fn expand_grid(&self) -> Result<Campaign, SpecError> {
         let g = grid_geometry(self.scale);
         let bers =
             if self.fault.bers.is_empty() { g.bers.clone() } else { self.fault.bers.clone() };
@@ -286,7 +356,9 @@ impl Scenario {
             self.fault.inject_episodes.clone()
         };
         if self.train.pretrain_episodes.is_some() || self.train.eval_attempts.is_some() {
-            return Err("pretrain_episodes / eval_attempts apply to DroneNav scenarios".into());
+            return Err(SpecError::new(
+                "pretrain_episodes / eval_attempts apply to DroneNav scenarios",
+            ));
         }
         let system_seed = self.system_seed.unwrap_or(SYSTEM_SEED);
         let base = GridTrial {
@@ -325,7 +397,7 @@ impl Scenario {
         } else {
             let sizes = self.fleet.agents_sweep.clone();
             if sizes.contains(&0) {
-                return Err("agents_sweep entries must be ≥ 1".into());
+                return Err(SpecError::new("agents_sweep entries must be ≥ 1"));
             }
             let mid = total_episodes / 2;
             let trials = sizes
@@ -350,13 +422,7 @@ impl Scenario {
         })
     }
 
-    fn expand_drone(&self) -> Result<Campaign, String> {
-        if self.fleet.dropout.is_some() {
-            return Err("dropout is a GridWorld scenario feature".into());
-        }
-        if self.env.layout != LayoutKind::Standard {
-            return Err("layout applies to GridWorld scenarios".into());
-        }
+    fn expand_drone(&self) -> Result<Campaign, SpecError> {
         let g = drone_geometry(self.scale);
         let bers =
             if self.fault.bers.is_empty() { g.bers.clone() } else { self.fault.bers.clone() };
@@ -374,6 +440,8 @@ impl Scenario {
             eval_attempts: self.train.eval_attempts.unwrap_or(g.eval_attempts),
             system_seed: self.system_seed.unwrap_or(SYSTEM_SEED),
             comm: frlfi::experiments::harness::DroneComm::Every(1),
+            layout: self.env.layout.drone_layout(),
+            dropout: self.fleet.dropout.map(|d| d as f32),
             weights,
             fault: None,
             mitigation: self.mitigation.as_ref().map(MitigationSpec::mitigation),
@@ -404,7 +472,7 @@ impl Scenario {
         } else {
             let sizes = self.fleet.agents_sweep.clone();
             if sizes.contains(&0) {
-                return Err("agents_sweep entries must be ≥ 1".into());
+                return Err(SpecError::new("agents_sweep entries must be ≥ 1"));
             }
             let mid = fine_tune / 2;
             let trials = sizes
@@ -611,8 +679,51 @@ mod tests {
     fn unknown_fields_are_rejected() {
         let mut text = Scenario::new("x", SystemKind::GridWorld, Scale::Smoke).to_toml();
         text.push_str("\ntypo_field = 3\n");
-        let err = Scenario::from_toml(&text).unwrap_err();
+        let err = Scenario::from_toml(&text).unwrap_err().to_string();
         assert!(err.contains("typo_field"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_dropout_fails_at_expansion_not_in_a_worker() {
+        // The exact satellite case: a bad TOML must die with a
+        // SpecError when the campaign is declared, not panic inside
+        // run_grid_trial on a worker thread.
+        for system in ["GridWorld", "DroneNav"] {
+            let text = format!(
+                "name = \"bad\"\nsystem = \"{system}\"\nscale = \"Smoke\"\n\n\
+                 [fleet]\ndropout = 1.5\n"
+            );
+            let s = Scenario::from_toml(&text).expect("parses — the value is shape-valid");
+            let err = s.expand().expect_err("must reject dropout ≥ 1").to_string();
+            assert!(err.contains("dropout"), "{system}: {err}");
+        }
+    }
+
+    #[test]
+    fn dropout_that_rounds_to_one_as_f32_fails_at_expansion() {
+        // 0.999999999f64 is in [0, 1) but casts to 1.0f32 — the value
+        // the trial config actually carries — which the system
+        // constructors reject. Expansion must catch it.
+        assert_eq!(0.999_999_999_f64 as f32, 1.0);
+        let mut s = Scenario::new("edge", SystemKind::GridWorld, Scale::Smoke);
+        s.fleet.dropout = Some(0.999_999_999);
+        assert!(s.expand().unwrap_err().to_string().contains("dropout"));
+    }
+
+    #[test]
+    fn zero_fleet_and_zero_repeats_fail_at_expansion() {
+        let mut s = Scenario::new("z", SystemKind::GridWorld, Scale::Smoke);
+        s.fleet.agents = Some(0);
+        assert!(s.expand().unwrap_err().to_string().contains("agents"));
+        let mut s = Scenario::new("z", SystemKind::DroneNav, Scale::Smoke);
+        s.repeats = Some(0);
+        assert!(s.expand().unwrap_err().to_string().contains("repeats"));
+        let mut s = Scenario::new("z", SystemKind::GridWorld, Scale::Smoke);
+        s.fault.bers = vec![0.0, 1.5];
+        assert!(s.expand().unwrap_err().to_string().contains("bers"));
+        let mut s = Scenario::new("z", SystemKind::DroneNav, Scale::Smoke);
+        s.train.eval_attempts = Some(0);
+        assert!(s.expand().unwrap_err().to_string().contains("eval_attempts"));
     }
 
     #[test]
@@ -643,9 +754,26 @@ mod tests {
     }
 
     #[test]
-    fn drone_scenario_rejects_grid_only_features() {
+    fn drone_scenario_accepts_layout_and_dropout() {
+        use frlfi::experiments::harness::DroneComm;
         let mut s = Scenario::new("d", SystemKind::DroneNav, Scale::Smoke);
-        s.fleet.dropout = Some(0.1);
-        assert!(s.expand().is_err());
+        s.fleet.dropout = Some(0.25);
+        s.env.layout = LayoutKind::DynamicObstacles;
+        let c = s.expand().expect("drone variants expand");
+        match &c.trials {
+            Trials::Drone(t) => {
+                assert_eq!(t[0].layout, DroneLayout::DynamicObstacles);
+                assert_eq!(t[0].dropout, Some(0.25));
+                assert_eq!(t[0].comm, DroneComm::Every(1));
+            }
+            Trials::Grid(_) => panic!("drone expected"),
+        }
+    }
+
+    #[test]
+    fn grid_only_training_knobs_still_rejected_for_grid() {
+        let mut s = Scenario::new("g", SystemKind::GridWorld, Scale::Smoke);
+        s.train.pretrain_episodes = Some(4);
+        assert!(s.expand().unwrap_err().to_string().contains("DroneNav"));
     }
 }

@@ -312,12 +312,68 @@ fn new_scenario_variants_run_end_to_end() {
 }
 
 #[test]
+fn drone_scenario_variants_run_end_to_end_in_both_modes() {
+    // Trimmed drone-dynamic / drone-dropout campaigns: each runs to
+    // completion sequentially and batched, with bit-identical
+    // statistics between the modes (the full builtin geometry is
+    // pinned by tests/golden_equivalence.rs).
+    for name in ["drone-dynamic", "drone-dropout"] {
+        let mut scenario = registry::builtin(name, Scale::Smoke).expect("built-in");
+        scenario.fault.bers = vec![0.0, 1e-2];
+        scenario.fault.inject_episodes = vec![3];
+        scenario.train.total_episodes = Some(5);
+        scenario.train.pretrain_episodes = Some(2);
+        scenario.train.eval_attempts = Some(2);
+        scenario.repeats = Some(2);
+
+        let seq_dir = temp_dir(&format!("{name}-seq"));
+        let seq = runner::run(&scenario, &seq_dir, &RunnerConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(seq.complete(), "{name}");
+        let seq_stats = seq.stats.expect("complete");
+        let max = 361.0 * 2.0; // full step budget × speed
+        assert!(
+            seq_stats.iter().all(|s| s.mean > 0.0 && s.mean <= max),
+            "{name}: flight distances out of range: {seq_stats:?}"
+        );
+
+        let bat_dir = temp_dir(&format!("{name}-bat"));
+        let bat = runner::run(
+            &scenario,
+            &bat_dir,
+            &RunnerConfig { threads: 2, batched: true, ..RunnerConfig::default() },
+        )
+        .unwrap_or_else(|e| panic!("{name} batched: {e}"));
+        assert!(bat.complete(), "{name} batched");
+        assert_stats_bit_identical(&seq_stats, &bat.stats.expect("complete"));
+
+        // The two modes also render byte-identical summaries.
+        let seq_text = std::fs::read_to_string(seq_dir.join("summary.txt")).expect("summary");
+        let bat_text = std::fs::read_to_string(bat_dir.join("summary.txt")).expect("summary");
+        assert_eq!(seq_text, bat_text, "{name}: summary must not depend on the eval mode");
+
+        std::fs::remove_dir_all(&seq_dir).ok();
+        std::fs::remove_dir_all(&bat_dir).ok();
+    }
+}
+
+#[test]
 fn shipped_fig3_spec_file_is_the_builtin_campaign() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3a_bench.toml");
     let text = std::fs::read_to_string(path).expect("specs/fig3a_bench.toml ships in the repo");
     let from_file = Scenario::from_toml(&text).expect("parses");
     let builtin = registry::builtin("fig3a", Scale::Bench).expect("built-in");
     assert_eq!(from_file, builtin, "the shipped spec must drive the exact Fig. 3a campaign");
+}
+
+#[test]
+fn shipped_drone_dynamic_spec_file_is_the_builtin_campaign() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/drone_dynamic_smoke.toml");
+    let text =
+        std::fs::read_to_string(path).expect("specs/drone_dynamic_smoke.toml ships in the repo");
+    let from_file = Scenario::from_toml(&text).expect("parses");
+    let builtin = registry::builtin("drone-dynamic", Scale::Smoke).expect("built-in");
+    assert_eq!(from_file, builtin, "the shipped spec must drive the exact drone-dynamic campaign");
 }
 
 #[test]
@@ -359,6 +415,27 @@ fn campaign_cli_runs_interrupts_and_resumes() {
     let (ok, listing) = run(&["list"]);
     assert!(ok, "{listing}");
     assert!(listing.contains("fig3a") && listing.contains("grid-dropout"), "{listing}");
+    assert!(listing.contains("drone-dynamic") && listing.contains("drone-dropout"), "{listing}");
+    // Grouped by system, with no stale "NEW:" markers.
+    assert!(listing.contains("GridWorld:") && listing.contains("DroneNav:"), "{listing}");
+    assert!(!listing.contains("NEW:"), "{listing}");
+
+    let (ok, expanded) = run(&["expand", "--all", "--scale", "smoke"]);
+    assert!(ok, "{expanded}");
+    for e in registry::entries() {
+        assert!(expanded.contains(e.name), "expand --all must cover {}: {expanded}", e.name);
+    }
+    let (ok, one) = run(&["expand", "drone-dropout", "--scale", "smoke"]);
+    assert!(ok, "{one}");
+    assert!(one.contains("4 cells × 1 repeats = 4 trials"), "{one}");
+    let (ok, err) = run(&["expand", "no-such-builtin"]);
+    assert!(!ok);
+    assert!(err.contains("neither a file nor a built-in"), "{err}");
+    let (ok, err) = run(&["expand", "fig3a", "--all"]);
+    assert!(!ok, "a target and --all together must be rejected: {err}");
+    let (ok, err) = run(&["run", "fig3a", "--all"]);
+    assert!(!ok);
+    assert!(err.contains("only valid with"), "{err}");
 
     let dir_s = dir.to_str().expect("utf8 tmp");
     let spec_s = spec_path.to_str().expect("utf8 tmp");

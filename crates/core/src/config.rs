@@ -99,6 +99,18 @@ impl GridSystemConfig {
     }
 }
 
+/// DroneNav corridor layout family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DroneLayout {
+    /// The paper's static procedural corridors.
+    Standard,
+    /// Obstacles oscillate around their base positions during the
+    /// episode — a harder scenario probing policy robustness to
+    /// non-stationary worlds (not in the paper; the DroneNav analogue
+    /// of [`GridLayout::DynamicObstacles`]).
+    DynamicObstacles,
+}
+
 /// Configuration of a federated drone-navigation system (§IV-B).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DroneSystemConfig {
@@ -116,6 +128,14 @@ pub struct DroneSystemConfig {
     /// Step cap during training episodes (shorter than evaluation's to
     /// keep fine-tuning affordable).
     pub train_max_steps: usize,
+    /// Corridor layout family (static corridors, or oscillating
+    /// obstacles). `DynamicObstacles` turns on `sim.dynamic` with the
+    /// default motion at system construction unless `sim.dynamic` is
+    /// already set.
+    pub layout: DroneLayout,
+    /// Per-round probability that a drone drops out of a communication
+    /// round (`None` = reliable links, the paper's setting).
+    pub dropout: Option<f32>,
 }
 
 impl Default for DroneSystemConfig {
@@ -127,6 +147,8 @@ impl Default for DroneSystemConfig {
             comm: CommSchedule::every(1),
             sim: DroneConfig::default(),
             train_max_steps: 120,
+            layout: DroneLayout::Standard,
+            dropout: None,
         }
     }
 }

@@ -1,8 +1,8 @@
-use crate::config::DroneSystemConfig;
+use crate::config::{DroneLayout, DroneSystemConfig};
 use crate::error::FrlfiError;
 use crate::injection::MitigationStats;
 use crate::injection::{InjectionPlan, ReprKind, TrainingMitigation};
-use frlfi_envs::{DroneConfig, DroneSim, Environment};
+use frlfi_envs::{DroneConfig, DroneSim, Environment, ObstacleMotion};
 use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
 use frlfi_federated::{RoundHook, Server};
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
@@ -41,6 +41,7 @@ pub struct DroneFrlSystem {
     server: Option<Server>,
     rng: StdRng,
     drone_rngs: Vec<StdRng>,
+    dropout_rng: StdRng,
     episodes_done: usize,
     comm_rounds: usize,
     pending_server_fault: Option<InjectionPlan>,
@@ -52,13 +53,41 @@ pub struct DroneFrlSystem {
 impl DroneFrlSystem {
     /// Builds the fleet; all randomness derives from `cfg.seed`.
     ///
+    /// A [`DroneLayout::DynamicObstacles`] layout is normalized into
+    /// the stored config: `sim.dynamic` is set to the default
+    /// [`ObstacleMotion`] (unless already set), so training, evaluation
+    /// and in-system pre-training all see the moving-obstacle world.
+    ///
     /// # Errors
     ///
-    /// Returns [`FrlfiError::BadConfig`] for zero drones, or propagates
-    /// construction errors.
+    /// Returns [`FrlfiError::BadConfig`] for zero drones or a dropout
+    /// probability outside `[0, 1)`, or propagates construction errors.
     pub fn new(cfg: DroneSystemConfig) -> Result<Self, FrlfiError> {
+        let mut cfg = cfg;
         if cfg.n_drones == 0 {
             return Err(FrlfiError::BadConfig { detail: "n_drones must be ≥ 1".into() });
+        }
+        if let Some(p) = cfg.dropout {
+            if !(0.0..1.0).contains(&p) {
+                return Err(FrlfiError::BadConfig {
+                    detail: format!("dropout probability {p} must lie in [0, 1)"),
+                });
+            }
+        }
+        if cfg.layout == DroneLayout::DynamicObstacles && cfg.sim.dynamic.is_none() {
+            cfg.sim.dynamic = Some(ObstacleMotion::default());
+        }
+        if let Some(m) = cfg.sim.dynamic {
+            // Catch degenerate motion here as a recoverable error; the
+            // simulator itself only asserts.
+            if !(m.amplitude.is_finite() && m.period.is_finite() && m.period > 0.0) {
+                return Err(FrlfiError::BadConfig {
+                    detail: format!(
+                        "obstacle motion amplitude {} / period {} must be finite with period > 0",
+                        m.amplitude, m.period
+                    ),
+                });
+            }
         }
         let mut init_rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0xD0E));
         let template = Reinforce::drone_default(&mut init_rng)?;
@@ -77,6 +106,7 @@ impl DroneFrlSystem {
         };
         Ok(DroneFrlSystem {
             rng: StdRng::seed_from_u64(derive_seed(cfg.seed, 0x51D)),
+            dropout_rng: StdRng::seed_from_u64(derive_seed(cfg.seed, 0xD80)),
             drones,
             envs,
             server,
@@ -305,6 +335,23 @@ impl DroneFrlSystem {
     }
 
     fn communicate(&mut self) -> Result<(), FrlfiError> {
+        // Draw the participant mask before borrowing the server, and
+        // draw it even when a round ends up skipped, so the dropout
+        // stream stays aligned with the round index (the grid system's
+        // contract).
+        let participants: Option<Vec<bool>> = self.cfg.dropout.map(|p| {
+            (0..self.cfg.n_drones).map(|_| !self.dropout_rng.gen_bool(f64::from(p))).collect()
+        });
+        if let Some(mask) = &participants {
+            if mask.iter().filter(|&&p| p).count() < 2 {
+                // Too few participants: the round is skipped entirely.
+                // Leave any pending server fault queued — server memory
+                // is only exposed during an actual aggregation.
+                self.comm_rounds += 1;
+                return Ok(());
+            }
+        }
+
         let server = self.server.as_mut().expect("communicate requires a server");
         let mut uploads: Vec<Vec<f32>> =
             self.drones.iter().map(|d| d.network().snapshot()).collect();
@@ -313,12 +360,24 @@ impl DroneFrlSystem {
             rng: StdRng::seed_from_u64(self.rng.gen()),
             records: Vec::new(),
         };
-        let outputs = server.aggregate_with_hook(&mut uploads, &mut hook)?;
+        match participants {
+            None => {
+                let outputs = server.aggregate_with_hook(&mut uploads, &mut hook)?;
+                for (drone, out) in self.drones.iter_mut().zip(outputs.iter()) {
+                    drone.network_mut().restore(out)?;
+                }
+            }
+            Some(mask) => {
+                let outputs = server.aggregate_subset(&mut uploads, &mask, &mut hook)?;
+                for (drone, out) in self.drones.iter_mut().zip(outputs.iter()) {
+                    if let Some(out) = out {
+                        drone.network_mut().restore(out)?;
+                    }
+                }
+            }
+        }
         if !hook.records.is_empty() {
             self.last_records = hook.records;
-        }
-        for (drone, out) in self.drones.iter_mut().zip(outputs.iter()) {
-            drone.network_mut().restore(out)?;
         }
         self.comm_rounds += 1;
         Ok(())
@@ -380,18 +439,16 @@ impl DroneFrlSystem {
         let mut total = 0.0;
         let mut count = 0;
         for i in 0..self.cfg.n_drones {
-            let mut envs: Vec<DroneSim> = (0..attempts)
-                .map(|a| {
-                    let seed = derive_seed(self.cfg.seed, 0xEA17 + (i * attempts + a) as u64);
-                    DroneSim::new(self.cfg.sim, seed)
-                })
+            // One derivation per corridor, shared by its env and RNG,
+            // so the pair can never desynchronize from the sequential
+            // path's seed scheme.
+            let seeds: Vec<u64> = (0..attempts)
+                .map(|a| derive_seed(self.cfg.seed, 0xEA17 + (i * attempts + a) as u64))
                 .collect();
-            let mut rngs: Vec<StdRng> = (0..attempts)
-                .map(|a| {
-                    let seed = derive_seed(self.cfg.seed, 0xEA17 + (i * attempts + a) as u64);
-                    StdRng::seed_from_u64(seed ^ 0x1)
-                })
-                .collect();
+            let mut envs: Vec<DroneSim> =
+                seeds.iter().map(|&s| DroneSim::new(self.cfg.sim, s)).collect();
+            let mut rngs: Vec<StdRng> =
+                seeds.iter().map(|&s| StdRng::seed_from_u64(s ^ 0x1)).collect();
             run_greedy_episodes_batch(&mut self.drones[i], &mut envs, &mut rngs, ctx);
             // Sum in the exact (drone, attempt) order of the sequential
             // path so the mean folds identically.
@@ -531,6 +588,103 @@ mod tests {
             let bat = s.safe_flight_distance_batched(attempts, &mut BatchInferCtx::new());
             assert_eq!(bat.to_bits(), seq.to_bits(), "attempts {attempts}");
         }
+    }
+
+    #[test]
+    fn rejects_invalid_dropout() {
+        let cfg = DroneSystemConfig { dropout: Some(1.5), ..tiny_cfg(2) };
+        assert!(DroneFrlSystem::new(cfg).is_err());
+        let cfg = DroneSystemConfig { dropout: Some(1.0), ..tiny_cfg(2) };
+        assert!(DroneFrlSystem::new(cfg).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_obstacle_motion() {
+        let sim = frlfi_envs::DroneConfig {
+            dynamic: Some(ObstacleMotion { amplitude: 2.0, period: 0.0 }),
+            ..frlfi_envs::DroneConfig::default()
+        };
+        let cfg = DroneSystemConfig { sim, ..tiny_cfg(2) };
+        assert!(DroneFrlSystem::new(cfg).is_err(), "zero period would NaN every obstacle");
+    }
+
+    #[test]
+    fn dynamic_layout_normalizes_sim_and_flies() {
+        let cfg = DroneSystemConfig { layout: DroneLayout::DynamicObstacles, ..tiny_cfg(2) };
+        let mut s = DroneFrlSystem::new(cfg).unwrap();
+        assert!(s.config().sim.dynamic.is_some(), "layout must switch the sim to dynamic mode");
+        s.pretrain().unwrap();
+        s.fine_tune(2, None, None).unwrap();
+        let d = s.safe_flight_distance(1);
+        let max = s.config().sim.max_steps as f64 * s.config().sim.speed as f64;
+        assert!(d > 0.0 && d <= max, "distance {d} out of range (max {max})");
+    }
+
+    #[test]
+    fn dynamic_layout_changes_evaluation() {
+        // Short chunks put obstacles inside the flight path early, so
+        // the oscillation is observable even by a barely trained policy.
+        let sim = frlfi_envs::DroneConfig {
+            chunk_len: 12.0,
+            obstacles_per_chunk: 8,
+            ..frlfi_envs::DroneConfig::default()
+        };
+        let run = |layout: DroneLayout| {
+            let mut s =
+                DroneFrlSystem::new(DroneSystemConfig { layout, sim, ..tiny_cfg(2) }).unwrap();
+            s.safe_flight_distance(4)
+        };
+        assert_ne!(
+            run(DroneLayout::Standard).to_bits(),
+            run(DroneLayout::DynamicObstacles).to_bits(),
+            "moving obstacles must be observable in the flight-distance metric"
+        );
+    }
+
+    #[test]
+    fn dynamic_batched_flight_distance_matches_sequential_bitwise() {
+        // The lock-step corridor eval must handle per-drone dynamic
+        // layouts: every corridor's obstacle clock is its own episode
+        // step counter, which batch retirement must not disturb.
+        let cfg = DroneSystemConfig { layout: DroneLayout::DynamicObstacles, ..tiny_cfg(2) };
+        let mut s = DroneFrlSystem::new(cfg).unwrap();
+        s.pretrain().unwrap();
+        s.fine_tune(2, None, None).unwrap();
+        for attempts in [1usize, 3] {
+            let seq = s.safe_flight_distance_ctx(attempts, &mut InferCtx::new());
+            let bat = s.safe_flight_distance_batched(attempts, &mut BatchInferCtx::new());
+            assert_eq!(bat.to_bits(), seq.to_bits(), "attempts {attempts}");
+        }
+    }
+
+    #[test]
+    fn dropout_fine_tuning_is_deterministic_and_differs_from_reliable_links() {
+        let cfg = DroneSystemConfig { dropout: Some(0.3), ..tiny_cfg(3) };
+        let run = |cfg: &DroneSystemConfig| {
+            let mut s = DroneFrlSystem::new(cfg.clone()).unwrap();
+            s.pretrain().unwrap();
+            s.fine_tune(6, None, None).unwrap();
+            s.drone(0).network().snapshot()
+        };
+        assert_eq!(run(&cfg), run(&cfg), "dropout masks must derive from the config seed");
+        assert_ne!(run(&cfg), run(&tiny_cfg(3)), "dropout must alter the fine-tuning trajectory");
+    }
+
+    #[test]
+    fn pending_server_fault_survives_skipped_dropout_rounds() {
+        // With 80% dropout most rounds lack the 2 participants an
+        // aggregation needs; the queued server fault must stay pending
+        // until a round actually aggregates.
+        let cfg = DroneSystemConfig { dropout: Some(0.8), ..tiny_cfg(3) };
+        let mut s = DroneFrlSystem::new(cfg).unwrap();
+        s.pretrain().unwrap();
+        let plan = InjectionPlan::server(0, Ber::new(0.05).unwrap()).with_repr(ReprKind::F32);
+        s.inject_now(&plan);
+        s.fine_tune(80, None, None).unwrap();
+        assert!(
+            !s.last_fault_records().is_empty(),
+            "server fault was dropped without ever striking server memory"
+        );
     }
 
     #[test]

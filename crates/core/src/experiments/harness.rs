@@ -15,8 +15,8 @@ use std::sync::Arc;
 use crate::experiments::{ber_label, SYSTEM_SEED};
 use crate::report::Table;
 use crate::{
-    DroneFrlSystem, DroneSystemConfig, GridFrlSystem, GridLayout, GridSystemConfig, InjectionPlan,
-    ReprKind, Scale, TrainingMitigation,
+    DroneFrlSystem, DroneLayout, DroneSystemConfig, GridFrlSystem, GridLayout, GridSystemConfig,
+    InjectionPlan, ReprKind, Scale, TrainingMitigation,
 };
 use frlfi_fault::{Ber, CellStats, FaultModel, FaultSide};
 use frlfi_federated::CommSchedule;
@@ -412,6 +412,14 @@ pub struct DroneTrial {
     pub system_seed: u64,
     /// Communication schedule.
     pub comm: DroneComm,
+    /// Corridor layout family (static, or oscillating obstacles).
+    /// Applies to fine-tuning and evaluation; the shared pre-trained
+    /// weights always come from the nominal static simulator, so a
+    /// dynamic trial measures a nominally trained policy deployed into
+    /// a non-stationary world.
+    pub layout: DroneLayout,
+    /// Per-round drone-dropout probability during fine-tuning.
+    pub dropout: Option<f32>,
     /// Shared pre-trained starting weights (resolved lazily).
     pub weights: Arc<PretrainedWeights>,
     /// Fault to inject (None or BER 0 = fault-free).
@@ -429,6 +437,8 @@ impl DroneTrial {
             eval_attempts: g.eval_attempts,
             system_seed: SYSTEM_SEED,
             comm: DroneComm::Every(1),
+            layout: DroneLayout::Standard,
+            dropout: None,
             weights,
             fault: None,
             mitigation: None,
@@ -453,6 +463,20 @@ impl DroneTrial {
     #[must_use]
     pub fn with_comm(mut self, comm: DroneComm) -> Self {
         self.comm = comm;
+        self
+    }
+
+    /// Sets the corridor layout family.
+    #[must_use]
+    pub fn with_layout(mut self, layout: DroneLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Sets the per-round dropout probability.
+    #[must_use]
+    pub fn with_dropout(mut self, dropout: f32) -> Self {
+        self.dropout = Some(dropout);
         self
     }
 }
@@ -501,6 +525,8 @@ fn drone_trial_system(t: &DroneTrial, seed: u64) -> DroneFrlSystem {
         seed: t.system_seed,
         pretrain_episodes: 0,
         comm: t.comm.schedule(),
+        layout: t.layout,
+        dropout: t.dropout,
         ..Default::default()
     })
     .expect("valid trial config");

@@ -44,7 +44,7 @@ mod injection;
 mod metrics;
 pub mod report;
 
-pub use config::{DroneSystemConfig, GridLayout, GridSystemConfig, Scale};
+pub use config::{DroneLayout, DroneSystemConfig, GridLayout, GridSystemConfig, Scale};
 pub use drone_system::DroneFrlSystem;
 pub use error::FrlfiError;
 pub use grid_system::GridFrlSystem;

@@ -16,6 +16,31 @@ pub const N_DRONE_ACTIONS: usize = 25;
 const LATERAL_OFFSETS: [f32; 5] = [-2.0, -1.0, 0.0, 1.0, 2.0];
 const VERTICAL_OFFSETS: [f32; 5] = [-1.0, -0.5, 0.0, 0.5, 1.0];
 
+/// Obstacle-motion parameters of the dynamic-obstacle scenario: every
+/// obstacle oscillates sinusoidally around its base position in the
+/// `(y, z)` plane, along a per-obstacle seed-derived direction with a
+/// seed-derived phase. Positions are a pure function of the step
+/// counter, so an episode's whole obstacle trajectory is deterministic
+/// in `(config, base_seed, episode)` — the drone analogue of
+/// `GridWorld::with_dynamic_obstacles`'s jitter contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObstacleMotion {
+    /// Peak displacement from the base position (m); must be finite.
+    pub amplitude: f32,
+    /// Oscillation period in environment steps; must be a finite
+    /// positive number ([`DroneSim::new`] asserts this).
+    pub period: f32,
+}
+
+impl Default for ObstacleMotion {
+    fn default() -> Self {
+        // A couple of metres over ~24 steps: fast enough that a policy
+        // frozen on the static world visibly degrades, slow enough to
+        // remain evadable at one primitive per step.
+        ObstacleMotion { amplitude: 2.0, period: 24.0 }
+    }
+}
+
 /// Tunable parameters of the synthetic drone corridor world.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DroneConfig {
@@ -35,6 +60,8 @@ pub struct DroneConfig {
     pub max_steps: usize,
     /// Drone collision radius (m).
     pub drone_radius: f32,
+    /// Moving obstacles (`None` = the paper's static corridors).
+    pub dynamic: Option<ObstacleMotion>,
 }
 
 impl Default for DroneConfig {
@@ -49,6 +76,7 @@ impl Default for DroneConfig {
             // 361 steps × 2 m ≈ the paper's ~722 m flight-distance ceiling.
             max_steps: 361,
             drone_radius: 0.4,
+            dynamic: None,
         }
     }
 }
@@ -80,13 +108,59 @@ pub struct DroneSim {
     world_seed: u64,
     pos: [f32; 3],
     steps: usize,
-    chunks: HashMap<i64, Vec<Aabb>>,
+    chunks: HashMap<i64, Vec<ChunkObstacle>>,
+}
+
+/// One generated obstacle: its base box plus (in dynamic mode) the
+/// seed-derived oscillation direction and phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ChunkObstacle {
+    base: Aabb,
+    /// Unit oscillation direction in the `(y, z)` plane.
+    dir: [f32; 2],
+    /// Oscillation phase offset (radians).
+    phase: f32,
+}
+
+impl ChunkObstacle {
+    fn fixed(base: Aabb) -> Self {
+        ChunkObstacle { base, dir: [0.0, 0.0], phase: 0.0 }
+    }
+
+    /// The obstacle's box at `step` under `motion`. The static path
+    /// returns the base box untouched (no float arithmetic), so static
+    /// worlds stay bit-identical to the pre-dynamic-mode build.
+    fn at(&self, motion: Option<ObstacleMotion>, step: usize) -> Aabb {
+        let Some(m) = motion else { return self.base };
+        let angle = std::f32::consts::TAU * step as f32 / m.period + self.phase;
+        let off = m.amplitude * angle.sin();
+        let (dy, dz) = (off * self.dir[0], off * self.dir[1]);
+        Aabb {
+            min: [self.base.min[0], self.base.min[1] + dy, self.base.min[2] + dz],
+            max: [self.base.max[0], self.base.max[1] + dy, self.base.max[2] + dz],
+        }
+    }
 }
 
 impl DroneSim {
     /// Creates a simulator; worlds are derived from `base_seed` so two
     /// sims with the same seed experience identical corridors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.dynamic` carries a non-finite amplitude or a
+    /// period that is not a finite positive number — a zero period
+    /// would make every obstacle position NaN, silently disabling
+    /// collisions.
     pub fn new(cfg: DroneConfig, base_seed: u64) -> Self {
+        if let Some(m) = cfg.dynamic {
+            assert!(
+                m.amplitude.is_finite() && m.period.is_finite() && m.period > 0.0,
+                "invalid obstacle motion: amplitude {} period {}",
+                m.amplitude,
+                m.period
+            );
+        }
         DroneSim {
             cfg,
             base_seed,
@@ -113,7 +187,7 @@ impl DroneSim {
         self.pos
     }
 
-    fn chunk_obstacles(&mut self, chunk: i64) -> &[Aabb] {
+    fn chunk_obstacles(&mut self, chunk: i64) -> &[ChunkObstacle] {
         let cfg = self.cfg;
         let world_seed = self.world_seed;
         self.chunks.entry(chunk).or_insert_with(|| {
@@ -122,7 +196,14 @@ impl DroneSim {
                 // inside an obstacle.
                 return Vec::new();
             }
-            let mut rng = StdRng::seed_from_u64(derive_seed(world_seed, chunk as u64));
+            let chunk_seed = derive_seed(world_seed, chunk as u64);
+            let mut rng = StdRng::seed_from_u64(chunk_seed);
+            // Motion parameters come from their own derived stream so
+            // dynamic mode moves the *same* base corridor the static
+            // mode generates (the drone analogue of GridWorld jittering
+            // around its standard layout), and the static box stream —
+            // which golden campaign values pin — is untouched.
+            let mut motion_rng = StdRng::seed_from_u64(derive_seed(chunk_seed, 0xA071_0000));
             let x0 = chunk as f32 * cfg.chunk_len;
             (0..cfg.obstacles_per_chunk)
                 .map(|_| {
@@ -132,19 +213,30 @@ impl DroneSim {
                     let sx = rng.gen_range(0.5..1.5);
                     let sy = rng.gen_range(1.0..3.0);
                     let sz = rng.gen_range(1.0..3.0);
-                    Aabb::new([cx - sx, cy - sy, cz - sz], [cx + sx, cy + sy, cz + sz])
+                    let base = Aabb::new([cx - sx, cy - sy, cz - sz], [cx + sx, cy + sy, cz + sz]);
+                    if cfg.dynamic.is_some() {
+                        let theta = motion_rng.gen_range(0.0..std::f32::consts::TAU);
+                        let phase = motion_rng.gen_range(0.0..std::f32::consts::TAU);
+                        ChunkObstacle { base, dir: [theta.cos(), theta.sin()], phase }
+                    } else {
+                        ChunkObstacle::fixed(base)
+                    }
                 })
                 .collect()
         })
     }
 
+    /// All obstacles within sensor reach, materialized at the current
+    /// step (dynamic obstacles at their current oscillation offset).
     fn nearby_obstacles(&mut self) -> Vec<Aabb> {
         let chunk_len = self.cfg.chunk_len;
         let cur = (self.pos[0] / chunk_len).floor() as i64;
         let reach = (self.cfg.max_range / chunk_len).ceil() as i64 + 1;
+        let motion = self.cfg.dynamic;
+        let step = self.steps;
         let mut out = Vec::new();
         for c in cur..=cur + reach {
-            out.extend_from_slice(self.chunk_obstacles(c));
+            out.extend(self.chunk_obstacles(c).iter().map(|o| o.at(motion, step)));
         }
         out
     }
@@ -302,6 +394,101 @@ mod tests {
         assert_ne!(a.chunk_obstacles(1).to_vec(), b.chunk_obstacles(1).to_vec());
     }
 
+    fn dynamic_cfg() -> DroneConfig {
+        DroneConfig { dynamic: Some(ObstacleMotion::default()), ..DroneConfig::default() }
+    }
+
+    fn hell_boxes(s: &mut DroneSim) -> Vec<Aabb> {
+        s.nearby_obstacles()
+    }
+
+    #[test]
+    fn dynamic_mode_keeps_base_geometry_and_moves_obstacles() {
+        // Same seed, static vs dynamic: chunk *base* boxes are drawn
+        // from the same stream, so at step 0 with phase-displaced
+        // offsets only the positions differ — and across steps the
+        // dynamic boxes actually move while static ones never do.
+        let mut st = DroneSim::new(DroneConfig::default(), 17);
+        let mut dy = DroneSim::new(dynamic_cfg(), 17);
+        let mut r1 = StdRng::seed_from_u64(2);
+        let mut r2 = StdRng::seed_from_u64(2);
+        st.reset(&mut r1);
+        dy.reset(&mut r2);
+        let st_bases: Vec<Aabb> = st.chunk_obstacles(1).iter().map(|o| o.base).collect();
+        let dy_bases: Vec<Aabb> = dy.chunk_obstacles(1).iter().map(|o| o.base).collect();
+        assert_eq!(st_bases, dy_bases, "dynamic mode must not disturb the base-box stream");
+
+        let before = hell_boxes(&mut dy);
+        let st_before = hell_boxes(&mut st);
+        // Advance the step counter only (position math aside, motion is
+        // a pure function of `steps`).
+        dy.steps += 7;
+        st.steps += 7;
+        assert_ne!(before, hell_boxes(&mut dy), "dynamic obstacles must move between steps");
+        assert_eq!(st_before, hell_boxes(&mut st), "static obstacles must never move");
+    }
+
+    #[test]
+    fn dynamic_obstacles_change_the_depth_image_over_time() {
+        // Hold the drone still (fixed position, dense obstacle field in
+        // sensor range) and advance the clock: the rendered depth image
+        // must change — motion is surfaced through the sensor, not just
+        // the collision test.
+        let cfg = DroneConfig { obstacles_per_chunk: 12, ..dynamic_cfg() };
+        let mut s = DroneSim::new(cfg, 23);
+        let mut rng = StdRng::seed_from_u64(23);
+        s.reset(&mut rng);
+        s.pos[0] = 45.0; // inside chunk 1, obstacles within the 40 m range
+        let at0 = s.render_depth();
+        s.steps += 9;
+        let at9 = s.render_depth();
+        assert_ne!(at0.data(), at9.data(), "depth image must track obstacle motion");
+    }
+
+    #[test]
+    fn dynamic_worlds_are_deterministic_per_seed_and_episode() {
+        let run = |seed: u64| -> Vec<Vec<f32>> {
+            let mut s = DroneSim::new(dynamic_cfg(), seed);
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut frames = Vec::new();
+            for _ in 0..3 {
+                // episodes
+                let obs = s.reset(&mut rng);
+                frames.push(obs.data().to_vec());
+                for _ in 0..5 {
+                    let st = s.step(12, &mut rng);
+                    frames.push(st.state.data().to_vec());
+                    if st.outcome.is_terminal() {
+                        break;
+                    }
+                }
+            }
+            frames
+        };
+        assert_eq!(run(3), run(3), "same (config, seed, episode) ⇒ same trajectory");
+        assert_ne!(run(3), run(4), "different base seeds must differ");
+    }
+
+    #[test]
+    fn oscillation_stays_bounded_around_the_base() {
+        let cfg = dynamic_cfg();
+        let motion = cfg.dynamic.unwrap();
+        let mut s = DroneSim::new(cfg, 31);
+        let mut rng = StdRng::seed_from_u64(31);
+        s.reset(&mut rng);
+        let bases: Vec<Aabb> = s.chunk_obstacles(1).iter().map(|o| o.base).collect();
+        for t in 0..60 {
+            s.steps = t;
+            for (o, base) in s.nearby_obstacles().iter().zip(bases.iter()) {
+                // x never moves; y/z stay within the amplitude.
+                assert_eq!(o.min[0], base.min[0]);
+                for i in 1..3 {
+                    assert!((o.min[i] - base.min[i]).abs() <= motion.amplitude + 1e-4);
+                }
+            }
+        }
+    }
+
     #[test]
     fn depths_normalized() {
         let mut s = sim();
@@ -377,7 +564,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let clear = s.reset(&mut rng);
         // Plant an obstacle dead ahead.
-        s.chunks.insert(0, vec![Aabb::new([8.0, -2.0, 4.0], [10.0, 2.0, 8.0])]);
+        s.chunks
+            .insert(0, vec![ChunkObstacle::fixed(Aabb::new([8.0, -2.0, 4.0], [10.0, 2.0, 8.0]))]);
         let blocked = s.render_depth();
         let c = (DEPTH_H / 2) * DEPTH_W + DEPTH_W / 2;
         assert!(blocked.data()[c] < clear.data()[c]);

@@ -38,7 +38,7 @@ mod geometry;
 mod gridworld;
 mod layouts;
 
-pub use drone::{DroneConfig, DroneSim, DEPTH_H, DEPTH_W, N_DRONE_ACTIONS};
+pub use drone::{DroneConfig, DroneSim, ObstacleMotion, DEPTH_H, DEPTH_W, N_DRONE_ACTIONS};
 pub use env::{Environment, Outcome, Step};
 pub use geometry::{Aabb, Ray};
 pub use gridworld::{Cell, GridWorld, GRID_SIZE, N_GRID_ACTIONS, OBS_DIM};

@@ -179,14 +179,17 @@ impl Conv2d {
     }
 
     /// The batched generic inference kernel over **batch-minor**
-    /// activations (element `j` of sample `b` at `j * batch + b`): the
-    /// loop nest is `oc → ic → ky → oy → kx → ox → batch`, so each
-    /// kernel-window weight is applied to all batch rows at once — the
-    /// innermost sweep updates `batch` contiguous, independent
-    /// per-sample accumulators and vectorizes across the batch axis —
-    /// while every *output element* of every sample still accumulates
-    /// its terms in the reference `ic → ky → kx` order, bit-identical
-    /// to [`Layer::forward_into`] on that sample alone.
+    /// activations (element `j` of sample `b` at `j * batch + b`),
+    /// fused like the k=3 specialization: the loop nest is
+    /// `oc → ic → oy → ox → ky → kx → batch`, so each output position's
+    /// whole k×k window is applied in one pass — the `batch`-wide
+    /// accumulator chunk is loaded and stored once per `(ic, position)`
+    /// instead of the output row being swept k² times per input
+    /// channel, and the innermost sweep updates `batch` contiguous,
+    /// independent per-sample accumulators and vectorizes across the
+    /// batch axis. Every *output element* of every sample still
+    /// accumulates its terms in the reference `ic → ky → kx` order,
+    /// bit-identical to [`Layer::forward_into`] on that sample alone.
     #[allow(clippy::too_many_arguments)]
     fn forward_batch_into_generic(
         &self,
@@ -206,16 +209,14 @@ impl Conv2d {
             out_plane.fill(b[oc]);
             for ic in 0..self.in_c {
                 let x_chan = &x[ic * h * w * batch..(ic + 1) * h * w * batch];
-                let w_base = (oc * self.in_c + ic) * k * k;
-                for ky in 0..k {
-                    let w_row = &wt[w_base + ky * k..w_base + (ky + 1) * k];
-                    for oy in 0..oh {
-                        let x_row = &x_chan[(oy + ky) * w * batch..(oy + ky + 1) * w * batch];
-                        let o_row = &mut out_plane[oy * ow * batch..(oy + 1) * ow * batch];
-                        for (kx, &wv) in w_row.iter().enumerate() {
-                            for ox in 0..ow {
-                                let xs = &x_row[(ox + kx) * batch..(ox + kx + 1) * batch];
-                                let os = &mut o_row[ox * batch..(ox + 1) * batch];
+                let w_win = &wt[(oc * self.in_c + ic) * k * k..(oc * self.in_c + ic + 1) * k * k];
+                for oy in 0..oh {
+                    let o_row = &mut out_plane[oy * ow * batch..(oy + 1) * ow * batch];
+                    for (ox, os) in o_row.chunks_exact_mut(batch).enumerate() {
+                        for ky in 0..k {
+                            let x_win = &x_chan
+                                [((oy + ky) * w + ox) * batch..((oy + ky) * w + ox + k) * batch];
+                            for (xs, &wv) in x_win.chunks_exact(batch).zip(&w_win[ky * k..]) {
                                 for (o, &xv) in os.iter_mut().zip(xs.iter()) {
                                     *o += xv * wv;
                                 }

@@ -183,6 +183,52 @@ proptest! {
         prop_assert_eq!(slow_bits, fast_bits);
     }
 
+    // ---- Golden equivalence: the fused generic-k batched conv kernel
+    // ---- is bit-identical to per-sample fast-path convolution, for
+    // ---- every kernel size (k=3 takes the specialized path; the rest
+    // ---- exercise the fused generic pass).
+
+    #[test]
+    fn batched_conv_rows_equal_single_for_every_kernel_size(
+        seed in any::<u64>(),
+        k in 1usize..6,
+        in_c in 1usize..3,
+        out_c in 1usize..4,
+        batch in 1usize..10,
+    ) {
+        use frlfi_nn::Conv2d;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (h, w) = (k + rng.gen_range(0..4), k + rng.gen_range(0..4));
+        let conv = Conv2d::new("c", in_c, out_c, k, &mut rng);
+        let shape = ActShape::image(in_c, h, w);
+        let (oh, ow) = (h - k + 1, w - k + 1);
+        let vol = in_c * h * w;
+        let ovol = out_c * oh * ow;
+        let samples: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..vol).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        // Batch-minor packing: element j of sample b at j * batch + b.
+        let mut packed = vec![0.0f32; vol * batch];
+        for (b, s) in samples.iter().enumerate() {
+            for (j, &v) in s.iter().enumerate() {
+                packed[j * batch + b] = v;
+            }
+        }
+        let mut batched = vec![0.0f32; ovol * batch];
+        conv.forward_batch_into(&packed, &shape, batch, &mut batched).expect("batched");
+        let mut single = vec![0.0f32; ovol];
+        for (b, s) in samples.iter().enumerate() {
+            conv.forward_into(s, &shape, &mut single).expect("single");
+            for (j, &v) in single.iter().enumerate() {
+                prop_assert_eq!(
+                    batched[j * batch + b].to_bits(),
+                    v.to_bits(),
+                    "k={} sample {} element {}", k, b, j
+                );
+            }
+        }
+    }
+
     // ---- Golden equivalence: batched inference rows are bit-identical
     // ---- to per-observation fast-path inference.
 

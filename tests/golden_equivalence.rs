@@ -194,6 +194,124 @@ fn batched_drone_campaign_reproduces_pre_batching_summary() {
     run_golden_campaign(&scenario, &DRONE_CAMPAIGN_GOLDEN, DRONE_CAMPAIGN_SUMMARY);
 }
 
+// ---- Drone scenario-variant gates (PR 4). The constants below were
+// ---- captured when `drone-dynamic` / `drone-dropout` shipped, by
+// ---- running the builtin smoke campaigns on the per-observation
+// ---- path. They pin both evaluation modes and the JSONL resume path
+// ---- bit for bit.
+
+/// Per-trial flight distances (m) of the builtin `drone-dynamic`
+/// smoke campaign (BER rows [0, 1e-2] × episodes [4, 10], 1 repeat),
+/// bit-exact, in cell order.
+const DRONE_DYNAMIC_GOLDEN_BITS: [u64; 4] = [
+    0x405d800000000000, // cell 0: 118.0
+    0x405d800000000000, // cell 1: 118.0
+    0x405a200000000000, // cell 2: 104.5
+    0x4053a00000000000, // cell 3: 78.5
+];
+
+/// The pinned `drone-dynamic` campaign's `summary.txt`, byte for byte.
+const DRONE_DYNAMIC_SUMMARY: &str = "\
+== Campaign drone-dynamic (Smoke scale): flight distance (m) ==
+BER    ep4   ep10
+0    118.0  118.0
+1%   104.5   78.5
+";
+
+/// Per-trial flight distances (m) of the builtin `drone-dropout`
+/// smoke campaign (20% per-round dropout, server-side faults).
+const DRONE_DROPOUT_GOLDEN_BITS: [u64; 4] = [
+    0x405fc00000000000, // cell 0: 127.0
+    0x405fc00000000000, // cell 1: 127.0
+    0x4040400000000000, // cell 2: 32.5
+    0x405b800000000000, // cell 3: 110.0
+];
+
+/// The pinned `drone-dropout` campaign's `summary.txt`, byte for byte.
+const DRONE_DROPOUT_SUMMARY: &str = "\
+== Campaign drone-dropout (Smoke scale): flight distance (m) ==
+BER    ep4   ep10
+0    127.0  127.0
+1%    32.5  110.0
+";
+
+/// Runs one of the builtin drone scenario variants through the
+/// campaign runner the hard way — killed after two trials on the
+/// per-observation path, resumed to completion in `--batched` mode —
+/// and pins every persisted trial value, both evaluation paths and the
+/// rendered summary against the captured golden constants.
+fn run_drone_variant_golden(name: &str, golden_bits: &[u64; 4], summary: &str) {
+    let scenario = frlfi_campaign::registry::builtin(name, Scale::Smoke).expect("builtin scenario");
+    let dir = std::env::temp_dir().join(format!("frlfi-golden-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Leg 1: per-observation mode, killed after 2 of the 4 trials.
+    let first = frlfi_campaign::runner::run(
+        &scenario,
+        &dir,
+        &frlfi_campaign::RunnerConfig {
+            threads: 2,
+            max_new_trials: Some(2),
+            ..frlfi_campaign::RunnerConfig::default()
+        },
+    )
+    .expect("first leg runs");
+    assert!(!first.complete(), "the interrupt budget must leave work");
+
+    // Leg 2: batched resume to completion — modes mix freely.
+    let out = frlfi_campaign::runner::run(
+        &scenario,
+        &dir,
+        &frlfi_campaign::RunnerConfig {
+            threads: 3,
+            batched: true,
+            ..frlfi_campaign::RunnerConfig::default()
+        },
+    )
+    .expect("batched resume leg runs");
+    assert!(out.complete());
+    assert!(out.new_trials < out.total_trials, "resume must skip persisted trials");
+
+    let campaign = scenario.expand().expect("expands");
+    assert_eq!(campaign.repeats, 1, "smoke drone geometry runs one repeat per cell");
+    let stats = out.stats.expect("complete");
+    for (cell, &bits) in golden_bits.iter().enumerate() {
+        let golden = f64::from_bits(bits);
+        assert_eq!(
+            stats[cell].mean.to_bits(),
+            bits,
+            "{name} cell {cell}: resumed campaign mean {} drifted from {golden}",
+            stats[cell].mean
+        );
+        let seed = derive_seed(campaign.master_seed, (cell * campaign.repeats) as u64);
+        // Per-observation path, bit for bit.
+        let v = campaign.run_trial(cell, seed);
+        assert_eq!(v.to_bits(), bits, "{name} cell {cell}: per-observation value {v} drifted");
+        // Batched path, bit for bit.
+        let batched =
+            campaign.run_trials_batched(cell, &[seed], &mut frlfi::nn::BatchInferCtx::new());
+        assert_eq!(
+            batched[0].to_bits(),
+            bits,
+            "{name} cell {cell}: batched value {} drifted",
+            batched[0]
+        );
+    }
+    let text = std::fs::read_to_string(dir.join("summary.txt")).expect("summary written");
+    assert_eq!(text, summary, "{name}: summary.txt drifted from the captured golden");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drone_dynamic_campaign_matches_pinned_goldens_across_modes_and_resume() {
+    run_drone_variant_golden("drone-dynamic", &DRONE_DYNAMIC_GOLDEN_BITS, DRONE_DYNAMIC_SUMMARY);
+}
+
+#[test]
+fn drone_dropout_campaign_matches_pinned_goldens_across_modes_and_resume() {
+    run_drone_variant_golden("drone-dropout", &DRONE_DROPOUT_GOLDEN_BITS, DRONE_DROPOUT_SUMMARY);
+}
+
 #[test]
 fn drone_smoke_trials_match_pre_fast_path_values_bitwise() {
     let g = drone_geometry(Scale::Smoke);
