@@ -6,7 +6,12 @@
 //! campaign expand <spec.toml | builtin-name | --all> [--scale smoke|bench|full]
 //! campaign run <spec.toml | builtin-name> [--scale smoke|bench|full]
 //!              [--out DIR] [--threads N] [--max-trials N] [--batched] [--wide]
+//!              [--shared] [--worker-id ID] [--lease-ms N]
 //! campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide]
+//!                 [--shared] [--worker-id ID] [--lease-ms N]
+//! campaign worker <dir> [--threads N] [--max-trials N] [--batched]
+//!                 [--worker-id ID] [--lease-ms N]
+//! campaign status <dir>
 //! ```
 //!
 //! `expand` validates and expands a scenario without running anything
@@ -16,27 +21,43 @@
 //! `--batched` runs every trial's evaluation episodes in lock-step on
 //! the batched inference fast path (bit-identical values, higher
 //! throughput); `--wide` appends the per-cell mean/min/max/ci95 spread
-//! table to `summary.txt`.
+//! table to `summary.txt` (exclusive mode only — in shared mode the
+//! summary must be a pure function of the trial log; render the
+//! spread after completion with `campaign resume <dir> --wide`).
+//!
+//! `--shared` turns the campaign directory into a multi-process work
+//! queue (trials are leased through `claims.jsonl`); `worker` joins an
+//! existing campaign as one process of many and runs until the whole
+//! campaign completes; `status` prints live progress, active workers
+//! and stale claims. The final `summary.txt` is byte-identical however
+//! many processes took part.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use frlfi::Scale;
-use frlfi_campaign::{registry, runner, RunnerConfig, Scenario};
+use frlfi_campaign::{coord, registry, runner, CoordConfig, CoordMode, RunnerConfig, Scenario};
 
 fn usage() -> &'static str {
     "usage:\n  \
      campaign list\n  \
      campaign expand <spec.toml | builtin-name | --all> [--scale smoke|bench|full]\n  \
      campaign run <spec.toml | builtin-name> [--scale smoke|bench|full] [--out DIR] \
-     [--threads N] [--max-trials N] [--batched] [--wide]\n  \
-     campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide]"
+     [--threads N] [--max-trials N] [--batched] [--wide] [--shared] [--worker-id ID] \
+     [--lease-ms N]\n  \
+     campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide] [--shared] \
+     [--worker-id ID] [--lease-ms N]\n  \
+     campaign worker <dir> [--threads N] [--max-trials N] [--batched] \
+     [--worker-id ID] [--lease-ms N]\n  \
+     campaign status <dir>"
 }
 
 struct Options {
     scale: Option<Scale>,
     out: Option<PathBuf>,
     all: bool,
+    shared: bool,
+    coord: CoordConfig,
     cfg: RunnerConfig,
     positional: Vec<String>,
 }
@@ -46,6 +67,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         scale: None,
         out: None,
         all: false,
+        shared: false,
+        coord: CoordConfig::default(),
         cfg: RunnerConfig::default(),
         positional: Vec::new(),
     };
@@ -75,9 +98,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--batched" => opts.cfg.batched = true,
             "--wide" => opts.cfg.wide_summary = true,
+            "--shared" => opts.shared = true,
+            "--worker-id" => opts.coord.worker_id = take("--worker-id")?.to_owned(),
+            "--lease-ms" => {
+                opts.coord.lease_ms =
+                    take("--lease-ms")?.parse().map_err(|e| format!("--lease-ms: {e}"))?;
+                if opts.coord.lease_ms == 0 {
+                    return Err("--lease-ms must be ≥ 1".into());
+                }
+                // Keep waiting workers responsive to short test leases.
+                opts.coord.poll_ms = opts.coord.poll_ms.min(opts.coord.lease_ms / 2).max(10);
+            }
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => opts.positional.push(other.to_owned()),
         }
+    }
+    if opts.shared {
+        opts.cfg.coord = CoordMode::Shared(opts.coord.clone());
     }
     Ok(opts)
 }
@@ -170,8 +207,70 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             report(&scenario, runner::resume(&dir, &opts.cfg)?, &dir);
             Ok(())
         }
+        "worker" => {
+            let [ref dir] = opts.positional[..] else {
+                return Err(usage().to_owned());
+            };
+            let dir = PathBuf::from(dir);
+            let scenario = runner::load_scenario(&dir.join("campaign.toml")).map_err(|e| {
+                format!(
+                    "{e}\nworkers join an existing campaign — start one first with \
+                     `campaign run <spec> --out {} --shared`",
+                    dir.display()
+                )
+            })?;
+            // A worker is always a shared-queue participant.
+            let mut cfg = opts.cfg.clone();
+            cfg.coord = CoordMode::Shared(opts.coord.clone());
+            println!(
+                "worker {} joining campaign {} in {}",
+                opts.coord.worker_id,
+                scenario.name,
+                dir.display()
+            );
+            report(&scenario, runner::resume(&dir, &cfg)?, &dir);
+            Ok(())
+        }
+        "status" => {
+            let [ref dir] = opts.positional[..] else {
+                return Err(usage().to_owned());
+            };
+            print_status(&coord::status(PathBuf::from(dir).as_path())?);
+            Ok(())
+        }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
+}
+
+fn print_status(s: &coord::CampaignStatus) {
+    println!(
+        "campaign {} ({}): {}/{} trials done ({:.0}%)",
+        s.name,
+        s.scale,
+        s.completed_trials,
+        s.total_trials,
+        s.percent()
+    );
+    println!("  grid: {} cells × {} repeats", s.cells, s.repeats);
+    if s.workers.is_empty() {
+        println!("  workers: none active");
+    } else {
+        println!("  workers: {} active", s.workers.len());
+        let now = coord::now_ms();
+        for w in &s.workers {
+            let lease = w.latest_deadline_ms.saturating_sub(now);
+            println!(
+                "    {:<20} {} trial(s) in flight, lease expires in {:.1}s",
+                w.worker,
+                w.active_trials.len(),
+                lease as f64 / 1000.0
+            );
+        }
+    }
+    if s.stale_claims > 0 {
+        println!("  stale claims: {} (re-claimable; their workers look dead)", s.stale_claims);
+    }
+    println!("  summary.txt: {}", if s.summary_written { "written" } else { "pending" });
 }
 
 /// A `run` target is a TOML file path or a registry name.

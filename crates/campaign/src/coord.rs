@@ -1,0 +1,829 @@
+//! Multi-process campaign coordination: the worker/lease subsystem.
+//!
+//! A campaign directory doubles as a **shared work queue**: N runner
+//! processes (`campaign run --shared`, `campaign worker`) point at one
+//! directory and split its `(cell × repeat)` trials between them
+//! through an append-only claim log:
+//!
+//! ```text
+//! <dir>/claims.jsonl — one JSON record per claim/renewal, append-only
+//! ```
+//!
+//! ## Claim protocol
+//!
+//! Claim acquisition is **lock-free append + re-read arbitration** on
+//! the fsync'd log — there is no lock file to leak when a worker dies:
+//!
+//! 1. read `trials.jsonl` (completed set) and `claims.jsonl`;
+//! 2. pick an incomplete trial that is unclaimed, or whose winning
+//!    claim's lease deadline has passed;
+//! 3. append a [`ClaimRecord`] carrying this worker's id and a lease
+//!    deadline (`now + lease_ms`), and fsync it;
+//! 4. re-read the log and [`arbitrate`]: the worker owns the trial iff
+//!    its record won. Losers simply move on to another trial.
+//!
+//! Arbitration is a pure function of log order: for each trial, the
+//! highest claim *generation* wins, and within a generation the first
+//! record in the log wins. A fresh claim uses generation 0; reaping an
+//! expired lease appends generation `g + 1`. Because appends with
+//! `O_APPEND` are atomic for these short records, every process that
+//! re-reads the log agrees on the winner.
+//!
+//! ## Leases, heartbeats and reaping
+//!
+//! A claim is a *lease*, not a lock. The [`Coordinator`]'s heartbeat
+//! thread appends renewal records (same trial, same generation, later
+//! deadline) at `lease_ms / 3` cadence for every trial its process has
+//! in flight, so healthy workers keep their claims indefinitely. When
+//! a worker is SIGKILLed its renewals stop, the lease expires, and any
+//! other worker re-claims the trial at the next generation.
+//!
+//! ## Why every race is benign
+//!
+//! Trial evaluation is a pure function of `(cell, seed)` with the seed
+//! derived from the campaign master seed, so the worst outcome of any
+//! coordination race — two workers running the same trial after a
+//! clock-skewed reap, a slow worker finishing a trial that was already
+//! re-claimed — is a **duplicate, bitwise-identical** record in
+//! `trials.jsonl`, which the loader dedupes. Coordination affects who
+//! burns the CPU, never what `summary.txt` says: an N-process campaign
+//! is byte-identical to the single-process, single-thread run.
+
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Map, Value};
+
+use crate::fmt::json;
+
+/// File name of the claim log inside a campaign directory.
+pub const CLAIMS_FILE: &str = "claims.jsonl";
+
+/// Milliseconds since the Unix epoch. Leases compare wall-clock time
+/// across processes (and possibly machines); modest clock skew only
+/// shifts *when* a stale lease is reaped, never what the campaign
+/// computes.
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// One appended claim-log record: a claim or a heartbeat renewal
+/// (renewals are claims for a trial/generation the worker already
+/// holds; arbitration folds them into the winner's deadline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimRecord {
+    /// Flat trial index: `cell * repeats + repeat`.
+    pub trial: usize,
+    /// Claim generation: 0 for a fresh trial, `g + 1` when reaping the
+    /// expired generation-`g` lease.
+    pub generation: u64,
+    /// Claiming worker's id.
+    pub worker: String,
+    /// Lease deadline, milliseconds since the Unix epoch.
+    pub deadline_ms: u64,
+}
+
+impl ClaimRecord {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("trial".into(), Value::Int(self.trial as i64));
+        m.insert("gen".into(), Value::Int(self.generation as i64));
+        m.insert("worker".into(), Value::Str(self.worker.clone()));
+        m.insert("deadline_ms".into(), Value::Int(self.deadline_ms as i64));
+        Value::Table(m)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let get_int = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_int)
+                .ok_or_else(|| format!("claim record missing integer `{k}`"))
+        };
+        let worker = match v.get("worker") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err("claim record missing string `worker`".into()),
+        };
+        Ok(ClaimRecord {
+            trial: get_int("trial")? as usize,
+            generation: get_int("gen")? as u64,
+            worker,
+            deadline_ms: get_int("deadline_ms")? as u64,
+        })
+    }
+}
+
+/// The arbitration winner for one trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialClaim {
+    /// Winning generation.
+    pub generation: u64,
+    /// Winning worker id.
+    pub worker: String,
+    /// Effective lease deadline: the maximum over the winner's records
+    /// at the winning generation, so renewals extend the lease.
+    pub deadline_ms: u64,
+}
+
+impl TrialClaim {
+    /// Whether the lease has passed at wall-clock `now_ms`.
+    pub fn expired(&self, now_ms: u64) -> bool {
+        self.deadline_ms <= now_ms
+    }
+}
+
+/// Folds one claim record into the arbitration state, in log order.
+fn fold_claim(winners: &mut HashMap<usize, TrialClaim>, r: &ClaimRecord) {
+    match winners.get_mut(&r.trial) {
+        None => {
+            winners.insert(
+                r.trial,
+                TrialClaim {
+                    generation: r.generation,
+                    worker: r.worker.clone(),
+                    deadline_ms: r.deadline_ms,
+                },
+            );
+        }
+        Some(w) => {
+            if r.generation > w.generation {
+                *w = TrialClaim {
+                    generation: r.generation,
+                    worker: r.worker.clone(),
+                    deadline_ms: r.deadline_ms,
+                };
+            } else if r.generation == w.generation && r.worker == w.worker {
+                w.deadline_ms = w.deadline_ms.max(r.deadline_ms);
+            }
+            // Same generation, different worker: first in log order
+            // already won; the later record is a lost race.
+        }
+    }
+}
+
+/// Resolves the claim log into one winner per trial — a pure function
+/// of record order, so every process that reads the same log prefix
+/// agrees on ownership. Per trial: the highest generation wins; within
+/// a generation, the first record in log order wins; later records by
+/// the winner at the winning generation extend the deadline.
+pub fn arbitrate(records: &[ClaimRecord]) -> HashMap<usize, TrialClaim> {
+    let mut winners: HashMap<usize, TrialClaim> = HashMap::new();
+    for r in records {
+        fold_claim(&mut winners, r);
+    }
+    winners
+}
+
+/// Splits `buf` into complete lines (each **excluding** its trailing
+/// `\n`), returning them plus the number of bytes consumed. An
+/// incomplete trailing piece — a record some writer is mid-append on,
+/// or a dead writer's torn tail — is left unconsumed so the caller
+/// retries it once it is completed (or healed into a full line).
+fn complete_lines(buf: &[u8]) -> (Vec<&[u8]>, usize) {
+    let mut lines = Vec::new();
+    let mut consumed = 0;
+    while let Some(pos) = buf[consumed..].iter().position(|&b| b == b'\n') {
+        lines.push(&buf[consumed..consumed + pos]);
+        consumed += pos + 1;
+    }
+    (lines, consumed)
+}
+
+/// How a [`JsonlTailReader`] fold rejects a parsed document.
+pub(crate) enum FoldError {
+    /// The record is structurally wrong but safely ignorable (claims
+    /// are advisory; a dropped trial record just re-runs): warn with
+    /// the line number and keep going.
+    Skip(String),
+    /// The record proves the log is not this campaign's (wrong
+    /// coordinates or seed scheme): abort the refresh.
+    Fatal(String),
+}
+
+/// The incremental JSONL tail reader behind every shared-queue log
+/// view (claim arbitration state, trial completion state, full claim
+/// loads): remembers the byte offset of the last complete line
+/// parsed and, on refresh, reads and folds **only the appended
+/// tail** — so a per-claim poll costs O(new records), not O(log),
+/// however large the append-only log grows (heartbeat renewals grow
+/// `claims.jsonl` without bound). Old bytes are never re-read, so a
+/// permanently corrupt line warns once per process, not once per
+/// poll; an incomplete trailing piece stays unconsumed until its
+/// writer completes it (or a healer turns it into a full line).
+pub(crate) struct JsonlTailReader {
+    path: PathBuf,
+    offset: u64,
+    line_no: usize,
+}
+
+impl JsonlTailReader {
+    pub(crate) fn new(path: PathBuf) -> Self {
+        JsonlTailReader { path, offset: 0, line_no: 0 }
+    }
+
+    /// Hands every complete line appended since the last refresh to
+    /// `fold` as a parsed JSON document. Lines that are not JSON at
+    /// all — torn fragments healed into interior lines — are skipped
+    /// with a warning; `fold` decides whether a structurally wrong
+    /// document is a [`FoldError::Skip`] or a [`FoldError::Fatal`].
+    pub(crate) fn refresh(
+        &mut self,
+        mut fold: impl FnMut(Value) -> Result<(), FoldError>,
+    ) -> Result<(), String> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(format!("open {}: {e}", self.path.display())),
+            Ok(f) => f,
+        };
+        let len = file.metadata().map_err(|e| format!("stat {}: {e}", self.path.display()))?.len();
+        if len <= self.offset {
+            return Ok(());
+        }
+        file.seek(SeekFrom::Start(self.offset))
+            .map_err(|e| format!("seek {}: {e}", self.path.display()))?;
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        file.read_to_end(&mut buf).map_err(|e| format!("read {}: {e}", self.path.display()))?;
+        let (lines, consumed) = complete_lines(&buf);
+        self.offset += consumed as u64;
+        for raw in lines {
+            self.line_no += 1;
+            let line = String::from_utf8_lossy(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let outcome = match json::parse(line) {
+                Ok(v) => fold(v),
+                Err(e) => Err(FoldError::Skip(e.to_string())),
+            };
+            match outcome {
+                Ok(()) => {}
+                Err(FoldError::Skip(e)) => eprintln!(
+                    "campaign: warning: {} line {}: {e}; skipping line (a lost claim or \
+                     trial record only costs a bitwise-identical re-run, so statistics \
+                     are unaffected)",
+                    self.path.display(),
+                    self.line_no
+                ),
+                Err(FoldError::Fatal(e)) => {
+                    return Err(format!("{} line {}: {e}", self.path.display(), self.line_no))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An incrementally folded view of the claim log: a
+/// [`JsonlTailReader`] whose fold is [`fold_claim`] — exact, because
+/// arbitration is an order-based fold.
+struct ClaimReader {
+    tail: JsonlTailReader,
+    state: HashMap<usize, TrialClaim>,
+}
+
+impl ClaimReader {
+    fn new(dir: &Path) -> Self {
+        ClaimReader { tail: JsonlTailReader::new(dir.join(CLAIMS_FILE)), state: HashMap::new() }
+    }
+
+    /// Folds every complete line appended since the last refresh.
+    fn refresh(&mut self) -> Result<(), String> {
+        let state = &mut self.state;
+        self.tail.refresh(|v| {
+            let r = ClaimRecord::from_value(&v).map_err(FoldError::Skip)?;
+            fold_claim(state, &r);
+            Ok(())
+        })
+    }
+}
+
+/// The append-only claim log of one campaign directory.
+#[derive(Debug, Clone)]
+pub struct ClaimLog {
+    path: PathBuf,
+}
+
+impl ClaimLog {
+    /// The claim log of campaign directory `dir`.
+    pub fn in_dir(dir: &Path) -> Self {
+        ClaimLog { path: dir.join(CLAIMS_FILE) }
+    }
+
+    /// Loads every parseable claim record.
+    ///
+    /// Claims are advisory — losing one costs at most a duplicate,
+    /// bitwise-identical trial run — so unparseable lines (a torn tail
+    /// from a SIGKILLed writer, or a fragment another writer healed
+    /// into an interior line) are skipped with a warning naming the
+    /// line number, never a hard error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message only for I/O failures.
+    pub fn load(&self) -> Result<Vec<ClaimRecord>, String> {
+        let mut records = Vec::new();
+        JsonlTailReader::new(self.path.clone()).refresh(|v| {
+            records.push(ClaimRecord::from_value(&v).map_err(FoldError::Skip)?);
+            Ok(())
+        })?;
+        Ok(records)
+    }
+
+    /// Appends one record and fsyncs it — the durability the re-read
+    /// arbitration step relies on. If the log does not end in a
+    /// newline (a writer died mid-append), a newline is written first
+    /// so the torn fragment becomes its own skippable line instead of
+    /// merging with this record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failures.
+    pub fn append(&self, record: &ClaimRecord) -> Result<(), String> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&self.path)
+            .map_err(|e| format!("open {}: {e}", self.path.display()))?;
+        append_jsonl_line(&mut file, &json::render(&record.to_value()))
+            .map_err(|e| format!("append {}: {e}", self.path.display()))
+    }
+}
+
+/// The one shared-log durability protocol, used for `claims.jsonl`
+/// and shared-mode `trials.jsonl` alike: if the log does not end in a
+/// newline (a writer died mid-append), write one first so the torn
+/// fragment becomes its own skippable line instead of merging with
+/// this record; then append the record as a **single** `O_APPEND`
+/// write (so concurrent processes interleave line-atomically) and
+/// fsync it (the durability the re-read arbitration and crash-resume
+/// guarantees rest on). `file` must be open in append+read mode.
+pub(crate) fn append_jsonl_line(file: &mut std::fs::File, json_line: &str) -> std::io::Result<()> {
+    let mut buf = String::with_capacity(json_line.len() + 2);
+    if !ends_with_newline(file)? {
+        buf.push('\n');
+    }
+    buf.push_str(json_line);
+    buf.push('\n');
+    file.write_all(buf.as_bytes())?;
+    file.sync_data()
+}
+
+/// Whether `file` is empty or its last byte is `\n` (read via a seek
+/// that does not disturb the `O_APPEND` write position — appends
+/// ignore the seek cursor).
+pub(crate) fn ends_with_newline(file: &mut std::fs::File) -> std::io::Result<bool> {
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(true);
+    }
+    file.seek(SeekFrom::Start(len - 1))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    Ok(byte[0] == b'\n')
+}
+
+/// Options of one shared-mode worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordConfig {
+    /// This worker's id, as recorded in claim records. Must be unique
+    /// per process instance (reusing a live worker's id makes the two
+    /// fight over leases; results stay correct, CPU is wasted).
+    pub worker_id: String,
+    /// Lease duration in milliseconds. A claim not renewed within this
+    /// window counts as stale and may be reaped by any worker. Must
+    /// comfortably exceed the heartbeat cadence (`lease_ms / 3`);
+    /// trials longer than the lease are covered by renewals.
+    pub lease_ms: u64,
+    /// How long a worker sleeps between queue polls when every
+    /// incomplete trial is validly claimed by someone else.
+    pub poll_ms: u64,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        CoordConfig { worker_id: default_worker_id(), lease_ms: 30_000, poll_ms: 500 }
+    }
+}
+
+/// A worker id unique per process instance: pid plus startup clock, so
+/// a SIGKILLed worker's replacement (same pid space, same host) never
+/// collides with the corpse's claims.
+pub fn default_worker_id() -> String {
+    format!("w{}-{:x}", std::process::id(), now_ms() & 0xFFFF_FFFF)
+}
+
+struct CoordShared {
+    log: ClaimLog,
+    worker_id: String,
+    lease_ms: u64,
+    /// Trials this process currently has in flight, with the
+    /// generation each was won at — the heartbeat renewal set.
+    active: Mutex<HashMap<usize, u64>>,
+}
+
+/// The per-process coordination handle: claim acquisition for worker
+/// threads plus the background heartbeat that keeps this process's
+/// leases alive. Dropping the coordinator stops the heartbeat (any
+/// leases still held then simply expire).
+pub struct Coordinator {
+    shared: Arc<CoordShared>,
+    cfg: CoordConfig,
+    /// The process-wide incremental view of the claim log. Locking it
+    /// also serializes claim attempts across this process's worker
+    /// threads so they never race each other for the same trial
+    /// (cross-process races are settled by log arbitration).
+    reader: Mutex<ClaimReader>,
+    stop: Arc<AtomicBool>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Creates the coordination handle for campaign directory `dir`
+    /// and starts the heartbeat thread.
+    pub fn new(dir: &Path, cfg: CoordConfig) -> Self {
+        let shared = Arc::new(CoordShared {
+            log: ClaimLog::in_dir(dir),
+            worker_id: cfg.worker_id.clone(),
+            lease_ms: cfg.lease_ms,
+            active: Mutex::new(HashMap::new()),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let heartbeat = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || heartbeat_loop(&shared, &stop))
+        };
+        Coordinator {
+            shared,
+            cfg,
+            reader: Mutex::new(ClaimReader::new(dir)),
+            stop,
+            heartbeat: Some(heartbeat),
+        }
+    }
+
+    /// This worker's id.
+    pub fn worker_id(&self) -> &str {
+        &self.cfg.worker_id
+    }
+
+    /// Tries to acquire the lease on `trial`: append + fsync + re-read
+    /// arbitration. Returns `Ok(true)` when this worker now owns the
+    /// trial (it is added to the heartbeat set; call
+    /// [`Coordinator::complete`] when done).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on claim-log I/O failures.
+    pub fn try_claim(&self, trial: usize) -> Result<bool, String> {
+        Ok(self.claim_next(&[trial], 0)?.is_some())
+    }
+
+    /// Claims the first acquirable trial out of `pending`, scanning
+    /// from `offset` (callers stagger offsets to spread workers over
+    /// the queue). The claim log is loaded and arbitrated **once per
+    /// call**, not once per candidate — candidates that are validly
+    /// claimed by others are skipped against that snapshot, and only
+    /// an actual acquisition attempt costs an append + one re-read
+    /// (which also refreshes the snapshot for the remaining
+    /// candidates if the attempt loses its race).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on claim-log I/O failures.
+    pub fn claim_next(&self, pending: &[usize], offset: usize) -> Result<Option<usize>, String> {
+        if pending.is_empty() {
+            return Ok(None);
+        }
+        let mut reader = self.reader.lock().expect("claim reader");
+        reader.refresh()?;
+        for k in 0..pending.len() {
+            let trial = pending[(k + offset) % pending.len()];
+            if self.shared.active.lock().expect("active set").contains_key(&trial) {
+                // Another thread of this process is already running it.
+                continue;
+            }
+            let now = now_ms();
+            let generation = match reader.state.get(&trial) {
+                None => 0,
+                Some(w) if w.expired(now) => w.generation + 1,
+                Some(_) => continue,
+            };
+            self.shared.log.append(&ClaimRecord {
+                trial,
+                generation,
+                worker: self.cfg.worker_id.clone(),
+                deadline_ms: now + self.cfg.lease_ms,
+            })?;
+            // Re-read arbitration (tail only): did our record win its
+            // generation? The refresh also folds any concurrent
+            // appends, keeping the snapshot fresh for the remaining
+            // candidates if this attempt lost its race.
+            reader.refresh()?;
+            let won = matches!(
+                reader.state.get(&trial),
+                Some(w) if w.generation == generation && w.worker == self.cfg.worker_id
+            );
+            if won {
+                self.shared.active.lock().expect("active set").insert(trial, generation);
+                return Ok(Some(trial));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Marks `trial` finished: drops it from the heartbeat set (its
+    /// lease simply expires; completion itself is what the trial log
+    /// records).
+    pub fn complete(&self, trial: usize) {
+        self.shared.active.lock().expect("active set").remove(&trial);
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Renews every in-flight lease at `lease_ms / 3` cadence until told
+/// to stop. Renewal failures are non-fatal: a missed heartbeat at
+/// worst lets another worker duplicate a trial bitwise-identically.
+fn heartbeat_loop(shared: &CoordShared, stop: &AtomicBool) {
+    let interval = (shared.lease_ms / 3).max(50);
+    let tick = std::time::Duration::from_millis(25);
+    let mut elapsed = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        elapsed += tick.as_millis() as u64;
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = 0;
+        let renewals: Vec<(usize, u64)> = {
+            let active = shared.active.lock().expect("active set");
+            active.iter().map(|(&t, &g)| (t, g)).collect()
+        };
+        let now = now_ms();
+        for (trial, generation) in renewals {
+            let _ = shared.log.append(&ClaimRecord {
+                trial,
+                generation,
+                worker: shared.worker_id.clone(),
+                deadline_ms: now + shared.lease_ms,
+            });
+        }
+    }
+}
+
+/// One worker's live footprint in a campaign directory, as seen by
+/// [`status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStatus {
+    /// Worker id.
+    pub worker: String,
+    /// Incomplete trials this worker holds an unexpired lease on.
+    pub active_trials: Vec<usize>,
+    /// Latest lease deadline across those trials (ms since epoch).
+    pub latest_deadline_ms: u64,
+}
+
+/// A point-in-time snapshot of a campaign directory's coordination
+/// state: progress plus who is working on what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStatus {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario scale, rendered (`Smoke`/`Bench`/`Full`).
+    pub scale: String,
+    /// Cells in the campaign grid.
+    pub cells: usize,
+    /// Repeats per cell.
+    pub repeats: usize,
+    /// Trials persisted in `trials.jsonl`.
+    pub completed_trials: usize,
+    /// Total `(cell × repeat)` trials.
+    pub total_trials: usize,
+    /// Workers holding unexpired leases on incomplete trials.
+    pub workers: Vec<WorkerStatus>,
+    /// Incomplete trials whose lease has expired — work a crashed
+    /// worker left behind, re-claimable by anyone.
+    pub stale_claims: usize,
+    /// Whether `summary.txt` has been written.
+    pub summary_written: bool,
+}
+
+impl CampaignStatus {
+    /// Completion as a percentage.
+    pub fn percent(&self) -> f64 {
+        if self.total_trials == 0 {
+            100.0
+        } else {
+            100.0 * self.completed_trials as f64 / self.total_trials as f64
+        }
+    }
+}
+
+/// Reads the live coordination state of campaign directory `dir` (the
+/// `campaign status` command).
+///
+/// # Errors
+///
+/// Returns a message if the directory is not a campaign directory or
+/// its manifest/trial log is unreadable.
+pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
+    let scenario = crate::runner::load_scenario(&dir.join("campaign.toml"))?;
+    let campaign = scenario.expand().map_err(|e| e.to_string())?;
+    let repeats = campaign.repeats;
+    let total = campaign.total_trials();
+    let done = crate::runner::completed_trials(&campaign, dir)?;
+    let completed = done.iter().filter(|d| d.is_some()).count();
+
+    let now = now_ms();
+    let mut workers: HashMap<String, WorkerStatus> = HashMap::new();
+    let mut stale = 0usize;
+    for (&trial, claim) in arbitrate(&ClaimLog::in_dir(dir).load()?).iter() {
+        if trial >= total || done[trial].is_some() {
+            continue; // finished or foreign — the claim is moot
+        }
+        if claim.expired(now) {
+            stale += 1;
+        } else {
+            let w = workers.entry(claim.worker.clone()).or_insert_with(|| WorkerStatus {
+                worker: claim.worker.clone(),
+                active_trials: Vec::new(),
+                latest_deadline_ms: 0,
+            });
+            w.active_trials.push(trial);
+            w.latest_deadline_ms = w.latest_deadline_ms.max(claim.deadline_ms);
+        }
+    }
+    let mut workers: Vec<WorkerStatus> = workers.into_values().collect();
+    for w in &mut workers {
+        w.active_trials.sort_unstable();
+    }
+    workers.sort_by(|a, b| a.worker.cmp(&b.worker));
+
+    Ok(CampaignStatus {
+        name: scenario.name.clone(),
+        scale: format!("{:?}", scenario.scale),
+        cells: campaign.trials.len(),
+        repeats,
+        completed_trials: completed,
+        total_trials: total,
+        workers,
+        stale_claims: stale,
+        summary_written: dir.join("summary.txt").exists(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "frlfi-coord-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn rec(trial: usize, generation: u64, worker: &str, deadline_ms: u64) -> ClaimRecord {
+        ClaimRecord { trial, generation, worker: worker.into(), deadline_ms }
+    }
+
+    #[test]
+    fn first_record_wins_within_a_generation() {
+        let w = arbitrate(&[rec(3, 0, "a", 100), rec(3, 0, "b", 999)]);
+        assert_eq!(w[&3].worker, "a");
+        assert_eq!(w[&3].deadline_ms, 100);
+    }
+
+    #[test]
+    fn higher_generation_supersedes() {
+        let w = arbitrate(&[rec(3, 0, "a", 100), rec(3, 1, "b", 200), rec(3, 0, "a", 999)]);
+        assert_eq!(w[&3].worker, "b");
+        assert_eq!(w[&3].generation, 1);
+        // The stale generation-0 renewal cannot resurrect `a`.
+        assert_eq!(w[&3].deadline_ms, 200);
+    }
+
+    #[test]
+    fn renewals_extend_the_winners_deadline() {
+        let w = arbitrate(&[rec(5, 0, "a", 100), rec(5, 0, "a", 300), rec(5, 0, "b", 400)]);
+        assert_eq!(w[&5].worker, "a");
+        assert_eq!(w[&5].deadline_ms, 300, "b's lost race must not extend a's lease");
+    }
+
+    #[test]
+    fn claim_log_round_trips_and_skips_garbage() {
+        let dir = temp_dir("log");
+        let log = ClaimLog::in_dir(&dir);
+        assert_eq!(log.load().expect("empty"), Vec::new());
+        log.append(&rec(1, 0, "a", 10)).expect("append");
+        log.append(&rec(2, 1, "b", 20)).expect("append");
+        // A torn tail from a killed writer...
+        let mut f =
+            std::fs::OpenOptions::new().append(true).open(dir.join(CLAIMS_FILE)).expect("open");
+        write!(f, "{{\"trial\":9,\"ge").expect("torn tail");
+        drop(f);
+        // ...is skipped on load, and healed into its own line by the
+        // next append instead of merging with it.
+        assert_eq!(log.load().expect("load"), vec![rec(1, 0, "a", 10), rec(2, 1, "b", 20)]);
+        log.append(&rec(3, 0, "c", 30)).expect("append heals");
+        assert_eq!(
+            log.load().expect("load"),
+            vec![rec(1, 0, "a", 10), rec(2, 1, "b", 20), rec(3, 0, "c", 30)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coordinator_claims_arbitrates_and_reaps() {
+        let dir = temp_dir("coordinator");
+        let mk = |id: &str, lease_ms: u64| {
+            Coordinator::new(
+                &dir,
+                CoordConfig { worker_id: id.into(), lease_ms, ..CoordConfig::default() },
+            )
+        };
+        let a = mk("a", 60_000);
+        let b = mk("b", 60_000);
+        assert!(a.try_claim(0).expect("claim"), "fresh trial must be claimable");
+        assert!(!b.try_claim(0).expect("claim"), "live lease must repel other workers");
+        assert!(!a.try_claim(0).expect("claim"), "own in-flight trial is not re-claimable");
+        assert!(b.try_claim(1).expect("claim"), "other trials stay claimable");
+
+        // A crashed worker: lease expires without renewal, any worker
+        // reaps at the next generation.
+        let c = mk("c", 1);
+        assert!(c.try_claim(2).expect("claim"));
+        drop(c); // heartbeat stops; the 1 ms lease is long gone
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(b.try_claim(2).expect("reap"), "expired lease must be re-claimable");
+        let state = arbitrate(&ClaimLog::in_dir(&dir).load().expect("load"));
+        assert_eq!(state[&2].generation, 1, "reaping bumps the generation");
+        assert_eq!(state[&2].worker, "b");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn claim_next_scans_past_live_leases_from_one_snapshot() {
+        let dir = temp_dir("claim-next");
+        let mk = |id: &str| {
+            Coordinator::new(
+                &dir,
+                CoordConfig { worker_id: id.into(), lease_ms: 60_000, ..CoordConfig::default() },
+            )
+        };
+        let a = mk("a");
+        let b = mk("b");
+        assert_eq!(a.claim_next(&[0, 1, 2], 0).expect("claim"), Some(0));
+        // b's scan starts at 0 but skips a's live lease and wins 1.
+        assert_eq!(b.claim_next(&[0, 1, 2], 0).expect("claim"), Some(1));
+        // a skips its own in-flight trial and b's lease; offset wraps.
+        assert_eq!(a.claim_next(&[0, 1, 2], 2).expect("claim"), Some(2));
+        assert_eq!(b.claim_next(&[0, 1, 2], 0).expect("claim"), None, "queue exhausted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn heartbeat_renews_in_flight_leases() {
+        let dir = temp_dir("heartbeat");
+        let coordinator = Coordinator::new(
+            &dir,
+            CoordConfig { worker_id: "hb".into(), lease_ms: 180, ..CoordConfig::default() },
+        );
+        assert!(coordinator.try_claim(0).expect("claim"));
+        let first = arbitrate(&ClaimLog::in_dir(&dir).load().expect("load"))[&0].deadline_ms;
+        // Well past the original 180 ms lease, renewals (every ~60 ms)
+        // must have pushed the deadline forward.
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let state = arbitrate(&ClaimLog::in_dir(&dir).load().expect("load"));
+        assert!(!state[&0].expired(now_ms()), "heartbeat must keep the lease alive");
+        assert!(state[&0].deadline_ms > first, "renewals must extend the deadline");
+        // Completion drops the trial from the renewal set.
+        coordinator.complete(0);
+        let last = arbitrate(&ClaimLog::in_dir(&dir).load().expect("load"))[&0].deadline_ms;
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let state = arbitrate(&ClaimLog::in_dir(&dir).load().expect("load"));
+        assert_eq!(state[&0].deadline_ms, last, "completed trials are not renewed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

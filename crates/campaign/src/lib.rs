@@ -17,8 +17,14 @@
 //!   records to a JSONL log and **resumes** interrupted campaigns by
 //!   skipping persisted `(cell, repeat)` trials; statistics are
 //!   bit-identical to an uninterrupted run at any thread count;
+//! * [`coord`] — the multi-process worker/lease subsystem: with
+//!   [`CoordMode::Shared`], N runner processes share one campaign
+//!   directory through an append-only `claims.jsonl` (atomic claim
+//!   acquisition, heartbeat renewal, stale-lease reaping), and the
+//!   result stays byte-identical to the single-process run;
 //! * the `campaign` binary — `campaign run <spec.toml | builtin>`,
-//!   `campaign list`, `campaign resume <dir>`.
+//!   `campaign list`, `campaign resume <dir>`, `campaign worker <dir>`
+//!   (join a campaign as one process of many), `campaign status <dir>`.
 //!
 //! Trial evaluation goes through the same
 //! [`frlfi::experiments::harness`] functions the figure drivers use,
@@ -35,10 +41,12 @@
 //! println!("{}", out.table.expect("complete").render());
 //! ```
 
+pub mod coord;
 pub mod fmt;
 pub mod registry;
 pub mod runner;
 pub mod spec;
 
-pub use runner::{CampaignOutcome, RunnerConfig, TrialRecord};
+pub use coord::{CampaignStatus, CoordConfig, Coordinator};
+pub use runner::{CampaignOutcome, CoordMode, RunnerConfig, TrialRecord};
 pub use spec::{Campaign, CellGrid, Scenario, SpecError, SystemKind, Trials};

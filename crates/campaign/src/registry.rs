@@ -94,6 +94,12 @@ pub fn entries() -> &'static [RegistryEntry] {
             builder: drone_dynamic,
         },
         RegistryEntry {
+            name: "drone-motion",
+            system: SystemKind::DroneNav,
+            description: "fast wide-sweep obstacle motion (explicit env.motion) under agent faults",
+            builder: drone_motion,
+        },
+        RegistryEntry {
             name: "fig5a",
             system: SystemKind::DroneNav,
             description: "DroneNav fine-tuning, agent-side faults (paper Fig. 5a)",
@@ -200,6 +206,17 @@ fn drone_dynamic(scale: Scale) -> Scenario {
     s.env.layout = crate::spec::LayoutKind::DynamicObstacles;
     s.fault.side = SideKind::Agent;
     s.master_seed = Some(DEFAULT_SEED ^ 0xDD1A);
+    s
+}
+
+fn drone_motion(scale: Scale) -> Scenario {
+    let mut s = Scenario::new("drone-motion", SystemKind::DroneNav, scale);
+    s.env.layout = crate::spec::LayoutKind::DynamicObstacles;
+    // A harsher world than drone-dynamic's default (2 m over 24
+    // steps): wider sweeps on a faster clock.
+    s.env.motion = Some(crate::spec::MotionSpec { amplitude: 3.0, period: 16.0 });
+    s.fault.side = SideKind::Agent;
+    s.master_seed = Some(DEFAULT_SEED ^ 0xDD40);
     s
 }
 

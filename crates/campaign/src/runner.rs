@@ -21,7 +21,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use frlfi::report::Table;
@@ -29,8 +29,27 @@ use frlfi::tensor::derive_seed;
 use frlfi_fault::{aggregate_in_order, CellStats};
 use serde::{Map, Value};
 
+use crate::coord::{CoordConfig, Coordinator};
 use crate::fmt::json;
 use crate::spec::{Campaign, CellGrid, Scenario};
+
+/// How a runner coordinates trial ownership with other processes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CoordMode {
+    /// This process assumes it is the only writer of the campaign
+    /// directory: trials shard over threads through an in-memory
+    /// cursor, with no claim log.
+    #[default]
+    Exclusive,
+    /// The campaign directory is a shared work queue: trials are
+    /// acquired through the `claims.jsonl` lease protocol (see
+    /// [`crate::coord`]), so any number of `campaign run --shared` /
+    /// `campaign worker` processes — across cores, cgroups or machines
+    /// sharing the filesystem — split one campaign. Statistics and
+    /// `summary.txt` are byte-identical to an [`CoordMode::Exclusive`]
+    /// single-thread run.
+    Shared(CoordConfig),
+}
 
 /// Runner options.
 #[derive(Debug, Clone, Default)]
@@ -55,6 +74,9 @@ pub struct RunnerConfig {
     /// 95% CI half-width over repeats) to `summary.txt` after the
     /// standard means grid.
     pub wide_summary: bool,
+    /// Multi-process coordination mode. Per-observation and batched
+    /// trials claim work through the same path in either mode.
+    pub coord: CoordMode,
 }
 
 /// One persisted trial result.
@@ -148,8 +170,11 @@ pub fn run(scenario: &Scenario, dir: &Path, cfg: &RunnerConfig) -> Result<Campai
             ));
         }
     } else {
-        std::fs::write(&manifest, scenario.to_toml())
-            .map_err(|e| format!("write {}: {e}", manifest.display()))?;
+        // Atomic publish: a concurrently joining worker either sees
+        // no manifest yet or a complete one, never a torn prefix. Two
+        // processes racing `run --shared` both publish identical
+        // bytes, so last-rename-wins is harmless.
+        write_atomic(dir, "campaign.toml", &scenario.to_toml())?;
     }
 
     let campaign = scenario.expand().map_err(|e| e.to_string())?;
@@ -181,12 +206,29 @@ fn trials_path(dir: &Path) -> PathBuf {
     dir.join("trials.jsonl")
 }
 
-/// Reads the persisted trial log, tolerating a torn trailing line (the
-/// crash-interrupted write case). Returns the records plus the byte
-/// length of the valid prefix — the caller truncates any torn tail off
-/// before appending, so the fragment can never end up as an interior
-/// (hard-error) line of a later log.
-fn load_records(dir: &Path) -> Result<(Vec<TrialRecord>, u64), String> {
+/// How [`load_records`] treats lines it cannot parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadPolicy {
+    /// Exclusive-writer semantics: a torn *trailing* line (the
+    /// crash-interrupted write) is skipped with a warning and the
+    /// trial re-runs; a corrupt *interior* line is a hard error naming
+    /// its line number — with one writer, interior damage means the
+    /// log was edited or belongs to something else.
+    Strict,
+    /// Shared-queue semantics: any unparseable line is skipped with a
+    /// warning naming its line number. With concurrent writers a
+    /// killed process's torn tail gets healed into an interior line by
+    /// the next appender, so interior damage is expected; skipping is
+    /// safe because the dropped trial re-runs bitwise-identically.
+    Lenient,
+}
+
+/// Reads the persisted trial log under `policy`. Returns the records
+/// plus the byte length of the parsed prefix — the exclusive-mode
+/// caller truncates any torn tail off before appending, so the
+/// fragment can never merge with the next record into one corrupt
+/// interior line.
+fn load_records(dir: &Path, policy: LoadPolicy) -> Result<(Vec<TrialRecord>, u64), String> {
     let path = trials_path(dir);
     let mut text = String::new();
     match File::open(&path) {
@@ -211,10 +253,13 @@ fn load_records(dir: &Path) -> Result<(Vec<TrialRecord>, u64), String> {
                 records.push(r);
                 valid_len += piece.len() as u64;
             }
-            Err(e) if i + 1 == pieces.len() => {
-                // Torn tail from an interrupted write: drop it (the
-                // caller truncates); the trial will re-run.
-                let _ = e;
+            Err(e) if i + 1 == pieces.len() || policy == LoadPolicy::Lenient => {
+                eprintln!(
+                    "campaign: warning: {} line {}: {e}; skipping record (the trial will \
+                     re-run with an identical seed, so statistics are unaffected)",
+                    path.display(),
+                    i + 1
+                );
             }
             Err(e) => return Err(format!("{} line {}: {e}", path.display(), i + 1)),
         }
@@ -222,40 +267,155 @@ fn load_records(dir: &Path) -> Result<(Vec<TrialRecord>, u64), String> {
     Ok((records, valid_len))
 }
 
+/// Validates one persisted record's coordinates and seed against the
+/// campaign's `derive_seed` scheme (a mismatch means the log belongs
+/// to a different campaign) and returns its flat trial index.
+fn record_flat_index(campaign: &Campaign, r: &TrialRecord) -> Result<usize, String> {
+    let n_cells = campaign.trials.len();
+    let repeats = campaign.repeats;
+    if r.cell >= n_cells || r.repeat >= repeats {
+        return Err(format!(
+            "trial log refers to (cell {}, repeat {}) outside the {}×{} campaign — \
+             wrong directory?",
+            r.cell, r.repeat, n_cells, repeats
+        ));
+    }
+    let flat = r.cell * repeats + r.repeat;
+    let expect_seed = derive_seed(campaign.master_seed, flat as u64);
+    if r.seed != expect_seed {
+        return Err(format!(
+            "trial log seed {:#x} for (cell {}, repeat {}) does not match the campaign \
+             master seed scheme (expected {:#x})",
+            r.seed, r.cell, r.repeat, expect_seed
+        ));
+    }
+    Ok(flat)
+}
+
+/// Folds persisted records into the per-`(cell, repeat)` completion
+/// map. Duplicate records — possible when a reaped shared-mode trial
+/// was finished by both workers — are benign: determinism makes them
+/// bitwise-identical, and later ones overwrite.
+fn fold_records(
+    campaign: &Campaign,
+    records: Vec<TrialRecord>,
+) -> Result<Vec<Vec<Option<f64>>>, String> {
+    let mut done: Vec<Vec<Option<f64>>> = vec![vec![None; campaign.repeats]; campaign.trials.len()];
+    for r in records {
+        record_flat_index(campaign, &r)?;
+        done[r.cell][r.repeat] = Some(r.value);
+    }
+    Ok(done)
+}
+
+/// An incrementally folded completion view of `trials.jsonl` for the
+/// shared run loop: a [`crate::coord::JsonlTailReader`] whose fold
+/// validates each record and marks its flat trial done, so a
+/// worker's per-claim poll costs O(new records), not O(log). Safe
+/// because shared mode never truncates the log.
+struct TrialTracker {
+    tail: crate::coord::JsonlTailReader,
+    done: Vec<bool>,
+    completed: usize,
+}
+
+impl TrialTracker {
+    fn new(dir: &Path, total: usize) -> Self {
+        TrialTracker {
+            tail: crate::coord::JsonlTailReader::new(trials_path(dir)),
+            done: vec![false; total],
+            completed: 0,
+        }
+    }
+
+    /// Folds every complete line appended since the last refresh. A
+    /// record that is not shaped like a trial record is skipped (it
+    /// re-runs bitwise-identically); one with wrong coordinates or
+    /// seed is fatal — the log belongs to a different campaign.
+    fn refresh(&mut self, campaign: &Campaign) -> Result<(), String> {
+        use crate::coord::FoldError;
+        let done = &mut self.done;
+        let completed = &mut self.completed;
+        self.tail.refresh(|v| {
+            let r = TrialRecord::from_value(&v).map_err(FoldError::Skip)?;
+            let flat = record_flat_index(campaign, &r).map_err(FoldError::Fatal)?;
+            if !done[flat] {
+                done[flat] = true;
+                *completed += 1;
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Resolves a thread-count option (0 = available parallelism).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    }
+}
+
+/// Publishes `dir/<name>` atomically (unique temp file, fsync,
+/// rename), so a reader — or a concurrent shared-mode process
+/// publishing the identical bytes — never observes a torn file, and
+/// a machine-level crash after the rename cannot surface an empty
+/// one (the data is durable before the name is).
+fn write_atomic(dir: &Path, name: &str, text: &str) -> Result<(), String> {
+    let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+    let mut f = File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    f.write_all(text.as_bytes())
+        .and_then(|()| f.sync_all())
+        .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    drop(f);
+    std::fs::rename(&tmp, dir.join(name)).map_err(|e| format!("publish {name}: {e}"))
+}
+
+/// The flat completion map (`cell * repeats + repeat` order) of the
+/// campaign persisted in `dir`, read leniently — the view `campaign
+/// status` and the shared-mode claim loop work from.
+pub(crate) fn completed_trials(
+    campaign: &Campaign,
+    dir: &Path,
+) -> Result<Vec<Option<f64>>, String> {
+    let (records, _) = load_records(dir, LoadPolicy::Lenient)?;
+    Ok(fold_records(campaign, records)?.into_iter().flatten().collect())
+}
+
 fn run_expanded(
     campaign: &Campaign,
     dir: &Path,
     cfg: &RunnerConfig,
 ) -> Result<CampaignOutcome, String> {
-    let n_cells = campaign.trials.len();
+    match &cfg.coord {
+        CoordMode::Exclusive => run_exclusive(campaign, dir, cfg),
+        CoordMode::Shared(coord_cfg) => run_shared(campaign, dir, cfg, coord_cfg),
+    }
+}
+
+fn run_exclusive(
+    campaign: &Campaign,
+    dir: &Path,
+    cfg: &RunnerConfig,
+) -> Result<CampaignOutcome, String> {
     let repeats = campaign.repeats;
     let total = campaign.total_trials();
 
-    // Completed-trial map from the persisted log, with integrity checks.
-    let mut done: Vec<Vec<Option<f64>>> = vec![vec![None; repeats]; n_cells];
-    let mut completed = 0usize;
-    let (records, valid_len) = load_records(dir)?;
-    for r in records {
-        if r.cell >= n_cells || r.repeat >= repeats {
-            return Err(format!(
-                "trial log refers to (cell {}, repeat {}) outside the {}×{} campaign — \
-                 wrong directory?",
-                r.cell, r.repeat, n_cells, repeats
-            ));
-        }
-        let expect_seed = derive_seed(campaign.master_seed, (r.cell * repeats + r.repeat) as u64);
-        if r.seed != expect_seed {
-            return Err(format!(
-                "trial log seed {:#x} for (cell {}, repeat {}) does not match the campaign \
-                 master seed scheme (expected {:#x})",
-                r.seed, r.cell, r.repeat, expect_seed
-            ));
-        }
-        if done[r.cell][r.repeat].is_none() {
-            completed += 1;
-        }
-        done[r.cell][r.repeat] = Some(r.value);
-    }
+    // Completed-trial map from the persisted log. The policy follows
+    // the *directory's history*, not this call's mode: a campaign
+    // that has ever run shared (claims.jsonl present) may carry
+    // healed interior fragments from SIGKILLed workers, so its log
+    // reads leniently even on an exclusive resume; a never-shared log
+    // gets the strict single-writer integrity check.
+    let policy = if dir.join(crate::coord::CLAIMS_FILE).exists() {
+        LoadPolicy::Lenient
+    } else {
+        LoadPolicy::Strict
+    };
+    let (records, valid_len) = load_records(dir, policy)?;
+    let mut done = fold_records(campaign, records)?;
+    let mut completed = done.iter().flatten().filter(|v| v.is_some()).count();
 
     // Pending work, bounded by any interrupt budget.
     let mut pending: Vec<(usize, usize)> = Vec::with_capacity(total - completed);
@@ -272,23 +432,36 @@ fn run_expanded(
 
     let new_trials = pending.len();
     if new_trials > 0 {
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .create(true)
             .append(true)
+            .read(true)
             .open(trials_path(dir))
             .map_err(|e| format!("open {}: {e}", trials_path(dir).display()))?;
-        // Chop any torn tail off before appending, so the fragment
-        // cannot merge with the next record into one corrupt line.
-        if file.metadata().map_err(|e| format!("stat trial log: {e}"))?.len() > valid_len {
-            file.set_len(valid_len).map_err(|e| format!("truncate torn trial log: {e}"))?;
+        match policy {
+            // Chop any torn tail off before appending, so the fragment
+            // cannot merge with the next record into one corrupt line.
+            // Only valid under the strict read: there `valid_len` is a
+            // clean prefix (bad bytes can only be the tail).
+            LoadPolicy::Strict => {
+                if file.metadata().map_err(|e| format!("stat trial log: {e}"))?.len() > valid_len {
+                    file.set_len(valid_len).map_err(|e| format!("truncate torn trial log: {e}"))?;
+                }
+            }
+            // A shared-history log is never truncated (skipped lines
+            // may sit anywhere); heal a torn tail into its own line
+            // instead, as shared-mode appenders do.
+            LoadPolicy::Lenient => {
+                if !crate::coord::ends_with_newline(&mut file)
+                    .map_err(|e| format!("{}: {e}", trials_path(dir).display()))?
+                {
+                    file.write_all(b"\n").map_err(|e| format!("heal torn trial log: {e}"))?;
+                }
+            }
         }
         let sink = Mutex::new(BufWriter::new(file));
         let cursor = AtomicUsize::new(0);
-        let threads = if cfg.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        } else {
-            cfg.threads
-        };
+        let threads = resolve_threads(cfg.threads);
         let fresh: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::with_capacity(new_trials));
         // Persists one finished trial: line-atomic append + flush, so a
         // kill between records loses at most the torn tail.
@@ -355,8 +528,21 @@ fn run_expanded(
         }
     }
 
-    // Finalize when complete: per-cell stats in repeat order, exactly
-    // as the in-process sweep engine folds them.
+    finalize(campaign, dir, cfg, &done, completed, new_trials)
+}
+
+/// Folds the completion map into the outcome; when every trial is
+/// persisted, renders and publishes `summary.txt` — per-cell stats in
+/// repeat order, exactly as the in-process sweep engine folds them.
+fn finalize(
+    campaign: &Campaign,
+    dir: &Path,
+    cfg: &RunnerConfig,
+    done: &[Vec<Option<f64>>],
+    completed: usize,
+    new_trials: usize,
+) -> Result<CampaignOutcome, String> {
+    let total = campaign.total_trials();
     let (stats, table, wide_table) = if completed == total {
         let stats: Vec<CellStats> = done
             .iter()
@@ -372,7 +558,7 @@ fn run_expanded(
             text.push('\n');
             text.push_str(&wide.render());
         }
-        std::fs::write(dir.join("summary.txt"), text).map_err(|e| format!("write summary: {e}"))?;
+        write_atomic(dir, "summary.txt", &text)?;
         (Some(stats), Some(table), wide_table)
     } else {
         (None, None, None)
@@ -386,6 +572,170 @@ fn run_expanded(
         table,
         wide_table,
     })
+}
+
+/// The shared-queue run loop: worker threads acquire `(cell, repeat)`
+/// trials through the [`crate::coord`] lease protocol instead of an
+/// in-memory cursor, so any number of processes sharing the campaign
+/// directory cooperate on one campaign. With no interrupt budget the
+/// call blocks until the whole campaign completes — trials claimed by
+/// other live workers are waited out (and reaped if their worker
+/// dies), then whoever observes completion publishes `summary.txt`.
+fn run_shared(
+    campaign: &Campaign,
+    dir: &Path,
+    cfg: &RunnerConfig,
+    coord_cfg: &CoordConfig,
+) -> Result<CampaignOutcome, String> {
+    if cfg.wide_summary {
+        // The published summary must be a pure function of the trial
+        // log — with several finalizer processes carrying different
+        // flags, a per-call rendering option would make summary.txt
+        // depend on which process renames last.
+        return Err("--wide is an exclusive-mode rendering option; render the spread table \
+                    after completion with `campaign resume <dir> --wide`"
+            .into());
+    }
+    let repeats = campaign.repeats;
+    let total = campaign.total_trials();
+    let coordinator = Coordinator::new(dir, coord_cfg.clone());
+
+    // One shared append handle; every record goes through the
+    // [`crate::coord::append_jsonl_line`] durability protocol (heal a
+    // dead writer's torn tail into its own line, single `O_APPEND`
+    // write so concurrent processes interleave line-atomically,
+    // fsync).
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .read(true)
+        .open(trials_path(dir))
+        .map_err(|e| format!("open {}: {e}", trials_path(dir).display()))?;
+    let sink = Mutex::new(file);
+    let commit = |record: &TrialRecord| -> Result<(), String> {
+        let mut f = sink.lock().expect("sink lock");
+        crate::coord::append_jsonl_line(&mut f, &json::render(&record.to_value()))
+            .map_err(|e| format!("append trial record: {e}"))
+    };
+
+    let threads = resolve_threads(cfg.threads);
+    let tracker = Mutex::new(TrialTracker::new(dir, total));
+    let budget = AtomicUsize::new(cfg.max_new_trials.unwrap_or(usize::MAX));
+    let new_trials = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let fail = |e: String| {
+        failed.store(true, Ordering::Relaxed);
+        errors.lock().expect("errors").push(e);
+    };
+
+    std::thread::scope(|scope| {
+        for thread_idx in 0..threads.min(total.max(1)) {
+            let coordinator = &coordinator;
+            let tracker = &tracker;
+            let budget = &budget;
+            let new_trials = &new_trials;
+            let failed = &failed;
+            let fail = &fail;
+            let commit = &commit;
+            scope.spawn(move || {
+                let mut obs_ctx = frlfi::nn::InferCtx::new();
+                let mut batch_ctx = frlfi::nn::BatchInferCtx::new();
+                // Stagger each claimer's scan start so workers spread
+                // over the queue instead of racing for trial 0 (any
+                // claim order is correct; this only reduces contention).
+                let offset = fxhash(coord_cfg.worker_id.as_bytes()) as usize + thread_idx * 7919;
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Incremental completion view: each poll folds only
+                    // the trial-log tail appended since the last one.
+                    let pending: Vec<usize> = {
+                        let mut t = tracker.lock().expect("trial tracker");
+                        if let Err(e) = t.refresh(campaign) {
+                            fail(e);
+                            break;
+                        }
+                        if t.completed == total {
+                            break; // campaign complete
+                        }
+                        (0..total).filter(|&i| !t.done[i]).collect()
+                    };
+                    // Reserve one unit of the interrupt budget before
+                    // claiming (returned if no claim lands), so a
+                    // budgeted call executes exactly `max_new_trials`
+                    // new trials however many threads race here.
+                    if !reserve(budget) {
+                        break;
+                    }
+                    let claimed = match coordinator.claim_next(&pending, offset) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            fail(e);
+                            return;
+                        }
+                    };
+                    let Some(trial) = claimed else {
+                        budget.fetch_add(1, Ordering::Relaxed);
+                        if cfg.max_new_trials.is_some() {
+                            // Budgeted calls never wait on other
+                            // workers' leases.
+                            break;
+                        }
+                        // Everything is claimed by live workers: wait
+                        // for completions or lease expiries.
+                        std::thread::sleep(std::time::Duration::from_millis(coord_cfg.poll_ms));
+                        continue;
+                    };
+                    let (cell, rep) = (trial / repeats, trial % repeats);
+                    let seed = derive_seed(campaign.master_seed, trial as u64);
+                    let value = if cfg.batched {
+                        campaign.run_trials_batched(cell, &[seed], &mut batch_ctx)[0]
+                    } else {
+                        campaign.run_trial_ctx(cell, seed, &mut obs_ctx)
+                    };
+                    let record = TrialRecord { cell, repeat: rep, seed, value };
+                    if let Err(e) = commit(&record) {
+                        fail(e);
+                        return;
+                    }
+                    coordinator.complete(trial);
+                    new_trials.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    drop(coordinator); // stop the heartbeat before reporting
+
+    if failed.load(Ordering::Relaxed) {
+        return Err(errors.lock().expect("errors").join("; "));
+    }
+
+    // Re-read the log for the cross-process view: trials other workers
+    // committed count toward completion (and toward publishing the
+    // summary) even though this process never ran them.
+    let (records, _) = load_records(dir, LoadPolicy::Lenient)?;
+    let done = fold_records(campaign, records)?;
+    let completed = done.iter().flatten().filter(|v| v.is_some()).count();
+    finalize(campaign, dir, cfg, &done, completed, new_trials.load(Ordering::Relaxed))
+}
+
+/// Atomically takes one unit of the interrupt budget; `false` means
+/// the budget is exhausted.
+fn reserve(budget: &AtomicUsize) -> bool {
+    budget.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1)).is_ok()
+}
+
+/// A tiny FNV-1a over bytes — worker-id scan staggering only (no
+/// correctness weight whatsoever).
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Renders the wide per-cell spread table: one row per campaign cell

@@ -124,11 +124,32 @@ pub struct EnvSpec {
     /// Layout family — GridWorld maze jitter or DroneNav oscillating
     /// obstacles, depending on the scenario's system.
     pub layout: LayoutKind,
+    /// Obstacle-motion parameters for DroneNav
+    /// [`LayoutKind::DynamicObstacles`] layouts: how far and how fast
+    /// the obstacles oscillate. `None` = the environment default
+    /// (byte-identical to pre-knob campaigns); sweeping it varies the
+    /// non-stationarity strength.
+    pub motion: Option<MotionSpec>,
 }
 
 impl Default for EnvSpec {
     fn default() -> Self {
-        EnvSpec { layout: LayoutKind::Standard }
+        EnvSpec { layout: LayoutKind::Standard, motion: None }
+    }
+}
+
+/// Obstacle-motion parameters, spec-level (DroneNav dynamic layouts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionSpec {
+    /// Peak displacement from an obstacle's base position, metres.
+    pub amplitude: f64,
+    /// Oscillation period in environment steps.
+    pub period: f64,
+}
+
+impl MotionSpec {
+    fn motion(&self) -> frlfi::envs::ObstacleMotion {
+        frlfi::envs::ObstacleMotion { amplitude: self.amplitude as f32, period: self.period as f32 }
     }
 }
 
@@ -360,6 +381,12 @@ impl Scenario {
                 "pretrain_episodes / eval_attempts apply to DroneNav scenarios",
             ));
         }
+        if self.env.motion.is_some() {
+            return Err(SpecError::new(
+                "env.motion applies to DroneNav scenarios (GridWorld dynamic layouts re-jitter \
+                 per episode and have no motion parameters)",
+            ));
+        }
         let system_seed = self.system_seed.unwrap_or(SYSTEM_SEED);
         let base = GridTrial {
             n_agents: self.fleet.agents.unwrap_or(g.n_agents),
@@ -432,6 +459,26 @@ impl Scenario {
         } else {
             self.fault.inject_episodes.clone()
         };
+        if let Some(m) = self.env.motion {
+            if self.env.layout != LayoutKind::DynamicObstacles {
+                return Err(SpecError::new(
+                    "env.motion requires env.layout = \"DynamicObstacles\" (static corridors \
+                     have nothing to move)",
+                ));
+            }
+            // Validate the f32 values the simulator actually runs
+            // with: an f64 period small enough to round to 0.0f32
+            // would make every obstacle position NaN, which the
+            // system constructor rejects — fail here, at declaration.
+            let motion = m.motion();
+            if !motion.amplitude.is_finite() || !motion.period.is_finite() || motion.period <= 0.0 {
+                return Err(SpecError::new(format!(
+                    "env.motion amplitude {} / period {} must be finite with period > 0 \
+                     (as f32 values)",
+                    m.amplitude, m.period
+                )));
+            }
+        }
         let pretrain = self.train.pretrain_episodes.unwrap_or(g.pretrain_episodes);
         let weights = PretrainedWeights::lazy(pretrain);
         let base = DroneTrial {
@@ -441,6 +488,7 @@ impl Scenario {
             system_seed: self.system_seed.unwrap_or(SYSTEM_SEED),
             comm: frlfi::experiments::harness::DroneComm::Every(1),
             layout: self.env.layout.drone_layout(),
+            motion: self.env.motion.as_ref().map(MotionSpec::motion),
             dropout: self.fleet.dropout.map(|d| d as f32),
             weights,
             fault: None,
@@ -775,5 +823,56 @@ mod tests {
         let mut s = Scenario::new("g", SystemKind::GridWorld, Scale::Smoke);
         s.train.pretrain_episodes = Some(4);
         assert!(s.expand().unwrap_err().to_string().contains("DroneNav"));
+    }
+
+    #[test]
+    fn motion_expands_onto_drone_trials() {
+        let mut s = Scenario::new("m", SystemKind::DroneNav, Scale::Smoke);
+        s.env.layout = LayoutKind::DynamicObstacles;
+        s.env.motion = Some(MotionSpec { amplitude: 3.5, period: 16.0 });
+        let c = s.expand().expect("expands");
+        match &c.trials {
+            Trials::Drone(t) => {
+                assert!(t.iter().all(|t| t.layout == DroneLayout::DynamicObstacles));
+                assert!(t.iter().all(|t| {
+                    t.motion == Some(frlfi::envs::ObstacleMotion { amplitude: 3.5, period: 16.0 })
+                }));
+            }
+            Trials::Grid(_) => panic!("drone expected"),
+        }
+        // And it survives the TOML round trip (what a spec file does).
+        let back = Scenario::from_toml(&s.to_toml()).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn motion_without_dynamic_layout_or_on_gridworld_fails_at_expansion() {
+        let mut s = Scenario::new("m", SystemKind::DroneNav, Scale::Smoke);
+        s.env.motion = Some(MotionSpec { amplitude: 2.0, period: 24.0 });
+        let err = s.expand().unwrap_err().to_string();
+        assert!(err.contains("DynamicObstacles"), "{err}");
+
+        let mut s = Scenario::new("m", SystemKind::GridWorld, Scale::Smoke);
+        s.env.layout = LayoutKind::DynamicObstacles;
+        s.env.motion = Some(MotionSpec { amplitude: 2.0, period: 24.0 });
+        let err = s.expand().unwrap_err().to_string();
+        assert!(err.contains("DroneNav"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_motion_fails_at_expansion_not_in_a_worker() {
+        // A period that rounds to 0.0f32 — the value the simulator
+        // runs with — would make every obstacle position NaN; the
+        // system constructor rejects it, so expansion must too.
+        assert_eq!(1e-300_f64 as f32, 0.0);
+        for (amplitude, period) in
+            [(2.0, 0.0), (2.0, -3.0), (2.0, f64::NAN), (f64::INFINITY, 24.0), (2.0, 1e-300)]
+        {
+            let mut s = Scenario::new("m", SystemKind::DroneNav, Scale::Smoke);
+            s.env.layout = LayoutKind::DynamicObstacles;
+            s.env.motion = Some(MotionSpec { amplitude, period });
+            let err = s.expand().unwrap_err().to_string();
+            assert!(err.contains("motion"), "({amplitude}, {period}): {err}");
+        }
     }
 }

@@ -377,6 +377,23 @@ fn shipped_drone_dynamic_spec_file_is_the_builtin_campaign() {
 }
 
 #[test]
+fn shipped_drone_motion_spec_file_is_the_builtin_campaign() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/drone_motion_smoke.toml");
+    let text =
+        std::fs::read_to_string(path).expect("specs/drone_motion_smoke.toml ships in the repo");
+    let from_file = Scenario::from_toml(&text).expect("parses");
+    let builtin = registry::builtin("drone-motion", Scale::Smoke).expect("built-in");
+    assert_eq!(from_file, builtin, "the shipped spec must drive the exact drone-motion campaign");
+    // The explicit motion reaches the expanded trials.
+    match &builtin.expand().expect("expands").trials {
+        frlfi_campaign::Trials::Drone(t) => assert!(t.iter().all(|t| {
+            t.motion == Some(frlfi::envs::ObstacleMotion { amplitude: 3.0, period: 16.0 })
+        })),
+        frlfi_campaign::Trials::Grid(_) => panic!("drone campaign expected"),
+    }
+}
+
+#[test]
 fn fig5a_drone_campaign_reproduces_the_figure_driver() {
     let scenario = registry::builtin("fig5a", Scale::Smoke).expect("built-in");
     let dir = temp_dir("fig5a");

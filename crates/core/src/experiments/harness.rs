@@ -418,6 +418,13 @@ pub struct DroneTrial {
     /// dynamic trial measures a nominally trained policy deployed into
     /// a non-stationary world.
     pub layout: DroneLayout,
+    /// Explicit obstacle-motion parameters for
+    /// [`DroneLayout::DynamicObstacles`] trials. `None` leaves the
+    /// system's normalization in charge (the default
+    /// [`frlfi_envs::ObstacleMotion`] when the layout is dynamic), so
+    /// existing trials are bit-unchanged; `Some` sweeps the
+    /// non-stationarity strength.
+    pub motion: Option<frlfi_envs::ObstacleMotion>,
     /// Per-round drone-dropout probability during fine-tuning.
     pub dropout: Option<f32>,
     /// Shared pre-trained starting weights (resolved lazily).
@@ -438,6 +445,7 @@ impl DroneTrial {
             system_seed: SYSTEM_SEED,
             comm: DroneComm::Every(1),
             layout: DroneLayout::Standard,
+            motion: None,
             dropout: None,
             weights,
             fault: None,
@@ -470,6 +478,15 @@ impl DroneTrial {
     #[must_use]
     pub fn with_layout(mut self, layout: DroneLayout) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Sets explicit obstacle-motion parameters (and the dynamic
+    /// layout they animate).
+    #[must_use]
+    pub fn with_motion(mut self, motion: frlfi_envs::ObstacleMotion) -> Self {
+        self.layout = DroneLayout::DynamicObstacles;
+        self.motion = Some(motion);
         self
     }
 
@@ -526,6 +543,11 @@ fn drone_trial_system(t: &DroneTrial, seed: u64) -> DroneFrlSystem {
         pretrain_episodes: 0,
         comm: t.comm.schedule(),
         layout: t.layout,
+        // An explicit motion seeds `sim.dynamic` directly; `None`
+        // keeps the system's normalization (default motion for
+        // dynamic layouts), bit-identical to the pre-motion-knob
+        // build.
+        sim: frlfi_envs::DroneConfig { dynamic: t.motion, ..Default::default() },
         dropout: t.dropout,
         ..Default::default()
     })
@@ -682,6 +704,28 @@ mod tests {
         for (r, &seed) in seeds[..2].iter().enumerate() {
             assert_eq!(batched[r].to_bits(), run_drone_trial(&dt, seed).to_bits(), "drone {r}");
         }
+    }
+
+    #[test]
+    fn explicit_default_motion_matches_normalized_dynamic_layout_bitwise() {
+        // `motion: None` on a dynamic-layout trial lets the system
+        // normalize to the default ObstacleMotion; spelling that
+        // default out must be the *same trial*, bit for bit — the
+        // contract that keeps the golden-pinned drone-dynamic builtin
+        // unchanged when specs start carrying explicit motion.
+        let g = drone_geometry(Scale::Smoke);
+        let weights = PretrainedWeights::lazy(g.pretrain_episodes);
+        let normalized = DroneTrial::new(&g, weights.clone(), 2)
+            .with_layout(DroneLayout::DynamicObstacles)
+            .with_fault(TrialFault::transient_int8(FaultSide::AgentSide, 4, 1e-2));
+        let explicit = DroneTrial::new(&g, weights, 2)
+            .with_motion(frlfi_envs::ObstacleMotion::default())
+            .with_fault(TrialFault::transient_int8(FaultSide::AgentSide, 4, 1e-2));
+        assert_eq!(explicit.layout, DroneLayout::DynamicObstacles);
+        assert_eq!(
+            run_drone_trial(&normalized, 11).to_bits(),
+            run_drone_trial(&explicit, 11).to_bits()
+        );
     }
 
     #[test]

@@ -313,6 +313,36 @@ fn drone_dropout_campaign_matches_pinned_goldens_across_modes_and_resume() {
 }
 
 #[test]
+fn committed_grid_dropout_smoke_summary_matches_a_fresh_single_process_run() {
+    // tests/data/grid_dropout_smoke_summary.txt is the committed
+    // single-process, single-thread output of the `grid-dropout`
+    // smoke builtin — CI's multiproc-smoke step diffs the summary a
+    // 2-process run (with one worker SIGKILLed mid-flight) produces
+    // against this exact file, so it must stay fresh.
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/grid_dropout_smoke_summary.txt"
+    ))
+    .expect("tests/data/grid_dropout_smoke_summary.txt ships in the repo");
+    let scenario =
+        frlfi_campaign::registry::builtin("grid-dropout", Scale::Smoke).expect("built-in");
+    let dir =
+        std::env::temp_dir().join(format!("frlfi-golden-grid-dropout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg =
+        frlfi_campaign::RunnerConfig { threads: 1, ..frlfi_campaign::RunnerConfig::default() };
+    let out = frlfi_campaign::runner::run(&scenario, &dir, &cfg).expect("campaign runs");
+    assert!(out.complete());
+    let fresh = std::fs::read_to_string(dir.join("summary.txt")).expect("summary written");
+    assert_eq!(
+        fresh, committed,
+        "grid-dropout smoke drifted from the committed multiproc-smoke golden — \
+         regenerate tests/data/grid_dropout_smoke_summary.txt if the change is intended"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn drone_smoke_trials_match_pre_fast_path_values_bitwise() {
     let g = drone_geometry(Scale::Smoke);
     let weights = PretrainedWeights::lazy(g.pretrain_episodes);
