@@ -6,12 +6,13 @@
 //! campaign expand <spec.toml | builtin-name | --all> [--scale smoke|bench|full]
 //! campaign run <spec.toml | builtin-name> [--scale smoke|bench|full]
 //!              [--out DIR] [--threads N] [--max-trials N] [--batched] [--wide]
-//!              [--shared] [--worker-id ID] [--lease-ms N]
+//!              [--shared] [--worker-id ID] [--lease-ms N] [--obs] [--quiet]
 //! campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide]
-//!                 [--shared] [--worker-id ID] [--lease-ms N]
+//!                 [--shared] [--worker-id ID] [--lease-ms N] [--obs] [--quiet]
 //! campaign worker <dir> [--threads N] [--max-trials N] [--batched]
-//!                 [--worker-id ID] [--lease-ms N]
+//!                 [--worker-id ID] [--lease-ms N] [--obs] [--quiet]
 //! campaign status <dir>
+//! campaign profile <dir> [--check]
 //! ```
 //!
 //! `expand` validates and expands a scenario without running anything
@@ -29,14 +30,25 @@
 //! queue (trials are leased through `claims.jsonl`); `worker` joins an
 //! existing campaign as one process of many and runs until the whole
 //! campaign completes; `status` prints live progress, active workers
-//! and stale claims. The final `summary.txt` is byte-identical however
-//! many processes took part.
+//! (with per-worker elapsed time and heartbeat age) and stale claims.
+//! The final `summary.txt` is byte-identical however many processes
+//! took part.
+//!
+//! `--obs` (or `CAMPAIGN_OBS=1`) streams structured telemetry to
+//! `<dir>/obs/worker-<id>.jsonl` — results stay byte-identical;
+//! `profile` folds those streams into a per-worker per-phase
+//! wall-clock table with throughput and ETA (`--check` additionally
+//! fails on any schema-invalid event line); `--quiet` suppresses
+//! warnings (`CAMPAIGN_LOG=quiet|warn|info|debug` sets the stderr
+//! level globally).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use frlfi::Scale;
-use frlfi_campaign::{coord, registry, runner, CoordConfig, CoordMode, RunnerConfig, Scenario};
+use frlfi_campaign::{
+    coord, profile, registry, runner, CoordConfig, CoordMode, RunnerConfig, Scenario,
+};
 
 fn usage() -> &'static str {
     "usage:\n  \
@@ -44,12 +56,14 @@ fn usage() -> &'static str {
      campaign expand <spec.toml | builtin-name | --all> [--scale smoke|bench|full]\n  \
      campaign run <spec.toml | builtin-name> [--scale smoke|bench|full] [--out DIR] \
      [--threads N] [--max-trials N] [--batched] [--wide] [--shared] [--worker-id ID] \
-     [--lease-ms N]\n  \
+     [--lease-ms N] [--obs] [--quiet]\n  \
      campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide] [--shared] \
-     [--worker-id ID] [--lease-ms N]\n  \
+     [--worker-id ID] [--lease-ms N] [--obs] [--quiet]\n  \
      campaign worker <dir> [--threads N] [--max-trials N] [--batched] \
-     [--worker-id ID] [--lease-ms N]\n  \
-     campaign status <dir>"
+     [--worker-id ID] [--lease-ms N] [--obs] [--quiet]\n  \
+     campaign status <dir>\n  \
+     campaign profile <dir> [--check]\n\n\
+     CAMPAIGN_OBS=1 enables --obs; CAMPAIGN_LOG=quiet|warn|info|debug sets the stderr level"
 }
 
 struct Options {
@@ -57,9 +71,17 @@ struct Options {
     out: Option<PathBuf>,
     all: bool,
     shared: bool,
+    check: bool,
+    quiet: bool,
     coord: CoordConfig,
     cfg: RunnerConfig,
     positional: Vec<String>,
+}
+
+/// `CAMPAIGN_OBS` enables telemetry without touching scripts' flag
+/// lists; empty or `0` means off.
+fn env_obs() -> bool {
+    std::env::var("CAMPAIGN_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -68,8 +90,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: None,
         all: false,
         shared: false,
+        check: false,
+        quiet: false,
         coord: CoordConfig::default(),
-        cfg: RunnerConfig::default(),
+        cfg: RunnerConfig { obs: env_obs(), ..RunnerConfig::default() },
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -99,6 +123,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--batched" => opts.cfg.batched = true,
             "--wide" => opts.cfg.wide_summary = true,
             "--shared" => opts.shared = true,
+            "--obs" => opts.cfg.obs = true,
+            "--check" => opts.check = true,
+            "--quiet" => opts.quiet = true,
             "--worker-id" => opts.coord.worker_id = take("--worker-id")?.to_owned(),
             "--lease-ms" => {
                 opts.coord.lease_ms =
@@ -135,6 +162,9 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         return Err(usage().to_owned());
     };
     let opts = parse_options(&args[1..])?;
+    if opts.quiet {
+        frlfi_obs::set_log_level(frlfi_obs::Level::Quiet);
+    }
     match command.as_str() {
         "list" => {
             println!("built-in scenarios:");
@@ -235,14 +265,46 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             let [ref dir] = opts.positional[..] else {
                 return Err(usage().to_owned());
             };
-            print_status(&coord::status(PathBuf::from(dir).as_path())?);
+            let dir = PathBuf::from(dir);
+            print_status(&coord::status(&dir)?, &dir);
+            Ok(())
+        }
+        "profile" => {
+            let [ref dir] = opts.positional[..] else {
+                return Err(usage().to_owned());
+            };
+            let dir = PathBuf::from(dir);
+            let mode =
+                if opts.check { profile::CheckMode::Strict } else { profile::CheckMode::Lenient };
+            let p = profile::load_dir(&dir, mode)?;
+            if opts.check && p.workers.is_empty() {
+                return Err(format!(
+                    "no obs streams under {}/{} — run with --obs (or CAMPAIGN_OBS=1) first",
+                    dir.display(),
+                    profile::OBS_DIR
+                ));
+            }
+            // Remaining work comes from the campaign state when the
+            // directory has one (a bare obs/ copy profiles fine, just
+            // without an ETA).
+            let remaining =
+                coord::status(&dir).ok().map(|s| s.total_trials.saturating_sub(s.completed_trials));
+            print!("{}", profile::render_report(&p, remaining));
+            if opts.check {
+                println!(
+                    "check ok: {} events across {} stream(s), {} torn tail(s)",
+                    p.events(),
+                    p.workers.len(),
+                    p.torn_tails
+                );
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
 
-fn print_status(s: &coord::CampaignStatus) {
+fn print_status(s: &coord::CampaignStatus, dir: &std::path::Path) {
     println!(
         "campaign {} ({}): {}/{} trials done ({:.0}%)",
         s.name,
@@ -257,18 +319,42 @@ fn print_status(s: &coord::CampaignStatus) {
     } else {
         println!("  workers: {} active", s.workers.len());
         let now = coord::now_ms();
+        // Ages derive from the claim log's record timestamps; `?`
+        // marks workers whose records predate the ts_ms field.
+        let age = |ts_ms: u64| {
+            if ts_ms == 0 {
+                "?".to_owned()
+            } else {
+                format!("{:.1}s", now.saturating_sub(ts_ms) as f64 / 1000.0)
+            }
+        };
         for w in &s.workers {
             let lease = w.latest_deadline_ms.saturating_sub(now);
             println!(
-                "    {:<20} {} trial(s) in flight, lease expires in {:.1}s",
+                "    {:<20} {} trial(s) in flight, lease expires in {:.1}s, \
+                 up {}, last heartbeat {} ago",
                 w.worker,
                 w.active_trials.len(),
-                lease as f64 / 1000.0
+                lease as f64 / 1000.0,
+                age(w.first_seen_ms),
+                age(w.last_seen_ms),
             );
         }
     }
     if s.stale_claims > 0 {
         println!("  stale claims: {} (re-claimable; their workers look dead)", s.stale_claims);
+    }
+    // Live rate from the opt-in telemetry streams, when present.
+    if let Ok(p) = profile::load_dir(dir, profile::CheckMode::Lenient) {
+        if let Some(rate) = p.rate() {
+            println!(
+                "  observed: {:.2} trials/s across {} obs stream(s) — `campaign profile {}` \
+                 breaks this down by phase",
+                rate,
+                p.workers.len(),
+                dir.display()
+            );
+        }
     }
     println!("  summary.txt: {}", if s.summary_written { "written" } else { "pending" });
 }

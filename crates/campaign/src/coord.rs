@@ -87,6 +87,11 @@ pub struct ClaimRecord {
     pub worker: String,
     /// Lease deadline, milliseconds since the Unix epoch.
     pub deadline_ms: u64,
+    /// When the record was issued (ms since the Unix epoch). Purely
+    /// informational — arbitration never reads it — it is what lets
+    /// `campaign status` show per-worker elapsed time and heartbeat
+    /// age. `0` on records from builds that predate the field.
+    pub ts_ms: u64,
 }
 
 impl ClaimRecord {
@@ -96,6 +101,7 @@ impl ClaimRecord {
         m.insert("gen".into(), Value::Int(self.generation as i64));
         m.insert("worker".into(), Value::Str(self.worker.clone()));
         m.insert("deadline_ms".into(), Value::Int(self.deadline_ms as i64));
+        m.insert("ts_ms".into(), Value::Int(self.ts_ms as i64));
         Value::Table(m)
     }
 
@@ -114,6 +120,8 @@ impl ClaimRecord {
             generation: get_int("gen")? as u64,
             worker,
             deadline_ms: get_int("deadline_ms")? as u64,
+            // Older logs predate the field; 0 reads as "unknown".
+            ts_ms: v.get("ts_ms").and_then(Value::as_int).unwrap_or(0) as u64,
         })
     }
 }
@@ -263,10 +271,9 @@ impl JsonlTailReader {
             };
             match outcome {
                 Ok(()) => {}
-                Err(FoldError::Skip(e)) => eprintln!(
-                    "campaign: warning: {} line {}: {e}; skipping line (a lost claim or \
-                     trial record only costs a bitwise-identical re-run, so statistics \
-                     are unaffected)",
+                Err(FoldError::Skip(e)) => frlfi_obs::warn!(
+                    "{} line {}: {e}; skipping line (a lost claim or trial record only \
+                     costs a bitwise-identical re-run, so statistics are unaffected)",
                     self.path.display(),
                     self.line_no
                 ),
@@ -513,14 +520,23 @@ impl Coordinator {
             let now = now_ms();
             let generation = match reader.state.get(&trial) {
                 None => 0,
-                Some(w) if w.expired(now) => w.generation + 1,
+                Some(w) if w.expired(now) => {
+                    frlfi_obs::count("coord.reap", 1);
+                    frlfi_obs::info!(
+                        "reaping stale lease on trial {trial} (worker {} went quiet)",
+                        w.worker
+                    );
+                    w.generation + 1
+                }
                 Some(_) => continue,
             };
+            frlfi_obs::count("coord.claim.attempt", 1);
             self.shared.log.append(&ClaimRecord {
                 trial,
                 generation,
                 worker: self.cfg.worker_id.clone(),
                 deadline_ms: now + self.cfg.lease_ms,
+                ts_ms: now,
             })?;
             // Re-read arbitration (tail only): did our record win its
             // generation? The refresh also folds any concurrent
@@ -532,9 +548,12 @@ impl Coordinator {
                 Some(w) if w.generation == generation && w.worker == self.cfg.worker_id
             );
             if won {
+                frlfi_obs::count("coord.claim.won", 1);
                 self.shared.active.lock().expect("active set").insert(trial, generation);
                 return Ok(Some(trial));
             }
+            // Arbitration loss: another process's append beat ours.
+            frlfi_obs::count("coord.claim.lost", 1);
         }
         Ok(None)
     }
@@ -576,13 +595,19 @@ fn heartbeat_loop(shared: &CoordShared, stop: &AtomicBool) {
         };
         let now = now_ms();
         for (trial, generation) in renewals {
+            frlfi_obs::count("coord.heartbeat", 1);
             let _ = shared.log.append(&ClaimRecord {
                 trial,
                 generation,
                 worker: shared.worker_id.clone(),
                 deadline_ms: now + shared.lease_ms,
+                ts_ms: now,
             });
         }
+        // The heartbeat thread never runs trials, so it drains its own
+        // counters each renewal round instead of relying on trial-end
+        // flushes.
+        frlfi_obs::flush();
     }
 }
 
@@ -596,6 +621,14 @@ pub struct WorkerStatus {
     pub active_trials: Vec<usize>,
     /// Latest lease deadline across those trials (ms since epoch).
     pub latest_deadline_ms: u64,
+    /// When this worker's first claim record was issued (ms since
+    /// epoch; 0 when every record predates the `ts_ms` field) — the
+    /// basis of the status table's per-worker elapsed column.
+    pub first_seen_ms: u64,
+    /// When this worker's most recent record (claim or heartbeat
+    /// renewal) was issued — the basis of the last-heartbeat-age
+    /// column. 0 when unknown.
+    pub last_seen_ms: u64,
 }
 
 /// A point-in-time snapshot of a campaign directory's coordination
@@ -650,19 +683,37 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
     let completed = done.iter().filter(|d| d.is_some()).count();
 
     let now = now_ms();
+    let records = ClaimLog::in_dir(dir).load()?;
+    // Per-worker first/last record issue times over the *whole* log —
+    // completed trials' claims and heartbeat renewals count toward a
+    // worker's elapsed time and heartbeat age.
+    let mut seen: HashMap<&str, (u64, u64)> = HashMap::new();
+    for r in &records {
+        if r.ts_ms == 0 {
+            continue; // record predates the ts_ms field
+        }
+        let (first, last) = seen.entry(r.worker.as_str()).or_insert((u64::MAX, 0));
+        *first = (*first).min(r.ts_ms);
+        *last = (*last).max(r.ts_ms);
+    }
     let mut workers: HashMap<String, WorkerStatus> = HashMap::new();
     let mut stale = 0usize;
-    for (&trial, claim) in arbitrate(&ClaimLog::in_dir(dir).load()?).iter() {
+    for (&trial, claim) in arbitrate(&records).iter() {
         if trial >= total || done[trial].is_some() {
             continue; // finished or foreign — the claim is moot
         }
         if claim.expired(now) {
             stale += 1;
         } else {
-            let w = workers.entry(claim.worker.clone()).or_insert_with(|| WorkerStatus {
-                worker: claim.worker.clone(),
-                active_trials: Vec::new(),
-                latest_deadline_ms: 0,
+            let w = workers.entry(claim.worker.clone()).or_insert_with(|| {
+                let (first, last) = seen.get(claim.worker.as_str()).copied().unwrap_or((0, 0));
+                WorkerStatus {
+                    worker: claim.worker.clone(),
+                    active_trials: Vec::new(),
+                    latest_deadline_ms: 0,
+                    first_seen_ms: if first == u64::MAX { 0 } else { first },
+                    last_seen_ms: last,
+                }
             });
             w.active_trials.push(trial);
             w.latest_deadline_ms = w.latest_deadline_ms.max(claim.deadline_ms);
@@ -705,7 +756,7 @@ mod tests {
     }
 
     fn rec(trial: usize, generation: u64, worker: &str, deadline_ms: u64) -> ClaimRecord {
-        ClaimRecord { trial, generation, worker: worker.into(), deadline_ms }
+        ClaimRecord { trial, generation, worker: worker.into(), deadline_ms, ts_ms: 0 }
     }
 
     #[test]

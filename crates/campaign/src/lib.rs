@@ -22,9 +22,14 @@
 //!   directory through an append-only `claims.jsonl` (atomic claim
 //!   acquisition, heartbeat renewal, stale-lease reaping), and the
 //!   result stays byte-identical to the single-process run;
+//! * [`profile`] — offline aggregation of the opt-in [`frlfi_obs`]
+//!   telemetry streams (`campaign run --obs` writes
+//!   `<dir>/obs/worker-<id>.jsonl`): per-worker per-phase wall-clock
+//!   tables, counters, histograms, observed throughput and ETA;
 //! * the `campaign` binary — `campaign run <spec.toml | builtin>`,
 //!   `campaign list`, `campaign resume <dir>`, `campaign worker <dir>`
-//!   (join a campaign as one process of many), `campaign status <dir>`.
+//!   (join a campaign as one process of many), `campaign status <dir>`,
+//!   `campaign profile <dir>`.
 //!
 //! Trial evaluation goes through the same
 //! [`frlfi::experiments::harness`] functions the figure drivers use,
@@ -43,10 +48,12 @@
 
 pub mod coord;
 pub mod fmt;
+pub mod profile;
 pub mod registry;
 pub mod runner;
 pub mod spec;
 
 pub use coord::{CampaignStatus, CoordConfig, Coordinator};
+pub use profile::{CheckMode, Profile, WorkerProfile};
 pub use runner::{CampaignOutcome, CoordMode, RunnerConfig, TrialRecord};
 pub use spec::{Campaign, CellGrid, Scenario, SpecError, SystemKind, Trials};

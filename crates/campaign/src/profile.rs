@@ -1,0 +1,566 @@
+//! Offline aggregation of observability streams: `campaign profile`.
+//!
+//! Workers running with the recorder enabled (`campaign run --obs`,
+//! `CAMPAIGN_OBS=1`) stream [`frlfi_obs`] events to
+//! `<dir>/obs/worker-<id>.jsonl` — one file per worker, append-only,
+//! flushed per committed trial. This module folds those streams back
+//! into a per-worker, per-phase wall-clock profile: where did each
+//! worker's time go (train / eval / aggregate / io), how fast are
+//! trials completing, and — for an in-flight campaign — roughly when
+//! will it finish.
+//!
+//! Loading follows the same torn-tail discipline as `trials.jsonl`
+//! and `claims.jsonl`: a SIGKILLed worker may leave an unterminated
+//! final line, which is silently dropped (it describes at most one
+//! trial's already-re-runnable telemetry); a *complete* line that
+//! fails to parse is skipped with a warning — or, under
+//! [`CheckMode::Strict`] (`campaign profile --check`), a hard error
+//! naming the file and line, which is how CI asserts every event a
+//! worker emits conforms to the schema in [`frlfi_obs`]'s crate docs.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use frlfi::report::Table;
+use serde::Value;
+
+use crate::fmt::json;
+
+/// Subdirectory of a campaign directory holding per-worker event
+/// streams (`worker-<id>.jsonl`).
+pub const OBS_DIR: &str = "obs";
+
+/// How [`load_dir`] treats a complete line that is not a valid event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// Skip it with a warning (telemetry is advisory; a dropped event
+    /// only blurs the profile).
+    Lenient,
+    /// Fail, naming the file and line — `campaign profile --check`.
+    Strict,
+}
+
+/// One worker's folded telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerProfile {
+    /// Worker id (from the stream's `meta` events; falls back to the
+    /// file name for a stream whose meta line was torn off).
+    pub worker: String,
+    /// Span totals: name → (count, total µs). `trial` spans carry the
+    /// whole per-trial compute; `train` / `eval` partition it.
+    pub spans: BTreeMap<String, (u64, u64)>,
+    /// Timer totals: name → (count, total µs) — `aggregate`, `io`.
+    pub timers: BTreeMap<String, (u64, u64)>,
+    /// Counter totals: name → n.
+    pub counters: BTreeMap<String, u64>,
+    /// Merged histograms: name → power-of-two buckets
+    /// ([`frlfi_obs::HIST_BUCKETS`] wide).
+    pub hists: BTreeMap<String, Vec<u64>>,
+    /// Earliest and latest event timestamps (ms since epoch; 0,0 when
+    /// the stream had no events) — the worker's observed wall window.
+    pub first_ts_ms: u64,
+    /// See [`WorkerProfile::first_ts_ms`].
+    pub last_ts_ms: u64,
+    /// Event lines folded.
+    pub events: u64,
+}
+
+impl WorkerProfile {
+    fn note_ts(&mut self, ts: u64) {
+        if ts == 0 {
+            return;
+        }
+        if self.first_ts_ms == 0 || ts < self.first_ts_ms {
+            self.first_ts_ms = ts;
+        }
+        self.last_ts_ms = self.last_ts_ms.max(ts);
+    }
+
+    /// Completed `trial` spans.
+    pub fn trials(&self) -> u64 {
+        self.spans.get("trial").map_or(0, |&(n, _)| n)
+    }
+
+    /// Total µs across `trial` spans.
+    pub fn trial_us(&self) -> u64 {
+        self.spans.get("trial").map_or(0, |&(_, us)| us)
+    }
+
+    /// The worker's observed wall window in seconds.
+    pub fn window_s(&self) -> f64 {
+        self.last_ts_ms.saturating_sub(self.first_ts_ms) as f64 / 1e3
+    }
+}
+
+/// A campaign directory's folded telemetry: every worker stream under
+/// `<dir>/obs/`, plus load diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-worker profiles, sorted by worker id.
+    pub workers: Vec<WorkerProfile>,
+    /// Complete-but-unparseable lines skipped (lenient mode only).
+    pub skipped_lines: usize,
+    /// Unterminated trailing fragments dropped (one per stream a
+    /// worker was killed mid-write in).
+    pub torn_tails: usize,
+}
+
+impl Profile {
+    /// Total events across all workers.
+    pub fn events(&self) -> u64 {
+        self.workers.iter().map(|w| w.events).sum()
+    }
+
+    /// Distinct trials observed across workers. Trial spans are
+    /// counted per worker and summed — a reaped trial finished by two
+    /// workers counts twice, which is correct for *throughput* (both
+    /// workers spent the time).
+    pub fn trials(&self) -> u64 {
+        self.workers.iter().map(|w| w.trials()).sum()
+    }
+
+    /// Campaign-level wall window (s): earliest to latest event across
+    /// all workers.
+    pub fn window_s(&self) -> f64 {
+        let first =
+            self.workers.iter().map(|w| w.first_ts_ms).filter(|&t| t > 0).min().unwrap_or(0);
+        let last = self.workers.iter().map(|w| w.last_ts_ms).max().unwrap_or(0);
+        last.saturating_sub(first) as f64 / 1e3
+    }
+
+    /// Observed completion rate (trials/s) over the campaign window.
+    /// `None` until the window is wide enough to divide by.
+    pub fn rate(&self) -> Option<f64> {
+        let w = self.window_s();
+        (w > 1e-3 && self.trials() > 0).then(|| self.trials() as f64 / w)
+    }
+
+    /// Counter totals summed across workers.
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for w in &self.workers {
+            for (name, &n) in &w.counters {
+                *out.entry(name.clone()).or_insert(0) += n;
+            }
+        }
+        out
+    }
+
+    /// Histograms merged across workers.
+    pub fn hist_totals(&self) -> BTreeMap<String, Vec<u64>> {
+        let mut out: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for w in &self.workers {
+            for (name, buckets) in &w.hists {
+                let acc = out.entry(name.clone()).or_insert_with(|| vec![0; buckets.len()]);
+                if acc.len() < buckets.len() {
+                    acc.resize(buckets.len(), 0);
+                }
+                for (a, &b) in acc.iter_mut().zip(buckets) {
+                    *a += b;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Validates one parsed event against the schema in the
+/// [`frlfi_obs`] crate docs and folds it into `w`.
+fn fold_event(w: &mut WorkerProfile, v: &Value) -> Result<(), String> {
+    let version = v.get("v").and_then(Value::as_int).ok_or("event missing integer `v`")?;
+    if version != 1 {
+        return Err(format!("unsupported event version {version}"));
+    }
+    let kind = v.get("kind").and_then(Value::as_str).ok_or("event missing string `kind`")?;
+    let ts = v.get("ts_ms").and_then(Value::as_int).ok_or("event missing integer `ts_ms`")?;
+    if ts < 0 {
+        return Err("negative `ts_ms`".into());
+    }
+    w.note_ts(ts as u64);
+    let int = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_int)
+            .filter(|&n| n >= 0)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("`{kind}` event missing non-negative integer `{k}`"))
+    };
+    let name = || {
+        v.get("name")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("`{kind}` event missing string `name`"))
+    };
+    match kind {
+        "meta" => {
+            let worker = v
+                .get("worker")
+                .and_then(Value::as_str)
+                .ok_or("`meta` event missing string `worker`")?;
+            int("pid")?;
+            // Re-installs append to the same stream; ids must agree.
+            if w.worker.is_empty() {
+                w.worker = worker.to_owned();
+            } else if w.worker != worker {
+                return Err(format!(
+                    "stream mixes workers `{}` and `{worker}` — copied obs files?",
+                    w.worker
+                ));
+            }
+        }
+        "span" => {
+            let dur = int("dur_us")?;
+            if let Some(t) = v.get("trial") {
+                t.as_int().filter(|&n| n >= 0).ok_or("`span` has non-integer `trial`")?;
+            }
+            let e = w.spans.entry(name()?).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += dur;
+        }
+        "timer" => {
+            let (n, total) = (int("n")?, int("total_us")?);
+            let e = w.timers.entry(name()?).or_insert((0, 0));
+            e.0 += n;
+            e.1 += total;
+        }
+        "count" => {
+            *w.counters.entry(name()?).or_insert(0) += int("n")?;
+        }
+        "hist" => {
+            let buckets = v
+                .get("buckets")
+                .and_then(Value::as_array)
+                .ok_or("`hist` event missing array `buckets`")?;
+            if buckets.len() != frlfi_obs::HIST_BUCKETS {
+                return Err(format!(
+                    "`hist` has {} buckets, expected {}",
+                    buckets.len(),
+                    frlfi_obs::HIST_BUCKETS
+                ));
+            }
+            let name = name()?;
+            let acc = w.hists.entry(name).or_insert_with(|| vec![0; buckets.len()]);
+            for (a, b) in acc.iter_mut().zip(buckets) {
+                *a += b
+                    .as_int()
+                    .filter(|&n| n >= 0)
+                    .ok_or("`hist` bucket is not a non-negative integer")?
+                    as u64;
+            }
+        }
+        "log" => {
+            v.get("level").and_then(Value::as_str).ok_or("`log` event missing string `level`")?;
+            v.get("msg").and_then(Value::as_str).ok_or("`log` event missing string `msg`")?;
+        }
+        other => return Err(format!("unknown event kind `{other}`")),
+    }
+    w.events += 1;
+    Ok(())
+}
+
+/// Folds one worker stream. The final piece, if unterminated, is a
+/// torn tail from a killed writer and is dropped in either mode — a
+/// write that never completed is not an event.
+fn load_stream(
+    path: &Path,
+    mode: CheckMode,
+    profile: &mut Profile,
+) -> Result<WorkerProfile, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut w = WorkerProfile::default();
+    let pieces: Vec<&str> = text.split_inclusive('\n').collect();
+    for (i, piece) in pieces.iter().enumerate() {
+        if !piece.ends_with('\n') {
+            profile.torn_tails += 1;
+            break;
+        }
+        let line = piece.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let folded =
+            json::parse(line).map_err(|e| e.to_string()).and_then(|v| fold_event(&mut w, &v));
+        if let Err(e) = folded {
+            match mode {
+                CheckMode::Strict => {
+                    return Err(format!("{} line {}: {e}", path.display(), i + 1));
+                }
+                CheckMode::Lenient => {
+                    frlfi_obs::warn!(
+                        "{} line {}: {e}; skipping event (telemetry only — campaign \
+                         results are unaffected)",
+                        path.display(),
+                        i + 1
+                    );
+                    profile.skipped_lines += 1;
+                }
+            }
+        }
+    }
+    if w.worker.is_empty() {
+        // Meta line lost (torn off or skipped): fall back to the
+        // `worker-<id>.jsonl` naming contract.
+        w.worker = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(|s| s.strip_prefix("worker-").unwrap_or(s).to_owned())
+            .unwrap_or_else(|| path.display().to_string());
+    }
+    Ok(w)
+}
+
+/// Loads every `obs/worker-*.jsonl` stream under campaign directory
+/// `dir`. A campaign that never ran with `--obs` yields an empty
+/// profile (no error: telemetry is opt-in).
+///
+/// # Errors
+///
+/// I/O failures; plus, under [`CheckMode::Strict`], the first
+/// schema-invalid complete line.
+pub fn load_dir(dir: &Path, mode: CheckMode) -> Result<Profile, String> {
+    let obs_dir = dir.join(OBS_DIR);
+    let mut profile = Profile::default();
+    let entries = match std::fs::read_dir(&obs_dir) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(profile),
+        Err(e) => return Err(format!("read {}: {e}", obs_dir.display())),
+        Ok(entries) => entries,
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "jsonl")
+                && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("worker-"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let w = load_stream(&path, mode, &mut profile)?;
+        profile.workers.push(w);
+    }
+    profile.workers.sort_by(|a, b| a.worker.cmp(&b.worker));
+    Ok(profile)
+}
+
+/// Renders the per-worker, per-phase wall-clock table: one row per
+/// worker plus a `total` row; phase columns in seconds, completed
+/// trials, and each worker's observed completion rate.
+pub fn render_profile_table(profile: &Profile) -> Table {
+    let columns = ["trials", "trial s", "train s", "eval s", "agg s", "io s", "trial/s"]
+        .map(String::from)
+        .to_vec();
+    let mut table =
+        Table::new("Campaign profile: wall-clock by phase", "worker", columns).with_precision(2);
+    let s = |us: u64| us as f64 / 1e6;
+    let row = |w: &WorkerProfile| {
+        let trials = w.trials();
+        let span_s = |name: &str| s(w.spans.get(name).map_or(0, |&(_, us)| us));
+        let timer_s = |name: &str| s(w.timers.get(name).map_or(0, |&(_, us)| us));
+        let window = w.window_s();
+        let rate = if window > 1e-3 { trials as f64 / window } else { 0.0 };
+        vec![
+            trials as f64,
+            s(w.trial_us()),
+            span_s("train"),
+            span_s("eval"),
+            timer_s("aggregate"),
+            timer_s("io"),
+            rate,
+        ]
+    };
+    let mut total = vec![0.0; 7];
+    for w in &profile.workers {
+        let r = row(w);
+        for (t, v) in total.iter_mut().zip(&r) {
+            *t += v;
+        }
+        table.push_row(w.worker.clone(), r);
+    }
+    if profile.workers.len() > 1 {
+        // The total rate column sums per-worker rates: with N workers
+        // active concurrently that *is* the fleet's aggregate rate.
+        table.push_row("total", total);
+    }
+    table
+}
+
+/// Renders the full `campaign profile` report: the phase table,
+/// counter totals, merged histograms, the observed completion rate
+/// and — when the campaign is still incomplete — an ETA extrapolated
+/// from that rate.
+///
+/// `remaining_trials` comes from the trial log (None when the
+/// campaign state could not be read, e.g. profiling a copied `obs/`
+/// directory alone).
+pub fn render_report(profile: &Profile, remaining_trials: Option<usize>) -> String {
+    let mut out = render_profile_table(profile).render();
+    let totals = profile.counter_totals();
+    if !totals.is_empty() {
+        out.push_str("\ncounters\n");
+        for (name, n) in &totals {
+            out.push_str(&format!("  {name:<28} {n}\n"));
+        }
+    }
+    for (name, buckets) in profile.hist_totals() {
+        out.push_str(&format!("histogram {name} (power-of-two buckets)\n"));
+        // Trim trailing empty buckets; label each as its range floor.
+        let used = buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+        for (b, &n) in buckets.iter().take(used).enumerate() {
+            if n > 0 {
+                let floor = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                out.push_str(&format!("  >= {floor:<6} {n}\n"));
+            }
+        }
+    }
+    match profile.rate() {
+        Some(rate) => {
+            out.push_str(&format!(
+                "observed: {} trials over {:.1} s wall ({rate:.2} trials/s)\n",
+                profile.trials(),
+                profile.window_s(),
+            ));
+            if let Some(remaining) = remaining_trials {
+                if remaining > 0 {
+                    out.push_str(&format!(
+                        "eta: ~{:.0} s for {remaining} remaining trials at the observed rate\n",
+                        remaining as f64 / rate
+                    ));
+                } else {
+                    out.push_str("campaign complete\n");
+                }
+            }
+        }
+        None => out.push_str("observed: no trial spans yet\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_stream(dir: &Path, name: &str, lines: &str) {
+        let obs = dir.join(OBS_DIR);
+        std::fs::create_dir_all(&obs).unwrap();
+        std::fs::write(obs.join(name), lines).unwrap();
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("frlfi-profile-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const STREAM: &str = concat!(
+        r#"{"v":1,"kind":"meta","worker":"w0","pid":7,"ts_ms":1000}"#,
+        "\n",
+        r#"{"v":1,"kind":"span","name":"train","dur_us":1500,"ts_ms":1400}"#,
+        "\n",
+        r#"{"v":1,"kind":"span","name":"trial","trial":3,"dur_us":2000,"ts_ms":1500}"#,
+        "\n",
+        r#"{"v":1,"kind":"timer","name":"io","n":2,"total_us":300,"ts_ms":1600}"#,
+        "\n",
+        r#"{"v":1,"kind":"count","name":"nn.dispatch.reference","n":40,"ts_ms":1600}"#,
+        "\n",
+    );
+
+    #[test]
+    fn folds_a_stream_and_renders() {
+        let dir = tmpdir("fold");
+        write_stream(&dir, "worker-w0.jsonl", STREAM);
+        let p = load_dir(&dir, CheckMode::Strict).unwrap();
+        assert_eq!(p.workers.len(), 1);
+        let w = &p.workers[0];
+        assert_eq!(w.worker, "w0");
+        assert_eq!(w.trials(), 1);
+        assert_eq!(w.trial_us(), 2000);
+        assert_eq!(w.spans["train"], (1, 1500));
+        assert_eq!(w.timers["io"], (2, 300));
+        assert_eq!(w.counters["nn.dispatch.reference"], 40);
+        assert_eq!((w.first_ts_ms, w.last_ts_ms), (1000, 1600));
+        let report = render_report(&p, Some(5));
+        assert!(report.contains("w0"));
+        assert!(report.contains("nn.dispatch.reference"));
+        assert!(report.contains("eta:"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_dropped_interior_garbage_skipped_leniently() {
+        let dir = tmpdir("torn");
+        let mut text = String::from(STREAM);
+        text.insert_str(0, "{not json}\n");
+        text.push_str(r#"{"v":1,"kind":"count","name":"x","#); // torn tail
+        write_stream(&dir, "worker-w0.jsonl", &text);
+        let p = load_dir(&dir, CheckMode::Lenient).unwrap();
+        assert_eq!(p.skipped_lines, 1);
+        assert_eq!(p.torn_tails, 1);
+        assert_eq!(p.workers[0].trials(), 1);
+        // Strict mode rejects the interior garbage but still tolerates
+        // the torn tail: SIGKILL mid-write must not fail `--check`.
+        let err = load_dir(&dir, CheckMode::Strict).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn strict_tolerates_pure_torn_tail() {
+        let dir = tmpdir("strict-tail");
+        let mut text = String::from(STREAM);
+        text.push_str(r#"{"v":1,"kind":"span"#);
+        write_stream(&dir, "worker-w0.jsonl", &text);
+        let p = load_dir(&dir, CheckMode::Strict).unwrap();
+        assert_eq!(p.torn_tails, 1);
+        assert_eq!(p.workers[0].events, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_obs_dir_is_empty_profile() {
+        let dir = tmpdir("empty");
+        let p = load_dir(&dir, CheckMode::Strict).unwrap();
+        assert!(p.workers.is_empty());
+        assert_eq!(p.events(), 0);
+        assert!(p.rate().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_violations_are_named() {
+        let dir = tmpdir("schema");
+        for (tag, line) in [
+            ("version", r#"{"v":2,"kind":"count","name":"x","n":1,"ts_ms":1}"#),
+            ("kind", r#"{"v":1,"kind":"mystery","ts_ms":1}"#),
+            ("buckets", r#"{"v":1,"kind":"hist","name":"h","buckets":[1,2],"ts_ms":1}"#),
+            ("field", r#"{"v":1,"kind":"span","name":"trial","ts_ms":1}"#),
+        ] {
+            write_stream(&dir, "worker-w0.jsonl", &format!("{line}\n"));
+            assert!(
+                load_dir(&dir, CheckMode::Strict).is_err(),
+                "strict mode must reject {tag}: {line}"
+            );
+            let p = load_dir(&dir, CheckMode::Lenient).unwrap();
+            assert_eq!(p.skipped_lines, 1, "lenient mode must skip {tag}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merges_hists_and_counters_across_workers() {
+        let dir = tmpdir("merge");
+        let hist_line = |n: u64| {
+            let mut buckets = [0u64; frlfi_obs::HIST_BUCKETS];
+            buckets[3] = n;
+            format!(
+                r#"{{"v":1,"kind":"hist","name":"nn.batch_size","buckets":[{}],"ts_ms":1}}"#,
+                buckets.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+            )
+        };
+        write_stream(&dir, "worker-a.jsonl", &format!("{}\n", hist_line(2)));
+        write_stream(&dir, "worker-b.jsonl", &format!("{}\n", hist_line(5)));
+        let p = load_dir(&dir, CheckMode::Strict).unwrap();
+        assert_eq!(p.workers.len(), 2);
+        assert_eq!(p.hist_totals()["nn.batch_size"][3], 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -77,6 +77,48 @@ pub struct RunnerConfig {
     /// Multi-process coordination mode. Per-observation and batched
     /// trials claim work through the same path in either mode.
     pub coord: CoordMode,
+    /// Stream structured observability events — trial/train/eval
+    /// spans, io/aggregate timers, kernel-dispatch counters (see
+    /// [`frlfi_obs`]) — to `<dir>/obs/worker-<id>.jsonl` for the
+    /// duration of this call. Purely additive: trial values, the
+    /// persisted trial log and `summary.txt` stay byte-identical
+    /// whether the recorder is on or off.
+    pub obs: bool,
+}
+
+/// RAII guard for the process-global [`frlfi_obs`] recorder: when
+/// [`RunnerConfig::obs`] is set, installs a JSONL sink at
+/// `<dir>/obs/worker-<id>.jsonl` for the duration of one run call.
+/// Shared mode reuses the coordinator's worker id so profile rows
+/// line up with the claim log; exclusive mode tags the process
+/// (`x<pid>`). Dropping the guard flushes and closes the sink, so
+/// events never leak into a later campaign run in the same process.
+struct ObsSession {
+    active: bool,
+}
+
+impl ObsSession {
+    fn start(dir: &Path, cfg: &RunnerConfig) -> Result<ObsSession, String> {
+        if !cfg.obs {
+            return Ok(ObsSession { active: false });
+        }
+        let worker = match &cfg.coord {
+            CoordMode::Shared(c) => c.worker_id.clone(),
+            CoordMode::Exclusive => format!("x{}", std::process::id()),
+        };
+        let path = dir.join(crate::profile::OBS_DIR).join(format!("worker-{worker}.jsonl"));
+        frlfi_obs::install(&path, &worker)
+            .map_err(|e| format!("open obs stream {}: {e}", path.display()))?;
+        Ok(ObsSession { active: true })
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if self.active {
+            frlfi_obs::uninstall();
+        }
+    }
 }
 
 /// One persisted trial result.
@@ -254,8 +296,8 @@ fn load_records(dir: &Path, policy: LoadPolicy) -> Result<(Vec<TrialRecord>, u64
                 valid_len += piece.len() as u64;
             }
             Err(e) if i + 1 == pieces.len() || policy == LoadPolicy::Lenient => {
-                eprintln!(
-                    "campaign: warning: {} line {}: {e}; skipping record (the trial will \
+                frlfi_obs::warn!(
+                    "{} line {}: {e}; skipping record (the trial will \
                      re-run with an identical seed, so statistics are unaffected)",
                     path.display(),
                     i + 1
@@ -388,6 +430,7 @@ fn run_expanded(
     dir: &Path,
     cfg: &RunnerConfig,
 ) -> Result<CampaignOutcome, String> {
+    let _obs = ObsSession::start(dir, cfg)?;
     match &cfg.coord {
         CoordMode::Exclusive => run_exclusive(campaign, dir, cfg),
         CoordMode::Shared(coord_cfg) => run_shared(campaign, dir, cfg, coord_cfg),
@@ -468,12 +511,16 @@ fn run_exclusive(
         let commit = |cell: usize, rep: usize, seed: u64, value: f64| {
             let record = TrialRecord { cell, repeat: rep, seed, value };
             {
+                let _io = frlfi_obs::timed("io");
                 let mut w = sink.lock().expect("sink lock");
                 let line = json::render(&record.to_value());
                 writeln!(w, "{line}").expect("append trial record");
                 w.flush().expect("flush trial record");
             }
             fresh.lock().expect("fresh lock").push((cell, rep, value));
+            // Per-trial event flush: a killed worker's obs stream still
+            // covers every trial it durably committed.
+            frlfi_obs::flush();
         };
 
         if cfg.batched {
@@ -492,9 +539,12 @@ fn run_exclusive(
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&(cell, rep)) = pending.get(i) else { break };
-                            let seed =
-                                derive_seed(campaign.master_seed, (cell * repeats + rep) as u64);
-                            let values = campaign.run_trials_batched(cell, &[seed], &mut ctx);
+                            let flat = (cell * repeats + rep) as u64;
+                            let seed = derive_seed(campaign.master_seed, flat);
+                            let values = {
+                                let _trial = frlfi_obs::span_trial("trial", flat);
+                                campaign.run_trials_batched(cell, &[seed], &mut ctx)
+                            };
                             commit(cell, rep, seed, values[0]);
                         }
                     });
@@ -510,9 +560,12 @@ fn run_exclusive(
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&(cell, rep)) = pending.get(i) else { break };
-                            let seed =
-                                derive_seed(campaign.master_seed, (cell * repeats + rep) as u64);
-                            let value = campaign.run_trial_ctx(cell, seed, &mut ctx);
+                            let flat = (cell * repeats + rep) as u64;
+                            let seed = derive_seed(campaign.master_seed, flat);
+                            let value = {
+                                let _trial = frlfi_obs::span_trial("trial", flat);
+                                campaign.run_trial_ctx(cell, seed, &mut ctx)
+                            };
                             commit(cell, rep, seed, value);
                         }
                     });
@@ -613,6 +666,7 @@ fn run_shared(
         .map_err(|e| format!("open {}: {e}", trials_path(dir).display()))?;
     let sink = Mutex::new(file);
     let commit = |record: &TrialRecord| -> Result<(), String> {
+        let _io = frlfi_obs::timed("io");
         let mut f = sink.lock().expect("sink lock");
         crate::coord::append_jsonl_line(&mut f, &json::render(&record.to_value()))
             .map_err(|e| format!("append trial record: {e}"))
@@ -690,10 +744,13 @@ fn run_shared(
                     };
                     let (cell, rep) = (trial / repeats, trial % repeats);
                     let seed = derive_seed(campaign.master_seed, trial as u64);
-                    let value = if cfg.batched {
-                        campaign.run_trials_batched(cell, &[seed], &mut batch_ctx)[0]
-                    } else {
-                        campaign.run_trial_ctx(cell, seed, &mut obs_ctx)
+                    let value = {
+                        let _trial = frlfi_obs::span_trial("trial", trial as u64);
+                        if cfg.batched {
+                            campaign.run_trials_batched(cell, &[seed], &mut batch_ctx)[0]
+                        } else {
+                            campaign.run_trial_ctx(cell, seed, &mut obs_ctx)
+                        }
                     };
                     let record = TrialRecord { cell, repeat: rep, seed, value };
                     if let Err(e) = commit(&record) {
@@ -702,6 +759,9 @@ fn run_shared(
                     }
                     coordinator.complete(trial);
                     new_trials.fetch_add(1, Ordering::Relaxed);
+                    // Per-trial event flush: a SIGKILLed worker's obs
+                    // stream still covers its durably committed trials.
+                    frlfi_obs::flush();
                 }
             });
         }

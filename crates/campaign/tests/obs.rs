@@ -1,0 +1,312 @@
+//! Observability guarantees, pinned end to end:
+//!
+//! * enabling the recorder changes **nothing**: `summary.txt` and the
+//!   per-trial `trials.jsonl` stay byte-identical to the disabled run;
+//! * a multi-worker `--obs` campaign leaves one parseable
+//!   `obs/worker-<id>.jsonl` stream per worker, and
+//!   `campaign profile` folds them into a non-empty per-phase table
+//!   that survives `--check`'s strict schema validation;
+//! * the obs loader follows the repo's torn-tail discipline: a killed
+//!   writer's unterminated fragment is dropped, interior garbage is
+//!   skipped leniently (and named under `--check`);
+//! * `campaign status` reports per-worker elapsed time and heartbeat
+//!   age from the claim log's record timestamps.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use frlfi::Scale;
+use frlfi_campaign::{profile, runner, RunnerConfig, Scenario, SystemKind};
+
+/// The recorder is process-global: tests that enable it (or assert on
+/// its absence) serialize through this lock so one test's events can
+/// never land in another's stream.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn cli() -> &'static str {
+    env!("CARGO_BIN_EXE_campaign")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "frlfi-obs-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The multiproc suite's cheap grid campaign: 3 cells × 4 repeats.
+fn scenario(name: &str) -> Scenario {
+    let mut s = Scenario::new(name, SystemKind::GridWorld, Scale::Smoke);
+    s.fault.bers = vec![0.0, 0.1, 0.2];
+    s.fault.inject_episodes = vec![100];
+    s.train.total_episodes = Some(300);
+    s.repeats = Some(4);
+    s
+}
+
+fn write_spec(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("frlfi-obs-{name}-{}.toml", std::process::id()));
+    std::fs::write(&path, scenario(name).to_toml()).expect("write spec");
+    path
+}
+
+fn run_cli(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(cli()).args(args).output().expect("spawn campaign CLI");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn spawn_cli(args: &[&str]) -> Child {
+    Command::new(cli())
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn campaign CLI")
+}
+
+fn wait_output(child: Child, what: &str) -> String {
+    let out = child.wait_with_output().expect("wait for CLI");
+    let text =
+        String::from_utf8_lossy(&out.stdout).into_owned() + &String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{what} failed:\n{text}");
+    text
+}
+
+fn read(dir: &Path, name: &str) -> String {
+    std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|e| panic!("{name} in {}: {e}", dir.display()))
+}
+
+#[test]
+fn obs_enabled_run_is_byte_identical_and_its_stream_parses_strictly() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let scenario = scenario("bytes");
+
+    // Reference: recorder off, one thread (so the trial log's order is
+    // deterministic and the logs compare byte-for-byte, not just the
+    // summary).
+    let ref_dir = temp_dir("bytes-ref");
+    let cfg = RunnerConfig { threads: 1, ..RunnerConfig::default() };
+    runner::run(&scenario, &ref_dir, &cfg).expect("reference run").stats.expect("complete");
+
+    let dir = temp_dir("bytes-obs");
+    let out =
+        runner::run(&scenario, &dir, &RunnerConfig { obs: true, ..cfg.clone() }).expect("obs run");
+    assert!(out.complete());
+
+    assert_eq!(
+        read(&dir, "summary.txt"),
+        read(&ref_dir, "summary.txt"),
+        "enabling obs must not change a byte of summary.txt"
+    );
+    assert_eq!(
+        read(&dir, "trials.jsonl"),
+        read(&ref_dir, "trials.jsonl"),
+        "enabling obs must not change a byte of the trial log"
+    );
+    assert!(!ref_dir.join(profile::OBS_DIR).exists(), "disabled run must not write obs/");
+
+    // The stream parses under strict validation and attributes the
+    // campaign's work: 12 trial spans partitioned into train/eval,
+    // io timers from the per-trial commits, kernel dispatch counters.
+    let p = profile::load_dir(&dir, profile::CheckMode::Strict).expect("strict load");
+    assert_eq!(p.workers.len(), 1, "exclusive run writes one stream");
+    let w = &p.workers[0];
+    assert!(w.worker.starts_with('x'), "exclusive worker id is x<pid>: {}", w.worker);
+    assert_eq!(w.trials(), 12);
+    assert_eq!(w.spans["train"].0, 12);
+    assert_eq!(w.spans["eval"].0, 12);
+    assert!(w.timers["io"].0 >= 12, "every commit times its append");
+    assert!(w.counters["nn.dispatch.reference"] > 0, "grid eval dispatches reference kernels");
+    assert!(w.trial_us() >= w.spans["train"].1, "trial spans cover training");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn two_shared_workers_stream_obs_and_profile_renders_their_phases() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let spec = write_spec("mp-obs");
+    let spec_s = spec.to_str().expect("utf8");
+    let dir = temp_dir("mp-obs");
+    let dir_s = dir.to_str().expect("utf8");
+
+    // Reference bytes from a plain exclusive run.
+    let ref_dir = temp_dir("mp-obs-ref");
+    runner::run(&scenario("mp-obs"), &ref_dir, &RunnerConfig { threads: 1, ..Default::default() })
+        .expect("reference run");
+
+    // Two worker processes share the campaign, both with the recorder
+    // on — one through the flag, one through the environment knob.
+    let first = spawn_cli(&[
+        "run",
+        spec_s,
+        "--out",
+        dir_s,
+        "--shared",
+        "--threads",
+        "1",
+        "--worker-id",
+        "w1",
+        "--obs",
+    ]);
+    let start = Instant::now();
+    while !dir.join("campaign.toml").exists() {
+        assert!(start.elapsed() < Duration::from_secs(30), "campaign manifest never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let second = Command::new(cli())
+        .args(["worker", dir_s, "--threads", "1", "--worker-id", "w2"])
+        .env("CAMPAIGN_OBS", "1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn worker w2");
+    wait_output(first, "shared run w1");
+    wait_output(second, "worker w2");
+
+    assert_eq!(read(&dir, "summary.txt"), read(&ref_dir, "summary.txt"));
+    for worker in ["w1", "w2"] {
+        assert!(
+            dir.join(profile::OBS_DIR).join(format!("worker-{worker}.jsonl")).exists(),
+            "{worker} must have streamed telemetry"
+        );
+    }
+
+    // `campaign profile` folds both streams: a row per worker, the
+    // campaign's 12 trials attributed, coordination counters visible.
+    let (ok, out, _) = run_cli(&["profile", dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("w1") && out.contains("w2"), "one profile row per worker:\n{out}");
+    assert!(out.contains("trial/s"), "{out}");
+    assert!(out.contains("coord.claim.won"), "claim counters must surface:\n{out}");
+    assert!(out.contains("campaign complete"), "{out}");
+    let p = profile::load_dir(&dir, profile::CheckMode::Strict).expect("strict load");
+    assert_eq!(p.trials(), 12, "every trial span lands in exactly one stream");
+
+    // Strict validation passes on real streams.
+    let (ok, out, _) = run_cli(&["profile", dir_s, "--check"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("check ok:"), "{out}");
+
+    // `status` picks the telemetry up as an observed rate.
+    let (ok, st, _) = run_cli(&["status", dir_s]);
+    assert!(ok, "{st}");
+    assert!(st.contains("observed:"), "status should surface the obs-derived rate:\n{st}");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn profile_tolerates_torn_tails_and_check_names_interior_garbage() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let dir = temp_dir("torn");
+    let scenario = scenario("torn");
+    runner::run(
+        &scenario,
+        &dir,
+        &RunnerConfig { threads: 1, obs: true, ..RunnerConfig::default() },
+    )
+    .expect("obs run");
+    let dir_s = dir.to_str().expect("utf8");
+
+    // A SIGKILLed writer's torn tail never fails validation.
+    let stream = std::fs::read_dir(dir.join(profile::OBS_DIR))
+        .expect("obs dir")
+        .next()
+        .expect("one stream")
+        .expect("entry")
+        .path();
+    let intact = std::fs::read_to_string(&stream).expect("stream");
+    std::fs::write(&stream, format!("{intact}{{\"v\":1,\"kind\":\"sp")).expect("append tail");
+    let (ok, out, _) = run_cli(&["profile", dir_s, "--check"]);
+    assert!(ok, "torn tail must pass --check:\n{out}");
+    assert!(out.contains("1 torn tail(s)"), "{out}");
+
+    // Interior garbage: lenient profile skips it with a warning,
+    // --check fails naming the line, --quiet silences the warning.
+    let mut lines: Vec<&str> = intact.lines().collect();
+    let n_events = lines.len();
+    lines.insert(2, "{\"v\":1,\"kind\":\"mystery\",\"ts_ms\":1}");
+    std::fs::write(&stream, lines.join("\n") + "\n").expect("mangle");
+    let (ok, out, err) = run_cli(&["profile", dir_s]);
+    assert!(ok, "lenient profile must survive garbage:\n{out}\n{err}");
+    assert!(err.contains("line 3"), "warning names the line:\n{err}");
+    let p = profile::load_dir(&dir, profile::CheckMode::Lenient).expect("lenient load");
+    assert_eq!(p.events() as usize, n_events, "only the garbage line is dropped");
+    let (ok, _, err) = run_cli(&["profile", dir_s, "--check"]);
+    assert!(!ok, "--check must fail on interior garbage");
+    assert!(err.contains("line 3"), "{err}");
+    let (ok, _, err) = run_cli(&["profile", dir_s, "--quiet"]);
+    assert!(ok);
+    assert!(!err.contains("line 3"), "--quiet must silence the skip warning:\n{err}");
+
+    // A campaign that never streamed telemetry profiles to an empty
+    // report leniently but refuses --check (CI would be asserting on
+    // nothing).
+    let bare = temp_dir("bare");
+    runner::run(&scenario, &bare, &RunnerConfig::default()).expect("plain run");
+    let bare_s = bare.to_str().expect("utf8");
+    let (ok, out, _) = run_cli(&["profile", bare_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("no trial spans yet"), "{out}");
+    let (ok, _, err) = run_cli(&["profile", bare_s, "--check"]);
+    assert!(!ok, "--check on a stream-less campaign must fail");
+    assert!(err.contains("no obs streams"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&bare).ok();
+}
+
+#[test]
+fn status_reports_worker_elapsed_time_and_heartbeat_age() {
+    let spec = write_spec("hb");
+    let dir = temp_dir("hb");
+    let dir_s = dir.to_str().expect("utf8");
+
+    // Open the campaign and stop early so incomplete trials remain.
+    let (ok, out, err) =
+        run_cli(&["run", spec.to_str().expect("utf8"), "--out", dir_s, "--max-trials", "2"]);
+    assert!(ok, "{out}\n{err}");
+
+    // Hand-craft claim records the way a live worker would have
+    // written them: an issue timestamp 90 s back, a renewal 2 s back,
+    // and an unexpired lease so the worker counts as active.
+    let now = frlfi_campaign::coord::now_ms();
+    let claims = format!(
+        "{{\"trial\":2,\"gen\":1,\"worker\":\"w-live\",\"deadline_ms\":{},\"ts_ms\":{}}}\n\
+         {{\"trial\":2,\"gen\":1,\"worker\":\"w-live\",\"deadline_ms\":{},\"ts_ms\":{}}}\n\
+         {{\"trial\":3,\"gen\":1,\"worker\":\"w-old\",\"deadline_ms\":{}}}\n",
+        now + 60_000,
+        now - 90_000,
+        now + 60_000,
+        now - 2_000,
+        now + 60_000,
+    );
+    std::fs::write(dir.join("claims.jsonl"), claims).expect("write claims");
+
+    let (ok, st, _) = run_cli(&["status", dir_s]);
+    assert!(ok, "{st}");
+    assert!(st.contains("w-live"), "{st}");
+    assert!(st.contains("up 90."), "elapsed since first claim:\n{st}");
+    assert!(st.contains("last heartbeat 2."), "age of latest renewal:\n{st}");
+    // Records that predate the ts_ms field degrade to `?`, not 1970.
+    assert!(st.contains("up ?") && st.contains("last heartbeat ? ago"), "{st}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&spec).ok();
+}

@@ -301,6 +301,7 @@ pub fn run_grid_trial(t: &GridTrial, seed: u64) -> f64 {
 /// Panics on invalid trial configuration.
 pub fn run_grid_trial_ctx(t: &GridTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
     let mut sys = grid_trial_system(t, seed);
+    let _eval = frlfi_obs::span("eval");
     match t.metric {
         GridMetric::SuccessRatePct => sys.success_rate_ctx(ctx) * 100.0,
         GridMetric::EpisodesToConverge { threshold, check_every, max_extra } => {
@@ -324,6 +325,7 @@ pub fn run_grid_trial_ctx(t: &GridTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
 /// Panics on invalid trial configuration.
 pub fn run_grid_trial_batched(t: &GridTrial, seed: u64, ctx: &mut BatchInferCtx) -> f64 {
     let mut sys = grid_trial_system(t, seed);
+    let _eval = frlfi_obs::span("eval");
     match t.metric {
         GridMetric::SuccessRatePct => sys.success_rate_batched(ctx) * 100.0,
         GridMetric::EpisodesToConverge { threshold, check_every, max_extra } => {
@@ -339,6 +341,9 @@ pub fn run_grid_trial_batched(t: &GridTrial, seed: u64, ctx: &mut BatchInferCtx)
 /// ready for greedy evaluation — shared by the per-observation and
 /// batched paths so the trial setup can never drift between modes.
 fn grid_trial_system(t: &GridTrial, seed: u64) -> GridFrlSystem {
+    // Observability only — the span reads the clock around training,
+    // it cannot affect any trained value.
+    let _train = frlfi_obs::span("train");
     let cfg = GridSystemConfig {
         n_agents: t.n_agents,
         seed: t.system_seed,
@@ -515,7 +520,9 @@ pub fn run_drone_trial(t: &DroneTrial, seed: u64) -> f64 {
 ///
 /// Panics on invalid trial configuration.
 pub fn run_drone_trial_ctx(t: &DroneTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
-    drone_trial_system(t, seed).safe_flight_distance_ctx(t.eval_attempts, ctx)
+    let mut sys = drone_trial_system(t, seed);
+    let _eval = frlfi_obs::span("eval");
+    sys.safe_flight_distance_ctx(t.eval_attempts, ctx)
 }
 
 /// [`run_drone_trial`] with the flight-distance evaluation on the
@@ -529,7 +536,9 @@ pub fn run_drone_trial_ctx(t: &DroneTrial, seed: u64, ctx: &mut InferCtx) -> f64
 ///
 /// Panics on invalid trial configuration.
 pub fn run_drone_trial_batched(t: &DroneTrial, seed: u64, ctx: &mut BatchInferCtx) -> f64 {
-    drone_trial_system(t, seed).safe_flight_distance_batched(t.eval_attempts, ctx)
+    let mut sys = drone_trial_system(t, seed);
+    let _eval = frlfi_obs::span("eval");
+    sys.safe_flight_distance_batched(t.eval_attempts, ctx)
 }
 
 /// Builds, fault-injects and fine-tunes the system of one DroneNav
@@ -537,6 +546,9 @@ pub fn run_drone_trial_batched(t: &DroneTrial, seed: u64, ctx: &mut BatchInferCt
 /// per-observation and batched paths so the trial setup can never
 /// drift between modes.
 fn drone_trial_system(t: &DroneTrial, seed: u64) -> DroneFrlSystem {
+    // Observability only — the span reads the clock around
+    // fine-tuning, it cannot affect any trained value.
+    let _train = frlfi_obs::span("train");
     let mut sys = DroneFrlSystem::new(DroneSystemConfig {
         n_drones: t.n_drones,
         seed: t.system_seed,

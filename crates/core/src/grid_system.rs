@@ -294,6 +294,9 @@ impl GridFrlSystem {
     }
 
     fn communicate(&mut self) -> Result<(), FrlfiError> {
+        // Wall-clock accounting only (thread-local, aggregated —
+        // federated aggregation runs once per communication round).
+        let _aggregate = frlfi_obs::timed("aggregate");
         // Draw the participant mask before borrowing the server, and
         // draw it even when a round ends up skipped, so the dropout
         // stream stays aligned with the round index.

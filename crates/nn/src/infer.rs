@@ -132,6 +132,10 @@ impl InferCtx {
         input_shape: ActShape,
         mut visit: impl FnMut(&mut [f32]),
     ) -> Result<(&'c [f32], ActShape), NnError> {
+        // Dispatch accounting only — one thread-local add per forward,
+        // a single relaxed load when the recorder is disabled. Nothing
+        // here touches the activations.
+        frlfi_obs::count("nn.dispatch.reference", layers.len() as u64);
         let mut shape = input_shape;
         // Which scratch buffer holds the current activation; the input
         // itself backs the first layer's read.
@@ -262,6 +266,16 @@ impl BatchInferCtx {
                     input.len()
                 ),
             });
+        }
+        // Dispatch accounting only (see `InferCtx::run`): a batch of
+        // one routes through the reference kernels, larger batches
+        // through the batched kernels; the batch-size histogram shows
+        // how much amortization the workload actually gets.
+        frlfi_obs::hist("nn.batch_size", batch as u64);
+        if batch == 1 {
+            frlfi_obs::count("nn.dispatch.reference", layers.len() as u64);
+        } else {
+            frlfi_obs::count("nn.dispatch.batched", layers.len() as u64);
         }
         // Transpose the observations into the batch-minor staging area
         // (for one sample the layouts coincide, so it is a plain copy).

@@ -1,0 +1,447 @@
+//! The process-global recorder: an installable JSONL sink plus
+//! thread-local aggregation tables.
+//!
+//! Instrumentation points call [`span`]/[`timed`]/[`count`]/[`hist`]
+//! unconditionally; each starts with one relaxed load of the enabled
+//! flag and returns immediately when no sink is installed. When a sink
+//! is installed, counters/histograms/timed blocks accumulate in
+//! thread-local tables (no locks, no I/O) and reach the sink as
+//! aggregated delta events on [`flush`] or at thread exit; spans and
+//! log events — a handful per trial — write one line each.
+
+use std::cell::RefCell;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::Level;
+
+/// Number of histogram buckets: bucket 0 counts zeros, bucket `b ≥ 1`
+/// counts values in `[2^(b-1), 2^b)`, and the last bucket absorbs
+/// everything above.
+pub const HIST_BUCKETS: usize = 17;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bumped on every install; thread-local tables tagged with an older
+/// generation are stale (they belong to a previous sink) and reset.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+struct Sink {
+    out: BufWriter<File>,
+    generation: u64,
+}
+
+/// Whether a recorder sink is currently installed. One relaxed atomic
+/// load — the entire disabled-path cost of every instrumentation
+/// point.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Milliseconds since the Unix epoch.
+fn ts_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Escapes `s` into a JSON string literal body (quotes, backslashes
+/// and control characters).
+fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Appends one already-rendered JSON line to the sink, if its
+/// generation still matches (a racing uninstall/reinstall must not
+/// interleave a stale thread's events into the new sink's stream).
+fn write_line(generation: u64, line: &str) {
+    let mut guard = SINK.lock().expect("obs sink");
+    if let Some(sink) = guard.as_mut() {
+        if sink.generation == generation {
+            let _ = writeln!(sink.out, "{line}");
+        }
+    }
+}
+
+/// Installs the recorder: events stream to `path` (created/appended)
+/// until [`uninstall`]. Emits a `meta` event naming `worker` and the
+/// pid. Installing over a live sink replaces it (the old sink is
+/// flushed and closed).
+///
+/// # Errors
+///
+/// Returns the I/O error if `path`'s parent cannot be created or the
+/// file cannot be opened.
+pub fn install(path: &Path, worker: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut meta = String::with_capacity(96);
+    meta.push_str("{\"v\":1,\"kind\":\"meta\",\"worker\":\"");
+    escape_into(&mut meta, worker);
+    use std::fmt::Write as _;
+    let _ = write!(meta, "\",\"pid\":{},\"ts_ms\":{}}}", std::process::id(), ts_ms());
+    let mut out = BufWriter::new(file);
+    let _ = writeln!(out, "{meta}");
+    let _ = out.flush();
+    if let Some(mut old) = SINK.lock().expect("obs sink").replace(Sink { out, generation }) {
+        let _ = old.out.flush();
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flushes the calling thread's aggregates, closes the sink and
+/// disables recording. Other threads' unflushed aggregates are
+/// discarded (instrumented runners flush worker threads before they
+/// exit, and thread exit itself flushes).
+pub fn uninstall() {
+    flush();
+    ENABLED.store(false, Ordering::Relaxed);
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    if let Some(mut sink) = SINK.lock().expect("obs sink").take() {
+        let _ = sink.out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ThreadStats {
+    generation: u64,
+    counters: Vec<(&'static str, u64)>,
+    timers: Vec<(&'static str, u64, u64)>, // (name, n, total_us)
+    hists: Vec<(&'static str, [u64; HIST_BUCKETS])>,
+}
+
+impl ThreadStats {
+    /// Resets stale tables when the sink changed since the last use.
+    fn sync_generation(&mut self) {
+        let current = GENERATION.load(Ordering::Relaxed);
+        if self.generation != current {
+            self.counters.clear();
+            self.timers.clear();
+            self.hists.clear();
+            self.generation = current;
+        }
+    }
+
+    /// Renders and clears the tables into aggregated delta events.
+    fn drain(&mut self) {
+        if self.counters.is_empty() && self.timers.is_empty() && self.hists.is_empty() {
+            return;
+        }
+        use std::fmt::Write as _;
+        let now = ts_ms();
+        let mut line = String::with_capacity(128);
+        for (name, n) in self.counters.drain(..) {
+            line.clear();
+            line.push_str("{\"v\":1,\"kind\":\"count\",\"name\":\"");
+            escape_into(&mut line, name);
+            let _ = write!(line, "\",\"ts_ms\":{now},\"n\":{n}}}");
+            write_line(self.generation, &line);
+        }
+        for (name, n, total_us) in self.timers.drain(..) {
+            line.clear();
+            line.push_str("{\"v\":1,\"kind\":\"timer\",\"name\":\"");
+            escape_into(&mut line, name);
+            let _ = write!(line, "\",\"ts_ms\":{now},\"n\":{n},\"total_us\":{total_us}}}");
+            write_line(self.generation, &line);
+        }
+        for (name, buckets) in self.hists.drain(..) {
+            line.clear();
+            line.push_str("{\"v\":1,\"kind\":\"hist\",\"name\":\"");
+            escape_into(&mut line, name);
+            let _ = write!(line, "\",\"ts_ms\":{now},\"buckets\":[");
+            for (i, b) in buckets.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "{b}");
+            }
+            line.push_str("]}");
+            write_line(self.generation, &line);
+        }
+    }
+}
+
+impl Drop for ThreadStats {
+    fn drop(&mut self) {
+        // Thread exit: whatever this thread accumulated since its
+        // last flush still reaches the stream.
+        if enabled() {
+            self.drain();
+        }
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadStats> = RefCell::new(ThreadStats::default());
+}
+
+fn with_tls(f: impl FnOnce(&mut ThreadStats)) {
+    // Ignore accesses during thread teardown — the Drop flush already
+    // ran (or will); losing a post-teardown increment is harmless.
+    let _ = TLS.try_with(|tls| {
+        let mut tls = tls.borrow_mut();
+        tls.sync_generation();
+        f(&mut tls);
+    });
+}
+
+/// Adds `n` to the thread-local counter `name`.
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_tls(|tls| match tls.counters.iter_mut().find(|(k, _)| *k == name) {
+        Some((_, total)) => *total += n,
+        None => tls.counters.push((name, n)),
+    });
+}
+
+/// Records `value` into the thread-local power-of-two histogram
+/// `name` (bucket 0: zeros; bucket `b ≥ 1`: `[2^(b-1), 2^b)`; the
+/// last bucket absorbs everything above).
+#[inline]
+pub fn hist(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let bucket = (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+    with_tls(|tls| match tls.hists.iter_mut().find(|(k, _)| *k == name) {
+        Some((_, buckets)) => buckets[bucket] += 1,
+        None => {
+            let mut buckets = [0u64; HIST_BUCKETS];
+            buckets[bucket] = 1;
+            tls.hists.push((name, buckets));
+        }
+    });
+}
+
+/// Flushes the calling thread's aggregated counters/timers/histograms
+/// to the sink and syncs the sink to disk. Instrumented runners call
+/// this once per finished trial, bounding both staleness and loss on
+/// SIGKILL.
+pub fn flush() {
+    if !enabled() {
+        return;
+    }
+    with_tls(ThreadStats::drain);
+    if let Some(sink) = SINK.lock().expect("obs sink").as_mut() {
+        let _ = sink.out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans and timed blocks
+// ---------------------------------------------------------------------------
+
+/// A live span: emits one `span` event (name, wall-clock duration,
+/// optional trial index) when dropped. Inert — carries no clock — when
+/// the recorder was disabled at construction.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    live: Option<(Instant, &'static str, Option<u64>)>,
+}
+
+/// Starts a span named `name` (e.g. `"train"`), ending — and emitting
+/// its event — when the returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span { live: enabled().then(|| (Instant::now(), name, None)) }
+}
+
+/// [`span`] tagged with the flat trial index it belongs to.
+#[inline]
+pub fn span_trial(name: &'static str, trial: u64) -> Span {
+    Span { live: enabled().then(|| (Instant::now(), name, Some(trial))) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((start, name, trial)) = self.live.take() else { return };
+        let dur_us = start.elapsed().as_micros() as u64;
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"v\":1,\"kind\":\"span\",\"name\":\"");
+        escape_into(&mut line, name);
+        let _ = write!(line, "\",\"ts_ms\":{},\"dur_us\":{dur_us}", ts_ms());
+        if let Some(trial) = trial {
+            let _ = write!(line, ",\"trial\":{trial}");
+        }
+        line.push('}');
+        write_line(GENERATION.load(Ordering::Relaxed), &line);
+    }
+}
+
+/// A live timed block: adds its duration to the thread-local `timer`
+/// aggregate `name` when dropped (no event of its own — suitable for
+/// blocks that run thousands of times per trial, like per-round
+/// aggregation or per-record I/O).
+#[must_use = "a timed block measures the scope it is alive in"]
+pub struct Timed {
+    live: Option<(Instant, &'static str)>,
+}
+
+/// Starts a timed block accumulating into timer `name`.
+#[inline]
+pub fn timed(name: &'static str) -> Timed {
+    Timed { live: enabled().then(|| (Instant::now(), name)) }
+}
+
+impl Drop for Timed {
+    fn drop(&mut self) {
+        let Some((start, name)) = self.live.take() else { return };
+        let us = start.elapsed().as_micros() as u64;
+        with_tls(|tls| match tls.timers.iter_mut().find(|(k, ..)| *k == name) {
+            Some((_, n, total)) => {
+                *n += 1;
+                *total += us;
+            }
+            None => tls.timers.push((name, 1, us)),
+        });
+    }
+}
+
+/// Emits one `log` event (the recording half of the logging facade).
+pub(crate) fn log_event(level: Level, msg: &str) {
+    use std::fmt::Write as _;
+    let mut line = String::with_capacity(64 + msg.len());
+    line.push_str("{\"v\":1,\"kind\":\"log\",\"level\":\"");
+    line.push_str(level.name());
+    let _ = write!(line, "\",\"ts_ms\":{},\"msg\":\"", ts_ms());
+    escape_into(&mut line, msg);
+    line.push_str("\"}");
+    write_line(GENERATION.load(Ordering::Relaxed), &line);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole-crate recorder tests run under one lock: the sink is
+    /// process-global, and Rust runs tests concurrently.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("frlfi-obs-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn lines(path: &Path) -> Vec<String> {
+        std::fs::read_to_string(path).unwrap_or_default().lines().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn disabled_recorder_writes_nothing_and_reads_no_clock() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        assert!(!enabled());
+        let s = span("never");
+        assert!(s.live.is_none(), "disabled span must not have read the clock");
+        drop(s);
+        let t = timed("never");
+        assert!(t.live.is_none());
+        drop(t);
+        count("never", 3);
+        hist("never", 3);
+        flush();
+    }
+
+    #[test]
+    fn install_records_spans_counters_hists_and_logs() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let path = temp_file("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        install(&path, "w-test").expect("install");
+        drop(span_trial("trial", 7));
+        drop(timed("io"));
+        count("claims", 2);
+        count("claims", 3);
+        hist("batch", 32);
+        crate::warn!("something {} happened", "odd");
+        flush();
+        uninstall();
+        let all = lines(&path).join("\n");
+        assert!(
+            all.contains("\"kind\":\"meta\"") && all.contains("\"worker\":\"w-test\""),
+            "{all}"
+        );
+        assert!(all.contains("\"kind\":\"span\"") && all.contains("\"trial\":7"), "{all}");
+        assert!(all.contains("\"kind\":\"timer\"") && all.contains("\"name\":\"io\""), "{all}");
+        assert!(all.contains("\"kind\":\"count\"") && all.contains("\"n\":5"), "{all}");
+        // 32 = 2^5 lands in bucket 6 ([2^5, 2^6)).
+        assert!(all.contains("\"kind\":\"hist\""), "{all}");
+        assert!(all.contains("[0,0,0,0,0,0,1,0,0,0,0,0,0,0,0,0,0]"), "{all}");
+        assert!(
+            all.contains("\"kind\":\"log\"") && all.contains("something odd happened"),
+            "{all}"
+        );
+        assert!(!enabled(), "uninstall must disable recording");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_thread_aggregates_do_not_leak_across_installs() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let first = temp_file("gen-a");
+        let second = temp_file("gen-b");
+        let _ = std::fs::remove_file(&first);
+        let _ = std::fs::remove_file(&second);
+        install(&first, "a").expect("install");
+        count("leak", 99); // never flushed into `first`
+        uninstall();
+        install(&second, "b").expect("install");
+        count("fresh", 1);
+        flush();
+        uninstall();
+        let all = lines(&second).join("\n");
+        assert!(!all.contains("leak"), "stale generation leaked: {all}");
+        assert!(all.contains("fresh"), "{all}");
+        let _ = std::fs::remove_file(&first);
+        let _ = std::fs::remove_file(&second);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut buf = String::new();
+        escape_into(&mut buf, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(buf, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn hist_buckets_are_powers_of_two() {
+        let bucket = |v: u64| (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(127), 7);
+        assert_eq!(bucket(128), 8);
+        assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+}
