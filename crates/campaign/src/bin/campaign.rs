@@ -41,13 +41,21 @@
 //! fails on any schema-invalid event line); `--quiet` suppresses
 //! warnings (`CAMPAIGN_LOG=quiet|warn|info|debug` sets the stderr
 //! level globally).
+//!
+//! `--chaos-seed N` (or the richer `CAMPAIGN_CHAOS` grammar) arms
+//! deterministic infrastructure fault injection against the
+//! campaign's own file I/O — transient EIO, short writes, failed
+//! fsyncs, latency spikes — exercising the retry/backoff and
+//! quarantine machinery (see the README "Failure model" section).
+//! A run whose trials exhaust their retries exits nonzero with an
+//! explicitly marked degraded `summary.txt` unless `--allow-partial`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use frlfi::Scale;
 use frlfi_campaign::{
-    coord, profile, registry, runner, CoordConfig, CoordMode, RunnerConfig, Scenario,
+    coord, io, profile, registry, runner, CoordConfig, CoordMode, RunnerConfig, Scenario,
 };
 
 fn usage() -> &'static str {
@@ -56,14 +64,17 @@ fn usage() -> &'static str {
      campaign expand <spec.toml | builtin-name | --all> [--scale smoke|bench|full]\n  \
      campaign run <spec.toml | builtin-name> [--scale smoke|bench|full] [--out DIR] \
      [--threads N] [--max-trials N] [--batched] [--wide] [--shared] [--worker-id ID] \
-     [--lease-ms N] [--obs] [--quiet]\n  \
+     [--lease-ms N] [--obs] [--quiet] [--chaos-seed N] [--allow-partial]\n  \
      campaign resume <dir> [--threads N] [--max-trials N] [--batched] [--wide] [--shared] \
-     [--worker-id ID] [--lease-ms N] [--obs] [--quiet]\n  \
+     [--worker-id ID] [--lease-ms N] [--obs] [--quiet] [--chaos-seed N] [--allow-partial]\n  \
      campaign worker <dir> [--threads N] [--max-trials N] [--batched] \
-     [--worker-id ID] [--lease-ms N] [--obs] [--quiet]\n  \
+     [--worker-id ID] [--lease-ms N] [--obs] [--quiet] [--chaos-seed N] [--allow-partial]\n  \
      campaign status <dir>\n  \
      campaign profile <dir> [--check]\n\n\
-     CAMPAIGN_OBS=1 enables --obs; CAMPAIGN_LOG=quiet|warn|info|debug sets the stderr level"
+     CAMPAIGN_OBS=1 enables --obs; CAMPAIGN_LOG=quiet|warn|info|debug sets the stderr level;\n\
+     CAMPAIGN_CHAOS=seed=N[,rate=P,tag=T,op=K,every=M,persist,latency-ms=L] arms fault \
+     injection;\n\
+     CAMPAIGN_RETRY=attempts,base_ms,cap_ms tunes the transient-I/O retry policy"
 }
 
 struct Options {
@@ -73,6 +84,7 @@ struct Options {
     shared: bool,
     check: bool,
     quiet: bool,
+    chaos_seed: Option<u64>,
     coord: CoordConfig,
     cfg: RunnerConfig,
     positional: Vec<String>,
@@ -92,6 +104,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         shared: false,
         check: false,
         quiet: false,
+        chaos_seed: None,
         coord: CoordConfig::default(),
         cfg: RunnerConfig { obs: env_obs(), ..RunnerConfig::default() },
         positional: Vec::new(),
@@ -130,20 +143,53 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--lease-ms" => {
                 opts.coord.lease_ms =
                     take("--lease-ms")?.parse().map_err(|e| format!("--lease-ms: {e}"))?;
-                if opts.coord.lease_ms == 0 {
-                    return Err("--lease-ms must be ≥ 1".into());
-                }
+                // Typed validation: leases too short for the lease/3
+                // heartbeat cadence make workers self-reap — reject
+                // them here instead of letting the queue thrash.
+                opts.coord.validate().map_err(|e| e.to_string())?;
                 // Keep waiting workers responsive to short test leases.
                 opts.coord.poll_ms = opts.coord.poll_ms.min(opts.coord.lease_ms / 2).max(10);
             }
+            "--chaos-seed" => {
+                opts.chaos_seed =
+                    Some(take("--chaos-seed")?.parse().map_err(|e| format!("--chaos-seed: {e}"))?)
+            }
+            "--allow-partial" => opts.cfg.allow_partial = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => opts.positional.push(other.to_owned()),
         }
     }
     if opts.shared {
+        opts.coord.validate().map_err(|e| e.to_string())?;
         opts.cfg.coord = CoordMode::Shared(opts.coord.clone());
     }
     Ok(opts)
+}
+
+/// Arms chaos mode when requested: `--chaos-seed N` (the default
+/// spec with that seed) or the full `CAMPAIGN_CHAOS` grammar; the
+/// flag wins when both are present. Loud on purpose — a chaos-armed
+/// run injects real faults into its own persistence.
+fn arm_chaos(opts: &Options) -> Result<(), String> {
+    let spec = if let Some(seed) = opts.chaos_seed {
+        Some(io::chaos::ChaosSpec::seeded(seed))
+    } else {
+        match std::env::var("CAMPAIGN_CHAOS") {
+            Ok(text) if !text.is_empty() && text != "0" => Some(
+                io::chaos::ChaosSpec::parse(&text).map_err(|e| format!("CAMPAIGN_CHAOS: {e}"))?,
+            ),
+            _ => None,
+        }
+    };
+    if let Some(spec) = spec {
+        frlfi_obs::warn!(
+            "chaos mode armed (seed {}, rate {}%): injecting deterministic I/O faults",
+            spec.seed,
+            spec.rate
+        );
+        io::chaos::arm(spec);
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -165,6 +211,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
     if opts.quiet {
         frlfi_obs::set_log_level(frlfi_obs::Level::Quiet);
     }
+    arm_chaos(&opts)?;
     match command.as_str() {
         "list" => {
             println!("built-in scenarios:");
@@ -250,6 +297,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 )
             })?;
             // A worker is always a shared-queue participant.
+            opts.coord.validate().map_err(|e| e.to_string())?;
             let mut cfg = opts.cfg.clone();
             cfg.coord = CoordMode::Shared(opts.coord.clone());
             println!(
@@ -344,6 +392,13 @@ fn print_status(s: &coord::CampaignStatus, dir: &std::path::Path) {
     if s.stale_claims > 0 {
         println!("  stale claims: {} (re-claimable; their workers look dead)", s.stale_claims);
     }
+    if s.quarantined > 0 {
+        println!(
+            "  quarantined: {} trial(s) (I/O retries exhausted — see quarantine.jsonl; \
+             a healthy worker re-runs them bitwise-identically)",
+            s.quarantined
+        );
+    }
     // Live rate from the opt-in telemetry streams, when present.
     if let Ok(p) = profile::load_dir(dir, profile::CheckMode::Lenient) {
         if let Some(rate) = p.rate() {
@@ -382,6 +437,12 @@ fn report(scenario: &Scenario, out: frlfi_campaign::CampaignOutcome, dir: &std::
     );
     match out.table {
         Some(table) => print!("{table}"),
+        None if !out.quarantined.is_empty() => println!(
+            "DEGRADED — {} trial(s) quarantined (I/O retries exhausted); summary.txt is \
+             marked partial. Reclaim with: campaign resume {}",
+            out.quarantined.len(),
+            dir.display()
+        ),
         None => println!("incomplete — continue with: campaign resume {}", dir.display()),
     }
 }

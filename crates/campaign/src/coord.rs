@@ -50,7 +50,7 @@
 //! is byte-identical to the single-process, single-thread run.
 
 use std::collections::HashMap;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -58,9 +58,34 @@ use std::sync::{Arc, Mutex};
 use serde::{Map, Value};
 
 use crate::fmt::json;
+use crate::io::{self, lock_recover};
 
 /// File name of the claim log inside a campaign directory.
 pub const CLAIMS_FILE: &str = "claims.jsonl";
+
+/// The shortest usable lease: the heartbeat renews at `lease_ms / 3`
+/// cadence on a 25 ms tick, so a lease below ~6 ticks cannot be
+/// renewed reliably and the worker pathologically self-reaps —
+/// every claim expires before its own heartbeat lands, burning CPU
+/// on generation bumps and duplicate (if still bitwise-identical)
+/// trial runs. [`CoordConfig::validate`] rejects such leases at
+/// CLI/config level with a typed error.
+pub const MIN_LEASE_MS: u64 = 150;
+
+/// A rejected [`CoordConfig`] — the typed error `--lease-ms`
+/// validation surfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordConfigError {
+    message: String,
+}
+
+impl std::fmt::Display for CoordConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CoordConfigError {}
 
 /// Milliseconds since the Unix epoch. Leases compare wall-clock time
 /// across processes (and possibly machines); modest clock skew only
@@ -225,13 +250,16 @@ pub(crate) enum FoldError {
 /// writer completes it (or a healer turns it into a full line).
 pub(crate) struct JsonlTailReader {
     path: PathBuf,
+    /// The retry/chaos tag of this log's reads (`claims.read`,
+    /// `trials.read`).
+    tag: &'static str,
     offset: u64,
     line_no: usize,
 }
 
 impl JsonlTailReader {
-    pub(crate) fn new(path: PathBuf) -> Self {
-        JsonlTailReader { path, offset: 0, line_no: 0 }
+    pub(crate) fn new(path: PathBuf, tag: &'static str) -> Self {
+        JsonlTailReader { path, tag, offset: 0, line_no: 0 }
     }
 
     /// Hands every complete line appended since the last refresh to
@@ -239,23 +267,34 @@ impl JsonlTailReader {
     /// all — torn fragments healed into interior lines — are skipped
     /// with a warning; `fold` decides whether a structurally wrong
     /// document is a [`FoldError::Skip`] or a [`FoldError::Fatal`].
+    /// The read runs under the [`crate::io`] retry policy; the
+    /// offset only advances on success, so a retried read re-reads
+    /// the same tail.
     pub(crate) fn refresh(
         &mut self,
         mut fold: impl FnMut(Value) -> Result<(), FoldError>,
     ) -> Result<(), String> {
-        let mut file = match std::fs::File::open(&self.path) {
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
-            Err(e) => return Err(format!("open {}: {e}", self.path.display())),
-            Ok(f) => f,
-        };
-        let len = file.metadata().map_err(|e| format!("stat {}: {e}", self.path.display()))?.len();
-        if len <= self.offset {
-            return Ok(());
+        let (tag, path, offset) = (self.tag, &self.path, self.offset);
+        let buf = io::with_retry(tag, || {
+            let mut file = match io::open_read(tag, path) {
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+                Err(e) => return Err(e),
+                Ok(f) => f,
+            };
+            let len = file.metadata()?.len();
+            if len <= offset {
+                return Ok(Some(Vec::new()));
+            }
+            file.seek(SeekFrom::Start(offset))?;
+            let mut buf = Vec::with_capacity((len - offset) as usize);
+            io::read_to_end(tag, &mut file, &mut buf)?;
+            Ok(Some(buf))
+        })
+        .map_err(|e| format!("read {}: {e}", self.path.display()))?;
+        let Some(buf) = buf else { return Ok(()) }; // no log yet
+        if buf.is_empty() {
+            return Ok(()); // nothing appended since the last refresh
         }
-        file.seek(SeekFrom::Start(self.offset))
-            .map_err(|e| format!("seek {}: {e}", self.path.display()))?;
-        let mut buf = Vec::with_capacity((len - self.offset) as usize);
-        file.read_to_end(&mut buf).map_err(|e| format!("read {}: {e}", self.path.display()))?;
         let (lines, consumed) = complete_lines(&buf);
         self.offset += consumed as u64;
         for raw in lines {
@@ -296,7 +335,10 @@ struct ClaimReader {
 
 impl ClaimReader {
     fn new(dir: &Path) -> Self {
-        ClaimReader { tail: JsonlTailReader::new(dir.join(CLAIMS_FILE)), state: HashMap::new() }
+        ClaimReader {
+            tail: JsonlTailReader::new(dir.join(CLAIMS_FILE), "claims.read"),
+            state: HashMap::new(),
+        }
     }
 
     /// Folds every complete line appended since the last refresh.
@@ -335,7 +377,7 @@ impl ClaimLog {
     /// Returns a message only for I/O failures.
     pub fn load(&self) -> Result<Vec<ClaimRecord>, String> {
         let mut records = Vec::new();
-        JsonlTailReader::new(self.path.clone()).refresh(|v| {
+        JsonlTailReader::new(self.path.clone(), "claims.read").refresh(|v| {
             records.push(ClaimRecord::from_value(&v).map_err(FoldError::Skip)?);
             Ok(())
         })?;
@@ -346,20 +388,21 @@ impl ClaimLog {
     /// arbitration step relies on. If the log does not end in a
     /// newline (a writer died mid-append), a newline is written first
     /// so the torn fragment becomes its own skippable line instead of
-    /// merging with this record.
+    /// merging with this record. The whole open-heal-append-fsync
+    /// step runs under the [`crate::io`] retry policy — it is
+    /// idempotent at line granularity (a short-written fragment gets
+    /// healed into its own skippable line by the retry).
     ///
     /// # Errors
     ///
     /// Returns a message on I/O failures.
     pub fn append(&self, record: &ClaimRecord) -> Result<(), String> {
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .read(true)
-            .open(&self.path)
-            .map_err(|e| format!("open {}: {e}", self.path.display()))?;
-        append_jsonl_line(&mut file, &json::render(&record.to_value()))
-            .map_err(|e| format!("append {}: {e}", self.path.display()))
+        let line = json::render(&record.to_value());
+        io::with_retry("claims.append", || {
+            let mut file = io::open_append("claims.append", &self.path)?;
+            append_jsonl_line("claims.append", &mut file, &line)
+        })
+        .map_err(|e| format!("append {}: {e}", self.path.display()))
     }
 }
 
@@ -371,15 +414,21 @@ impl ClaimLog {
 /// write (so concurrent processes interleave line-atomically) and
 /// fsync it (the durability the re-read arbitration and crash-resume
 /// guarantees rest on). `file` must be open in append+read mode.
-pub(crate) fn append_jsonl_line(file: &mut std::fs::File, json_line: &str) -> std::io::Result<()> {
+/// `tag` names the logical operation to the [`crate::io`] chaos
+/// injector and retry counters (`claims.append`, `trials.append`).
+pub(crate) fn append_jsonl_line(
+    tag: &'static str,
+    file: &mut std::fs::File,
+    json_line: &str,
+) -> std::io::Result<()> {
     let mut buf = String::with_capacity(json_line.len() + 2);
     if !ends_with_newline(file)? {
         buf.push('\n');
     }
     buf.push_str(json_line);
     buf.push('\n');
-    file.write_all(buf.as_bytes())?;
-    file.sync_data()
+    io::write_all(tag, file, buf.as_bytes())?;
+    io::sync_data(tag, file)
 }
 
 /// Whether `file` is empty or its last byte is `\n` (read via a seek
@@ -416,6 +465,40 @@ pub struct CoordConfig {
 impl Default for CoordConfig {
     fn default() -> Self {
         CoordConfig { worker_id: default_worker_id(), lease_ms: 30_000, poll_ms: 500 }
+    }
+}
+
+impl CoordConfig {
+    /// Validates user-facing knobs — what the CLI/config layer calls
+    /// before constructing a [`Coordinator`]. Rejects leases shorter
+    /// than [`MIN_LEASE_MS`] (too short for the `lease_ms / 3`
+    /// heartbeat cadence: the worker would self-reap — see the
+    /// constant's docs) and empty worker ids.
+    ///
+    /// Library tests that deliberately build pathological configs
+    /// (e.g. a 1 ms lease to simulate a crashed worker) construct
+    /// the struct directly and skip this.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoordConfigError`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), CoordConfigError> {
+        if self.lease_ms < MIN_LEASE_MS {
+            return Err(CoordConfigError {
+                message: format!(
+                    "--lease-ms {} is below the minimum {MIN_LEASE_MS}: the heartbeat renews \
+                     at lease/3 cadence on a 25 ms tick, so shorter leases expire before \
+                     their own renewals land and the worker pathologically self-reaps",
+                    self.lease_ms
+                ),
+            });
+        }
+        if self.worker_id.is_empty() {
+            return Err(CoordConfigError {
+                message: "--worker-id must not be empty (claim records need an owner)".into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -509,11 +592,17 @@ impl Coordinator {
         if pending.is_empty() {
             return Ok(None);
         }
-        let mut reader = self.reader.lock().expect("claim reader");
+        // Poison recovery, not `.expect`: a worker thread that
+        // panicked mid-claim must not cascade into killing this
+        // process's other claim holders (the reader re-reads the log
+        // tail idempotently; the active set holds independent
+        // entries — both stay consistent under an interrupted
+        // update).
+        let mut reader = lock_recover(&self.reader);
         reader.refresh()?;
         for k in 0..pending.len() {
             let trial = pending[(k + offset) % pending.len()];
-            if self.shared.active.lock().expect("active set").contains_key(&trial) {
+            if lock_recover(&self.shared.active).contains_key(&trial) {
                 // Another thread of this process is already running it.
                 continue;
             }
@@ -549,7 +638,7 @@ impl Coordinator {
             );
             if won {
                 frlfi_obs::count("coord.claim.won", 1);
-                self.shared.active.lock().expect("active set").insert(trial, generation);
+                lock_recover(&self.shared.active).insert(trial, generation);
                 return Ok(Some(trial));
             }
             // Arbitration loss: another process's append beat ours.
@@ -562,7 +651,7 @@ impl Coordinator {
     /// lease simply expires; completion itself is what the trial log
     /// records).
     pub fn complete(&self, trial: usize) {
-        self.shared.active.lock().expect("active set").remove(&trial);
+        lock_recover(&self.shared.active).remove(&trial);
     }
 }
 
@@ -590,7 +679,7 @@ fn heartbeat_loop(shared: &CoordShared, stop: &AtomicBool) {
         }
         elapsed = 0;
         let renewals: Vec<(usize, u64)> = {
-            let active = shared.active.lock().expect("active set");
+            let active = lock_recover(&shared.active);
             active.iter().map(|(&t, &g)| (t, g)).collect()
         };
         let now = now_ms();
@@ -652,6 +741,11 @@ pub struct CampaignStatus {
     /// Incomplete trials whose lease has expired — work a crashed
     /// worker left behind, re-claimable by anyone.
     pub stale_claims: usize,
+    /// Incomplete trials with a `quarantine.jsonl` record — work some
+    /// worker exhausted its I/O retries on. Advisory: a healthy
+    /// worker re-runs them bitwise-identically (completed trials with
+    /// stale quarantine records are not counted).
+    pub quarantined: usize,
     /// Whether `summary.txt` has been written.
     pub summary_written: bool,
 }
@@ -725,6 +819,19 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
     }
     workers.sort_by(|a, b| a.worker.cmp(&b.worker));
 
+    // Quarantine records are advisory — only those naming a trial
+    // that is still incomplete count (a completed record overrides).
+    let quarantined = {
+        let mut trials: Vec<usize> = crate::quarantine::load(dir)?
+            .iter()
+            .map(|q| q.trial)
+            .filter(|&t| t < total && done[t].is_none())
+            .collect();
+        trials.sort_unstable();
+        trials.dedup();
+        trials.len()
+    };
+
     Ok(CampaignStatus {
         name: scenario.name.clone(),
         scale: format!("{:?}", scenario.scale),
@@ -734,6 +841,7 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
         total_trials: total,
         workers,
         stale_claims: stale,
+        quarantined,
         summary_written: dir.join("summary.txt").exists(),
     })
 }
@@ -741,6 +849,7 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
     use std::sync::atomic::AtomicUsize;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -852,6 +961,18 @@ mod tests {
         assert_eq!(a.claim_next(&[0, 1, 2], 2).expect("claim"), Some(2));
         assert_eq!(b.claim_next(&[0, 1, 2], 0).expect("claim"), None, "queue exhausted");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_validation_rejects_pathological_leases() {
+        let ok = CoordConfig { worker_id: "w".into(), lease_ms: MIN_LEASE_MS, poll_ms: 50 };
+        assert!(ok.validate().is_ok());
+        let short = CoordConfig { lease_ms: MIN_LEASE_MS - 1, ..ok.clone() };
+        let err = short.validate().expect_err("short lease");
+        assert!(err.to_string().contains("self-reap"), "{err}");
+        assert!(err.to_string().contains("--lease-ms"), "{err}");
+        let anon = CoordConfig { worker_id: String::new(), ..ok };
+        assert!(anon.validate().is_err(), "empty worker id");
     }
 
     #[test]

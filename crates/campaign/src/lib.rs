@@ -22,6 +22,11 @@
 //!   directory through an append-only `claims.jsonl` (atomic claim
 //!   acquisition, heartbeat renewal, stale-lease reaping), and the
 //!   result stays byte-identical to the single-process run;
+//! * [`io`] — chaos-aware campaign I/O: every runner / coord /
+//!   profile file operation routes through deterministic fault
+//!   injection (`--chaos-seed` / `CAMPAIGN_CHAOS`) and bounded
+//!   retry with backoff; [`quarantine`] — poison-trial quarantine
+//!   and degraded summaries once the retry budget is spent;
 //! * [`profile`] — offline aggregation of the opt-in [`frlfi_obs`]
 //!   telemetry streams (`campaign run --obs` writes
 //!   `<dir>/obs/worker-<id>.jsonl`): per-worker per-phase wall-clock
@@ -48,12 +53,16 @@
 
 pub mod coord;
 pub mod fmt;
+pub mod io;
 pub mod profile;
+pub mod quarantine;
 pub mod registry;
 pub mod runner;
 pub mod spec;
 
-pub use coord::{CampaignStatus, CoordConfig, Coordinator};
+pub use coord::{CampaignStatus, CoordConfig, CoordConfigError, Coordinator};
+pub use io::RetryPolicy;
 pub use profile::{CheckMode, Profile, WorkerProfile};
+pub use quarantine::QuarantineRecord;
 pub use runner::{CampaignOutcome, CoordMode, RunnerConfig, TrialRecord};
 pub use spec::{Campaign, CellGrid, Scenario, SpecError, SystemKind, Trials};

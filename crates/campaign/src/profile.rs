@@ -265,8 +265,8 @@ fn load_stream(
     mode: CheckMode,
     profile: &mut Profile,
 ) -> Result<WorkerProfile, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let text = crate::io::with_retry("obs.read", || crate::io::read_to_string("obs.read", path))
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
     let mut w = WorkerProfile::default();
     let pieces: Vec<&str> = text.split_inclusive('\n').collect();
     for (i, piece) in pieces.iter().enumerate() {

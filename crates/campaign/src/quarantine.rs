@@ -1,0 +1,207 @@
+//! Poison-trial quarantine: graceful degradation when a trial's
+//! persistence keeps failing.
+//!
+//! A trial whose *evaluation* is deterministic can still be
+//! undeliverable: if every attempt to append its record exhausts the
+//! [`crate::io::with_retry`] budget (a genuinely failing disk, or a
+//! persistent injected fault), killing the worker would also abandon
+//! every healthy trial behind it in the queue. Instead the worker
+//! **quarantines** the trial — appends a durable record here and
+//! moves on — and [`crate::runner`]'s finalize step downgrades the
+//! outcome: an explicitly marked degraded `summary.txt` plus a
+//! nonzero exit unless `--allow-partial`.
+//!
+//! ```text
+//! <dir>/quarantine.jsonl — one JSON record per quarantined trial
+//! ```
+//!
+//! Quarantine records are **advisory**, like claims: they never mark
+//! a trial dead. A completed record in `trials.jsonl` always
+//! overrides (trial evaluation is a pure function of `(cell, seed)`,
+//! so a later healthy worker — or the same worker after the
+//! filesystem recovers — simply re-runs the trial bitwise-identically
+//! and the campaign completes as if nothing happened). The records
+//! exist so `campaign status` can show poisoned work and so a
+//! degraded summary can name exactly what is missing.
+//!
+//! Appends here deliberately bypass the [`crate::io`] chaos shim and
+//! its retry loop: this is the last-resort handler that runs *because*
+//! the instrumented path failed, so it must not recurse into the
+//! injector, and a best-effort single attempt is all it gets (losing
+//! a quarantine record costs only a status line — the trial log and
+//! the degraded exit code carry the real state).
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Map, Value};
+
+use crate::fmt::json;
+
+/// File name of the quarantine log inside a campaign directory.
+pub const QUARANTINE_FILE: &str = "quarantine.jsonl";
+
+/// One quarantined trial: which trial, who gave up on it, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Flat trial index: `cell * repeats + repeat`.
+    pub trial: usize,
+    /// Cell index (row-major in the campaign's grid).
+    pub cell: usize,
+    /// Repeat index within the cell.
+    pub repeat: usize,
+    /// Worker that exhausted its retries.
+    pub worker: String,
+    /// The final error, after the retry budget was spent.
+    pub error: String,
+    /// When the trial was quarantined (ms since the Unix epoch).
+    pub ts_ms: u64,
+}
+
+impl QuarantineRecord {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("trial".into(), Value::Int(self.trial as i64));
+        m.insert("cell".into(), Value::Int(self.cell as i64));
+        m.insert("repeat".into(), Value::Int(self.repeat as i64));
+        m.insert("worker".into(), Value::Str(self.worker.clone()));
+        m.insert("error".into(), Value::Str(self.error.clone()));
+        m.insert("ts_ms".into(), Value::Int(self.ts_ms as i64));
+        Value::Table(m)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let get_int = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_int)
+                .ok_or_else(|| format!("quarantine record missing integer `{k}`"))
+        };
+        let get_str = |k: &str| match v.get(k) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("quarantine record missing string `{k}`")),
+        };
+        Ok(QuarantineRecord {
+            trial: get_int("trial")? as usize,
+            cell: get_int("cell")? as usize,
+            repeat: get_int("repeat")? as usize,
+            worker: get_str("worker")?,
+            error: get_str("error")?,
+            ts_ms: get_int("ts_ms")? as u64,
+        })
+    }
+}
+
+/// Appends one quarantine record, best-effort and **uninstrumented**
+/// (see the module docs for why this path bypasses the chaos shim and
+/// retry loop). Uses the same heal-then-single-append-then-fsync
+/// shape as every shared log, so concurrent quarantining workers
+/// interleave line-atomically. Failures are reported, not fatal.
+///
+/// # Errors
+///
+/// Returns a message on I/O failure; callers warn and continue.
+pub fn append(dir: &Path, record: &QuarantineRecord) -> Result<(), String> {
+    let path = dir.join(QUARANTINE_FILE);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .read(true)
+        .open(&path)
+        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    let line = json::render(&record.to_value());
+    let mut buf = String::with_capacity(line.len() + 2);
+    if !crate::coord::ends_with_newline(&mut file)
+        .map_err(|e| format!("{}: {e}", path.display()))?
+    {
+        buf.push('\n');
+    }
+    buf.push_str(&line);
+    buf.push('\n');
+    file.write_all(buf.as_bytes())
+        .and_then(|()| file.sync_data())
+        .map_err(|e| format!("append {}: {e}", path.display()))
+}
+
+/// Loads every parseable quarantine record (lenient, like every
+/// shared-log reader: a torn or healed garbage line is skipped with a
+/// warning). Missing file means no quarantines. Uninstrumented, so
+/// status paths work even while the chaos injector is armed against
+/// the very I/O being inspected.
+///
+/// # Errors
+///
+/// Returns a message only for I/O failures.
+pub fn load(dir: &Path) -> Result<Vec<QuarantineRecord>, String> {
+    let path = dir.join(QUARANTINE_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+        Ok(t) => t,
+    };
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match json::parse(line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| QuarantineRecord::from_value(&v))
+        {
+            Ok(r) => records.push(r),
+            Err(e) => frlfi_obs::warn!(
+                "{} line {}: {e}; skipping quarantine record (advisory only)",
+                path.display(),
+                i + 1
+            ),
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "frlfi-quarantine-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn rec(trial: usize) -> QuarantineRecord {
+        QuarantineRecord {
+            trial,
+            cell: trial / 2,
+            repeat: trial % 2,
+            worker: "w1".into(),
+            error: "append trials.jsonl: injected transient EIO (chaos)".into(),
+            ts_ms: 1_700_000_000_000,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_and_heal_torn_tails() {
+        let dir = temp_dir("roundtrip");
+        assert_eq!(load(&dir).expect("empty"), Vec::new());
+        append(&dir, &rec(3)).expect("append");
+        append(&dir, &rec(5)).expect("append");
+        // A torn tail from a killed writer is skipped on load and
+        // healed into its own line by the next append.
+        let mut f =
+            std::fs::OpenOptions::new().append(true).open(dir.join(QUARANTINE_FILE)).expect("open");
+        write!(f, "{{\"trial\":9,\"ce").expect("torn tail");
+        drop(f);
+        assert_eq!(load(&dir).expect("load"), vec![rec(3), rec(5)]);
+        append(&dir, &rec(7)).expect("append heals");
+        assert_eq!(load(&dir).expect("load"), vec![rec(3), rec(5), rec(7)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,8 +18,8 @@
 //! which is bit-identical to what the in-process `sweep` engine
 //! produces for the same trials.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::collections::BTreeSet;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -31,6 +31,8 @@ use serde::{Map, Value};
 
 use crate::coord::{CoordConfig, Coordinator};
 use crate::fmt::json;
+use crate::io::{self, lock_recover};
+use crate::quarantine::{self, QuarantineRecord};
 use crate::spec::{Campaign, CellGrid, Scenario};
 
 /// How a runner coordinates trial ownership with other processes.
@@ -84,6 +86,12 @@ pub struct RunnerConfig {
     /// persisted trial log and `summary.txt` stay byte-identical
     /// whether the recorder is on or off.
     pub obs: bool,
+    /// Treat a degraded outcome (some trials quarantined after their
+    /// I/O retries exhausted, queue otherwise drained) as success:
+    /// the run returns `Ok` with the explicitly marked degraded
+    /// `summary.txt` in place, instead of the default nonzero-exit
+    /// error. The quarantined trials stay reclaimable either way.
+    pub allow_partial: bool,
 }
 
 /// RAII guard for the process-global [`frlfi_obs`] recorder: when
@@ -180,6 +188,11 @@ pub struct CampaignOutcome {
     /// Wide per-cell spread table — present only when the campaign
     /// completed *and* [`RunnerConfig::wide_summary`] was set.
     pub wide_table: Option<Table>,
+    /// Flat indices of trials *this call* quarantined after
+    /// exhausting their I/O retry budget (sorted). Non-empty only on
+    /// degraded outcomes — which return `Ok` solely under
+    /// [`RunnerConfig::allow_partial`].
+    pub quarantined: Vec<usize>,
 }
 
 impl CampaignOutcome {
@@ -199,7 +212,8 @@ impl CampaignOutcome {
 /// Returns a message on I/O failures, scenario mismatches, or corrupt
 /// trial logs.
 pub fn run(scenario: &Scenario, dir: &Path, cfg: &RunnerConfig) -> Result<CampaignOutcome, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    io::with_retry("campaign.create", || io::create_dir_all("campaign.create", dir))
+        .map_err(|e| format!("create {}: {e}", dir.display()))?;
     let manifest = dir.join("campaign.toml");
     if manifest.exists() {
         let stored = load_scenario(&manifest)?;
@@ -239,7 +253,7 @@ pub fn resume(dir: &Path, cfg: &RunnerConfig) -> Result<CampaignOutcome, String>
 ///
 /// Returns a message if the manifest is missing or malformed.
 pub fn load_scenario(manifest: &Path) -> Result<Scenario, String> {
-    let text = std::fs::read_to_string(manifest)
+    let text = io::with_retry("manifest.read", || io::read_to_string("manifest.read", manifest))
         .map_err(|e| format!("read {}: {e}", manifest.display()))?;
     Scenario::from_toml(&text).map_err(|e| format!("{}: {e}", manifest.display()))
 }
@@ -272,14 +286,19 @@ enum LoadPolicy {
 /// interior line.
 fn load_records(dir: &Path, policy: LoadPolicy) -> Result<(Vec<TrialRecord>, u64), String> {
     let path = trials_path(dir);
-    let mut text = String::new();
-    match File::open(&path) {
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
-        Err(e) => return Err(format!("open {}: {e}", path.display())),
+    let text = match io::with_retry("trials.read", || match io::open_read("trials.read", &path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
         Ok(mut f) => {
-            f.read_to_string(&mut text).map_err(|e| format!("read {}: {e}", path.display()))?;
+            let mut text = String::new();
+            f.read_to_string(&mut text)?;
+            Ok(Some(text))
         }
-    }
+    }) {
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+        Ok(None) => return Ok((Vec::new(), 0)),
+        Ok(Some(text)) => text,
+    };
     let mut records = Vec::new();
     let mut valid_len = 0u64;
     let pieces: Vec<&str> = text.split_inclusive('\n').collect();
@@ -364,7 +383,7 @@ struct TrialTracker {
 impl TrialTracker {
     fn new(dir: &Path, total: usize) -> Self {
         TrialTracker {
-            tail: crate::coord::JsonlTailReader::new(trials_path(dir)),
+            tail: crate::coord::JsonlTailReader::new(trials_path(dir), "trials.read"),
             done: vec![false; total],
             completed: 0,
         }
@@ -406,12 +425,18 @@ fn resolve_threads(threads: usize) -> usize {
 /// one (the data is durable before the name is).
 fn write_atomic(dir: &Path, name: &str, text: &str) -> Result<(), String> {
     let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
-    let mut f = File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
-    f.write_all(text.as_bytes())
-        .and_then(|()| f.sync_all())
-        .map_err(|e| format!("write {}: {e}", tmp.display()))?;
-    drop(f);
-    std::fs::rename(&tmp, dir.join(name)).map_err(|e| format!("publish {name}: {e}"))
+    // The whole create-write-fsync-rename step retries as one unit:
+    // it is idempotent (the temp file is recreated from scratch each
+    // attempt), so a transient fault at any of its operations — a
+    // short write included — never publishes a torn file.
+    io::with_retry("publish", || {
+        let mut f = io::create_trunc("publish.create", &tmp)?;
+        io::write_all("publish.write", &mut f, text.as_bytes())?;
+        io::sync_all("publish.fsync", &f)?;
+        drop(f);
+        io::rename("publish.rename", &tmp, &dir.join(name))
+    })
+    .map_err(|e| format!("publish {name}: {e}"))
 }
 
 /// The flat completion map (`cell * repeats + repeat` order) of the
@@ -474,13 +499,11 @@ fn run_exclusive(
     }
 
     let new_trials = pending.len();
+    let mut quarantined: Vec<usize> = Vec::new();
     if new_trials > 0 {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .read(true)
-            .open(trials_path(dir))
-            .map_err(|e| format!("open {}: {e}", trials_path(dir).display()))?;
+        let mut file =
+            io::with_retry("trials.open", || io::open_append("trials.open", &trials_path(dir)))
+                .map_err(|e| format!("open {}: {e}", trials_path(dir).display()))?;
         match policy {
             // Chop any torn tail off before appending, so the fragment
             // cannot merge with the next record into one corrupt line.
@@ -498,29 +521,85 @@ fn run_exclusive(
                 if !crate::coord::ends_with_newline(&mut file)
                     .map_err(|e| format!("{}: {e}", trials_path(dir).display()))?
                 {
-                    file.write_all(b"\n").map_err(|e| format!("heal torn trial log: {e}"))?;
+                    io::with_retry("trials.append", || {
+                        io::write_all("trials.append", &mut file, b"\n")
+                    })
+                    .map_err(|e| format!("heal torn trial log: {e}"))?;
                 }
             }
         }
-        let sink = Mutex::new(BufWriter::new(file));
+        // The commit sink tracks the committed byte length alongside
+        // the handle: under the strict single-writer policy a retry
+        // truncates any short-written fragment of the failed attempt
+        // back off before rewriting, so the log stays the clean
+        // record-per-line prefix the strict loader demands on the
+        // next resume.
+        let sink = Mutex::new((file, valid_len));
         let cursor = AtomicUsize::new(0);
         let threads = resolve_threads(cfg.threads);
         let fresh: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::with_capacity(new_trials));
-        // Persists one finished trial: line-atomic append + flush, so a
-        // kill between records loses at most the torn tail.
-        let commit = |cell: usize, rep: usize, seed: u64, value: f64| {
+        let poisoned: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
+        // Persists one finished trial: line-atomic append + fsync
+        // under the retry policy, so a kill between records loses at
+        // most the torn tail and a transient I/O error costs only a
+        // backoff sleep.
+        let commit = |cell: usize, rep: usize, seed: u64, value: f64| -> Result<(), String> {
             let record = TrialRecord { cell, repeat: rep, seed, value };
+            let line = json::render(&record.to_value());
             {
                 let _io = frlfi_obs::timed("io");
-                let mut w = sink.lock().expect("sink lock");
-                let line = json::render(&record.to_value());
-                writeln!(w, "{line}").expect("append trial record");
-                w.flush().expect("flush trial record");
+                let mut guard = lock_recover(&sink);
+                let (file, committed_len) = &mut *guard;
+                io::with_retry("trials.append", || match policy {
+                    LoadPolicy::Strict => {
+                        if file.metadata()?.len() > *committed_len {
+                            file.set_len(*committed_len)?;
+                        }
+                        let mut buf = Vec::with_capacity(line.len() + 1);
+                        buf.extend_from_slice(line.as_bytes());
+                        buf.push(b'\n');
+                        io::write_all("trials.append", file, &buf)?;
+                        io::sync_data("trials.append", file)?;
+                        *committed_len += buf.len() as u64;
+                        Ok(())
+                    }
+                    // A shared-history log is never truncated; retries
+                    // heal a short-written fragment into its own
+                    // skippable line, as shared-mode appenders do.
+                    LoadPolicy::Lenient => {
+                        crate::coord::append_jsonl_line("trials.append", file, &line)
+                    }
+                })
+                .map_err(|e| format!("append {}: {e}", trials_path(dir).display()))?;
             }
-            fresh.lock().expect("fresh lock").push((cell, rep, value));
+            lock_recover(&fresh).push((cell, rep, value));
             // Per-trial event flush: a killed worker's obs stream still
             // covers every trial it durably committed.
             frlfi_obs::flush();
+            Ok(())
+        };
+        // The retry budget is spent: record the poison trial durably
+        // and move on — the rest of the queue still deserves to run.
+        let quarantine_trial = |cell: usize, rep: usize, e: String| {
+            let flat = cell * repeats + rep;
+            frlfi_obs::count("trial.quarantined", 1);
+            frlfi_obs::warn!("quarantining trial {flat} (cell {cell}, repeat {rep}): {e}");
+            if let Err(qe) = quarantine::append(
+                dir,
+                &QuarantineRecord {
+                    trial: flat,
+                    cell,
+                    repeat: rep,
+                    worker: format!("x{}", std::process::id()),
+                    error: e,
+                    ts_ms: crate::coord::now_ms(),
+                },
+            ) {
+                frlfi_obs::warn!(
+                    "{qe} (quarantine record lost; the degraded exit still reports the trial)"
+                );
+            }
+            lock_recover(&poisoned).insert(flat);
         };
 
         if cfg.batched {
@@ -545,7 +624,9 @@ fn run_exclusive(
                                 let _trial = frlfi_obs::span_trial("trial", flat);
                                 campaign.run_trials_batched(cell, &[seed], &mut ctx)
                             };
-                            commit(cell, rep, seed, values[0]);
+                            if let Err(e) = commit(cell, rep, seed, values[0]) {
+                                quarantine_trial(cell, rep, e);
+                            }
                         }
                     });
                 }
@@ -566,27 +647,45 @@ fn run_exclusive(
                                 let _trial = frlfi_obs::span_trial("trial", flat);
                                 campaign.run_trial_ctx(cell, seed, &mut ctx)
                             };
-                            commit(cell, rep, seed, value);
+                            if let Err(e) = commit(cell, rep, seed, value) {
+                                quarantine_trial(cell, rep, e);
+                            }
                         }
                     });
                 }
             });
         }
 
-        for (cell, rep, value) in fresh.into_inner().expect("workers joined") {
+        for (cell, rep, value) in
+            fresh.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             if done[cell][rep].is_none() {
                 completed += 1;
             }
             done[cell][rep] = Some(value);
         }
+        quarantined = poisoned
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .into_iter()
+            .collect();
     }
 
-    finalize(campaign, dir, cfg, &done, completed, new_trials)
+    finalize(campaign, dir, cfg, &done, completed, new_trials, quarantined)
 }
 
 /// Folds the completion map into the outcome; when every trial is
 /// persisted, renders and publishes `summary.txt` — per-cell stats in
 /// repeat order, exactly as the in-process sweep engine folds them.
+///
+/// When the queue drained but some trials were **quarantined**
+/// (their I/O retries exhausted), publishes an explicitly marked
+/// degraded summary instead and errors unless
+/// [`RunnerConfig::allow_partial`] — graceful degradation, not
+/// silence: the exit code says partial, the summary says partial,
+/// and a later healthy `resume`/`worker` run reclaims the missing
+/// trials (bitwise-identically) and replaces the summary with the
+/// real one.
 fn finalize(
     campaign: &Campaign,
     dir: &Path,
@@ -594,6 +693,7 @@ fn finalize(
     done: &[Vec<Option<f64>>],
     completed: usize,
     new_trials: usize,
+    quarantined: Vec<usize>,
 ) -> Result<CampaignOutcome, String> {
     let total = campaign.total_trials();
     let (stats, table, wide_table) = if completed == total {
@@ -613,6 +713,20 @@ fn finalize(
         }
         write_atomic(dir, "summary.txt", &text)?;
         (Some(stats), Some(table), wide_table)
+    } else if !quarantined.is_empty() {
+        let text = render_degraded_summary(campaign, done, completed);
+        write_atomic(dir, "summary.txt", &text)?;
+        if !cfg.allow_partial {
+            return Err(format!(
+                "campaign degraded: {} of {total} trials missing after {} were quarantined \
+                 (I/O retries exhausted — see quarantine.jsonl); summary.txt is marked \
+                 DEGRADED. Re-run `campaign resume`/`campaign worker` on healthy I/O to \
+                 reclaim them, or pass --allow-partial to accept partial results",
+                total - completed,
+                quarantined.len(),
+            ));
+        }
+        (None, None, None)
     } else {
         (None, None, None)
     };
@@ -624,7 +738,45 @@ fn finalize(
         stats,
         table,
         wide_table,
+        quarantined,
     })
+}
+
+/// Renders the explicitly marked partial summary a degraded campaign
+/// publishes. Deliberately a pure function of the scenario identity
+/// and the completion map — no paths, timestamps, error strings or
+/// worker ids — so a deterministic fault produces a byte-identical
+/// degraded summary on every run (the bar the chaos torture harness
+/// holds it to). The errors themselves live in `quarantine.jsonl`
+/// and the warning log.
+fn render_degraded_summary(
+    campaign: &Campaign,
+    done: &[Vec<Option<f64>>],
+    completed: usize,
+) -> String {
+    let mut text = String::new();
+    text.push_str("!! DEGRADED CAMPAIGN SUMMARY — PARTIAL RESULTS !!\n");
+    text.push_str(&format!(
+        "Campaign {} ({:?} scale): {completed}/{} trials completed.\n",
+        campaign.scenario.name,
+        campaign.scenario.scale,
+        campaign.total_trials(),
+    ));
+    text.push_str(
+        "Missing trials were quarantined after exhausting I/O retries\n\
+         (quarantine.jsonl has details). They remain reclaimable: re-run\n\
+         `campaign resume` or `campaign worker` on healthy I/O to complete\n\
+         the campaign and replace this summary with the real one.\n\n\
+         missing (cell, repeat):\n",
+    );
+    for (cell, cell_done) in done.iter().enumerate() {
+        for (rep, slot) in cell_done.iter().enumerate() {
+            if slot.is_none() {
+                text.push_str(&format!("  ({cell}, {rep})\n"));
+            }
+        }
+    }
+    text
 }
 
 /// The shared-queue run loop: worker threads acquire `(cell, repeat)`
@@ -657,19 +809,20 @@ fn run_shared(
     // [`crate::coord::append_jsonl_line`] durability protocol (heal a
     // dead writer's torn tail into its own line, single `O_APPEND`
     // write so concurrent processes interleave line-atomically,
-    // fsync).
-    let file = OpenOptions::new()
-        .create(true)
-        .append(true)
-        .read(true)
-        .open(trials_path(dir))
+    // fsync) under the retry policy. A retried short write leaves a
+    // healed garbage interior line behind — skippable by every
+    // shared-log reader, invisible in the statistics.
+    let file = io::with_retry("trials.open", || io::open_append("trials.open", &trials_path(dir)))
         .map_err(|e| format!("open {}: {e}", trials_path(dir).display()))?;
     let sink = Mutex::new(file);
     let commit = |record: &TrialRecord| -> Result<(), String> {
         let _io = frlfi_obs::timed("io");
-        let mut f = sink.lock().expect("sink lock");
-        crate::coord::append_jsonl_line(&mut f, &json::render(&record.to_value()))
-            .map_err(|e| format!("append trial record: {e}"))
+        let line = json::render(&record.to_value());
+        let mut f = lock_recover(&sink);
+        io::with_retry("trials.append", || {
+            crate::coord::append_jsonl_line("trials.append", &mut f, &line)
+        })
+        .map_err(|e| format!("append trial record: {e}"))
     };
 
     let threads = resolve_threads(cfg.threads);
@@ -680,7 +833,32 @@ fn run_shared(
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let fail = |e: String| {
         failed.store(true, Ordering::Relaxed);
-        errors.lock().expect("errors").push(e);
+        lock_recover(&errors).push(e);
+    };
+    // Trials this process gave up on: quarantined after their retry
+    // budget exhausted. Excluded from this process's pending view
+    // (other, healthier workers may still reclaim them).
+    let poisoned: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
+    let quarantine_trial = |trial: usize, e: String| {
+        let (cell, rep) = (trial / repeats, trial % repeats);
+        frlfi_obs::count("trial.quarantined", 1);
+        frlfi_obs::warn!("quarantining trial {trial} (cell {cell}, repeat {rep}): {e}");
+        if let Err(qe) = quarantine::append(
+            dir,
+            &QuarantineRecord {
+                trial,
+                cell,
+                repeat: rep,
+                worker: coord_cfg.worker_id.clone(),
+                error: e,
+                ts_ms: crate::coord::now_ms(),
+            },
+        ) {
+            frlfi_obs::warn!(
+                "{qe} (quarantine record lost; the degraded exit still reports the trial)"
+            );
+        }
+        lock_recover(&poisoned).insert(trial);
     };
 
     std::thread::scope(|scope| {
@@ -692,6 +870,8 @@ fn run_shared(
             let failed = &failed;
             let fail = &fail;
             let commit = &commit;
+            let poisoned = &poisoned;
+            let quarantine_trial = &quarantine_trial;
             scope.spawn(move || {
                 let mut obs_ctx = frlfi::nn::InferCtx::new();
                 let mut batch_ctx = frlfi::nn::BatchInferCtx::new();
@@ -706,7 +886,7 @@ fn run_shared(
                     // Incremental completion view: each poll folds only
                     // the trial-log tail appended since the last one.
                     let pending: Vec<usize> = {
-                        let mut t = tracker.lock().expect("trial tracker");
+                        let mut t = lock_recover(tracker);
                         if let Err(e) = t.refresh(campaign) {
                             fail(e);
                             break;
@@ -714,8 +894,16 @@ fn run_shared(
                         if t.completed == total {
                             break; // campaign complete
                         }
-                        (0..total).filter(|&i| !t.done[i]).collect()
+                        let poisoned = lock_recover(poisoned);
+                        (0..total).filter(|&i| !t.done[i] && !poisoned.contains(&i)).collect()
                     };
+                    if pending.is_empty() {
+                        // Every remaining trial is quarantined by this
+                        // process: no further progress is possible
+                        // here. Finalize reports the degraded outcome;
+                        // a healthier worker can still reclaim them.
+                        break;
+                    }
                     // Reserve one unit of the interrupt budget before
                     // claiming (returned if no claim lands), so a
                     // budgeted call executes exactly `max_new_trials`
@@ -754,8 +942,14 @@ fn run_shared(
                     };
                     let record = TrialRecord { cell, repeat: rep, seed, value };
                     if let Err(e) = commit(&record) {
-                        fail(e);
-                        return;
+                        // Retry budget spent: quarantine the trial and
+                        // keep draining the queue instead of dying —
+                        // the lease is released (its record is what
+                        // the trial log is missing, so another worker
+                        // reclaiming it is exactly what we want).
+                        quarantine_trial(trial, e);
+                        coordinator.complete(trial);
+                        continue;
                     }
                     coordinator.complete(trial);
                     new_trials.fetch_add(1, Ordering::Relaxed);
@@ -769,7 +963,7 @@ fn run_shared(
     drop(coordinator); // stop the heartbeat before reporting
 
     if failed.load(Ordering::Relaxed) {
-        return Err(errors.lock().expect("errors").join("; "));
+        return Err(lock_recover(&errors).join("; "));
     }
 
     // Re-read the log for the cross-process view: trials other workers
@@ -778,7 +972,15 @@ fn run_shared(
     let (records, _) = load_records(dir, LoadPolicy::Lenient)?;
     let done = fold_records(campaign, records)?;
     let completed = done.iter().flatten().filter(|v| v.is_some()).count();
-    finalize(campaign, dir, cfg, &done, completed, new_trials.load(Ordering::Relaxed))
+    let quarantined: Vec<usize> = poisoned
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        // Another worker may have committed a trial we quarantined;
+        // the completed record overrides the advisory quarantine.
+        .filter(|&t| done[t / repeats][t % repeats].is_none())
+        .collect();
+    finalize(campaign, dir, cfg, &done, completed, new_trials.load(Ordering::Relaxed), quarantined)
 }
 
 /// Atomically takes one unit of the interrupt budget; `false` means

@@ -1,0 +1,264 @@
+//! The chaos torture harness: deterministic infrastructure fault
+//! injection against the campaign stack's own persistence.
+//!
+//! The bar is the same bitwise-determinism bar every PR has pinned:
+//! for **every** I/O operation of a small shared-mode campaign, a
+//! fault injected at exactly that operation must leave the completed
+//! `summary.txt` byte-identical to the fault-free run (transient
+//! faults are retried and recovered); a *persistent* fault must
+//! degrade gracefully — deterministic quarantine, explicitly marked
+//! degraded summary, nonzero exit unless `--allow-partial` — and a
+//! later healthy run must reclaim the quarantined trials and restore
+//! the byte-identical summary.
+//!
+//! Chaos state is process-global, so every test here serializes on
+//! one lock and disarms via an RAII guard.
+//!
+//! `CHAOS_SWEEP_QUICK=1` (CI) sweeps a subset of injection points;
+//! `CHAOS_SWEEP_STRIDE=N` picks the stride explicitly.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use frlfi::Scale;
+use frlfi_campaign::io::chaos::{self, ChaosSpec};
+use frlfi_campaign::{
+    profile, quarantine, runner, CoordConfig, CoordMode, RunnerConfig, Scenario, SystemKind,
+};
+
+/// Chaos state is process-global; tests that arm it must not overlap.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Disarms on drop, so a failing assertion cannot leak an armed
+/// injector into the next test.
+struct Armed;
+
+impl Armed {
+    fn arm(spec: ChaosSpec) -> Armed {
+        chaos::arm(spec);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        chaos::disarm();
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "frlfi-chaos-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The smallest campaign that still exercises every I/O path: one
+/// cell, two repeats, shared-mode coordination.
+fn scenario() -> Scenario {
+    let mut s = Scenario::new("chaos", SystemKind::GridWorld, Scale::Smoke);
+    s.fault.bers = vec![0.1];
+    s.fault.inject_episodes = vec![40];
+    s.train.total_episodes = Some(60);
+    s.repeats = Some(2);
+    s
+}
+
+fn shared_cfg_lease(lease_ms: u64) -> RunnerConfig {
+    RunnerConfig {
+        threads: 1,
+        coord: CoordMode::Shared(CoordConfig { worker_id: "cw".into(), lease_ms, poll_ms: 20 }),
+        ..RunnerConfig::default()
+    }
+}
+
+/// Long lease + snappy poll: the heartbeat stays quiet for the
+/// sub-second runs here, keeping the operation sequence deterministic
+/// across sweep iterations.
+fn shared_cfg() -> RunnerConfig {
+    shared_cfg_lease(60_000)
+}
+
+fn summary(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("summary.txt"))
+        .unwrap_or_else(|e| panic!("summary.txt in {}: {e}", dir.display()))
+}
+
+/// Fault-free single-thread exclusive reference — the bytes every
+/// chaos configuration must converge back to.
+fn reference_summary() -> String {
+    let dir = temp_dir("ref");
+    let out =
+        runner::run(&scenario(), &dir, &RunnerConfig { threads: 1, ..RunnerConfig::default() })
+            .expect("reference run");
+    assert!(out.complete());
+    let text = summary(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+    text
+}
+
+#[test]
+fn every_swept_injection_point_preserves_summary_bytes() {
+    let _serial = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = reference_summary();
+
+    // Pass 1 — count the fault-free run's operations: a rate=0 spec
+    // injects nothing but numbers every instrumented operation.
+    let ops = {
+        let _armed = Armed::arm(ChaosSpec { seed: 0, ..ChaosSpec::default() });
+        let dir = temp_dir("count");
+        let out = runner::run(&scenario(), &dir, &shared_cfg()).expect("count run");
+        assert!(out.complete());
+        assert_eq!(summary(&dir), reference, "rate=0 chaos must be inert");
+        std::fs::remove_dir_all(&dir).ok();
+        let ops = chaos::ops();
+        assert_eq!(chaos::injected(), 0);
+        ops
+    };
+    assert!(
+        ops > 20,
+        "a shared 2-trial campaign performs dozens of instrumented I/O operations, \
+         counted {ops} — did the shim get bypassed?"
+    );
+
+    // Pass 2 — sweep the injection point across every operation
+    // index. Each injected fault is transient (a latency spike, or an
+    // error the retry policy recovers), so every run must complete
+    // with the identical summary. CI sets CHAOS_SWEEP_QUICK=1 to
+    // sample the space; the full sweep is the default.
+    let stride: u64 = match std::env::var("CHAOS_SWEEP_STRIDE") {
+        Ok(v) => v.parse().expect("CHAOS_SWEEP_STRIDE"),
+        Err(_) if std::env::var("CHAOS_SWEEP_QUICK").is_ok_and(|v| v == "1") => (ops / 12).max(1),
+        Err(_) => 1,
+    };
+    let mut swept = 0u64;
+    for k in (0..ops).step_by(stride as usize) {
+        let _armed =
+            Armed::arm(ChaosSpec { seed: k ^ 0xC4A05, op: Some(k), ..ChaosSpec::default() });
+        let dir = temp_dir("sweep");
+        let out = runner::run(&scenario(), &dir, &shared_cfg())
+            .unwrap_or_else(|e| panic!("run with fault at op {k} must recover, got: {e}"));
+        assert!(out.complete(), "fault at op {k} left the campaign incomplete");
+        assert!(out.quarantined.is_empty(), "a single transient fault must never quarantine");
+        assert_eq!(
+            summary(&dir),
+            reference,
+            "summary.txt diverged with a fault injected at op {k}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        swept += 1;
+    }
+    println!("swept {swept} of {ops} injection points (stride {stride})");
+}
+
+#[test]
+fn persistent_fault_quarantines_deterministically_and_a_healthy_resume_recovers() {
+    let _serial = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = reference_summary();
+
+    // A persistently failing trial log: every `trials.append`
+    // operation faults, retries included — the retry budget exhausts
+    // and both trials must be quarantined.
+    let poison = || ChaosSpec {
+        seed: 7,
+        tag: Some("trials.append".into()),
+        persist: true,
+        ..ChaosSpec::default()
+    };
+    // A short lease, so the healthy resume below reaps the poisoned
+    // run's abandoned claims instead of waiting them out.
+    let run_poisoned = |dir: &Path, allow_partial: bool| {
+        let _armed = Armed::arm(poison());
+        let cfg = RunnerConfig { allow_partial, ..shared_cfg_lease(300) };
+        runner::run(&scenario(), dir, &cfg)
+    };
+
+    let dir_a = temp_dir("poison-a");
+    let err = run_poisoned(&dir_a, false).expect_err("exhausted retries must fail the run");
+    assert!(err.contains("quarantined"), "{err}");
+    assert!(err.contains("--allow-partial"), "{err}");
+    let records = quarantine::load(&dir_a).expect("quarantine log");
+    assert_eq!(records.len(), 2, "both trials must be quarantined: {records:?}");
+    assert!(records[0].error.contains("chaos"), "{}", records[0].error);
+    let degraded = summary(&dir_a);
+    assert!(degraded.contains("DEGRADED"), "{degraded}");
+    assert!(degraded.contains("0/2 trials completed"), "{degraded}");
+    assert!(degraded.contains("(0, 0)") && degraded.contains("(0, 1)"), "{degraded}");
+
+    // Deterministic degradation: the same fault in a fresh directory
+    // produces a byte-identical degraded summary.
+    let dir_b = temp_dir("poison-b");
+    run_poisoned(&dir_b, false).expect_err("same fault, same failure");
+    assert_eq!(summary(&dir_b), degraded, "degraded summaries must be deterministic");
+
+    // --allow-partial accepts the same degraded outcome as success.
+    let dir_c = temp_dir("poison-c");
+    let out = run_poisoned(&dir_c, true).expect("--allow-partial accepts a degraded outcome");
+    assert_eq!(out.quarantined, vec![0, 1]);
+    assert!(!out.complete());
+    assert_eq!(summary(&dir_c), degraded);
+
+    // Graceful degradation is not the end state: a healthy run over
+    // the same directory reclaims the quarantined trials
+    // (bitwise-identically) and replaces the degraded summary with
+    // the real one.
+    let healed = runner::run(&scenario(), &dir_a, &shared_cfg_lease(300)).expect("healthy resume");
+    assert!(healed.complete());
+    assert_eq!(healed.new_trials, 2, "both quarantined trials re-run");
+    assert_eq!(summary(&dir_a), reference, "recovery must restore the byte-identical summary");
+
+    for dir in [dir_a, dir_b, dir_c] {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn transient_faults_recover_via_retry_and_surface_in_the_profile() {
+    let _serial = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = reference_summary();
+
+    // Every third `trials.append` operation faults: each commit's
+    // first write attempt fails and its retry lands — the
+    // transient-then-recover shape — while the obs recorder is on so
+    // the retry counters reach the profile.
+    let dir = temp_dir("retry");
+    {
+        let _armed = Armed::arm(ChaosSpec {
+            seed: 11,
+            tag: Some("trials.append".into()),
+            every: 3,
+            ..ChaosSpec::default()
+        });
+        let out = runner::run(&scenario(), &dir, &RunnerConfig { obs: true, ..shared_cfg() })
+            .expect("retries must absorb periodic transients");
+        assert!(out.complete());
+        assert!(out.quarantined.is_empty());
+        assert!(chaos::injected() > 0, "the periodic fault must actually have fired");
+    }
+    assert_eq!(summary(&dir), reference, "retried commits must not change a byte");
+
+    // `campaign profile` surfaces what the run endured: injected
+    // faults and recovered retries, counted per worker.
+    let p = profile::load_dir(&dir, profile::CheckMode::Lenient).expect("profile");
+    let count = |name: &str| -> u64 {
+        p.workers.iter().map(|w| w.counters.get(name).copied().unwrap_or(0)).sum()
+    };
+    assert!(count("io.retry") > 0, "io.retry must surface in the profile");
+    assert!(count("io.retry.recovered") > 0, "recoveries must surface in the profile");
+    assert_eq!(count("io.retry.exhausted"), 0, "nothing should have exhausted");
+    assert!(
+        count("chaos.inject.eio")
+            + count("chaos.inject.short_write")
+            + count("chaos.inject.fsync")
+            + count("chaos.inject.latency")
+            > 0,
+        "injections must be counted"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -420,3 +420,111 @@ fn shared_mode_rejects_the_wide_summary_flag() {
     assert!(err.contains("--wide"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Distinct trial ids mentioned anywhere in `claims.jsonl` — claimed,
+/// renewed or reaped.
+fn claimed_trials(dir: &Path) -> usize {
+    let text = std::fs::read_to_string(dir.join("claims.jsonl")).unwrap_or_default();
+    let mut trials: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.split_once("\"trial\":")?.1.split(|c: char| !c.is_ascii_digit()).next())
+        .collect();
+    trials.sort_unstable();
+    trials.dedup();
+    trials.len()
+}
+
+#[test]
+fn stalled_heartbeat_is_reaped_and_the_thawed_worker_changes_nothing() {
+    let reference = reference_summary("mpstall");
+    let spec = write_spec("mpstall");
+    let dir = temp_dir("mpstall");
+    let dir_s = dir.to_str().expect("utf8");
+
+    // The victim opens the campaign with a short lease and is
+    // SIGSTOPped once it holds a lease on a trial it has not yet
+    // committed: the process is alive but every thread — heartbeat
+    // included — is frozen. From the claim log this is exactly what a
+    // dead heartbeat thread looks like: a claim that stops renewing
+    // while its worker silently stalls.
+    let victim = spawn_cli(&[
+        "run",
+        spec.to_str().expect("utf8"),
+        "--out",
+        dir_s,
+        "--shared",
+        "--threads",
+        "1",
+        "--lease-ms",
+        "600",
+        "--worker-id",
+        "victim",
+    ]);
+    wait_for("a committed trial plus an in-flight lease", Duration::from_secs(60), || {
+        let committed = std::fs::read_to_string(dir.join("trials.jsonl"))
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        committed >= 1 && claimed_trials(&dir) > committed
+    });
+    let pid = victim.id().to_string();
+    let stopped = Command::new("kill").args(["-STOP", &pid]).status().expect("send SIGSTOP");
+    assert!(stopped.success(), "SIGSTOP victim");
+
+    // A healthy worker must wait out the stalled lease, reap it at
+    // generation g+1, re-run the victim's in-flight trial and finish
+    // the campaign.
+    let a =
+        spawn_cli(&["worker", dir_s, "--lease-ms", "600", "--threads", "1", "--worker-id", "a"]);
+    let out_a = wait_output(a, "worker a");
+    assert!(new_trials(&out_a) > 0, "the survivor must have picked up work:\n{out_a}");
+    assert_eq!(summary(&dir), reference, "reaping a stalled worker must not change a byte");
+    let claims = std::fs::read_to_string(dir.join("claims.jsonl")).expect("claims.jsonl");
+    assert!(
+        claims.contains("\"gen\":1"),
+        "the stalled lease must be reaped at the next generation: {claims}"
+    );
+
+    // Thaw the victim: it wakes mid-trial with the campaign already
+    // complete, commits its trial anyway — a duplicate record, which
+    // must be bitwise-identical and therefore harmless — and exits
+    // cleanly. The summary stays byte-identical through the overlap.
+    let thawed = Command::new("kill").args(["-CONT", &pid]).status().expect("send SIGCONT");
+    assert!(thawed.success(), "SIGCONT victim");
+    wait_output(victim, "thawed victim");
+    assert_eq!(summary(&dir), reference, "the thawed victim must not change a byte either");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn pathological_lease_settings_are_rejected_before_any_disk_writes() {
+    let spec = write_spec("lease");
+    let dir = temp_dir("lease");
+    let dir_s = dir.to_str().expect("utf8");
+
+    // Below the minimum, the heartbeat cadence cannot keep the lease
+    // alive: the worker would reap itself. The CLI rejects the flag
+    // with the typed config error before touching the directory.
+    for lease in ["50", "0"] {
+        let (ok, err) = run_cli(&[
+            "run",
+            spec.to_str().expect("utf8"),
+            "--out",
+            dir_s,
+            "--shared",
+            "--lease-ms",
+            lease,
+        ]);
+        assert!(!ok, "--lease-ms {lease} must be rejected");
+        assert!(err.contains("--lease-ms"), "{err}");
+        assert!(err.contains("below the minimum"), "{err}");
+    }
+    assert!(!dir.exists(), "validation must fire before any disk writes");
+
+    let (ok, err) = run_cli(&["worker", dir_s, "--lease-ms", "100"]);
+    assert!(!ok, "the worker path must validate too");
+    assert!(err.contains("below the minimum"), "{err}");
+
+    std::fs::remove_file(&spec).ok();
+}
