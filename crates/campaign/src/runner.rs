@@ -61,16 +61,15 @@ pub struct RunnerConfig {
     /// Stop after this many *new* trials (used to exercise the
     /// interrupt/resume path; `None` = run to completion).
     pub max_new_trials: Option<usize>,
-    /// Batched evaluation mode: workers claim `(cell, repeat)` trials
-    /// exactly as in per-observation mode, but each trial runs through
-    /// [`crate::Campaign::run_trials_batched`], where its post-training
-    /// evaluation executes its episodes in lock-step on the
-    /// [`frlfi::nn::BatchInferCtx`] fast path (the batch axis is a
-    /// trial's concurrent eval episodes — training remains sequential
-    /// per repeat). Trial values, the persisted log and the final
-    /// statistics are bit-identical to the per-observation mode — only
-    /// throughput changes, so the two modes mix freely across resume
-    /// sessions.
+    /// Batched mode: workers claim `(cell, repeat)` trials exactly as
+    /// in per-observation mode, but each trial runs through
+    /// [`crate::Campaign::run_trials_batched`] — training routes its
+    /// forwards/backwards through the [`frlfi::nn::BatchInferCtx`]
+    /// cached-activation arena kernels, and the post-training
+    /// evaluation executes its episodes in lock-step on the same
+    /// arena. Trial values, the persisted log and the final statistics
+    /// are bit-identical to the per-observation mode — only throughput
+    /// changes, so the two modes mix freely across resume sessions.
     pub batched: bool,
     /// Append the wide per-cell statistics table (mean / min / max /
     /// 95% CI half-width over repeats) to `summary.txt` after the
@@ -158,14 +157,24 @@ impl TrialRecord {
                 .and_then(Value::as_int)
                 .ok_or_else(|| format!("trial record missing integer `{k}`"))
         };
+        // `cell` / `repeat` are indices: a negative value in a corrupt
+        // log must be rejected here, not wrapped by an `as usize` cast
+        // into a huge index that [`record_flat_index`] then blames on
+        // the wrong campaign. (`seed` legitimately round-trips through
+        // i64: u64 seeds above i64::MAX serialize negative.)
+        let get_index = |k: &str| -> Result<usize, String> {
+            let i = get_int(k)?;
+            usize::try_from(i)
+                .map_err(|_| format!("trial record `{k}` = {i} is negative — corrupt record"))
+        };
         let value = match v.get("value") {
             Some(Value::Float(f)) => *f,
             Some(Value::Int(i)) => *i as f64,
             _ => return Err("trial record missing number `value`".into()),
         };
         Ok(TrialRecord {
-            cell: get_int("cell")? as usize,
-            repeat: get_int("repeat")? as usize,
+            cell: get_index("cell")?,
+            repeat: get_index("repeat")?,
             seed: get_int("seed")? as u64,
             value,
         })
@@ -624,8 +633,18 @@ fn run_exclusive(
                                 let _trial = frlfi_obs::span_trial("trial", flat);
                                 campaign.run_trials_batched(cell, &[seed], &mut ctx)
                             };
-                            if let Err(e) = commit(cell, rep, seed, values[0]) {
-                                quarantine_trial(cell, rep, e);
+                            // A failed trial (e.g. a mis-shaped
+                            // observation reaching the policy network)
+                            // is quarantined like an I/O-poisoned one:
+                            // durably recorded, excluded from this
+                            // run's progress, queue keeps draining.
+                            match values {
+                                Ok(values) => {
+                                    if let Err(e) = commit(cell, rep, seed, values[0]) {
+                                        quarantine_trial(cell, rep, e);
+                                    }
+                                }
+                                Err(e) => quarantine_trial(cell, rep, format!("trial failed: {e}")),
                             }
                         }
                     });
@@ -647,8 +666,13 @@ fn run_exclusive(
                                 let _trial = frlfi_obs::span_trial("trial", flat);
                                 campaign.run_trial_ctx(cell, seed, &mut ctx)
                             };
-                            if let Err(e) = commit(cell, rep, seed, value) {
-                                quarantine_trial(cell, rep, e);
+                            match value {
+                                Ok(value) => {
+                                    if let Err(e) = commit(cell, rep, seed, value) {
+                                        quarantine_trial(cell, rep, e);
+                                    }
+                                }
+                                Err(e) => quarantine_trial(cell, rep, format!("trial failed: {e}")),
                             }
                         }
                     });
@@ -935,9 +959,21 @@ fn run_shared(
                     let value = {
                         let _trial = frlfi_obs::span_trial("trial", trial as u64);
                         if cfg.batched {
-                            campaign.run_trials_batched(cell, &[seed], &mut batch_ctx)[0]
+                            campaign.run_trials_batched(cell, &[seed], &mut batch_ctx).map(|v| v[0])
                         } else {
                             campaign.run_trial_ctx(cell, seed, &mut obs_ctx)
+                        }
+                    };
+                    let value = match value {
+                        Ok(v) => v,
+                        Err(e) => {
+                            // Deterministic trial failure: quarantine
+                            // and release the lease. This process skips
+                            // the trial from now on; a worker running a
+                            // fixed build may still reclaim it.
+                            quarantine_trial(trial, format!("trial failed: {e}"));
+                            coordinator.complete(trial);
+                            continue;
                         }
                     };
                     let record = TrialRecord { cell, repeat: rep, seed, value };

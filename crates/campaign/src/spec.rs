@@ -655,10 +655,16 @@ impl Campaign {
 
     /// Evaluates one trial: pure in `(cell, seed)`.
     ///
+    /// # Errors
+    ///
+    /// Returns an error when the trial fails mid-run (e.g. a mis-shaped
+    /// observation reaching a policy network); the runner quarantines
+    /// such trials instead of crashing a worker.
+    ///
     /// # Panics
     ///
     /// Panics if `cell` is out of range.
-    pub fn run_trial(&self, cell: usize, seed: u64) -> f64 {
+    pub fn run_trial(&self, cell: usize, seed: u64) -> Result<f64, frlfi::FrlfiError> {
         self.run_trial_ctx(cell, seed, &mut frlfi::nn::InferCtx::new())
     }
 
@@ -667,10 +673,19 @@ impl Campaign {
     /// it across every trial that worker evaluates; trial values are
     /// unaffected (the fast path is bit-identical to the slow one).
     ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::run_trial`].
+    ///
     /// # Panics
     ///
     /// Panics if `cell` is out of range.
-    pub fn run_trial_ctx(&self, cell: usize, seed: u64, ctx: &mut frlfi::nn::InferCtx) -> f64 {
+    pub fn run_trial_ctx(
+        &self,
+        cell: usize,
+        seed: u64,
+        ctx: &mut frlfi::nn::InferCtx,
+    ) -> Result<f64, frlfi::FrlfiError> {
         match &self.trials {
             Trials::Grid(t) => frlfi::experiments::harness::run_grid_trial_ctx(&t[cell], seed, ctx),
             Trials::Drone(t) => {
@@ -679,12 +694,17 @@ impl Campaign {
         }
     }
 
-    /// Evaluates one cell's shard of repeats on the **batched**
-    /// inference fast path: each trial's post-training evaluation runs
-    /// its episodes in lock-step through one shared
-    /// [`frlfi::nn::BatchInferCtx`] arena, and values come back in
-    /// `seeds` order, bit-identical to [`Campaign::run_trial_ctx`] per
-    /// `(cell, seed)`. This is the batched runner mode's work unit.
+    /// Evaluates one cell's shard of repeats on the **batched** fast
+    /// paths: each trial trains through the cached-activation arena
+    /// kernels and runs its post-training evaluation in lock-step
+    /// through one shared [`frlfi::nn::BatchInferCtx`], and values come
+    /// back in `seeds` order, bit-identical to
+    /// [`Campaign::run_trial_ctx`] per `(cell, seed)`. This is the
+    /// batched runner mode's work unit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::run_trial`].
     ///
     /// # Panics
     ///
@@ -694,7 +714,7 @@ impl Campaign {
         cell: usize,
         seeds: &[u64],
         ctx: &mut frlfi::nn::BatchInferCtx,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, frlfi::FrlfiError> {
         match &self.trials {
             Trials::Grid(t) => {
                 frlfi::experiments::harness::run_grid_trials_batched(&t[cell], seeds, ctx)

@@ -402,6 +402,59 @@ fn shared_mode_skips_corrupt_interior_records_and_reruns_them() {
 }
 
 #[test]
+fn negative_trial_indices_are_rejected_as_corrupt_records() {
+    // `cell` / `repeat` are array indices; before the range check an
+    // unchecked `as usize` cast wrapped a negative value from a corrupt
+    // `trials.jsonl` into a huge index and panicked (or worse, aliased
+    // another cell) deep inside the runner. The loader must instead
+    // reject the record like any other corrupt line, naming file+line.
+    let mut scenario = scenario("neg-index");
+    scenario.fault.bers = vec![0.1];
+    scenario.repeats = Some(2);
+    let dir = temp_dir("neg-index");
+    runner::run(&scenario, &dir, &RunnerConfig { threads: 1, ..RunnerConfig::default() })
+        .expect("first pass");
+    let log = dir.join("trials.jsonl");
+    let pristine = std::fs::read_to_string(&log).expect("log");
+    assert_eq!(pristine.lines().count(), 2);
+
+    for field in ["cell", "repeat"] {
+        // Interior corruption (line 1 of 2): strict exclusive resume
+        // must refuse, naming the file, the line, and the field.
+        let mut lines: Vec<String> = pristine.lines().map(String::from).collect();
+        assert!(lines[0].contains(&format!("\"{field}\":0")), "fixture drifted: {}", lines[0]);
+        lines[0] = lines[0].replace(&format!("\"{field}\":0"), &format!("\"{field}\":-3"));
+        std::fs::write(&log, lines.join("\n") + "\n").expect("mangle");
+        let err =
+            runner::run(&scenario, &dir, &RunnerConfig::default()).expect_err("strict refuses");
+        assert!(err.contains("trials.jsonl"), "error must name the file: {err}");
+        assert!(err.contains("line 1"), "error must name the line: {err}");
+        assert!(err.contains(field) && err.contains("-3"), "error must name the field: {err}");
+
+        // A shared-queue worker treats it like any other corrupt line:
+        // skip with a warning, re-run the lost trial, same summary.
+        let out = runner::run(
+            &scenario,
+            &dir,
+            &RunnerConfig {
+                coord: CoordMode::Shared(CoordConfig::default()),
+                ..RunnerConfig::default()
+            },
+        )
+        .expect("lenient shared resume");
+        assert!(out.complete());
+        assert_eq!(out.new_trials, 1, "exactly the corrupt trial re-runs");
+
+        // Reset to a pristine exclusive-history directory for the next
+        // field (shared history would make later resumes lenient).
+        std::fs::remove_dir_all(&dir).ok();
+        runner::run(&scenario, &dir, &RunnerConfig { threads: 1, ..RunnerConfig::default() })
+            .expect("fresh pass");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn shared_mode_rejects_the_wide_summary_flag() {
     // With several finalizer processes carrying different flags, a
     // per-call rendering option would make summary.txt depend on

@@ -7,7 +7,7 @@ use frlfi_fault::{inject_slice_ber, Ber, FaultModel, FaultRecord, FaultSide};
 use frlfi_federated::{RoundHook, Server};
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
 use frlfi_nn::{BatchInferCtx, InferCtx};
-use frlfi_rl::{run_episode, run_greedy_episodes_batch, Learner, Reinforce};
+use frlfi_rl::{run_episode, run_episode_batched, run_greedy_episodes_batch, Learner, Reinforce};
 use frlfi_tensor::derive_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -196,8 +196,11 @@ impl DroneFrlSystem {
             derive_seed(self.cfg.seed, 0x0FF),
         );
         let mut rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0x0FF + 1));
+        // Pre-training stays on the sequential reference path in every
+        // mode: campaigns share one pretrained weight vector across
+        // cells, and a single code path keeps it trivially identical.
         for _ in 0..self.cfg.pretrain_episodes {
-            run_episode(&mut env, &mut learner, &mut rng);
+            run_episode(&mut env, &mut learner, &mut rng)?;
         }
         let weights = learner.network().snapshot();
         for d in &mut self.drones {
@@ -240,6 +243,36 @@ impl DroneFrlSystem {
         plan: Option<&InjectionPlan>,
         mitigation: Option<&TrainingMitigation>,
     ) -> Result<(), FrlfiError> {
+        self.fine_tune_impl(episodes, plan, mitigation, None)
+    }
+
+    /// [`DroneFrlSystem::fine_tune`] on the **batched-training** fast
+    /// path: every drone's per-episode REINFORCE update runs as one
+    /// batched forward/backward over the episode's kept steps through
+    /// `ctx`'s cached-activation arena ([`frlfi_rl::run_episode_batched`]).
+    /// Actions, RNG streams, episode boundaries and the fine-tuned
+    /// weights are **bit-identical** to [`DroneFrlSystem::fine_tune`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, aggregation or restore failures.
+    pub fn fine_tune_batched(
+        &mut self,
+        episodes: usize,
+        plan: Option<&InjectionPlan>,
+        mitigation: Option<&TrainingMitigation>,
+        ctx: &mut BatchInferCtx,
+    ) -> Result<(), FrlfiError> {
+        self.fine_tune_impl(episodes, plan, mitigation, Some(ctx))
+    }
+
+    fn fine_tune_impl(
+        &mut self,
+        episodes: usize,
+        plan: Option<&InjectionPlan>,
+        mitigation: Option<&TrainingMitigation>,
+        mut batch_ctx: Option<&mut BatchInferCtx>,
+    ) -> Result<(), FrlfiError> {
         let mut detector = mitigation
             .map(|m| RewardDropDetector::new(m.p_percent, m.k_consecutive, self.cfg.n_drones));
         let mut checkpoint = mitigation.map(|m| ServerCheckpoint::new(m.checkpoint_interval));
@@ -252,8 +285,12 @@ impl DroneFrlSystem {
             let mut rewards = Vec::with_capacity(self.cfg.n_drones);
             for i in 0..self.cfg.n_drones {
                 self.drones[i].set_episode(global_ep);
-                let summary =
-                    run_episode(&mut self.envs[i], &mut self.drones[i], &mut self.drone_rngs[i]);
+                let (env, drone, rng) =
+                    (&mut self.envs[i], &mut self.drones[i], &mut self.drone_rngs[i]);
+                let summary = match batch_ctx.as_deref_mut() {
+                    Some(ctx) => run_episode_batched(env, drone, rng, ctx)?,
+                    None => run_episode(env, drone, rng)?,
+                };
                 rewards.push(summary.total_reward);
             }
 
@@ -407,7 +444,9 @@ impl DroneFrlSystem {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x1);
                 let mut state = env.reset(&mut rng);
                 loop {
-                    let action = self.drones[i].act_greedy_ctx(&state, ctx);
+                    let action = self.drones[i]
+                        .act_greedy_ctx(&state, ctx)
+                        .expect("drone policy and observation shapes are fixed at construction");
                     let step = env.step(action, &mut rng);
                     state = step.state;
                     if step.outcome.is_terminal() {
@@ -452,7 +491,8 @@ impl DroneFrlSystem {
                 seeds.iter().map(|&s| DroneSim::new(self.cfg.sim, s)).collect();
             let mut rngs: Vec<StdRng> =
                 seeds.iter().map(|&s| StdRng::seed_from_u64(s ^ 0x1)).collect();
-            run_greedy_episodes_batch(&mut self.drones[i], &mut envs, &mut rngs, ctx);
+            run_greedy_episodes_batch(&mut self.drones[i], &mut envs, &mut rngs, ctx)
+                .expect("drone policy and observation shapes are fixed at construction");
             // Sum in the exact (drone, attempt) order of the sequential
             // path so the mean folds identically.
             for env in &envs {
@@ -591,6 +631,25 @@ mod tests {
             let bat = s.safe_flight_distance_batched(attempts, &mut BatchInferCtx::new());
             assert_eq!(bat.to_bits(), seq.to_bits(), "attempts {attempts}");
         }
+    }
+
+    #[test]
+    fn batched_fine_tuning_matches_sequential_weights() {
+        let run = |batched: bool| {
+            let mut s = DroneFrlSystem::new(tiny_cfg(2)).unwrap();
+            s.pretrain().unwrap();
+            if batched {
+                s.fine_tune_batched(4, None, None, &mut BatchInferCtx::new()).unwrap();
+            } else {
+                s.fine_tune(4, None, None).unwrap();
+            }
+            s.drone(0).network().snapshot()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "fine-tuned weights must be bit-identical across training paths"
+        );
     }
 
     #[test]

@@ -10,6 +10,8 @@ pub enum FrlfiError {
     Federated(frlfi_federated::FederatedError),
     /// A fault-model parameter was invalid.
     Fault(frlfi_fault::FaultError),
+    /// A reinforcement-learning operation failed.
+    Rl(frlfi_rl::RlError),
     /// A system was configured inconsistently.
     BadConfig {
         /// Human-readable description.
@@ -23,6 +25,7 @@ impl fmt::Display for FrlfiError {
             FrlfiError::Nn(e) => write!(f, "network error: {e}"),
             FrlfiError::Federated(e) => write!(f, "federated error: {e}"),
             FrlfiError::Fault(e) => write!(f, "fault-model error: {e}"),
+            FrlfiError::Rl(e) => write!(f, "rl error: {e}"),
             FrlfiError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
         }
     }
@@ -34,6 +37,7 @@ impl Error for FrlfiError {
             FrlfiError::Nn(e) => Some(e),
             FrlfiError::Federated(e) => Some(e),
             FrlfiError::Fault(e) => Some(e),
+            FrlfiError::Rl(e) => Some(e),
             FrlfiError::BadConfig { .. } => None,
         }
     }
@@ -54,5 +58,11 @@ impl From<frlfi_federated::FederatedError> for FrlfiError {
 impl From<frlfi_fault::FaultError> for FrlfiError {
     fn from(e: frlfi_fault::FaultError) -> Self {
         FrlfiError::Fault(e)
+    }
+}
+
+impl From<frlfi_rl::RlError> for FrlfiError {
+    fn from(e: frlfi_rl::RlError) -> Self {
+        FrlfiError::Rl(e)
     }
 }

@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use crate::error::FrlfiError;
 use crate::experiments::{ber_label, SYSTEM_SEED};
 use crate::report::Table;
 use crate::{
@@ -289,6 +290,7 @@ impl GridTrial {
 /// when specs are built).
 pub fn run_grid_trial(t: &GridTrial, seed: u64) -> f64 {
     run_grid_trial_ctx(t, seed, &mut InferCtx::new())
+        .expect("figure-driver grid trials are validated at construction")
 }
 
 /// [`run_grid_trial`] with an external inference scratch context: the
@@ -296,51 +298,59 @@ pub fn run_grid_trial(t: &GridTrial, seed: u64) -> f64 {
 /// and runs greedy episodes on the zero-allocation fast path. Campaign
 /// workers reuse one context across all their trials.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on invalid trial configuration.
-pub fn run_grid_trial_ctx(t: &GridTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
-    let mut sys = grid_trial_system(t, seed);
+/// Returns an error on an invalid trial configuration or a training
+/// failure (e.g. a mis-shaped observation), so a campaign can
+/// quarantine the trial instead of panicking in a worker.
+pub fn run_grid_trial_ctx(t: &GridTrial, seed: u64, ctx: &mut InferCtx) -> Result<f64, FrlfiError> {
+    let mut sys = grid_trial_system(t, seed, None)?;
     let _eval = frlfi_obs::span("eval");
-    match t.metric {
+    Ok(match t.metric {
         GridMetric::SuccessRatePct => sys.success_rate_ctx(ctx) * 100.0,
         GridMetric::EpisodesToConverge { threshold, check_every, max_extra } => {
-            let extra = sys
-                .episodes_to_converge_ctx(threshold, check_every, max_extra, ctx)
-                .expect("training");
+            let extra = sys.episodes_to_converge_ctx(threshold, check_every, max_extra, ctx)?;
             converge_metric(t, extra, max_extra)
         }
-    }
+    })
 }
 
-/// [`run_grid_trial`] with the post-training evaluation on the
-/// **batched** inference fast path
-/// ([`GridFrlSystem::success_rate_batched`]): agents holding identical
-/// post-consensus parameters evaluate their environments in lock-step
-/// through shared batched forwards. Trial values are bit-identical to
-/// [`run_grid_trial_ctx`].
+/// [`run_grid_trial`] with **both phases** on the batched fast paths:
+/// training runs through the cached-activation arena kernels
+/// ([`GridFrlSystem::train_batched`]) and the post-training evaluation
+/// through lock-step batched forwards
+/// ([`GridFrlSystem::success_rate_batched`]). Both are bit-identical to
+/// their sequential counterparts, so trial values match
+/// [`run_grid_trial_ctx`] bit for bit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on invalid trial configuration.
-pub fn run_grid_trial_batched(t: &GridTrial, seed: u64, ctx: &mut BatchInferCtx) -> f64 {
-    let mut sys = grid_trial_system(t, seed);
+/// As for [`run_grid_trial_ctx`].
+pub fn run_grid_trial_batched(
+    t: &GridTrial,
+    seed: u64,
+    ctx: &mut BatchInferCtx,
+) -> Result<f64, FrlfiError> {
+    let mut sys = grid_trial_system(t, seed, Some(ctx))?;
     let _eval = frlfi_obs::span("eval");
-    match t.metric {
+    Ok(match t.metric {
         GridMetric::SuccessRatePct => sys.success_rate_batched(ctx) * 100.0,
         GridMetric::EpisodesToConverge { threshold, check_every, max_extra } => {
-            let extra = sys
-                .episodes_to_converge_batched(threshold, check_every, max_extra, ctx)
-                .expect("training");
+            let extra = sys.episodes_to_converge_batched(threshold, check_every, max_extra, ctx)?;
             converge_metric(t, extra, max_extra)
         }
-    }
+    })
 }
 
 /// Builds, fault-injects and trains the system of one GridWorld trial,
 /// ready for greedy evaluation — shared by the per-observation and
 /// batched paths so the trial setup can never drift between modes.
-fn grid_trial_system(t: &GridTrial, seed: u64) -> GridFrlSystem {
+/// `batch_ctx` selects the training path (bit-identical either way).
+fn grid_trial_system(
+    t: &GridTrial,
+    seed: u64,
+    batch_ctx: Option<&mut BatchInferCtx>,
+) -> Result<GridFrlSystem, FrlfiError> {
     // Observability only — the span reads the clock around training,
     // it cannot affect any trained value.
     let _train = frlfi_obs::span("train");
@@ -352,12 +362,17 @@ fn grid_trial_system(t: &GridTrial, seed: u64) -> GridFrlSystem {
         dropout: t.dropout,
         ..Default::default()
     };
-    let mut sys = GridFrlSystem::new(cfg).expect("valid trial config");
+    let mut sys = GridFrlSystem::new(cfg)?;
     sys.reseed_faults(seed);
     let plan = t.fault.as_ref().and_then(TrialFault::plan);
-    sys.train(t.total_episodes, plan.as_ref(), t.mitigation.as_ref()).expect("training");
+    match batch_ctx {
+        Some(ctx) => {
+            sys.train_batched(t.total_episodes, plan.as_ref(), t.mitigation.as_ref(), ctx)?;
+        }
+        None => sys.train(t.total_episodes, plan.as_ref(), t.mitigation.as_ref())?,
+    }
     sys.eval_mode();
-    sys
+    Ok(sys)
 }
 
 /// Folds an episodes-to-converge result into the reported metric.
@@ -373,7 +388,16 @@ fn converge_metric(t: &GridTrial, extra: Option<usize>, max_extra: usize) -> f64
 /// all sharing `ctx`'s arena. This is the campaign runner's
 /// batched-mode work unit; values are returned in seed order and are
 /// bit-identical to evaluating each `(trial, seed)` alone.
-pub fn run_grid_trials_batched(t: &GridTrial, seeds: &[u64], ctx: &mut BatchInferCtx) -> Vec<f64> {
+///
+/// # Errors
+///
+/// As for [`run_grid_trial_ctx`]; repeats before the failing one are
+/// discarded with the trial.
+pub fn run_grid_trials_batched(
+    t: &GridTrial,
+    seeds: &[u64],
+    ctx: &mut BatchInferCtx,
+) -> Result<Vec<f64>, FrlfiError> {
     seeds.iter().map(|&s| run_grid_trial_batched(t, s, ctx)).collect()
 }
 
@@ -511,41 +535,57 @@ impl DroneTrial {
 /// Panics on invalid trial configuration.
 pub fn run_drone_trial(t: &DroneTrial, seed: u64) -> f64 {
     run_drone_trial_ctx(t, seed, &mut InferCtx::new())
+        .expect("figure-driver drone trials are validated at construction")
 }
 
 /// [`run_drone_trial`] with an external inference scratch context (see
 /// [`run_grid_trial_ctx`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on invalid trial configuration.
-pub fn run_drone_trial_ctx(t: &DroneTrial, seed: u64, ctx: &mut InferCtx) -> f64 {
-    let mut sys = drone_trial_system(t, seed);
+/// As for [`run_grid_trial_ctx`].
+pub fn run_drone_trial_ctx(
+    t: &DroneTrial,
+    seed: u64,
+    ctx: &mut InferCtx,
+) -> Result<f64, FrlfiError> {
+    let mut sys = drone_trial_system(t, seed, None)?;
     let _eval = frlfi_obs::span("eval");
-    sys.safe_flight_distance_ctx(t.eval_attempts, ctx)
+    Ok(sys.safe_flight_distance_ctx(t.eval_attempts, ctx))
 }
 
-/// [`run_drone_trial`] with the flight-distance evaluation on the
-/// **batched** inference fast path
-/// ([`DroneFrlSystem::safe_flight_distance_batched`]): each drone's
-/// evaluation corridors run in lock-step, one batched conv-policy
-/// forward per step. Trial values are bit-identical to
-/// [`run_drone_trial_ctx`].
+/// [`run_drone_trial`] with **both phases** on the batched fast paths:
+/// fine-tuning runs each episode's REINFORCE update as one batched
+/// forward/backward ([`DroneFrlSystem::fine_tune_batched`]) and the
+/// flight-distance evaluation runs corridors in lock-step
+/// ([`DroneFrlSystem::safe_flight_distance_batched`]). Both are
+/// bit-identical to their sequential counterparts, so trial values
+/// match [`run_drone_trial_ctx`] bit for bit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on invalid trial configuration.
-pub fn run_drone_trial_batched(t: &DroneTrial, seed: u64, ctx: &mut BatchInferCtx) -> f64 {
-    let mut sys = drone_trial_system(t, seed);
+/// As for [`run_grid_trial_ctx`].
+pub fn run_drone_trial_batched(
+    t: &DroneTrial,
+    seed: u64,
+    ctx: &mut BatchInferCtx,
+) -> Result<f64, FrlfiError> {
+    let mut sys = drone_trial_system(t, seed, Some(ctx))?;
     let _eval = frlfi_obs::span("eval");
-    sys.safe_flight_distance_batched(t.eval_attempts, ctx)
+    Ok(sys.safe_flight_distance_batched(t.eval_attempts, ctx))
 }
 
 /// Builds, fault-injects and fine-tunes the system of one DroneNav
 /// trial, ready for flight-distance evaluation — shared by the
 /// per-observation and batched paths so the trial setup can never
-/// drift between modes.
-fn drone_trial_system(t: &DroneTrial, seed: u64) -> DroneFrlSystem {
+/// drift between modes. `batch_ctx` selects the fine-tuning path
+/// (bit-identical either way); the shared offline pre-training behind
+/// [`PretrainedWeights`] always runs sequentially.
+fn drone_trial_system(
+    t: &DroneTrial,
+    seed: u64,
+    batch_ctx: Option<&mut BatchInferCtx>,
+) -> Result<DroneFrlSystem, FrlfiError> {
     // Observability only — the span reads the clock around
     // fine-tuning, it cannot affect any trained value.
     let _train = frlfi_obs::span("train");
@@ -562,23 +602,31 @@ fn drone_trial_system(t: &DroneTrial, seed: u64) -> DroneFrlSystem {
         sim: frlfi_envs::DroneConfig { dynamic: t.motion, ..Default::default() },
         dropout: t.dropout,
         ..Default::default()
-    })
-    .expect("valid trial config");
-    sys.set_fleet_weights(t.weights.get()).expect("weights fit");
+    })?;
+    sys.set_fleet_weights(t.weights.get())?;
     sys.reseed_faults(seed);
     let plan = t.fault.as_ref().and_then(TrialFault::plan);
-    sys.fine_tune(t.fine_tune_episodes, plan.as_ref(), t.mitigation.as_ref()).expect("fine-tune");
+    match batch_ctx {
+        Some(ctx) => {
+            sys.fine_tune_batched(t.fine_tune_episodes, plan.as_ref(), t.mitigation.as_ref(), ctx)?;
+        }
+        None => sys.fine_tune(t.fine_tune_episodes, plan.as_ref(), t.mitigation.as_ref())?,
+    }
     sys.eval_mode();
-    sys
+    Ok(sys)
 }
 
 /// Evaluates one cell's shard of repeats on the batched path (see
 /// [`run_grid_trials_batched`]).
+///
+/// # Errors
+///
+/// As for [`run_grid_trial_ctx`].
 pub fn run_drone_trials_batched(
     t: &DroneTrial,
     seeds: &[u64],
     ctx: &mut BatchInferCtx,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, FrlfiError> {
     seeds.iter().map(|&s| run_drone_trial_batched(t, s, ctx)).collect()
 }
 
@@ -701,7 +749,7 @@ mod tests {
         ));
         let seeds = [7u64, 8, 9];
         let mut bctx = BatchInferCtx::new();
-        let batched = run_grid_trials_batched(&t, &seeds, &mut bctx);
+        let batched = run_grid_trials_batched(&t, &seeds, &mut bctx).unwrap();
         for (r, &seed) in seeds.iter().enumerate() {
             assert_eq!(batched[r].to_bits(), run_grid_trial(&t, seed).to_bits(), "repeat {r}");
         }
@@ -712,7 +760,7 @@ mod tests {
             4,
             1e-2,
         ));
-        let batched = run_drone_trials_batched(&dt, &seeds[..2], &mut bctx);
+        let batched = run_drone_trials_batched(&dt, &seeds[..2], &mut bctx).unwrap();
         for (r, &seed) in seeds[..2].iter().enumerate() {
             assert_eq!(batched[r].to_bits(), run_drone_trial(&dt, seed).to_bits(), "drone {r}");
         }

@@ -8,8 +8,8 @@ use frlfi_federated::{RoundHook, Server};
 use frlfi_mitigation::{Detection, RewardDropDetector, ServerCheckpoint};
 use frlfi_nn::{BatchInferCtx, InferCtx};
 use frlfi_rl::{
-    greedy_argmax, run_episode, run_greedy_episode_ctx, run_greedy_episodes_batch, EpsilonSchedule,
-    Learner, QLearner,
+    greedy_argmax, run_episode, run_episode_batched, run_greedy_episode_ctx,
+    run_greedy_episodes_batch, EpsilonSchedule, Learner, QLearner,
 };
 use frlfi_tensor::{derive_seed, Tensor};
 use rand::rngs::StdRng;
@@ -191,6 +191,36 @@ impl GridFrlSystem {
         plan: Option<&InjectionPlan>,
         mitigation: Option<&TrainingMitigation>,
     ) -> Result<(), FrlfiError> {
+        self.train_impl(episodes, plan, mitigation, None)
+    }
+
+    /// [`GridFrlSystem::train`] on the **batched-training** fast path:
+    /// every agent's TD updates run through `ctx`'s cached-activation
+    /// arena kernels ([`frlfi_rl::run_episode_batched`]) instead of the
+    /// tensor-allocating reference path. Actions, RNG streams, episode
+    /// boundaries and the trained weights are **bit-identical** to
+    /// [`GridFrlSystem::train`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, aggregation or restore failures.
+    pub fn train_batched(
+        &mut self,
+        episodes: usize,
+        plan: Option<&InjectionPlan>,
+        mitigation: Option<&TrainingMitigation>,
+        ctx: &mut BatchInferCtx,
+    ) -> Result<(), FrlfiError> {
+        self.train_impl(episodes, plan, mitigation, Some(ctx))
+    }
+
+    fn train_impl(
+        &mut self,
+        episodes: usize,
+        plan: Option<&InjectionPlan>,
+        mitigation: Option<&TrainingMitigation>,
+        mut batch_ctx: Option<&mut BatchInferCtx>,
+    ) -> Result<(), FrlfiError> {
         let mut detector = mitigation
             .map(|m| RewardDropDetector::new(m.p_percent, m.k_consecutive, self.cfg.n_agents));
         let mut checkpoint = mitigation.map(|m| ServerCheckpoint::new(m.checkpoint_interval));
@@ -204,8 +234,12 @@ impl GridFrlSystem {
             let mut rewards = Vec::with_capacity(self.cfg.n_agents);
             for i in 0..self.cfg.n_agents {
                 self.agents[i].set_episode(global_ep);
-                let summary =
-                    run_episode(&mut self.envs[i], &mut self.agents[i], &mut self.agent_rngs[i]);
+                let (env, agent, rng) =
+                    (&mut self.envs[i], &mut self.agents[i], &mut self.agent_rngs[i]);
+                let summary = match batch_ctx.as_deref_mut() {
+                    Some(ctx) => run_episode_batched(env, agent, rng, ctx)?,
+                    None => run_episode(env, agent, rng)?,
+                };
                 rewards.push(summary.total_reward);
             }
 
@@ -371,7 +405,8 @@ impl GridFrlSystem {
         for i in 0..self.cfg.n_agents {
             let mut eval_rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xE7A1 + i as u64));
             let summary =
-                run_greedy_episode_ctx(&mut self.envs[i], &mut self.agents[i], &mut eval_rng, ctx);
+                run_greedy_episode_ctx(&mut self.envs[i], &mut self.agents[i], &mut eval_rng, ctx)
+                    .expect("grid policy and observation shapes are fixed at construction");
             outcomes.push(summary.outcome);
         }
         outcomes
@@ -421,7 +456,8 @@ impl GridFrlSystem {
                 .filter_map(|(i, e)| group.contains(&i).then_some(e))
                 .collect();
             let summaries =
-                run_greedy_episodes_batch(&mut agents[group[0]], &mut group_envs, &mut rngs, ctx);
+                run_greedy_episodes_batch(&mut agents[group[0]], &mut group_envs, &mut rngs, ctx)
+                    .expect("grid policy and observation shapes are fixed at construction");
             for (k, &i) in group.iter().enumerate() {
                 outcomes[i] = summaries[k].outcome;
             }
@@ -574,14 +610,18 @@ impl GridFrlSystem {
                     .network_mut()
                     .restore(&corrupted)
                     .expect("snapshot length invariant");
-                let a = self.agents[agent].act_greedy_ctx(&state, ctx);
+                let a = self.agents[agent]
+                    .act_greedy_ctx(&state, ctx)
+                    .expect("grid policy and observation shapes are fixed at construction");
                 self.agents[agent]
                     .network_mut()
                     .restore(&clean)
                     .expect("snapshot length invariant");
                 a
             } else {
-                self.agents[agent].act_greedy_ctx(&state, ctx)
+                self.agents[agent]
+                    .act_greedy_ctx(&state, ctx)
+                    .expect("grid policy and observation shapes are fixed at construction")
             };
             let step_result = self.envs[agent].step(action, &mut eval_rng);
             state = step_result.state;
@@ -943,6 +983,21 @@ mod tests {
             s.success_rate_batched(&mut BatchInferCtx::new()).to_bits(),
             s.success_rate_ctx(&mut InferCtx::new()).to_bits()
         );
+    }
+
+    #[test]
+    fn batched_training_matches_sequential_weights() {
+        let mut seq = GridFrlSystem::new(small_cfg(3)).unwrap();
+        let mut bat = GridFrlSystem::new(small_cfg(3)).unwrap();
+        seq.train(60, None, None).unwrap();
+        bat.train_batched(60, None, None, &mut BatchInferCtx::new()).unwrap();
+        for i in 0..3 {
+            assert_eq!(
+                seq.agent(i).network().snapshot(),
+                bat.agent(i).network().snapshot(),
+                "agent {i} weights must be bit-identical across training paths"
+            );
+        }
     }
 
     #[test]

@@ -63,6 +63,23 @@ impl Layer for Relu {
         Ok(())
     }
 
+    fn backward_batch_into(
+        &mut self,
+        input: &[f32],
+        _in_shape: &ActShape,
+        _batch: usize,
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Result<(), NnError> {
+        // The reference backward multiplies by a materialized 1.0/0.0
+        // mask (not a select), so NaN/∞ upstream gradients propagate
+        // through dead units identically: keep the multiply.
+        for ((o, &d), &x) in grad_in.iter_mut().zip(grad_out.iter()).zip(input.iter()) {
+            *o = d * (if x > 0.0 { 1.0 } else { 0.0 });
+        }
+        Ok(())
+    }
+
     fn clear_cache(&mut self) {
         self.cached_input = None;
     }

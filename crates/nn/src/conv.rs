@@ -32,6 +32,15 @@ pub struct Conv2d {
     gw: Tensor,
     gb: Tensor,
     cached_input: Option<Tensor>,
+    /// Reusable per-sample gather buffers (one activation volume + one
+    /// gradient volume) for the batched parameter-gradient pass, so the
+    /// batched backward stays allocation-free after warm-up.
+    x_gather: Vec<f32>,
+    g_gather: Vec<f32>,
+    /// One receptive-field window in `gw`-row layout (`ic → ky → kx`),
+    /// regathered per output position so every output channel's
+    /// gradient row updates as one contiguous axpy.
+    patch: Vec<f32>,
 }
 
 impl Conv2d {
@@ -53,6 +62,9 @@ impl Conv2d {
             gw: Tensor::zeros(vec![out_c, in_c, k, k]),
             gb: Tensor::zeros(vec![out_c]),
             cached_input: None,
+            x_gather: Vec::new(),
+            g_gather: Vec::new(),
+            patch: Vec::new(),
         }
     }
 
@@ -312,6 +324,206 @@ impl Conv2d {
             }
         }
     }
+
+    /// Batched-backward pass 1: parameter gradients. Sample-outer on
+    /// purpose — every `gw`/`gb` element accumulates the batch's
+    /// contributions in ascending sample order.
+    ///
+    /// Inside one sample the reference nest runs `oc → oy → ox`, so for
+    /// any single `gw`/`gb` element (which belongs to exactly one `oc`)
+    /// the contributions arrive in ascending `(oy, ox)` order. This
+    /// kernel hoists the position loop *outside* the channel loop and
+    /// gathers the position's receptive-field window into a contiguous
+    /// `patch` laid out exactly like one `gw` row (`ic → ky → kx`);
+    /// each output channel with a non-zero gradient then updates its
+    /// whole row as one vectorizable `gw_row += g · patch` axpy. Per
+    /// element the visit order over `(sample, oy, ox)` — and the
+    /// `g * x` product feeding each `+=` — is unchanged, so the
+    /// accumulated gradients stay bitwise what `batch` sequential
+    /// [`Layer::backward`] calls leave. The reference skips a position
+    /// entirely (including the `gb` add) when its `g == 0.0`; the
+    /// per-channel skip here preserves that.
+    ///
+    /// Each sample's batch-minor activations and gradient plane are
+    /// first gathered into contiguous scratch rows: reading at stride
+    /// `batch` costs one cache line per scalar, while the gather is a
+    /// single strided sweep amortized over the `out_c · in_c · k²` MACs
+    /// every position performs.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_batch_params(
+        &mut self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        batch: usize,
+        grad_out: &[f32],
+    ) {
+        let k = self.k;
+        let vol = self.in_c * h * w;
+        let ovol = self.out_c * oh * ow;
+        let row = self.in_c * k * k;
+        self.x_gather.resize(vol, 0.0);
+        self.g_gather.resize(ovol, 0.0);
+        self.patch.resize(row, 0.0);
+        let gw = self.gw.data_mut();
+        let gb = self.gb.data_mut();
+        for t in 0..batch {
+            for (j, xs) in self.x_gather.iter_mut().enumerate() {
+                *xs = x[j * batch + t];
+            }
+            for (j, gs) in self.g_gather.iter_mut().enumerate() {
+                *gs = grad_out[j * batch + t];
+            }
+            let (xs, gs) = (&self.x_gather[..], &self.g_gather[..]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    if (0..self.out_c).all(|oc| gs[oc * oh * ow + oy * ow + ox] == 0.0) {
+                        continue;
+                    }
+                    for ic in 0..self.in_c {
+                        for ky in 0..k {
+                            let xrow = ic * h * w + (oy + ky) * w + ox;
+                            let prow = (ic * k + ky) * k;
+                            self.patch[prow..prow + k].copy_from_slice(&xs[xrow..xrow + k]);
+                        }
+                    }
+                    for oc in 0..self.out_c {
+                        let g = gs[oc * oh * ow + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        let gwrow = &mut gw[oc * row..(oc + 1) * row];
+                        for (gv, &pv) in gwrow.iter_mut().zip(self.patch.iter()) {
+                            *gv += g * pv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched-backward pass 2, kernel-size-3 specialization: input
+    /// gradients, batch-vectorized. Reuses the fused nine-term window
+    /// structure of [`Conv2d::forward_batch_into_k3`] transposed: for
+    /// each output position the 3×3 window of `dx` receives its
+    /// `g * w` scatter in the reference `ky → kx` order, with the
+    /// innermost loop sweeping `batch` independent lanes. The
+    /// reference skips the whole window when `g == 0.0`, so each lane
+    /// uses a select on its own `g` rather than adding a masked 0.0
+    /// (which would flip -0.0 accumulations). Per `dx` element the
+    /// contribution order over `(oc, oy, ox)` matches the reference
+    /// nest exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_batch_dx_k3(
+        &self,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        batch: usize,
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) {
+        // Lane tile width: gradient lanes and their keep/update masks
+        // are staged per position into fixed stack tiles. Two reasons:
+        // ReLU backward leaves ~half the lanes zero in unpredictable
+        // patterns, so any `if g != 0.0`-guarded update compiles into a
+        // data-dependent branch that mispredicts constantly (3x the
+        // whole pass); and reading `g` straight from `grad_out` makes
+        // LLVM emit runtime alias checks against the `dx` rows whose
+        // failure path is exactly that branchy scalar loop. Stack
+        // tiles are provably disjoint from `dx`, and the explicit
+        // bit-blend cannot be re-branched. Skipped lanes keep their
+        // old accumulator bits — adding a masked `g * w` instead could
+        // flip a -0.0 accumulation to +0.0 (or poison `dx` when an
+        // injected fault has left a non-finite weight).
+        const BW: usize = 16;
+        let wt = self.w.data();
+        for oc in 0..self.out_c {
+            let g_plane = &grad_out[oc * oh * ow * batch..(oc + 1) * oh * ow * batch];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let grow = &g_plane[(oy * ow + ox) * batch..(oy * ow + ox + 1) * batch];
+                    let mut bb = 0;
+                    while bb < batch {
+                        let width = BW.min(batch - bb);
+                        let mut gl = [0.0f32; BW];
+                        let mut ml = [0u32; BW];
+                        for (t, &g) in grow[bb..bb + width].iter().enumerate() {
+                            gl[t] = g;
+                            ml[t] = ((g != 0.0) as u32).wrapping_neg();
+                        }
+                        for ic in 0..self.in_c {
+                            let chan = &mut grad_in[ic * h * w * batch..(ic + 1) * h * w * batch];
+                            let w_base = (oc * self.in_c + ic) * 9;
+                            for ky in 0..3 {
+                                let rowb = ((oy + ky) * w + ox) * batch + bb;
+                                for kx in 0..3 {
+                                    let wv = wt[w_base + ky * 3 + kx];
+                                    let dst =
+                                        &mut chan[rowb + kx * batch..rowb + kx * batch + width];
+                                    for (t, d) in dst.iter_mut().enumerate() {
+                                        let upd = *d + gl[t] * wv;
+                                        let m = ml[t];
+                                        *d = f32::from_bits(upd.to_bits() & m | d.to_bits() & !m);
+                                    }
+                                }
+                            }
+                        }
+                        bb += width;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched-backward pass 2, generic kernel size (see
+    /// [`Conv2d::backward_batch_dx_k3`] for the bitwise contract).
+    #[allow(clippy::too_many_arguments)]
+    fn backward_batch_dx_generic(
+        &self,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        batch: usize,
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) {
+        let k = self.k;
+        let wt = self.w.data();
+        for ic in 0..self.in_c {
+            let chan = &mut grad_in[ic * h * w * batch..(ic + 1) * h * w * batch];
+            for oc in 0..self.out_c {
+                let w_win = &wt[(oc * self.in_c + ic) * k * k..(oc * self.in_c + ic + 1) * k * k];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let grow = &grad_out[(oc * oh * ow + oy * ow + ox) * batch
+                            ..(oc * oh * ow + oy * ow + ox + 1) * batch];
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let base = ((oy + ky) * w + ox + kx) * batch;
+                                let wv = w_win[ky * k + kx];
+                                let dst = &mut chan[base..base + batch];
+                                // Mask-blend (see the k3 kernel): an
+                                // unconditional update blended against
+                                // the old bits stays branch-free under
+                                // ReLU-sparse gradients.
+                                for (d, &g) in dst.iter_mut().zip(grow) {
+                                    let m = ((g != 0.0) as u32).wrapping_neg();
+                                    let upd = *d + g * wv;
+                                    *d = f32::from_bits(upd.to_bits() & m | d.to_bits() & !m);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Layer for Conv2d {
@@ -390,6 +602,31 @@ impl Layer for Conv2d {
             self.forward_batch_into_k3(input, h, w, oh, ow, batch, out);
         } else {
             self.forward_batch_into_generic(input, h, w, oh, ow, batch, out);
+        }
+        Ok(())
+    }
+
+    fn backward_batch_into(
+        &mut self,
+        input: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Result<(), NnError> {
+        let (oh, ow) = self.check_dims(in_shape.dims())?;
+        let dims = in_shape.dims();
+        let (h, w) = (dims[1], dims[2]);
+        // The reference backward interleaves gw/gb/dx updates in one
+        // nest; splitting them into two passes is safe bitwise because
+        // they accumulate into disjoint arrays, so each array's
+        // per-element contribution order is unchanged.
+        self.backward_batch_params(input, h, w, oh, ow, batch, grad_out);
+        grad_in[..self.in_c * h * w * batch].fill(0.0);
+        if self.k == 3 {
+            self.backward_batch_dx_k3(h, w, oh, ow, batch, grad_out, grad_in);
+        } else {
+            self.backward_batch_dx_generic(h, w, oh, ow, batch, grad_out, grad_in);
         }
         Ok(())
     }

@@ -33,6 +33,11 @@ pub struct Dense {
     gw: Tensor,
     gb: Tensor,
     cached_input: Option<Tensor>,
+    /// Reusable per-sample gather/accumulator rows (one input volume
+    /// each) for the batched backward, so it stays allocation-free
+    /// after warm-up.
+    x_gather: Vec<f32>,
+    dx_gather: Vec<f32>,
 }
 
 impl Dense {
@@ -50,6 +55,8 @@ impl Dense {
             gw: Tensor::zeros(vec![out_dim, in_dim]),
             gb: Tensor::zeros(vec![out_dim]),
             cached_input: None,
+            x_gather: Vec::new(),
+            dx_gather: Vec::new(),
         }
     }
 
@@ -241,6 +248,65 @@ impl Layer for Dense {
                     out[i * batch + bb + k] = acc[k] + bi;
                 }
                 bb += width;
+            }
+        }
+        Ok(())
+    }
+
+    fn backward_batch_into(
+        &mut self,
+        input: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Result<(), NnError> {
+        self.out_shape(in_shape)?;
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        // Sample-outer, exactly the reference [`Layer::backward`] loop
+        // structure run once per sample with `t` ascending — so every
+        // `gw`/`gb` element accumulates the batch's contributions in
+        // the same order, with the same `d * x` products, as `batch`
+        // sequential backward calls. Bitwise contract details:
+        //   * the reference skips whole weight rows when `dy == 0.0`
+        //     (both the `gw` and `dx` updates), mirrored by the
+        //     per-sample `continue`;
+        //   * `gb` is deliberately **unconditional** because the
+        //     reference accumulates it via `axpy`, which adds zero
+        //     contributions too;
+        //   * each sample's activations are gathered from the
+        //     batch-minor arena into a contiguous row (and its `dx`
+        //     accumulated in one) so both inner loops are unit-stride
+        //     axpys over `in_dim` — the gather/scatter only relocates
+        //     bytes, never reorders an accumulation.
+        self.x_gather.resize(in_dim, 0.0);
+        self.dx_gather.resize(in_dim, 0.0);
+        let w = self.w.data();
+        let gw = self.gw.data_mut();
+        let gb = self.gb.data_mut();
+        for t in 0..batch {
+            for (j, xs) in self.x_gather.iter_mut().enumerate() {
+                *xs = input[j * batch + t];
+            }
+            self.dx_gather.fill(0.0);
+            let xs = &self.x_gather[..];
+            for i in 0..out_dim {
+                let d = grad_out[i * batch + t];
+                gb[i] += d;
+                if d == 0.0 {
+                    continue;
+                }
+                let gwrow = &mut gw[i * in_dim..(i + 1) * in_dim];
+                for (gv, &xv) in gwrow.iter_mut().zip(xs.iter()) {
+                    *gv += d * xv;
+                }
+                let wrow = &w[i * in_dim..(i + 1) * in_dim];
+                for (dv, &wv) in self.dx_gather.iter_mut().zip(wrow.iter()) {
+                    *dv += d * wv;
+                }
+            }
+            for (j, &dv) in self.dx_gather.iter().enumerate() {
+                grad_in[j * batch + t] = dv;
             }
         }
         Ok(())

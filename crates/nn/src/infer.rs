@@ -211,6 +211,18 @@ pub struct BatchInferCtx {
     staging: Vec<f32>,
     /// One sample's activation row, for the activation-fault hook.
     row: Vec<f32>,
+    /// Per-layer batch-minor activation arenas retained by the batched
+    /// *training* forward ([`BatchInferCtx::run_cached`]): `acts[l]`
+    /// holds the input layer `l` consumed — exactly what its
+    /// [`Layer::backward_batch_into`] needs — and `acts[layers.len()]`
+    /// the final output. Untouched by eval-only [`BatchInferCtx::run`]
+    /// calls, so inference can interleave with a pending backward.
+    acts: Vec<Vec<f32>>,
+    /// Per-layer activation shapes matching `acts` (`act_shapes[l]` is
+    /// layer `l`'s input shape; the last entry the output shape).
+    act_shapes: Vec<ActShape>,
+    /// Batch size of the cached training forward; 0 = nothing cached.
+    cached_batch: usize,
 }
 
 impl BatchInferCtx {
@@ -227,6 +239,9 @@ impl BatchInferCtx {
             bufs: [vec![0.0; max_len], vec![0.0; max_len]],
             staging: vec![0.0; max_len],
             row: Vec::new(),
+            acts: Vec::new(),
+            act_shapes: Vec::new(),
+            cached_batch: 0,
         }
     }
 
@@ -356,5 +371,178 @@ impl BatchInferCtx {
             }
         }
         Ok((&self.staging[..batch * vol], shape))
+    }
+
+    /// Training forward: like [`BatchInferCtx::run`] but every layer's
+    /// batch-minor input is retained in per-layer arenas so a following
+    /// [`BatchInferCtx::run_backward`] can feed each layer's backward
+    /// kernel without re-running the forward. Returns the final
+    /// activation as `batch` sample-major rows plus the per-sample
+    /// output shape. A batch of one routes through the reference
+    /// kernels exactly like the eval path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors; rejects `batch == 0` and input
+    /// length mismatches.
+    pub(crate) fn run_cached<'c>(
+        &'c mut self,
+        layers: &[Box<dyn Layer>],
+        input: &[f32],
+        input_shape: ActShape,
+        batch: usize,
+    ) -> Result<(&'c [f32], ActShape), NnError> {
+        let in_vol = input_shape.volume();
+        if batch == 0 || input.len() != batch * in_vol {
+            return Err(NnError::BadDimensions {
+                detail: format!(
+                    "batched training forward needs batch >= 1 and input len batch * volume; \
+                     got batch {batch}, volume {in_vol}, len {}",
+                    input.len()
+                ),
+            });
+        }
+        frlfi_obs::hist("nn.train.batch_size", batch as u64);
+        if batch == 1 {
+            frlfi_obs::count("nn.train.dispatch.reference", layers.len() as u64);
+        } else {
+            frlfi_obs::count("nn.train.dispatch.batched", layers.len() as u64);
+        }
+        self.cached_batch = 0;
+        self.acts.resize(layers.len() + 1, Vec::new());
+        self.act_shapes.clear();
+        self.act_shapes.resize(layers.len() + 1, input_shape);
+        // Transpose the observations batch-minor into the first arena
+        // (for one sample the layouts coincide: plain copy).
+        if self.acts[0].len() < batch * in_vol {
+            self.acts[0].resize(batch * in_vol, 0.0);
+        }
+        if batch == 1 {
+            self.acts[0][..in_vol].copy_from_slice(input);
+        } else {
+            for (b, sample) in input.chunks_exact(in_vol).enumerate() {
+                for (j, &v) in sample.iter().enumerate() {
+                    self.acts[0][j * batch + b] = v;
+                }
+            }
+        }
+        let mut shape = input_shape;
+        for (l, layer) in layers.iter().enumerate() {
+            let out_shape = layer.out_shape(&shape)?;
+            let n = out_shape.volume() * batch;
+            let src_n = shape.volume() * batch;
+            let (head, tail) = self.acts.split_at_mut(l + 1);
+            let src = &head[l][..src_n];
+            let dst = &mut tail[0];
+            if dst.len() < n {
+                dst.resize(n, 0.0);
+            }
+            if batch == 1 {
+                layer.forward_into(src, &shape, &mut dst[..n])?;
+            } else {
+                layer.forward_batch_into(src, &shape, batch, &mut dst[..n])?;
+            }
+            shape = out_shape;
+            self.act_shapes[l + 1] = out_shape;
+        }
+        if layers.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        self.cached_batch = batch;
+        // Gather the batch-minor result into sample-major output rows.
+        let vol = shape.volume();
+        if self.staging.len() < batch * vol {
+            self.staging.resize(batch * vol, 0.0);
+        }
+        let last = &self.acts[layers.len()];
+        if batch == 1 {
+            self.staging[..vol].copy_from_slice(&last[..vol]);
+        } else {
+            for b in 0..batch {
+                for j in 0..vol {
+                    self.staging[b * vol + j] = last[j * batch + b];
+                }
+            }
+        }
+        Ok((&self.staging[..batch * vol], shape))
+    }
+
+    /// Training backward over the activations retained by the last
+    /// [`BatchInferCtx::run_cached`]: `grads` holds `batch` sample-major
+    /// output-gradient rows; each layer's
+    /// [`Layer::backward_batch_into`] accumulates parameter gradients
+    /// (ascending sample order — bitwise what per-sample reference
+    /// backward calls leave) and the input gradient ping-pongs through
+    /// the scratch buffers down to the first layer.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a `batch`/network mismatch with the cached forward and
+    /// gradient length mismatches; propagates layer shape errors.
+    pub(crate) fn run_backward(
+        &mut self,
+        layers: &mut [Box<dyn Layer>],
+        grads: &[f32],
+        batch: usize,
+    ) -> Result<(), NnError> {
+        let n_layers = layers.len();
+        if batch == 0 || batch != self.cached_batch || self.acts.len() != n_layers + 1 {
+            return Err(NnError::BadDimensions {
+                detail: format!(
+                    "batched backward without a matching cached forward: cached batch {} over \
+                     {} layers, got batch {batch} over {n_layers} layers",
+                    self.cached_batch,
+                    self.acts.len().saturating_sub(1),
+                ),
+            });
+        }
+        let out_vol = self.act_shapes[n_layers].volume();
+        if grads.len() != out_vol * batch {
+            return Err(NnError::BadDimensions {
+                detail: format!(
+                    "batched backward needs grads len batch * out volume; got batch {batch}, \
+                     volume {out_vol}, len {}",
+                    grads.len()
+                ),
+            });
+        }
+        // Transpose the gradient rows batch-minor into the ping-pong
+        // scratch (a batch of one is a plain copy).
+        if self.bufs[0].len() < out_vol * batch {
+            self.bufs[0].resize(out_vol * batch, 0.0);
+        }
+        if batch == 1 {
+            self.bufs[0][..out_vol].copy_from_slice(grads);
+        } else {
+            for (b, sample) in grads.chunks_exact(out_vol).enumerate() {
+                for (j, &v) in sample.iter().enumerate() {
+                    self.bufs[0][j * batch + b] = v;
+                }
+            }
+        }
+        let mut cur = 0;
+        for l in (0..n_layers).rev() {
+            let in_vol = self.act_shapes[l].volume();
+            let g_out_n = self.act_shapes[l + 1].volume() * batch;
+            let dst = 1 - cur;
+            if self.bufs[dst].len() < in_vol * batch {
+                self.bufs[dst].resize(in_vol * batch, 0.0);
+            }
+            let (a, b) = self.bufs.split_at_mut(1);
+            let (g_out, g_in): (&[f32], &mut [f32]) = if cur == 0 {
+                (&a[0][..g_out_n], &mut b[0][..in_vol * batch])
+            } else {
+                (&b[0][..g_out_n], &mut a[0][..in_vol * batch])
+            };
+            layers[l].backward_batch_into(
+                &self.acts[l][..in_vol * batch],
+                &self.act_shapes[l],
+                batch,
+                g_out,
+                g_in,
+            )?;
+            cur = dst;
+        }
+        Ok(())
     }
 }

@@ -133,6 +133,64 @@ pub trait Layer: Send {
         Ok(())
     }
 
+    /// Batched *training* backward over **batch-minor** activations:
+    /// `input` is the batched activation this layer consumed on the
+    /// cached training forward (element `j` of sample `b` at
+    /// `input[j * batch + b]`, as retained by
+    /// [`crate::BatchInferCtx`]), `grad_out` the upstream gradient in
+    /// the same layout. Parameter gradients for the whole batch
+    /// accumulate into the layer (exactly like repeated
+    /// [`Layer::backward`] calls), and the input gradient is written —
+    /// fully, no stale bytes survive — into `grad_in`, which the
+    /// caller sizes to `in_shape.volume() * batch`.
+    ///
+    /// Contract: for every parameter-gradient element the batch's
+    /// contributions must accumulate in **ascending sample order**,
+    /// and within one sample in exactly the reference
+    /// [`Layer::backward`] accumulation order — so one batched
+    /// backward leaves *bitwise* the gradients that `batch` sequential
+    /// `forward` + `backward` calls (sample 0 first, weights fixed)
+    /// leave, and each sample's `grad_in` row is bit-identical to the
+    /// reference `dx`. The provided default gathers each sample into
+    /// scratch tensors and delegates to `forward` + `backward`
+    /// (allocating, clobbers the layer's cached input; correct for any
+    /// layer); `Dense`/`Conv2d`/`Relu` override it with
+    /// allocation-free kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn backward_batch_into(
+        &mut self,
+        input: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Result<(), NnError> {
+        let in_vol = in_shape.volume();
+        let out_shape = self.out_shape(in_shape)?;
+        let out_vol = out_shape.volume();
+        let mut row_in = vec![0.0f32; in_vol];
+        let mut row_g = vec![0.0f32; out_vol];
+        for t in 0..batch {
+            for (j, r) in row_in.iter_mut().enumerate() {
+                *r = input[j * batch + t];
+            }
+            let x = Tensor::from_vec(in_shape.dims().to_vec(), row_in.clone())?;
+            self.forward(&x)?;
+            for (j, r) in row_g.iter_mut().enumerate() {
+                *r = grad_out[j * batch + t];
+            }
+            let g = Tensor::from_vec(out_shape.dims().to_vec(), row_g.clone())?;
+            let dx = self.backward(&g)?;
+            for (j, &v) in dx.data().iter().enumerate() {
+                grad_in[j * batch + t] = v;
+            }
+        }
+        Ok(())
+    }
+
     /// Drops the cached forward input (if any), shrinking resident
     /// memory for eval-only deployments. A later [`Layer::backward`]
     /// without a fresh [`Layer::forward`] then fails.

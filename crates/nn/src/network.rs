@@ -201,6 +201,58 @@ impl Network {
         Ok(out)
     }
 
+    /// Training forward over a whole **batch** of observations: like
+    /// [`Network::infer_batch`], but every layer's batched input is
+    /// retained in `ctx`'s per-layer arenas so a following
+    /// [`Network::backward_batch`] can run the batched backward kernels
+    /// without re-executing the forward. Output rows are
+    /// **bit-identical** to [`Network::infer`] (and so to
+    /// [`Network::forward`]) on each observation alone; a batch of one
+    /// routes through the reference kernels. Does not touch the layers'
+    /// own cached-input tensors, so the sequential training path is
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors; rejects `batch == 0` and input
+    /// length mismatches.
+    pub fn forward_batch_cached<'c>(
+        &self,
+        inputs: &[f32],
+        in_shape: &ActShape,
+        batch: usize,
+        ctx: &'c mut BatchInferCtx,
+    ) -> Result<&'c [f32], NnError> {
+        let (out, _) = ctx.run_cached(&self.layers, inputs, *in_shape, batch)?;
+        Ok(out)
+    }
+
+    /// Batched training backward over the activations retained by the
+    /// last [`Network::forward_batch_cached`] on `ctx`: `grads` holds
+    /// `batch` concatenated sample-major output-gradient rows, and every
+    /// layer accumulates its parameter gradients for the whole batch.
+    ///
+    /// Bitwise contract: with the same weights, the gradients (and thus
+    /// the weights after [`Network::apply_grads`]) are identical to
+    /// running the sequential reference — [`Network::forward`] then
+    /// [`Network::backward`] per sample, sample 0 first — because every
+    /// batched kernel accumulates each gradient element's contributions
+    /// in ascending sample order with the reference per-sample
+    /// accumulation order inside (see [`Layer::backward_batch_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a batch/network mismatch with the cached forward and
+    /// gradient length mismatches; propagates layer shape errors.
+    pub fn backward_batch(
+        &mut self,
+        grads: &[f32],
+        batch: usize,
+        ctx: &mut BatchInferCtx,
+    ) -> Result<(), NnError> {
+        ctx.run_backward(&mut self.layers, grads, batch)
+    }
+
     /// Drops every layer's cached forward input, shrinking resident
     /// memory in eval-only deployments (campaign eval loops never call
     /// backward). Training transparently re-caches on the next

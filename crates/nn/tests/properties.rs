@@ -49,6 +49,71 @@ fn bit_flipper(seed: u64) -> impl FnMut(&mut [f32]) {
     }
 }
 
+/// Drives one batched training backward against the per-sample
+/// reference path on an identical twin layer and asserts bitwise
+/// equality of the stepped parameters and of every input-gradient row.
+///
+/// `batched` and `reference` must start with identical parameters (same
+/// construction seed). The reference path replays the batch as `batch`
+/// sequential `forward` + `backward` calls in ascending sample order
+/// with the weights fixed — exactly the accumulation the batched
+/// kernels contract to reproduce.
+fn assert_batched_backward_matches_reference(
+    batched: &mut dyn Layer,
+    reference: &mut dyn Layer,
+    in_shape: &ActShape,
+    samples: &[Vec<f32>],
+    grad_rows: &[Vec<f32>],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let batch = samples.len();
+    let in_vol = in_shape.volume();
+    let out_shape = batched.out_shape(in_shape).expect("out shape");
+    let out_vol = out_shape.volume();
+    // Pack batch-minor: element j of sample b at j * batch + b.
+    let mut x = vec![0.0f32; in_vol * batch];
+    let mut g = vec![0.0f32; out_vol * batch];
+    for (b, s) in samples.iter().enumerate() {
+        for (j, &v) in s.iter().enumerate() {
+            x[j * batch + b] = v;
+        }
+    }
+    for (b, s) in grad_rows.iter().enumerate() {
+        for (j, &v) in s.iter().enumerate() {
+            g[j * batch + b] = v;
+        }
+    }
+    let mut fwd = vec![0.0f32; out_vol * batch];
+    batched.forward_batch_into(&x, in_shape, batch, &mut fwd).expect("batched forward");
+    let mut dx = vec![0.0f32; in_vol * batch];
+    batched.backward_batch_into(&x, in_shape, batch, &g, &mut dx).expect("batched backward");
+    batched.apply_grads(0.05);
+    let mut ref_dx_rows = Vec::with_capacity(batch);
+    for (s, gr) in samples.iter().zip(grad_rows.iter()) {
+        let xs = Tensor::from_vec(in_shape.dims().to_vec(), s.clone()).expect("sample");
+        reference.forward(&xs).expect("reference forward");
+        let gt = Tensor::from_vec(out_shape.dims().to_vec(), gr.clone()).expect("grad row");
+        ref_dx_rows.push(reference.backward(&gt).expect("reference backward"));
+    }
+    reference.apply_grads(0.05);
+    for (pb, pr) in batched.params().iter().zip(reference.params().iter()) {
+        let bb: Vec<u32> = pb.data().iter().map(|v| v.to_bits()).collect();
+        let rb: Vec<u32> = pr.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bb, rb, "stepped parameters drifted from the sequential reference");
+    }
+    for (b, d) in ref_dx_rows.iter().enumerate() {
+        for (j, &v) in d.data().iter().enumerate() {
+            prop_assert_eq!(
+                dx[j * batch + b].to_bits(),
+                v.to_bits(),
+                "input gradient sample {} element {}",
+                b,
+                j
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #[test]
     fn snapshot_restore_is_identity(seed in any::<u64>(), dims in (1usize..8, 1usize..16, 1usize..8)) {
@@ -340,6 +405,196 @@ proptest! {
             let single_bits: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
             prop_assert_eq!(batch_bits, single_bits, "faulted row {} of {}", b, batch);
         }
+    }
+
+    // ---- Golden equivalence: batched *training* kernels leave bitwise
+    // ---- the parameters and input gradients the per-sample reference
+    // ---- forward + backward path leaves, per layer and per kernel
+    // ---- size (batch == 1 must route through the reference kernels).
+
+    #[test]
+    fn batched_dense_backward_equals_sequential_reference(
+        seed in any::<u64>(),
+        in_dim in 1usize..20,
+        out_dim in 1usize..12,
+        batch in 1usize..10,
+    ) {
+        use frlfi_nn::Dense;
+        let mut batched = Dense::new("d", in_dim, out_dim, &mut StdRng::seed_from_u64(seed));
+        let mut reference = Dense::new("d", in_dim, out_dim, &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7D15);
+        let samples: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..in_dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        // Include exact zeros: the masked batched kernels must treat a
+        // zero upstream gradient exactly like the reference axpy does.
+        let grad_rows: Vec<Vec<f32>> = (0..batch)
+            .map(|_| {
+                (0..out_dim)
+                    .map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-1.5f32..1.5) })
+                    .collect()
+            })
+            .collect();
+        assert_batched_backward_matches_reference(
+            &mut batched,
+            &mut reference,
+            &ActShape::flat(in_dim),
+            &samples,
+            &grad_rows,
+        )?;
+    }
+
+    #[test]
+    fn batched_conv_backward_equals_sequential_for_every_kernel_size(
+        seed in any::<u64>(),
+        k in 1usize..6,
+        in_c in 1usize..3,
+        out_c in 1usize..4,
+        batch in 1usize..8,
+    ) {
+        use frlfi_nn::Conv2d;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC09F);
+        let (h, w) = (k + rng.gen_range(0..4), k + rng.gen_range(0..4));
+        let mut batched = Conv2d::new("c", in_c, out_c, k, &mut StdRng::seed_from_u64(seed));
+        let mut reference = Conv2d::new("c", in_c, out_c, k, &mut StdRng::seed_from_u64(seed));
+        let in_shape = ActShape::image(in_c, h, w);
+        let (oh, ow) = (h - k + 1, w - k + 1);
+        let samples: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..in_c * h * w).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        let grad_rows: Vec<Vec<f32>> = (0..batch)
+            .map(|_| {
+                (0..out_c * oh * ow)
+                    .map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-1.5f32..1.5) })
+                    .collect()
+            })
+            .collect();
+        assert_batched_backward_matches_reference(
+            &mut batched,
+            &mut reference,
+            &in_shape,
+            &samples,
+            &grad_rows,
+        )?;
+    }
+
+    #[test]
+    fn batched_relu_backward_equals_sequential_reference(
+        seed in any::<u64>(),
+        n in 1usize..32,
+        batch in 1usize..8,
+    ) {
+        let mut batched = Relu::new("r");
+        let mut reference = Relu::new("r");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Exact zeros on both sides of the gate exercise the masking.
+        let samples: Vec<Vec<f32>> = (0..batch)
+            .map(|_| {
+                (0..n)
+                    .map(|_| if rng.gen_bool(0.2) { 0.0 } else { rng.gen_range(-3.0f32..3.0) })
+                    .collect()
+            })
+            .collect();
+        let grad_rows: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.5f32..1.5)).collect())
+            .collect();
+        assert_batched_backward_matches_reference(
+            &mut batched,
+            &mut reference,
+            &ActShape::flat(n),
+            &samples,
+            &grad_rows,
+        )?;
+    }
+
+    #[test]
+    fn batched_training_step_equals_sequential_on_mlps(
+        seed in any::<u64>(),
+        dims in (1usize..8, 1usize..16, 1usize..8),
+        batch in 1usize..20,
+    ) {
+        let (i, h, o) = dims;
+        let mut net_batched = mlp(seed, i, h, o);
+        let mut net_reference = mlp(seed, i, h, o);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E0);
+        let samples: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..i).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        let grad_rows: Vec<Vec<f32>> = (0..batch)
+            .map(|_| {
+                (0..o)
+                    .map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-1.0f32..1.0) })
+                    .collect()
+            })
+            .collect();
+        // Batched: one cached forward (sample-major input), one fused
+        // backward (sample-major gradient rows), one SGD step.
+        let flat: Vec<f32> = samples.iter().flatten().copied().collect();
+        let grads: Vec<f32> = grad_rows.iter().flatten().copied().collect();
+        let mut ctx = BatchInferCtx::new();
+        net_batched
+            .forward_batch_cached(&flat, &ActShape::flat(i), batch, &mut ctx)
+            .expect("cached forward");
+        net_batched.backward_batch(&grads, batch, &mut ctx).expect("batched backward");
+        net_batched.apply_grads(0.05);
+        // Reference: per-sample slow forward + backward in ascending
+        // sample order, weights fixed, then the identical SGD step.
+        for (s, g) in samples.iter().zip(grad_rows.iter()) {
+            let x = Tensor::from_vec(vec![i], s.clone()).expect("sample");
+            net_reference.forward(&x).expect("forward");
+            let gt = Tensor::from_vec(vec![o], g.clone()).expect("grad");
+            net_reference.backward(&gt).expect("backward");
+        }
+        net_reference.apply_grads(0.05);
+        let bb: Vec<u32> = net_batched.snapshot().iter().map(|v| v.to_bits()).collect();
+        let rb: Vec<u32> = net_reference.snapshot().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bb, rb, "trained MLP weights drifted from the sequential reference");
+    }
+
+    #[test]
+    fn batched_training_step_equals_sequential_on_conv_stacks(
+        seed in any::<u64>(),
+        c in 1usize..3,
+        h in 5usize..10,
+        w in 5usize..12,
+        batch in 1usize..8,
+    ) {
+        let (mut net_batched, x0) = random_stack(seed, c, h, w);
+        let (mut net_reference, _) = random_stack(seed, c, h, w);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+        let mut samples = vec![x0.data().to_vec()];
+        for _ in 1..batch {
+            samples.push((0..c * h * w).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
+        }
+        let out_dim = {
+            let probe = Tensor::from_vec(vec![c, h, w], samples[0].clone()).expect("probe");
+            net_reference.forward(&probe).expect("probe forward").data().len()
+        };
+        let grad_rows: Vec<Vec<f32>> = (0..batch)
+            .map(|_| {
+                (0..out_dim)
+                    .map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-1.0f32..1.0) })
+                    .collect()
+            })
+            .collect();
+        let flat: Vec<f32> = samples.iter().flatten().copied().collect();
+        let grads: Vec<f32> = grad_rows.iter().flatten().copied().collect();
+        let mut ctx = BatchInferCtx::new();
+        net_batched
+            .forward_batch_cached(&flat, &ActShape::image(c, h, w), batch, &mut ctx)
+            .expect("cached forward");
+        net_batched.backward_batch(&grads, batch, &mut ctx).expect("batched backward");
+        net_batched.apply_grads(0.05);
+        for (s, g) in samples.iter().zip(grad_rows.iter()) {
+            let x = Tensor::from_vec(vec![c, h, w], s.clone()).expect("sample");
+            net_reference.forward(&x).expect("forward");
+            let gt = Tensor::from_vec(vec![out_dim], g.clone()).expect("grad");
+            net_reference.backward(&gt).expect("backward");
+        }
+        net_reference.apply_grads(0.05);
+        let bb: Vec<u32> = net_batched.snapshot().iter().map(|v| v.to_bits()).collect();
+        let rb: Vec<u32> = net_reference.snapshot().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bb, rb, "trained conv-stack weights drifted from the reference");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{Learner, Transition};
+use crate::{Learner, RlError, Transition};
 use frlfi_envs::{Environment, Outcome};
 use frlfi_nn::{ActShape, BatchInferCtx, InferCtx};
 use rand::RngCore;
@@ -23,56 +23,106 @@ impl EpisodeSummary {
 
 /// Runs one *training* episode: the learner explores, observes every
 /// transition and receives `end_episode` at the end.
+///
+/// # Errors
+///
+/// Propagates learner errors (e.g. an observation whose shape does not
+/// fit the policy network) so a malformed scenario quarantines instead
+/// of panicking inside a worker.
 pub fn run_episode(
     env: &mut dyn Environment,
     learner: &mut dyn Learner,
     rng: &mut dyn RngCore,
-) -> EpisodeSummary {
+) -> Result<EpisodeSummary, RlError> {
     let mut state = env.reset(rng);
     let mut total_reward = 0.0;
     let mut steps = 0;
     let outcome = loop {
-        let action = learner.act(&state, rng);
+        let action = learner.act(&state, rng)?;
         let step = env.step(action, rng);
         total_reward += step.reward;
         steps += 1;
         let next_state = if step.outcome.is_terminal() { None } else { Some(step.state.clone()) };
-        learner.observe(Transition { state, action, reward: step.reward, next_state });
+        learner.observe(Transition { state, action, reward: step.reward, next_state })?;
         state = step.state;
         if step.outcome.is_terminal() {
             break step.outcome;
         }
     };
-    learner.end_episode();
-    EpisodeSummary { total_reward, steps, outcome }
+    learner.end_episode()?;
+    Ok(EpisodeSummary { total_reward, steps, outcome })
+}
+
+/// [`run_episode`] on the batched-training fast path: action selection,
+/// online updates and the episode-end update all route through `ctx`'s
+/// scratch arenas ([`Learner::act_train_ctx`], [`Learner::observe_ctx`],
+/// [`Learner::end_episode_ctx`]). The learner contract makes every hook
+/// bit-identical to its sequential counterpart — same actions, same RNG
+/// consumption, bit-identical trained weights — so this runner produces
+/// exactly [`run_episode`]'s summary and weights, faster.
+///
+/// # Errors
+///
+/// As for [`run_episode`].
+pub fn run_episode_batched(
+    env: &mut dyn Environment,
+    learner: &mut dyn Learner,
+    rng: &mut dyn RngCore,
+    ctx: &mut BatchInferCtx,
+) -> Result<EpisodeSummary, RlError> {
+    let mut state = env.reset(rng);
+    let mut total_reward = 0.0;
+    let mut steps = 0;
+    let outcome = loop {
+        let action = learner.act_train_ctx(&state, rng, ctx)?;
+        let step = env.step(action, rng);
+        total_reward += step.reward;
+        steps += 1;
+        let next_state = if step.outcome.is_terminal() { None } else { Some(step.state.clone()) };
+        learner.observe_ctx(Transition { state, action, reward: step.reward, next_state }, ctx)?;
+        state = step.state;
+        if step.outcome.is_terminal() {
+            break step.outcome;
+        }
+    };
+    learner.end_episode_ctx(ctx)?;
+    Ok(EpisodeSummary { total_reward, steps, outcome })
 }
 
 /// Runs one *inference* episode: pure greedy exploitation, no learning
 /// (§III-B's second phase). Allocates one scratch [`InferCtx`] for the
 /// whole episode; callers evaluating many episodes should pass their
 /// own through [`run_greedy_episode_ctx`] instead.
+///
+/// # Errors
+///
+/// Propagates learner errors.
 pub fn run_greedy_episode(
     env: &mut dyn Environment,
     learner: &mut dyn Learner,
     rng: &mut dyn RngCore,
-) -> EpisodeSummary {
+) -> Result<EpisodeSummary, RlError> {
     run_greedy_episode_ctx(env, learner, rng, &mut InferCtx::new())
 }
 
 /// [`run_greedy_episode`] on the zero-allocation inference fast path:
 /// every greedy action of the episode reuses `ctx`'s scratch buffers,
 /// so a warm context makes the policy evaluation allocation-free.
+///
+/// # Errors
+///
+/// Propagates learner errors.
 pub fn run_greedy_episode_ctx(
     env: &mut dyn Environment,
     learner: &mut dyn Learner,
     rng: &mut dyn RngCore,
     ctx: &mut InferCtx,
-) -> EpisodeSummary {
+) -> Result<EpisodeSummary, RlError> {
     let mut state = env.reset(rng);
     let mut total_reward = 0.0;
     let mut steps = 0;
     let outcome = loop {
-        let action = learner.act_greedy_ctx(&state, ctx);
+        let action = learner.act_greedy_ctx(&state, ctx)?;
         let step = env.step(action, rng);
         total_reward += step.reward;
         steps += 1;
@@ -81,7 +131,7 @@ pub fn run_greedy_episode_ctx(
             break step.outcome;
         }
     };
-    EpisodeSummary { total_reward, steps, outcome }
+    Ok(EpisodeSummary { total_reward, steps, outcome })
 }
 
 /// Lock-step batched greedy evaluation: runs every environment in
@@ -100,6 +150,12 @@ pub fn run_greedy_episode_ctx(
 /// All environments must share one observation shape (they are fed to
 /// the same policy).
 ///
+/// # Errors
+///
+/// Propagates learner errors and rejects unsupported observation
+/// shapes; returns [`RlError::EpisodeNotTerminated`] if an environment
+/// violates its termination contract.
+///
 /// # Panics
 ///
 /// Panics if `rngs.len() != envs.len()` or the observation shapes
@@ -109,14 +165,14 @@ pub fn run_greedy_episodes_batch<E: Environment, R: RngCore>(
     envs: &mut [E],
     rngs: &mut [R],
     ctx: &mut BatchInferCtx,
-) -> Vec<EpisodeSummary> {
+) -> Result<Vec<EpisodeSummary>, RlError> {
     let n = envs.len();
     assert_eq!(rngs.len(), n, "one RNG per environment");
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let dims = envs[0].obs_shape();
-    let shape = ActShape::from_dims(&dims).expect("environment observation shape");
+    let shape = ActShape::from_dims(&dims)?;
     let vol = shape.volume();
 
     // Active environment indices and their current observations, kept
@@ -136,7 +192,7 @@ pub fn run_greedy_episodes_batch<E: Environment, R: RngCore>(
     let mut summaries: Vec<Option<EpisodeSummary>> = vec![None; n];
     while !active.is_empty() {
         let b = active.len();
-        learner.act_greedy_batch(&states[..b * vol], &shape, b, ctx, &mut actions[..b]);
+        learner.act_greedy_batch(&states[..b * vol], &shape, b, ctx, &mut actions[..b])?;
         // Step every active environment; survivors compact in place so
         // the next batched forward sees only live episodes.
         let mut live = 0;
@@ -159,7 +215,7 @@ pub fn run_greedy_episodes_batch<E: Environment, R: RngCore>(
         }
         active.truncate(live);
     }
-    summaries.into_iter().map(|s| s.expect("every episode terminated")).collect()
+    summaries.into_iter().map(|s| s.ok_or(RlError::EpisodeNotTerminated)).collect()
 }
 
 #[cfg(test)]
@@ -176,7 +232,7 @@ mod tests {
         let mut env = GridWorld::standard_layouts(1)[0].clone();
         let mut rng = StdRng::seed_from_u64(0);
         let mut learner = QLearner::gridworld_default(&mut rng).unwrap();
-        let s = run_episode(&mut env, &mut learner, &mut rng);
+        let s = run_episode(&mut env, &mut learner, &mut rng).unwrap();
         assert!(s.steps > 0);
         assert!(s.outcome.is_terminal());
     }
@@ -187,7 +243,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut learner = QLearner::gridworld_default(&mut rng).unwrap();
         let before = learner.network().snapshot();
-        run_greedy_episode(&mut env, &mut learner, &mut rng);
+        run_greedy_episode(&mut env, &mut learner, &mut rng).unwrap();
         assert_eq!(learner.network().snapshot(), before);
     }
 
@@ -202,7 +258,7 @@ mod tests {
         for env in layouts.iter().take(4) {
             let mut env = env.clone();
             for _ in 0..120 {
-                run_episode(&mut env, &mut learner, &mut rng);
+                run_episode(&mut env, &mut learner, &mut rng).unwrap();
             }
         }
         let mut seq_envs: Vec<GridWorld> = layouts.iter().take(4).cloned().collect();
@@ -212,6 +268,7 @@ mod tests {
             .map(|(i, env)| {
                 let mut eval_rng = StdRng::seed_from_u64(1000 + i as u64);
                 run_greedy_episode_ctx(env, &mut learner, &mut eval_rng, &mut InferCtx::new())
+                    .unwrap()
             })
             .collect();
         let mut batch_envs: Vec<GridWorld> = layouts.iter().take(4).cloned().collect();
@@ -222,7 +279,8 @@ mod tests {
             &mut batch_envs,
             &mut eval_rngs,
             &mut BatchInferCtx::new(),
-        );
+        )
+        .unwrap();
         assert_eq!(batched, sequential);
     }
 
@@ -235,7 +293,8 @@ mod tests {
             &mut Vec::<GridWorld>::new(),
             &mut Vec::<StdRng>::new(),
             &mut BatchInferCtx::new(),
-        );
+        )
+        .unwrap();
         assert!(none.is_empty());
         let mut envs = vec![GridWorld::standard_layouts(1)[0].clone()];
         let mut rngs = vec![StdRng::seed_from_u64(7)];
@@ -244,7 +303,8 @@ mod tests {
             &mut envs,
             &mut rngs,
             &mut BatchInferCtx::new(),
-        );
+        )
+        .unwrap();
         assert_eq!(one.len(), 1);
         assert!(one[0].outcome.is_terminal());
     }
@@ -256,11 +316,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut learner = QLearner::gridworld_default(&mut rng).unwrap();
         for _ in 0..600 {
-            run_episode(&mut env, &mut learner, &mut rng);
+            run_episode(&mut env, &mut learner, &mut rng).unwrap();
         }
         let successes = (0..20)
             .filter(|_| {
-                run_greedy_episode(&mut env, &mut learner, &mut rng).outcome == Outcome::Goal
+                run_greedy_episode(&mut env, &mut learner, &mut rng).unwrap().outcome
+                    == Outcome::Goal
             })
             .count();
         assert!(successes >= 15, "only {successes}/20 greedy episodes reached the goal");

@@ -25,13 +25,14 @@
 //! let mut env = GridWorld::standard_layouts(3)[0].clone();
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let mut learner = QLearner::gridworld_default(&mut rng)?;
-//! let summary = run_episode(&mut env, &mut learner, &mut rng);
+//! let summary = run_episode(&mut env, &mut learner, &mut rng)?;
 //! assert!(summary.steps > 0);
 //! # Ok(())
 //! # }
 //! ```
 
 mod episode;
+mod error;
 mod learner;
 mod policy;
 mod qlearn;
@@ -39,11 +40,15 @@ mod reinforce;
 mod schedule;
 
 pub use episode::{
-    run_episode, run_greedy_episode, run_greedy_episode_ctx, run_greedy_episodes_batch,
-    EpisodeSummary,
+    run_episode, run_episode_batched, run_greedy_episode, run_greedy_episode_ctx,
+    run_greedy_episodes_batch, EpisodeSummary,
 };
+pub use error::RlError;
 pub use learner::{Learner, Transition};
-pub use policy::{eps_greedy, greedy_argmax, sample_categorical, softmax, softmax_argmax};
+pub use policy::{
+    eps_greedy, eps_greedy_slice, greedy_argmax, sample_categorical, sample_categorical_slice,
+    softmax, softmax_argmax, softmax_into,
+};
 pub use qlearn::QLearner;
 pub use reinforce::Reinforce;
 pub use schedule::EpsilonSchedule;

@@ -18,18 +18,33 @@ use rand::RngCore;
 /// assert!((p.data()[0] - 0.5).abs() < 1e-6);
 /// ```
 pub fn softmax(logits: &Tensor) -> Tensor {
-    let sanitized: Vec<f32> =
-        logits.data().iter().map(|&x| if x.is_finite() { x } else { -1e30 }).collect();
-    let max = sanitized.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = sanitized.iter().map(|&x| (x - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    let n = exps.len();
-    let probs = if sum > 0.0 && sum.is_finite() {
-        exps.iter().map(|&e| e / sum).collect()
-    } else {
-        vec![1.0 / n as f32; n]
-    };
+    let mut probs = Vec::new();
+    softmax_into(logits.data(), &mut probs);
+    let n = probs.len();
     Tensor::from_vec(vec![n], probs).expect("softmax preserves length")
+}
+
+/// [`softmax`] over a borrowed logits slice, writing the distribution
+/// into a caller-owned scratch vector (cleared first). This is the
+/// allocation-free training fast path; it performs exactly the tensor
+/// version's computation — [`softmax`] delegates here — so the produced
+/// probabilities are bit-identical.
+pub fn softmax_into(logits: &[f32], out: &mut Vec<f32>) {
+    let sanitize = |x: f32| if x.is_finite() { x } else { -1e30 };
+    let max = logits.iter().map(|&x| sanitize(x)).fold(f32::NEG_INFINITY, f32::max);
+    out.clear();
+    out.extend(logits.iter().map(|&x| (sanitize(x) - max).exp()));
+    let sum: f32 = out.iter().sum();
+    let n = out.len();
+    if sum > 0.0 && sum.is_finite() {
+        for e in out.iter_mut() {
+            *e /= sum;
+        }
+    } else {
+        for e in out.iter_mut() {
+            *e = 1.0 / n as f32;
+        }
+    }
 }
 
 /// Samples an index from a categorical distribution.
@@ -37,13 +52,20 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 /// Falls back to uniform if the probabilities are degenerate (all zero /
 /// non-finite), which can happen under heavy fault injection.
 pub fn sample_categorical(probs: &Tensor, rng: &mut dyn RngCore) -> usize {
+    sample_categorical_slice(probs.data(), rng)
+}
+
+/// [`sample_categorical`] over a borrowed probability slice — the tensor
+/// version delegates here, so both draw identically from the same RNG
+/// stream.
+pub fn sample_categorical_slice(probs: &[f32], rng: &mut dyn RngCore) -> usize {
     let n = probs.len();
-    let total: f32 = probs.data().iter().filter(|p| p.is_finite() && **p > 0.0).sum();
+    let total: f32 = probs.iter().filter(|p| p.is_finite() && **p > 0.0).sum();
     if !(total.is_finite() && total > 0.0) {
         return (rng.next_u64() % n as u64) as usize;
     }
     let mut u = uniform_f32(rng) * total;
-    for (i, &p) in probs.data().iter().enumerate() {
+    for (i, &p) in probs.iter().enumerate() {
         if p.is_finite() && p > 0.0 {
             if u < p {
                 return i;
@@ -110,13 +132,19 @@ pub fn softmax_argmax(logits: &[f32]) -> usize {
 
 /// ε-greedy selection over a rank-1 Q-value tensor.
 pub fn eps_greedy(q_values: &Tensor, epsilon: f32, rng: &mut dyn RngCore) -> usize {
+    eps_greedy_slice(q_values.data(), epsilon, rng)
+}
+
+/// [`eps_greedy`] over a borrowed Q-value slice — the tensor version
+/// delegates here, so both consume the RNG stream identically.
+pub fn eps_greedy_slice(q_values: &[f32], epsilon: f32, rng: &mut dyn RngCore) -> usize {
     let n = q_values.len();
     let u = uniform_f32(rng);
     if u < epsilon {
         (rng.next_u64() % n as u64) as usize
     } else {
         // Ignore non-finite Q-values that faults may have produced.
-        greedy_argmax(q_values.data())
+        greedy_argmax(q_values)
     }
 }
 

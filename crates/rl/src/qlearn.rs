@@ -1,4 +1,6 @@
-use crate::{eps_greedy, greedy_argmax, EpsilonSchedule, Learner, Transition};
+use crate::{
+    eps_greedy, eps_greedy_slice, greedy_argmax, EpsilonSchedule, Learner, RlError, Transition,
+};
 use frlfi_nn::{ActShape, BatchInferCtx, InferCtx, Network, NetworkBuilder, NnError};
 use frlfi_tensor::Tensor;
 use rand::{Rng, RngCore};
@@ -18,7 +20,7 @@ use rand::{Rng, RngCore};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let mut q = QLearner::gridworld_default(&mut rng)?;
-/// let a = q.act_greedy(&Tensor::from_vec(vec![6], vec![0.0, -1.0, 1.0, 0.0, 1.0, 0.0])?);
+/// let a = q.act_greedy(&Tensor::from_vec(vec![6], vec![0.0, -1.0, 1.0, 0.0, 1.0, 0.0])?)?;
 /// assert!(a < 4);
 /// # Ok(())
 /// # }
@@ -30,12 +32,14 @@ pub struct QLearner {
     lr: f32,
     schedule: EpsilonSchedule,
     episode: usize,
+    /// Scratch output-gradient row for the batched-training fast path.
+    grad: Vec<f32>,
 }
 
 impl QLearner {
     /// Creates a learner around an existing Q-network.
     pub fn new(net: Network, gamma: f32, lr: f32, schedule: EpsilonSchedule) -> Self {
-        QLearner { net, gamma, lr, schedule, episode: 0 }
+        QLearner { net, gamma, lr, schedule, episode: 0, grad: Vec::new() }
     }
 
     /// The standard GridWorld configuration: MLP 6→32→32→4, γ = 0.9,
@@ -63,22 +67,104 @@ impl QLearner {
     pub fn epsilon(&self) -> f32 {
         self.schedule.epsilon(self.episode)
     }
+
+    /// One TD update on the batched-training fast path: the TD target's
+    /// next-state forward runs through the arena kernels (no gradients
+    /// flow through it), and the current-state forward is cached in
+    /// `ctx` so the backward runs the batched kernels at batch 1 —
+    /// which route through the reference kernels, so the updated
+    /// weights are **bit-identical** to [`Learner::observe`].
+    ///
+    /// The two forwards are deliberately *not* fused into one batch of
+    /// two: a fused backward would feed the bias-gradient accumulator an
+    /// extra `+0.0` for the next-state row (the reference path runs a
+    /// single backward), which is not bitwise-neutral for -0.0/NaN
+    /// payloads.
+    fn learn_one(&mut self, t: &Transition, ctx: &mut BatchInferCtx) -> Result<(), RlError> {
+        let target = match &t.next_state {
+            Some(ns) => {
+                let shape = ActShape::from_dims(ns.shape().dims())?;
+                let next_q = self.net.infer_batch(ns.data(), &shape, 1, ctx)?;
+                let max_next = next_q
+                    .iter()
+                    .cloned()
+                    .filter(|v| v.is_finite())
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let max_next = if max_next.is_finite() { max_next } else { 0.0 };
+                t.reward + self.gamma * max_next
+            }
+            None => t.reward,
+        };
+        let shape = ActShape::from_dims(t.state.shape().dims())?;
+        let (q_a, n) = {
+            let q = self.net.forward_batch_cached(t.state.data(), &shape, 1, ctx)?;
+            (q[t.action], q.len())
+        };
+        self.grad.clear();
+        self.grad.resize(n, 0.0);
+        let delta = q_a - target;
+        // Clip the TD error so fault-corrupted outliers cannot blow up
+        // training with a single step (standard DQN-style safeguard).
+        self.grad[t.action] = delta.clamp(-10.0, 10.0);
+        self.net.backward_batch(&self.grad, 1, ctx)?;
+        self.net.apply_grads(self.lr);
+        Ok(())
+    }
+
+    /// Runs a run of TD updates through the batched-training scratch
+    /// arena. TD learning is online — each update sees the weights the
+    /// previous one produced — so transitions are processed strictly in
+    /// order; the batching win here is routing every forward/backward
+    /// through the allocation-free arena kernels instead of the
+    /// tensor-allocating reference path. Weights after the call are
+    /// **bit-identical** to calling [`Learner::observe`] on each
+    /// transition in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a transition's observations do not fit the
+    /// policy network; transitions before the failing one have already
+    /// been applied.
+    pub fn learn_batch(
+        &mut self,
+        transitions: &[Transition],
+        ctx: &mut BatchInferCtx,
+    ) -> Result<(), RlError> {
+        for t in transitions {
+            self.learn_one(t, ctx)?;
+        }
+        Ok(())
+    }
 }
 
 impl Learner for QLearner {
-    fn act(&mut self, state: &Tensor, rng: &mut dyn RngCore) -> usize {
-        let q = self.net.forward(state).expect("forward on observation");
-        eps_greedy(&q, self.schedule.epsilon(self.episode), rng)
+    fn act(&mut self, state: &Tensor, rng: &mut dyn RngCore) -> Result<usize, RlError> {
+        let q = self.net.forward(state)?;
+        Ok(eps_greedy(&q, self.schedule.epsilon(self.episode), rng))
     }
 
-    fn act_greedy(&mut self, state: &Tensor) -> usize {
-        let q = self.net.forward(state).expect("forward on observation");
-        greedy_argmax(q.data())
+    fn act_greedy(&mut self, state: &Tensor) -> Result<usize, RlError> {
+        let q = self.net.forward(state)?;
+        Ok(greedy_argmax(q.data()))
     }
 
-    fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> usize {
-        let q = self.net.infer(state, ctx).expect("infer on observation");
-        greedy_argmax(q)
+    fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> Result<usize, RlError> {
+        let q = self.net.infer(state, ctx)?;
+        Ok(greedy_argmax(q))
+    }
+
+    fn act_train_ctx(
+        &mut self,
+        state: &Tensor,
+        rng: &mut dyn RngCore,
+        ctx: &mut BatchInferCtx,
+    ) -> Result<usize, RlError> {
+        // Same Q-values bit for bit as `act` (the fast path is
+        // bit-identical) and the same `eps_greedy` RNG consumption, so
+        // training trajectories are unchanged.
+        let shape = ActShape::from_dims(state.shape().dims())?;
+        let q = self.net.infer_batch(state.data(), &shape, 1, ctx)?;
+        Ok(eps_greedy_slice(q, self.schedule.epsilon(self.episode), rng))
     }
 
     fn act_greedy_batch(
@@ -88,20 +174,21 @@ impl Learner for QLearner {
         batch: usize,
         ctx: &mut BatchInferCtx,
         actions: &mut [usize],
-    ) {
-        let q = self.net.infer_batch(states, in_shape, batch, ctx).expect("batched infer");
+    ) -> Result<(), RlError> {
+        let q = self.net.infer_batch(states, in_shape, batch, ctx)?;
         let n = q.len() / batch;
         for (b, row) in q.chunks_exact(n).enumerate() {
             actions[b] = greedy_argmax(row);
         }
+        Ok(())
     }
 
-    fn observe(&mut self, t: Transition) {
+    fn observe(&mut self, t: Transition) -> Result<(), RlError> {
         // One-step TD target (computed before re-running forward on the
         // current state so layer caches hold the right activations).
         let target = match &t.next_state {
             Some(ns) => {
-                let next_q = self.net.forward(ns).expect("forward on next state");
+                let next_q = self.net.forward(ns)?;
                 let max_next = next_q
                     .data()
                     .iter()
@@ -113,19 +200,25 @@ impl Learner for QLearner {
             }
             None => t.reward,
         };
-        let q = self.net.forward(&t.state).expect("forward on state");
+        let q = self.net.forward(&t.state)?;
         let mut grad = vec![0.0f32; q.len()];
         let delta = q.data()[t.action] - target;
         // Clip the TD error so fault-corrupted outliers cannot blow up
         // training with a single step (standard DQN-style safeguard).
         grad[t.action] = delta.clamp(-10.0, 10.0);
-        let grad = Tensor::from_vec(vec![grad.len()], grad).expect("grad length");
-        self.net.backward(&grad).expect("backward");
+        let grad = Tensor::from_vec(vec![grad.len()], grad)?;
+        self.net.backward(&grad)?;
         self.net.apply_grads(self.lr);
+        Ok(())
     }
 
-    fn end_episode(&mut self) {
+    fn observe_ctx(&mut self, t: Transition, ctx: &mut BatchInferCtx) -> Result<(), RlError> {
+        self.learn_one(&t, ctx)
+    }
+
+    fn end_episode(&mut self) -> Result<(), RlError> {
         self.episode += 1;
+        Ok(())
     }
 
     fn set_episode(&mut self, episode: usize) {
@@ -154,7 +247,8 @@ mod tests {
         let s = Tensor::from_vec(vec![6], vec![0.0, 1.0, -1.0, 0.0, -1.0, 1.0]).unwrap();
         let before = q.network_mut().forward(&s).unwrap().data()[2];
         for _ in 0..20 {
-            q.observe(Transition { state: s.clone(), action: 2, reward: 1.0, next_state: None });
+            q.observe(Transition { state: s.clone(), action: 2, reward: 1.0, next_state: None })
+                .unwrap();
         }
         let after = q.network_mut().forward(&s).unwrap().data()[2];
         assert!(
@@ -178,7 +272,7 @@ mod tests {
         let mut q = QLearner::gridworld_default(&mut rng).unwrap();
         let s = Tensor::from_vec(vec![6], vec![1.0, 0.0, 0.0, -1.0, -1.0, 0.0]).unwrap();
         let qs = q.network_mut().forward(&s).unwrap();
-        assert_eq!(q.act_greedy(&s), qs.argmax());
+        assert_eq!(q.act_greedy(&s).unwrap(), qs.argmax());
     }
 
     #[test]
@@ -188,7 +282,8 @@ mod tests {
         let s = Tensor::from_vec(vec![6], vec![0.0; 6]).unwrap();
         // Hammer a terminal reward of −1 on action 0.
         for _ in 0..600 {
-            q.observe(Transition { state: s.clone(), action: 0, reward: -1.0, next_state: None });
+            q.observe(Transition { state: s.clone(), action: 0, reward: -1.0, next_state: None })
+                .unwrap();
         }
         let v = q.network_mut().forward(&s).unwrap().data()[0];
         assert!((v + 1.0).abs() < 0.2, "terminal Q should approach −1, got {v}");

@@ -1,4 +1,7 @@
-use crate::{sample_categorical, softmax, softmax_argmax, Learner, Transition};
+use crate::{
+    sample_categorical, sample_categorical_slice, softmax, softmax_argmax, softmax_into, Learner,
+    RlError, Transition,
+};
 use frlfi_nn::{ActShape, BatchInferCtx, InferCtx, Network, NetworkBuilder, NnError};
 use frlfi_tensor::Tensor;
 use rand::{Rng, RngCore};
@@ -18,7 +21,7 @@ use rand::{Rng, RngCore};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let mut pi = Reinforce::drone_default(&mut rng)?;
-/// let a = pi.act_greedy(&Tensor::zeros(vec![1, 9, 16]));
+/// let a = pi.act_greedy(&Tensor::zeros(vec![1, 9, 16]))?;
 /// assert!(a < 25);
 /// # Ok(())
 /// # }
@@ -32,6 +35,8 @@ pub struct Reinforce {
     baseline_momentum: f32,
     episode_buf: Vec<Transition>,
     episode: usize,
+    /// Scratch probability row for the batched-training fast path.
+    probs_scratch: Vec<f32>,
 }
 
 impl Reinforce {
@@ -45,6 +50,7 @@ impl Reinforce {
             baseline_momentum: 0.9,
             episode_buf: Vec::new(),
             episode: 0,
+            probs_scratch: Vec::new(),
         }
     }
 
@@ -90,25 +96,128 @@ impl Reinforce {
     pub fn baseline(&self) -> f32 {
         self.baseline
     }
+
+    /// The per-episode REINFORCE update as **one batched forward and
+    /// one batched backward** over the buffered steps — this is where
+    /// batched training pays: for a T-step episode the sequential
+    /// reference runs T tensor-allocating forwards and T backwards,
+    /// while this path runs a single arena-backed batch of all kept
+    /// steps.
+    ///
+    /// Bitwise contract with [`Learner::end_episode`]: returns,
+    /// advantages, the `advantage == 0.0` step filter, per-row softmax,
+    /// gradient rows, the `lr / T` scale and the baseline EMA are all
+    /// computed identically, and the batched backward accumulates every
+    /// parameter-gradient element in ascending step order — exactly the
+    /// order the sequential per-step backwards accumulate (weights only
+    /// change at the single `apply_grads`). Trained weights are
+    /// therefore bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a buffered observation does not fit the
+    /// policy network; the episode buffer is left intact so the caller
+    /// can inspect it.
+    pub fn learn_batch(&mut self, ctx: &mut BatchInferCtx) -> Result<(), RlError> {
+        if self.episode_buf.is_empty() {
+            self.episode += 1;
+            return Ok(());
+        }
+        // Discounted returns, computed backward.
+        let mut returns = vec![0.0f32; self.episode_buf.len()];
+        let mut g = 0.0;
+        for (i, t) in self.episode_buf.iter().enumerate().rev() {
+            g = t.reward + self.gamma * g;
+            returns[i] = g;
+        }
+        let episode_return = returns[0];
+
+        // Steps the sequential path would actually train on (it skips
+        // zero-advantage steps before running any forward).
+        let kept: Vec<(usize, f32)> = returns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &g_t)| {
+                let advantage = (g_t - self.baseline).clamp(-50.0, 50.0);
+                (advantage != 0.0).then_some((i, advantage))
+            })
+            .collect();
+        if !kept.is_empty() {
+            let shape = ActShape::from_dims(self.episode_buf[kept[0].0].state.shape().dims())?;
+            let vol = shape.volume();
+            let batch = kept.len();
+            let mut states = vec![0.0f32; vol * batch];
+            for (s, &(i, _)) in kept.iter().enumerate() {
+                let data = self.episode_buf[i].state.data();
+                if data.len() != vol {
+                    return Err(RlError::Nn(NnError::BadDimensions {
+                        detail: format!(
+                            "episode step {i} observation has {} elements, expected {vol}",
+                            data.len()
+                        ),
+                    }));
+                }
+                states[s * vol..(s + 1) * vol].copy_from_slice(data);
+            }
+            let logits = self.net.forward_batch_cached(&states, &shape, batch, ctx)?;
+            let n = logits.len() / batch;
+            let mut grads = vec![0.0f32; logits.len()];
+            for (s, &(i, advantage)) in kept.iter().enumerate() {
+                // ∇_logits −log π(a) · A = (π − one_hot(a)) · A, with
+                // the bit-exact softmax replay per row.
+                softmax_into(&logits[s * n..(s + 1) * n], &mut self.probs_scratch);
+                let grow = &mut grads[s * n..(s + 1) * n];
+                for (gj, &p) in grow.iter_mut().zip(self.probs_scratch.iter()) {
+                    *gj = p * advantage;
+                }
+                grow[self.episode_buf[i].action] -= advantage;
+            }
+            self.net.backward_batch(&grads, batch, ctx)?;
+        }
+        // One SGD step per episode, scaled by episode length.
+        let scale = self.lr / self.episode_buf.len() as f32;
+        self.net.apply_grads(scale);
+
+        self.baseline = self.baseline_momentum * self.baseline
+            + (1.0 - self.baseline_momentum) * episode_return;
+        self.episode_buf.clear();
+        self.episode += 1;
+        Ok(())
+    }
 }
 
 impl Learner for Reinforce {
-    fn act(&mut self, state: &Tensor, rng: &mut dyn RngCore) -> usize {
-        let logits = self.net.forward(state).expect("forward on observation");
-        sample_categorical(&softmax(&logits), rng)
+    fn act(&mut self, state: &Tensor, rng: &mut dyn RngCore) -> Result<usize, RlError> {
+        let logits = self.net.forward(state)?;
+        Ok(sample_categorical(&softmax(&logits), rng))
     }
 
-    fn act_greedy(&mut self, state: &Tensor) -> usize {
-        let logits = self.net.forward(state).expect("forward on observation");
-        softmax(&logits).argmax()
+    fn act_greedy(&mut self, state: &Tensor) -> Result<usize, RlError> {
+        let logits = self.net.forward(state)?;
+        Ok(softmax(&logits).argmax())
     }
 
-    fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> usize {
+    fn act_greedy_ctx(&mut self, state: &Tensor, ctx: &mut InferCtx) -> Result<usize, RlError> {
         // `softmax_argmax` replays `softmax(..).argmax()` bit-exactly
         // over the borrowed activation slice, keeping the whole greedy
         // step allocation-free.
-        let logits = self.net.infer(state, ctx).expect("infer on observation");
-        softmax_argmax(logits)
+        let logits = self.net.infer(state, ctx)?;
+        Ok(softmax_argmax(logits))
+    }
+
+    fn act_train_ctx(
+        &mut self,
+        state: &Tensor,
+        rng: &mut dyn RngCore,
+        ctx: &mut BatchInferCtx,
+    ) -> Result<usize, RlError> {
+        // Same logits bit for bit as `act`, the bit-exact softmax
+        // replay, and the same sampler RNG consumption — training
+        // trajectories are unchanged.
+        let shape = ActShape::from_dims(state.shape().dims())?;
+        let logits = self.net.infer_batch(state.data(), &shape, 1, ctx)?;
+        softmax_into(logits, &mut self.probs_scratch);
+        Ok(sample_categorical_slice(&self.probs_scratch, rng))
     }
 
     fn act_greedy_batch(
@@ -118,24 +227,26 @@ impl Learner for Reinforce {
         batch: usize,
         ctx: &mut BatchInferCtx,
         actions: &mut [usize],
-    ) {
+    ) -> Result<(), RlError> {
         // One batched forward, then the allocation-free bit-exact
         // softmax-argmax replay per logits row (see `act_greedy_ctx`).
-        let logits = self.net.infer_batch(states, in_shape, batch, ctx).expect("batched infer");
+        let logits = self.net.infer_batch(states, in_shape, batch, ctx)?;
         let n = logits.len() / batch;
         for (b, row) in logits.chunks_exact(n).enumerate() {
             actions[b] = softmax_argmax(row);
         }
+        Ok(())
     }
 
-    fn observe(&mut self, t: Transition) {
+    fn observe(&mut self, t: Transition) -> Result<(), RlError> {
         self.episode_buf.push(t);
+        Ok(())
     }
 
-    fn end_episode(&mut self) {
+    fn end_episode(&mut self) -> Result<(), RlError> {
         if self.episode_buf.is_empty() {
             self.episode += 1;
-            return;
+            return Ok(());
         }
         // Discounted returns, computed backward.
         let mut returns = vec![0.0f32; self.episode_buf.len()];
@@ -151,13 +262,13 @@ impl Learner for Reinforce {
             if advantage == 0.0 {
                 continue;
             }
-            let logits = self.net.forward(&t.state).expect("forward on recorded state");
+            let logits = self.net.forward(&t.state)?;
             let probs = softmax(&logits);
             // ∇_logits −log π(a) · A = (π − one_hot(a)) · A
             let mut grad: Vec<f32> = probs.data().iter().map(|&p| p * advantage).collect();
             grad[t.action] -= advantage;
-            let grad = Tensor::from_vec(vec![grad.len()], grad).expect("grad length");
-            self.net.backward(&grad).expect("backward");
+            let grad = Tensor::from_vec(vec![grad.len()], grad)?;
+            self.net.backward(&grad)?;
         }
         // One SGD step per episode, scaled by episode length.
         let scale = self.lr / self.episode_buf.len() as f32;
@@ -167,6 +278,11 @@ impl Learner for Reinforce {
             + (1.0 - self.baseline_momentum) * episode_return;
         self.episode_buf.clear();
         self.episode += 1;
+        Ok(())
+    }
+
+    fn end_episode_ctx(&mut self, ctx: &mut BatchInferCtx) -> Result<(), RlError> {
+        self.learn_batch(ctx)
     }
 
     fn set_episode(&mut self, episode: usize) {
@@ -196,12 +312,13 @@ mod tests {
         let mut pi = Reinforce::new(net, 1.0, 0.1);
         let s = Tensor::from_vec(vec![1], vec![1.0]).unwrap();
         for _ in 0..300 {
-            let a = pi.act(&s, &mut rng);
+            let a = pi.act(&s, &mut rng).unwrap();
             let r = if a == 1 { 1.0 } else { -1.0 };
-            pi.observe(Transition { state: s.clone(), action: a, reward: r, next_state: None });
-            pi.end_episode();
+            pi.observe(Transition { state: s.clone(), action: a, reward: r, next_state: None })
+                .unwrap();
+            pi.end_episode().unwrap();
         }
-        assert_eq!(pi.act_greedy(&s), 1, "should prefer the rewarded arm");
+        assert_eq!(pi.act_greedy(&s).unwrap(), 1, "should prefer the rewarded arm");
         let logits = pi.network_mut().forward(&s).unwrap();
         let p = softmax(&logits);
         assert!(p.data()[1] > 0.8, "P(best arm) = {}", p.data()[1]);
@@ -212,7 +329,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut pi = Reinforce::gridworld_default(&mut rng).unwrap();
         let before = pi.network().snapshot();
-        pi.end_episode();
+        pi.end_episode().unwrap();
         assert_eq!(pi.network().snapshot(), before);
     }
 
@@ -222,8 +339,9 @@ mod tests {
         let mut pi = Reinforce::gridworld_default(&mut rng).unwrap();
         let s = Tensor::from_vec(vec![6], vec![0.0; 6]).unwrap();
         for _ in 0..50 {
-            pi.observe(Transition { state: s.clone(), action: 0, reward: 2.0, next_state: None });
-            pi.end_episode();
+            pi.observe(Transition { state: s.clone(), action: 0, reward: 2.0, next_state: None })
+                .unwrap();
+            pi.end_episode().unwrap();
         }
         assert!(pi.baseline() > 1.0, "baseline {} should approach 2.0", pi.baseline());
     }
@@ -232,7 +350,7 @@ mod tests {
     fn drone_default_runs_forward() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut pi = Reinforce::drone_default(&mut rng).unwrap();
-        let a = pi.act(&Tensor::zeros(vec![1, 9, 16]), &mut rng);
+        let a = pi.act(&Tensor::zeros(vec![1, 9, 16]), &mut rng).unwrap();
         assert!(a < 25);
     }
 }

@@ -58,7 +58,7 @@ proptest! {
             let mut env = GridWorld::from_spec(&frlfi_envs::standard_layout_specs(env_seed, 1)[0]);
             let mut rng = StdRng::seed_from_u64(learner_seed);
             let mut learner = QLearner::gridworld_default(&mut rng).expect("learner");
-            let s = run_episode(&mut env, &mut learner, &mut rng);
+            let s = run_episode(&mut env, &mut learner, &mut rng).expect("episode runs");
             (s.steps, s.total_reward.to_bits(), learner.network().snapshot())
         };
         prop_assert_eq!(run(), run());
@@ -70,7 +70,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(env_seed);
         let mut learner = Reinforce::gridworld_default(&mut rng).expect("learner");
         let before = learner.network().snapshot();
-        run_greedy_episode(&mut env, &mut learner, &mut rng);
+        run_greedy_episode(&mut env, &mut learner, &mut rng).expect("episode runs");
         prop_assert_eq!(learner.network().snapshot(), before);
     }
 
@@ -85,9 +85,9 @@ proptest! {
                 action: i % 4,
                 reward: r,
                 next_state: (i + 1 < rewards.len()).then(|| s.clone()),
-            });
+            }).expect("observe");
         }
-        pi.end_episode();
+        pi.end_episode().expect("end episode");
         prop_assert!(pi.network().snapshot().iter().all(|w| w.is_finite()));
     }
 
@@ -96,7 +96,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut q = QLearner::gridworld_default(&mut rng).expect("learner");
         let s = Tensor::from_vec(vec![6], vec![0.0; 6]).expect("state");
-        q.observe(Transition { state: s.clone(), action: 0, reward, next_state: Some(s) });
+        q.observe(Transition { state: s.clone(), action: 0, reward, next_state: Some(s) }).expect("observe");
         prop_assert!(q.network().snapshot().iter().all(|w| w.is_finite()));
     }
 
@@ -109,9 +109,9 @@ proptest! {
         let mut ctx = frlfi_nn::InferCtx::new();
         let mut q = QLearner::gridworld_default(&mut rng).expect("learner");
         let s = Tensor::from_vec(vec![6], obs.clone()).expect("state");
-        prop_assert_eq!(q.act_greedy(&s), q.act_greedy_ctx(&s, &mut ctx));
+        prop_assert_eq!(q.act_greedy(&s).expect("act"), q.act_greedy_ctx(&s, &mut ctx).expect("act"));
         let mut pi = Reinforce::gridworld_default(&mut rng).expect("learner");
-        prop_assert_eq!(pi.act_greedy(&s), pi.act_greedy_ctx(&s, &mut ctx));
+        prop_assert_eq!(pi.act_greedy(&s).expect("act"), pi.act_greedy_ctx(&s, &mut ctx).expect("act"));
     }
 
     #[test]
@@ -125,7 +125,7 @@ proptest! {
         let mut state = env.reset(&mut ep_rng);
         let mut slow_actions = Vec::new();
         loop {
-            let a = learner.act_greedy(&state);
+            let a = learner.act_greedy(&state).expect("act");
             slow_actions.push(a);
             let step = env.step(a, &mut ep_rng);
             state = step.state;
@@ -143,7 +143,7 @@ proptest! {
         let mut state = env.reset(&mut ep_rng);
         let mut fast_actions = Vec::new();
         loop {
-            let a = learner.act_greedy_ctx(&state, &mut ctx);
+            let a = learner.act_greedy_ctx(&state, &mut ctx).expect("act");
             fast_actions.push(a);
             let step = env.step(a, &mut ep_rng);
             state = step.state;

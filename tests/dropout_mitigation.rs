@@ -47,7 +47,7 @@ fn dropout_trial_with_mitigation_is_deterministic_per_observation_and_batched() 
     // mitigation happens during fine-tuning, before evaluation, so
     // the two paths must agree exactly as for unmitigated trials.
     let mut ctx = frlfi::nn::BatchInferCtx::new();
-    let batched = run_drone_trials_batched(&t, &seeds, &mut ctx);
+    let batched = run_drone_trials_batched(&t, &seeds, &mut ctx).expect("batched drone trials run");
     for (r, &seed) in seeds.iter().enumerate() {
         assert_eq!(
             batched[r].to_bits(),

@@ -155,8 +155,9 @@ fn run_golden_campaign(scenario: &frlfi_campaign::Scenario, golden: &[[f64; 2]],
         assert_eq!(s.std.to_bits(), expect.std.to_bits(), "cell {cell} std drifted");
         let seeds: Vec<u64> =
             (0..2).map(|r| derive_seed(campaign.master_seed, (cell * 2 + r) as u64)).collect();
-        let values =
-            campaign.run_trials_batched(cell, &seeds, &mut frlfi::nn::BatchInferCtx::new());
+        let values = campaign
+            .run_trials_batched(cell, &seeds, &mut frlfi::nn::BatchInferCtx::new())
+            .expect("golden trials run");
         for (r, (&v, &g)) in values.iter().zip(reps.iter()).enumerate() {
             assert_eq!(
                 v.to_bits(),
@@ -285,11 +286,12 @@ fn run_drone_variant_golden(name: &str, golden_bits: &[u64; 4], summary: &str) {
         );
         let seed = derive_seed(campaign.master_seed, (cell * campaign.repeats) as u64);
         // Per-observation path, bit for bit.
-        let v = campaign.run_trial(cell, seed);
+        let v = campaign.run_trial(cell, seed).expect("golden trial runs");
         assert_eq!(v.to_bits(), bits, "{name} cell {cell}: per-observation value {v} drifted");
         // Batched path, bit for bit.
-        let batched =
-            campaign.run_trials_batched(cell, &[seed], &mut frlfi::nn::BatchInferCtx::new());
+        let batched = campaign
+            .run_trials_batched(cell, &[seed], &mut frlfi::nn::BatchInferCtx::new())
+            .expect("golden trial runs");
         assert_eq!(
             batched[0].to_bits(),
             bits,
@@ -340,6 +342,97 @@ fn committed_grid_dropout_smoke_summary_matches_a_fresh_single_process_run() {
          regenerate tests/data/grid_dropout_smoke_summary.txt if the change is intended"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---- Batched-training gates (PR 8). The constants below pin the
+// ---- post-training weights of one GridWorld and one DroneNav
+// ---- scenario, captured from the sequential reference training path
+// ---- when batched training shipped. Both training modes must
+// ---- reproduce them bit for bit — any kernel change that reorders
+// ---- gradient accumulation trips these before it reaches a campaign.
+
+/// FNV-1a over the little-endian bytes of each weight's bit pattern:
+/// stable, dependency-free, and order-sensitive, so a single flipped
+/// mantissa bit anywhere in the fleet changes the digest.
+fn weight_digest(weights: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in weights {
+        for b in w.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Digest of the 3-agent GridWorld fleet after 80 sequential training
+/// episodes (config pinned in the test below).
+const GRID_TRAINED_WEIGHTS_DIGEST: u64 = 0x7680dc8f5fcc8f03;
+
+/// Digest of the 2-drone DroneNav fleet after pretrain + 6 sequential
+/// fine-tuning episodes (config pinned in the test below).
+const DRONE_TRAINED_WEIGHTS_DIGEST: u64 = 0x59eb7b72422c53a4;
+
+#[test]
+fn grid_training_weights_match_pinned_golden_in_both_modes() {
+    let run = |batched: bool| -> Vec<f32> {
+        let cfg = frlfi::GridSystemConfig {
+            n_agents: 3,
+            seed: 77,
+            epsilon_decay_episodes: 150,
+            ..Default::default()
+        };
+        let mut s = frlfi::GridFrlSystem::new(cfg).expect("system builds");
+        if batched {
+            let mut ctx = frlfi::nn::BatchInferCtx::new();
+            s.train_batched(80, None, None, &mut ctx).expect("batched training runs");
+        } else {
+            s.train(80, None, None).expect("sequential training runs");
+        }
+        use frlfi::rl::Learner as _;
+        (0..s.n_agents()).flat_map(|i| s.agent(i).network().snapshot()).collect()
+    };
+    let sequential = run(false);
+    let batched = run(true);
+    let seq_bits: Vec<u32> = sequential.iter().map(|w| w.to_bits()).collect();
+    let bat_bits: Vec<u32> = batched.iter().map(|w| w.to_bits()).collect();
+    assert_eq!(seq_bits, bat_bits, "batched grid training drifted from sequential");
+    assert_eq!(
+        weight_digest(&sequential),
+        GRID_TRAINED_WEIGHTS_DIGEST,
+        "trained grid weights drifted from the pinned sequential golden"
+    );
+}
+
+#[test]
+fn drone_training_weights_match_pinned_golden_in_both_modes() {
+    let run = |batched: bool| -> Vec<f32> {
+        let cfg = frlfi::DroneSystemConfig {
+            n_drones: 2,
+            seed: 0xD20E,
+            pretrain_episodes: 10,
+            ..Default::default()
+        };
+        let mut s = frlfi::DroneFrlSystem::new(cfg).expect("system builds");
+        s.pretrain().expect("pretraining runs");
+        if batched {
+            let mut ctx = frlfi::nn::BatchInferCtx::new();
+            s.fine_tune_batched(6, None, None, &mut ctx).expect("batched fine-tuning runs");
+        } else {
+            s.fine_tune(6, None, None).expect("sequential fine-tuning runs");
+        }
+        s.fleet_weights()
+    };
+    let sequential = run(false);
+    let batched = run(true);
+    let seq_bits: Vec<u32> = sequential.iter().map(|w| w.to_bits()).collect();
+    let bat_bits: Vec<u32> = batched.iter().map(|w| w.to_bits()).collect();
+    assert_eq!(seq_bits, bat_bits, "batched drone fine-tuning drifted from sequential");
+    assert_eq!(
+        weight_digest(&sequential),
+        DRONE_TRAINED_WEIGHTS_DIGEST,
+        "fine-tuned drone weights drifted from the pinned sequential golden"
+    );
 }
 
 #[test]
