@@ -28,7 +28,7 @@ fn main() {
     );
     println!("{}", fig3::convergence(scale));
     println!("{}", table1::run(scale));
-    println!("{}", fig4::run(scale));
+    frlfi_bench::print_or_die("fig4", fig4::run(scale));
     println!("{}", fig5::agent_faults(scale));
     println!("{}", fig5::server_faults(scale));
     println!("{}", fig5::single_drone(scale));
@@ -36,13 +36,13 @@ fn main() {
     println!("{}", fig6::comm_interval(scale));
     println!("{}", fig7::gridworld(scale));
     println!("{}", fig7::drone(scale));
-    println!("{}", fig8::gridworld(scale));
-    println!("{}", fig8::drone(scale));
+    frlfi_bench::print_or_die("fig8a", fig8::gridworld(scale));
+    frlfi_bench::print_or_die("fig8b", fig8::drone(scale));
     for t in fig9::run() {
         println!("{t}");
     }
-    println!("{}", datatypes::run(scale));
-    println!("{}", layers::run(scale));
+    frlfi_bench::print_or_die("datatypes", datatypes::run(scale));
+    frlfi_bench::print_or_die("layers", layers::run(scale));
     println!("{}", surfaces::run(scale));
 
     println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());

@@ -3,5 +3,8 @@
 //! Usage: `datatypes [smoke|bench|full]`.
 
 fn main() {
-    println!("{}", frlfi::experiments::datatypes::run(frlfi_bench::scale_from_env()));
+    frlfi_bench::print_or_die(
+        "datatypes",
+        frlfi::experiments::datatypes::run(frlfi_bench::scale_from_env()),
+    );
 }

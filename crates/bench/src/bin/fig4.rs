@@ -3,5 +3,5 @@
 //! Usage: `fig4 [smoke|bench|full]`.
 
 fn main() {
-    println!("{}", frlfi::experiments::fig4::run(frlfi_bench::scale_from_env()));
+    frlfi_bench::print_or_die("fig4", frlfi::experiments::fig4::run(frlfi_bench::scale_from_env()));
 }

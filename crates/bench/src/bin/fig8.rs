@@ -4,7 +4,7 @@
 //! Usage: `fig8 [smoke|bench|full] [a|b]` (default: both panels).
 
 use frlfi::experiments::fig8;
-use frlfi_bench::scale_from_env;
+use frlfi_bench::{print_or_die, scale_from_env};
 
 fn main() {
     let scale = scale_from_env();
@@ -14,9 +14,9 @@ fn main() {
     let want = |p: &str| all || panel.map(|s| s == p).unwrap_or(false);
 
     if want("a") {
-        println!("{}", fig8::gridworld(scale));
+        print_or_die("fig8a", fig8::gridworld(scale));
     }
     if want("b") {
-        println!("{}", fig8::drone(scale));
+        print_or_die("fig8b", fig8::drone(scale));
     }
 }

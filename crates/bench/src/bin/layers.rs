@@ -3,5 +3,8 @@
 //! Usage: `layers [smoke|bench|full]`.
 
 fn main() {
-    println!("{}", frlfi::experiments::layers::run(frlfi_bench::scale_from_env()));
+    frlfi_bench::print_or_die(
+        "layers",
+        frlfi::experiments::layers::run(frlfi_bench::scale_from_env()),
+    );
 }

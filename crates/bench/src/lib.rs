@@ -42,6 +42,19 @@ pub fn scale_from_env() -> Scale {
     parse_scale(&args)
 }
 
+/// Prints a fallible figure driver's table, or reports the error on
+/// stderr and exits nonzero — the shared shim for the drivers that
+/// return `Result` (the train-once inference studies).
+pub fn print_or_die(label: &str, result: Result<frlfi::report::Table, frlfi::FrlfiError>) {
+    match result {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("{label}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

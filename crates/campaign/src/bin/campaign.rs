@@ -362,6 +362,19 @@ fn print_status(s: &coord::CampaignStatus, dir: &std::path::Path) {
         s.percent()
     );
     println!("  grid: {} cells × {} repeats", s.cells, s.repeats);
+    if let Some(t) = &s.tasks {
+        println!(
+            "  tasks: train {} pending · {} claimed · {} done · {} quarantined",
+            t.train.pending, t.train.claimed, t.train.done, t.train.quarantined
+        );
+        println!(
+            "         eval  {} pending · {} claimed · {} done · {} quarantined",
+            t.eval.pending, t.eval.claimed, t.eval.done, t.eval.quarantined
+        );
+        if !t.unsatisfied.is_empty() {
+            println!("  eval tasks blocked on unpublished artifacts: {}", t.unsatisfied.join(", "));
+        }
+    }
     if s.workers.is_empty() {
         println!("  workers: none active");
     } else {

@@ -720,6 +720,39 @@ pub struct WorkerStatus {
     pub last_seen_ms: u64,
 }
 
+/// Counts of one task kind in a study campaign, bucketed by state.
+///
+/// Buckets are disjoint: `done` wins over everything, an unexpired
+/// claim wins over quarantine, and `pending` is the remainder —
+/// `pending + claimed + quarantined + done` covers the kind's whole
+/// task count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Not done, unclaimed, unquarantined — free for any worker.
+    pub pending: usize,
+    /// Held under an unexpired lease.
+    pub claimed: usize,
+    /// Durably complete (a trial record / an artifact record).
+    pub done: usize,
+    /// Carrying an advisory quarantine record and still incomplete.
+    pub quarantined: usize,
+}
+
+/// The per-task-kind breakdown of a study (task-DAG) campaign: train
+/// tasks publish model artifacts, eval trials gate on them. `None` on
+/// classic flat-sweep campaigns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskKinds {
+    /// Model-training tasks (claim ids `0..n_models`).
+    pub train: KindCounts,
+    /// Eval trials (claim ids `n_models + flat`).
+    pub eval: KindCounts,
+    /// Unsatisfied dependencies blocking every pending eval task:
+    /// models whose artifact record has not landed, as
+    /// `model-<i> (<label>)`. Empty once the artifact gate is open.
+    pub unsatisfied: Vec<String>,
+}
+
 /// A point-in-time snapshot of a campaign directory's coordination
 /// state: progress plus who is working on what.
 #[derive(Debug, Clone, PartialEq)]
@@ -748,6 +781,9 @@ pub struct CampaignStatus {
     pub quarantined: usize,
     /// Whether `summary.txt` has been written.
     pub summary_written: bool,
+    /// Study campaigns only: the per-task-kind breakdown (train vs
+    /// eval) plus the dependencies blocking eval tasks.
+    pub tasks: Option<TaskKinds>,
 }
 
 impl CampaignStatus {
@@ -776,6 +812,19 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
     let done = crate::runner::completed_trials(&campaign, dir)?;
     let completed = done.iter().filter(|d| d.is_some()).count();
 
+    // Study campaigns put *tasks* in the claim log, not bare trials:
+    // ids below `n_models` are train tasks — done once their artifact
+    // record lands — and eval trials sit at `n_models + flat`.
+    // `n_models` is 0 for classic campaigns, so nothing shifts there.
+    let n_models = campaign.n_models();
+    let published: Vec<bool> = if n_models > 0 {
+        let mut tracker = crate::artifacts::ArtifactTracker::new(dir, n_models);
+        tracker.refresh()?;
+        (0..n_models).map(|m| tracker.digest(m).is_some()).collect()
+    } else {
+        Vec::new()
+    };
+
     let now = now_ms();
     let records = ClaimLog::in_dir(dir).load()?;
     // Per-worker first/last record issue times over the *whole* log —
@@ -792,13 +841,28 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
     }
     let mut workers: HashMap<String, WorkerStatus> = HashMap::new();
     let mut stale = 0usize;
-    for (&trial, claim) in arbitrate(&records).iter() {
-        if trial >= total || done[trial].is_some() {
-            continue; // finished or foreign — the claim is moot
+    let mut train_claimed = 0usize;
+    let mut eval_claimed = 0usize;
+    for (&task, claim) in arbitrate(&records).iter() {
+        let is_train = task < n_models;
+        if is_train {
+            if published[task] {
+                continue; // artifact landed — the claim is moot
+            }
+        } else {
+            let trial = task - n_models;
+            if trial >= total || done[trial].is_some() {
+                continue; // finished or foreign — the claim is moot
+            }
         }
         if claim.expired(now) {
             stale += 1;
         } else {
+            if is_train {
+                train_claimed += 1;
+            } else {
+                eval_claimed += 1;
+            }
             let w = workers.entry(claim.worker.clone()).or_insert_with(|| {
                 let (first, last) = seen.get(claim.worker.as_str()).copied().unwrap_or((0, 0));
                 WorkerStatus {
@@ -809,7 +873,7 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
                     last_seen_ms: last,
                 }
             });
-            w.active_trials.push(trial);
+            w.active_trials.push(task);
             w.latest_deadline_ms = w.latest_deadline_ms.max(claim.deadline_ms);
         }
     }
@@ -819,11 +883,14 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
     }
     workers.sort_by(|a, b| a.worker.cmp(&b.worker));
 
-    // Quarantine records are advisory — only those naming a trial
-    // that is still incomplete count (a completed record overrides).
-    let quarantined = {
-        let mut trials: Vec<usize> = crate::quarantine::load(dir)?
+    // Quarantine records are advisory — only those naming a task
+    // that is still incomplete count (a completed trial record / a
+    // published artifact overrides).
+    let qrecords = crate::quarantine::load(dir)?;
+    let eval_quarantined = {
+        let mut trials: Vec<usize> = qrecords
             .iter()
+            .filter(|q| q.kind == crate::quarantine::QuarantineKind::Trial)
             .map(|q| q.trial)
             .filter(|&t| t < total && done[t].is_none())
             .collect();
@@ -831,6 +898,40 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
         trials.dedup();
         trials.len()
     };
+    let train_quarantined = {
+        let mut models: Vec<usize> = qrecords
+            .iter()
+            .filter(|q| q.kind == crate::quarantine::QuarantineKind::Train)
+            .map(|q| q.trial)
+            .filter(|&m| m < n_models && !published[m])
+            .collect();
+        models.sort_unstable();
+        models.dedup();
+        models.len()
+    };
+
+    let tasks = campaign.study().map(|g| {
+        let train_done = published.iter().filter(|&&p| p).count();
+        let eval_done = completed;
+        TaskKinds {
+            train: KindCounts {
+                pending: n_models.saturating_sub(train_done + train_claimed + train_quarantined),
+                claimed: train_claimed,
+                done: train_done,
+                quarantined: train_quarantined,
+            },
+            eval: KindCounts {
+                pending: total.saturating_sub(eval_done + eval_claimed + eval_quarantined),
+                claimed: eval_claimed,
+                done: eval_done,
+                quarantined: eval_quarantined,
+            },
+            unsatisfied: (0..n_models)
+                .filter(|&m| !published[m])
+                .map(|m| format!("model-{m} ({})", g.models()[m].label()))
+                .collect(),
+        }
+    });
 
     Ok(CampaignStatus {
         name: scenario.name.clone(),
@@ -841,8 +942,9 @@ pub fn status(dir: &Path) -> Result<CampaignStatus, String> {
         total_trials: total,
         workers,
         stale_claims: stale,
-        quarantined,
+        quarantined: eval_quarantined + train_quarantined,
         summary_written: dir.join("summary.txt").exists(),
+        tasks,
     })
 }
 

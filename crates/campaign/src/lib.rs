@@ -12,7 +12,13 @@
 //!   [`Scale`](frlfi::Scale);
 //! * [`registry`] — named built-ins covering the paper's two systems
 //!   (`fig3a/b/c`, `fig5a/b`, `fig7a`) plus new variants
-//!   (`grid-dynamic`, `grid-dropout`, `grid-fleet`);
+//!   (`grid-dynamic`, `grid-dropout`, `grid-fleet`), and the
+//!   train-once / eval-many studies (`fig4`, `fig8a/b`, `datatypes`,
+//!   `layers`) that expand into task DAGs instead of flat sweeps;
+//! * [`artifacts`] — the DAG's train half: model-weight artifacts
+//!   published atomically into `<dir>/artifacts/` and recorded in
+//!   append-only `artifacts.jsonl`; eval tasks gate on the records
+//!   and load frozen weights instead of retraining;
 //! * [`runner`] — a sharded [`runner::run`] that streams per-trial
 //!   records to a JSONL log and **resumes** interrupted campaigns by
 //!   skipping persisted `(cell, repeat)` trials; statistics are
@@ -51,6 +57,7 @@
 //! println!("{}", out.table.expect("complete").render());
 //! ```
 
+pub mod artifacts;
 pub mod coord;
 pub mod fmt;
 pub mod io;
@@ -60,9 +67,12 @@ pub mod registry;
 pub mod runner;
 pub mod spec;
 
-pub use coord::{CampaignStatus, CoordConfig, CoordConfigError, Coordinator};
+pub use artifacts::{ArtifactRecord, ArtifactTracker};
+pub use coord::{
+    CampaignStatus, CoordConfig, CoordConfigError, Coordinator, KindCounts, TaskKinds,
+};
 pub use io::RetryPolicy;
 pub use profile::{CheckMode, Profile, WorkerProfile};
 pub use quarantine::QuarantineRecord;
 pub use runner::{CampaignOutcome, CoordMode, RunnerConfig, TrialRecord};
-pub use spec::{Campaign, CellGrid, Scenario, SpecError, SystemKind, Trials};
+pub use spec::{Campaign, CellGrid, ModelSpec, Scenario, SpecError, StudySpec, SystemKind, Trials};

@@ -41,10 +41,39 @@ use crate::fmt::json;
 /// File name of the quarantine log inside a campaign directory.
 pub const QUARANTINE_FILE: &str = "quarantine.jsonl";
 
-/// One quarantined trial: which trial, who gave up on it, and why.
+/// Which kind of task a quarantine record poisons.
+///
+/// Classic campaigns only ever quarantine **trials**. Study (task-DAG)
+/// campaigns can also quarantine a **train** task — a model whose
+/// training or artifact publication exhausted its retries — which
+/// deterministically poisons every dependent eval trial. Records
+/// written before this distinction existed carry no `kind` field and
+/// parse as [`QuarantineKind::Trial`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QuarantineKind {
+    /// An eval `(cell, repeat)` trial; `trial` is its flat index.
+    #[default]
+    Trial,
+    /// A study train task; `trial` is the model index.
+    Train,
+}
+
+impl QuarantineKind {
+    fn name(self) -> &'static str {
+        match self {
+            QuarantineKind::Trial => "trial",
+            QuarantineKind::Train => "train",
+        }
+    }
+}
+
+/// One quarantined task: which task, who gave up on it, and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuarantineRecord {
-    /// Flat trial index: `cell * repeats + repeat`.
+    /// Task kind (missing in old logs ⇒ [`QuarantineKind::Trial`]).
+    pub kind: QuarantineKind,
+    /// Flat trial index (`cell * repeats + repeat`) for trial records;
+    /// the model index for train records.
     pub trial: usize,
     /// Cell index (row-major in the campaign's grid).
     pub cell: usize,
@@ -61,6 +90,7 @@ pub struct QuarantineRecord {
 impl QuarantineRecord {
     fn to_value(&self) -> Value {
         let mut m = Map::new();
+        m.insert("kind".into(), Value::Str(self.kind.name().into()));
         m.insert("trial".into(), Value::Int(self.trial as i64));
         m.insert("cell".into(), Value::Int(self.cell as i64));
         m.insert("repeat".into(), Value::Int(self.repeat as i64));
@@ -80,7 +110,14 @@ impl QuarantineRecord {
             Some(Value::Str(s)) => Ok(s.clone()),
             _ => Err(format!("quarantine record missing string `{k}`")),
         };
+        let kind = match v.get("kind") {
+            None => QuarantineKind::Trial,
+            Some(Value::Str(s)) if s == "trial" => QuarantineKind::Trial,
+            Some(Value::Str(s)) if s == "train" => QuarantineKind::Train,
+            Some(other) => return Err(format!("quarantine record has unknown kind {other:?}")),
+        };
         Ok(QuarantineRecord {
+            kind,
             trial: get_int("trial")? as usize,
             cell: get_int("cell")? as usize,
             repeat: get_int("repeat")? as usize,
@@ -178,6 +215,7 @@ mod tests {
 
     fn rec(trial: usize) -> QuarantineRecord {
         QuarantineRecord {
+            kind: QuarantineKind::Trial,
             trial,
             cell: trial / 2,
             repeat: trial % 2,
@@ -202,6 +240,34 @@ mod tests {
         assert_eq!(load(&dir).expect("load"), vec![rec(3), rec(5)]);
         append(&dir, &rec(7)).expect("append heals");
         assert_eq!(load(&dir).expect("load"), vec![rec(3), rec(5), rec(7)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_records_and_legacy_kindless_lines_parse_by_kind() {
+        let dir = temp_dir("kinds");
+        let train = QuarantineRecord {
+            kind: QuarantineKind::Train,
+            trial: 1,
+            cell: 1,
+            repeat: 0,
+            worker: "w1".into(),
+            error: "publish model-1: injected persistent EIO (chaos)".into(),
+            ts_ms: 1_700_000_000_000,
+        };
+        append(&dir, &train).expect("append");
+        // Records written before the task DAG existed carry no `kind`
+        // field and must keep parsing as plain trial quarantines.
+        let mut f =
+            std::fs::OpenOptions::new().append(true).open(dir.join(QUARANTINE_FILE)).expect("open");
+        writeln!(f, "{{\"trial\": 4, \"cell\": 2, \"repeat\": 0, \"worker\": \"w0\", \"error\": \"x\", \"ts_ms\": 1}}")
+            .expect("legacy line");
+        drop(f);
+        let recs = load(&dir).expect("load");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], train);
+        assert_eq!(recs[1].kind, QuarantineKind::Trial);
+        assert_eq!(recs[1].trial, 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,7 +14,7 @@
 use frlfi::experiments::DEFAULT_SEED;
 use frlfi::Scale;
 
-use crate::spec::{MitigationSpec, Scenario, SideKind, SystemKind};
+use crate::spec::{MitigationSpec, Scenario, SideKind, StudySpec, SystemKind};
 
 /// One registry entry.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +40,12 @@ impl RegistryEntry {
 pub fn entries() -> &'static [RegistryEntry] {
     &[
         RegistryEntry {
+            name: "datatypes",
+            system: SystemKind::GridWorld,
+            description: "per-datatype inference resilience study, train-once (paper §IV-C)",
+            builder: datatypes,
+        },
+        RegistryEntry {
             name: "fig3a",
             system: SystemKind::GridWorld,
             description: "GridWorld training, agent-side faults (paper Fig. 3a)",
@@ -58,10 +64,22 @@ pub fn entries() -> &'static [RegistryEntry] {
             builder: fig3c,
         },
         RegistryEntry {
+            name: "fig4",
+            system: SystemKind::GridWorld,
+            description: "GridWorld inference faults, FRL vs single-agent (paper Fig. 4)",
+            builder: fig4,
+        },
+        RegistryEntry {
             name: "fig7a",
             system: SystemKind::GridWorld,
             description: "GridWorld server faults with checkpoint mitigation (paper Fig. 7a)",
             builder: fig7a,
+        },
+        RegistryEntry {
+            name: "fig8a",
+            system: SystemKind::GridWorld,
+            description: "GridWorld inference faults with range-detector mitigation (paper Fig. 8)",
+            builder: fig8a,
         },
         RegistryEntry {
             name: "grid-dropout",
@@ -80,6 +98,12 @@ pub fn entries() -> &'static [RegistryEntry] {
             system: SystemKind::GridWorld,
             description: "heterogeneous fleet sizes × BER (mid-training agent faults)",
             builder: grid_fleet,
+        },
+        RegistryEntry {
+            name: "layers",
+            system: SystemKind::GridWorld,
+            description: "per-layer inference resilience study, train-once (paper §IV-C)",
+            builder: layers,
         },
         RegistryEntry {
             name: "drone-dropout",
@@ -110,6 +134,12 @@ pub fn entries() -> &'static [RegistryEntry] {
             system: SystemKind::DroneNav,
             description: "DroneNav fine-tuning, server-side faults (paper Fig. 5b)",
             builder: fig5b,
+        },
+        RegistryEntry {
+            name: "fig8b",
+            system: SystemKind::DroneNav,
+            description: "DroneNav inference faults with range-detector mitigation (paper Fig. 8)",
+            builder: fig8b,
         },
     ]
 }
@@ -220,6 +250,32 @@ fn drone_motion(scale: Scale) -> Scenario {
     s
 }
 
+// The train-once / eval-many studies: each expands to a task DAG —
+// train tasks that publish frozen weight artifacts, then eval trials
+// over them — whose summary.txt is byte-identical to the sequential
+// `experiments::fig4::run` / `fig8::*` / `datatypes::run` /
+// `layers::run` drivers (the geometry supplies the master seed).
+
+fn fig4(scale: Scale) -> Scenario {
+    Scenario::study("fig4", StudySpec::Fig4, scale)
+}
+
+fn fig8a(scale: Scale) -> Scenario {
+    Scenario::study("fig8a", StudySpec::Fig8a, scale)
+}
+
+fn fig8b(scale: Scale) -> Scenario {
+    Scenario::study("fig8b", StudySpec::Fig8b, scale)
+}
+
+fn datatypes(scale: Scale) -> Scenario {
+    Scenario::study("datatypes", StudySpec::Datatypes, scale)
+}
+
+fn layers(scale: Scale) -> Scenario {
+    Scenario::study("layers", StudySpec::Layers, scale)
+}
+
 fn drone_dropout(scale: Scale) -> Scenario {
     let mut s = Scenario::new("drone-dropout", SystemKind::DroneNav, scale);
     s.fault.side = SideKind::Server;
@@ -287,7 +343,7 @@ mod tests {
                 assert!(t.iter().all(|t| t.layout == DroneLayout::DynamicObstacles));
                 assert!(t.iter().all(|t| t.dropout.is_none()));
             }
-            Trials::Grid(_) => panic!("drone campaign expected"),
+            _ => panic!("drone campaign expected"),
         }
         let c = builtin("drone-dropout", Scale::Smoke).expect("built-in").expand().expect("ok");
         match &c.trials {
@@ -295,7 +351,7 @@ mod tests {
                 assert!(t.iter().all(|t| t.layout == DroneLayout::Standard));
                 assert!(t.iter().all(|t| t.dropout == Some(0.2)));
             }
-            Trials::Grid(_) => panic!("drone campaign expected"),
+            _ => panic!("drone campaign expected"),
         }
     }
 
@@ -317,7 +373,7 @@ mod tests {
                     Trials::Grid(cells) => {
                         assert_eq!(cells, &driver_cells, "{name} @ {scale:?}");
                     }
-                    Trials::Drone(_) => panic!("grid campaign expected"),
+                    _ => panic!("grid campaign expected"),
                 }
             }
         }

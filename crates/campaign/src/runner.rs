@@ -3,20 +3,35 @@
 //! A campaign directory is the unit of persistence:
 //!
 //! ```text
-//! <dir>/campaign.toml   — scenario snapshot (written once, verified on resume)
-//! <dir>/trials.jsonl    — one JSON record per completed (cell, repeat) trial
-//! <dir>/summary.txt     — rendered result table (written when complete)
+//! <dir>/campaign.toml    — scenario snapshot (written once, verified on resume)
+//! <dir>/trials.jsonl     — one JSON record per completed (cell, repeat) trial
+//! <dir>/artifacts/       — study campaigns: one frozen weight file per model
+//! <dir>/artifacts.jsonl  — study campaigns: append-only publication records
+//! <dir>/summary.txt      — rendered result table (written when complete)
 //! ```
 //!
 //! Work is sharded `(cell × repeat)` across worker threads through an
-//! atomic cursor; every trial's seed derives from the campaign master
-//! seed exactly as in [`frlfi_fault::sweep`] (`derive_seed(master,
-//! cell * repeats + repeat)`), so a campaign interrupted at any point
-//! and resumed — with any thread count — replays the missing trials
-//! with identical seeds. Final per-cell statistics fold the persisted
-//! values in repeat order through [`frlfi_fault::aggregate_in_order`],
-//! which is bit-identical to what the in-process `sweep` engine
-//! produces for the same trials.
+//! atomic cursor; every trial's seed follows the campaign's
+//! [`Campaign::trial_seed`] scheme (`derive_seed(master, cell *
+//! repeats + repeat)` for classic sweeps, the study geometry's
+//! row-seed streams for studies), so a campaign interrupted at any
+//! point and resumed — with any thread count — replays the missing
+//! trials with identical seeds. Final per-cell statistics fold the
+//! persisted values in repeat order through
+//! [`frlfi_fault::aggregate_in_order`], which is bit-identical to
+//! what the in-process `sweep` engine produces for the same trials.
+//!
+//! **Study campaigns** (`fig4`, `fig8a/b`, `datatypes`, `layers`)
+//! expand into a small task DAG instead of a flat sweep: **train**
+//! tasks publish each model's weights atomically through
+//! [`crate::artifacts`], and **eval** trials only become claimable
+//! once every artifact record has landed — the weights are loaded
+//! (digest-verified) instead of retrained, so each model trains
+//! exactly once per campaign however many workers join. A failed
+//! train task is quarantined and deterministically poisons its
+//! dependent evals (degraded summary, nonzero exit); because training
+//! is a pure function of the geometry, a later healthy run retrains
+//! bitwise-identically and completes the campaign.
 
 use std::collections::BTreeSet;
 use std::io::Read;
@@ -25,14 +40,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use frlfi::report::Table;
-use frlfi::tensor::derive_seed;
 use frlfi_fault::{aggregate_in_order, CellStats};
 use serde::{Map, Value};
 
 use crate::coord::{CoordConfig, Coordinator};
 use crate::fmt::json;
 use crate::io::{self, lock_recover};
-use crate::quarantine::{self, QuarantineRecord};
+use crate::quarantine::{self, QuarantineKind, QuarantineRecord};
 use crate::spec::{Campaign, CellGrid, Scenario};
 
 /// How a runner coordinates trial ownership with other processes.
@@ -338,8 +352,8 @@ fn load_records(dir: &Path, policy: LoadPolicy) -> Result<(Vec<TrialRecord>, u64
 }
 
 /// Validates one persisted record's coordinates and seed against the
-/// campaign's `derive_seed` scheme (a mismatch means the log belongs
-/// to a different campaign) and returns its flat trial index.
+/// campaign's seed scheme (a mismatch means the log belongs to a
+/// different campaign) and returns its flat trial index.
 fn record_flat_index(campaign: &Campaign, r: &TrialRecord) -> Result<usize, String> {
     let n_cells = campaign.trials.len();
     let repeats = campaign.repeats;
@@ -351,7 +365,7 @@ fn record_flat_index(campaign: &Campaign, r: &TrialRecord) -> Result<usize, Stri
         ));
     }
     let flat = r.cell * repeats + r.repeat;
-    let expect_seed = derive_seed(campaign.master_seed, flat as u64);
+    let expect_seed = campaign.trial_seed(flat);
     if r.seed != expect_seed {
         return Err(format!(
             "trial log seed {:#x} for (cell {}, repeat {}) does not match the campaign \
@@ -510,6 +524,24 @@ fn run_exclusive(
     let new_trials = pending.len();
     let mut quarantined: Vec<usize> = Vec::new();
     if new_trials > 0 {
+        // Study campaigns run their train tasks first: every eval task
+        // below is gated on its model artifact landing in the campaign
+        // directory, and a failed train task deterministically poisons
+        // all of its dependent evals (degraded summary, nonzero exit).
+        let study = match campaign.study() {
+            None => None,
+            Some(g) => {
+                let worker = format!("x{}", std::process::id());
+                match ensure_artifacts(g, dir, &worker) {
+                    Ok(planes) => Some((g, planes)),
+                    Err((model, e)) => {
+                        quarantine_train_task(dir, g, model, &worker, e);
+                        let poisoned = undone_flats(&done, repeats);
+                        return finalize(campaign, dir, cfg, &done, completed, 0, poisoned);
+                    }
+                }
+            }
+        };
         let mut file =
             io::with_retry("trials.open", || io::open_append("trials.open", &trials_path(dir)))
                 .map_err(|e| format!("open {}: {e}", trials_path(dir).display()))?;
@@ -596,6 +628,7 @@ fn run_exclusive(
             if let Err(qe) = quarantine::append(
                 dir,
                 &QuarantineRecord {
+                    kind: QuarantineKind::Trial,
                     trial: flat,
                     cell,
                     repeat: rep,
@@ -611,7 +644,61 @@ fn run_exclusive(
             lock_recover(&poisoned).insert(flat);
         };
 
-        if cfg.batched {
+        if let Some((g, planes)) = &study {
+            // Eval tasks load the frozen artifact planes instead of
+            // retraining: one restored context per worker thread, all
+            // built up front so a plane/shape mismatch degrades at the
+            // task level rather than failing trial by trial.
+            let mut ctxs = Vec::new();
+            for _ in 0..threads.min(new_trials) {
+                match g.context(planes) {
+                    Ok(ctx) => ctxs.push(ctx),
+                    Err(e) => {
+                        let worker = format!("x{}", std::process::id());
+                        quarantine_train_task(
+                            dir,
+                            g,
+                            0,
+                            &worker,
+                            format!("restore eval context: {e}"),
+                        );
+                        let poisoned = undone_flats(&done, repeats);
+                        return finalize(campaign, dir, cfg, &done, completed, 0, poisoned);
+                    }
+                }
+            }
+            std::thread::scope(|scope| {
+                for mut ctx in ctxs {
+                    let (cursor, pending) = (&cursor, &pending);
+                    let (commit, quarantine_trial) = (&commit, &quarantine_trial);
+                    scope.spawn(move || {
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(cell, rep)) = pending.get(i) else { break };
+                            let flat = cell * repeats + rep;
+                            let seed = campaign.trial_seed(flat);
+                            // Per-observation vs --batched is a no-op
+                            // here: a study eval is the same
+                            // frozen-weight rollout either way.
+                            let value = {
+                                let _trial = frlfi_obs::span_trial("trial", flat as u64);
+                                g.eval_cell(&mut ctx, cell, seed)
+                            };
+                            match value {
+                                Ok(value) => {
+                                    if let Err(e) = commit(cell, rep, seed, value) {
+                                        quarantine_trial(cell, rep, e);
+                                    }
+                                }
+                                Err(e) => {
+                                    quarantine_trial(cell, rep, format!("trial failed: {e}"));
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        } else if cfg.batched {
             // Batched mode: the work unit is one (cell, repeat) trial,
             // exactly as in per-observation mode — the batch axis
             // lives *inside* a trial (its evaluation episodes run in
@@ -627,10 +714,10 @@ fn run_exclusive(
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&(cell, rep)) = pending.get(i) else { break };
-                            let flat = (cell * repeats + rep) as u64;
-                            let seed = derive_seed(campaign.master_seed, flat);
+                            let flat = cell * repeats + rep;
+                            let seed = campaign.trial_seed(flat);
                             let values = {
-                                let _trial = frlfi_obs::span_trial("trial", flat);
+                                let _trial = frlfi_obs::span_trial("trial", flat as u64);
                                 campaign.run_trials_batched(cell, &[seed], &mut ctx)
                             };
                             // A failed trial (e.g. a mis-shaped
@@ -660,10 +747,10 @@ fn run_exclusive(
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&(cell, rep)) = pending.get(i) else { break };
-                            let flat = (cell * repeats + rep) as u64;
-                            let seed = derive_seed(campaign.master_seed, flat);
+                            let flat = cell * repeats + rep;
+                            let seed = campaign.trial_seed(flat);
                             let value = {
-                                let _trial = frlfi_obs::span_trial("trial", flat);
+                                let _trial = frlfi_obs::span_trial("trial", flat as u64);
                                 campaign.run_trial_ctx(cell, seed, &mut ctx)
                             };
                             match value {
@@ -728,7 +815,28 @@ fn finalize(
                 aggregate_in_order(&values)
             })
             .collect();
-        let table = render_table(campaign, &stats);
+        // Study campaigns render through the geometry's own figure
+        // renderer on plain in-order means — the exact fold the
+        // sequential drivers use — so summary.txt is byte-identical
+        // to `experiments::fig4::run` etc. (The chunked-Welford
+        // `CellStats` mean is not bit-identical to a plain mean, so
+        // it stays informational in `outcome.stats`.)
+        let table = match campaign.study() {
+            Some(g) => {
+                let means: Vec<f64> = done
+                    .iter()
+                    .map(|cell| {
+                        let mut sum = 0.0;
+                        for v in cell {
+                            sum += v.expect("campaign complete");
+                        }
+                        sum / campaign.repeats as f64
+                    })
+                    .collect();
+                g.render(&means)
+            }
+            None => render_table(campaign, &stats),
+        };
         let wide_table = cfg.wide_summary.then(|| render_wide_table(campaign, &stats));
         let mut text = table.render();
         if let Some(wide) = &wide_table {
@@ -803,6 +911,154 @@ fn render_degraded_summary(
     text
 }
 
+/// Flat indices of every not-yet-persisted trial — the dependents a
+/// failed train task poisons.
+fn undone_flats(done: &[Vec<Option<f64>>], repeats: usize) -> Vec<usize> {
+    let mut flats = Vec::new();
+    for (cell, cell_done) in done.iter().enumerate() {
+        for (rep, slot) in cell_done.iter().enumerate() {
+            if slot.is_none() {
+                flats.push(cell * repeats + rep);
+            }
+        }
+    }
+    flats
+}
+
+/// Records a failed train task durably (kind = `train`) and warns.
+/// The task's dependent evals are poisoned by the caller — the same
+/// graceful-degradation policy as trial quarantine: the degraded
+/// summary and exit code report the damage, and a later healthy run
+/// retrains bitwise-identically and completes the campaign.
+fn quarantine_train_task(
+    dir: &Path,
+    g: &frlfi::experiments::study::StudyGeometry,
+    model: usize,
+    worker: &str,
+    error: String,
+) {
+    frlfi_obs::count("train.quarantined", 1);
+    let label = g.models().get(model).map_or_else(|| "?".into(), |m| m.label());
+    frlfi_obs::warn!("quarantining train task {model} ({label}): {error}");
+    if let Err(qe) = quarantine::append(
+        dir,
+        &QuarantineRecord {
+            kind: QuarantineKind::Train,
+            trial: model,
+            cell: model,
+            repeat: 0,
+            worker: worker.into(),
+            error,
+            ts_ms: crate::coord::now_ms(),
+        },
+    ) {
+        frlfi_obs::warn!("{qe} (quarantine record lost; the degraded exit still reports the task)");
+    }
+}
+
+/// Every study model's decoded weight planes, in model order (outer:
+/// model, inner: the model's per-agent planes).
+type ModelPlanes = Vec<Vec<Vec<f32>>>;
+
+/// Once-per-process cache of the decoded artifact planes, shared by
+/// every shared-mode eval thread.
+type PlanesCache = Mutex<Option<std::sync::Arc<ModelPlanes>>>;
+
+/// The exclusive-mode train phase: ensures every model artifact of a
+/// study campaign is published and decodable, training whatever is
+/// missing. Returns the decoded weight planes in model order.
+///
+/// Reuse is digest-verified: a recorded artifact whose file fails
+/// verification (torn by a kill, deleted, corrupted) is retrained —
+/// bitwise-identically, training is a pure function of the geometry —
+/// and republished. Errors carry the model index whose train task
+/// failed, so the caller can quarantine it and poison its dependents.
+fn ensure_artifacts(
+    g: &frlfi::experiments::study::StudyGeometry,
+    dir: &Path,
+    worker: &str,
+) -> Result<ModelPlanes, (usize, String)> {
+    let mut tracker = crate::artifacts::ArtifactTracker::new(dir, g.models().len());
+    tracker.refresh().map_err(|e| (0, e))?;
+    let mut all = Vec::with_capacity(g.models().len());
+    for (model, spec) in g.models().iter().enumerate() {
+        if let Some(digest) = tracker.digest(model) {
+            match crate::artifacts::load_planes(dir, model, digest) {
+                Ok(planes) => {
+                    frlfi_obs::count("artifact.reused", 1);
+                    all.push(planes);
+                    continue;
+                }
+                Err(e) => frlfi_obs::warn!(
+                    "model {model} ({}): {e}; retraining (bitwise-identical — training is pure)",
+                    spec.label()
+                ),
+            }
+        }
+        let planes = {
+            let _train = frlfi_obs::span_trial("train_task", model as u64);
+            spec.train().map_err(|e| (model, format!("train failed: {e}")))?
+        };
+        crate::artifacts::publish(dir, model, &planes, worker).map_err(|e| (model, e))?;
+        frlfi_obs::count("artifact.published", 1);
+        all.push(planes);
+    }
+    Ok(all)
+}
+
+/// The decoded artifact planes for shared-mode eval tasks, loaded
+/// once per process and shared across its worker threads.
+///
+/// Every plane set is digest-verified against its publication record;
+/// a torn artifact file falls back to in-process retraining (again
+/// bitwise-identical) with a best-effort republish to heal the file
+/// for other workers.
+fn eval_planes(
+    g: &frlfi::experiments::study::StudyGeometry,
+    dir: &Path,
+    cache: &PlanesCache,
+    worker: &str,
+) -> Result<std::sync::Arc<ModelPlanes>, String> {
+    let mut guard = lock_recover(cache);
+    if let Some(planes) = guard.as_ref() {
+        return Ok(std::sync::Arc::clone(planes));
+    }
+    let mut tracker = crate::artifacts::ArtifactTracker::new(dir, g.models().len());
+    tracker.refresh()?;
+    let mut all = Vec::with_capacity(g.models().len());
+    for (model, spec) in g.models().iter().enumerate() {
+        let Some(digest) = tracker.digest(model) else {
+            return Err(format!(
+                "model {model} ({}) has no publication record — eval tasks gate on artifacts",
+                spec.label()
+            ));
+        };
+        match crate::artifacts::load_planes(dir, model, digest) {
+            Ok(planes) => {
+                frlfi_obs::count("artifact.reused", 1);
+                all.push(planes);
+            }
+            Err(e) => {
+                frlfi_obs::warn!(
+                    "model {model} ({}): {e}; retraining in-process (bitwise-identical — \
+                     training is pure)",
+                    spec.label()
+                );
+                let planes = spec.train().map_err(|te| format!("retrain model {model}: {te}"))?;
+                if let Err(pe) = crate::artifacts::publish(dir, model, &planes, worker) {
+                    frlfi_obs::warn!(
+                        "republish model {model}: {pe} (continuing with in-memory weights)"
+                    );
+                }
+                all.push(planes);
+            }
+        }
+    }
+    let planes = std::sync::Arc::new(all);
+    *guard = Some(std::sync::Arc::clone(&planes));
+    Ok(planes)
+}
+
 /// The shared-queue run loop: worker threads acquire `(cell, repeat)`
 /// trials through the [`crate::coord`] lease protocol instead of an
 /// in-memory cursor, so any number of processes sharing the campaign
@@ -863,6 +1119,18 @@ fn run_shared(
     // budget exhausted. Excluded from this process's pending view
     // (other, healthier workers may still reclaim them).
     let poisoned: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
+    // Study (task-DAG) state. Claim ids are tasks, not trials: ids
+    // `0..n_models` are train tasks, `n_models + flat` are eval
+    // trials (`n_models` is 0 for classic campaigns, so classic claim
+    // logs are untouched). Eval tasks only become claimable once
+    // every model's artifact record has landed.
+    let n_models = campaign.n_models();
+    let artifact_tracker = Mutex::new(crate::artifacts::ArtifactTracker::new(dir, n_models));
+    // Train tasks this process gave up on (train or publish failed).
+    let train_poisoned: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
+    // Decoded artifact planes, loaded once per process and shared by
+    // every eval thread.
+    let planes_cache: PlanesCache = Mutex::new(None);
     let quarantine_trial = |trial: usize, e: String| {
         let (cell, rep) = (trial / repeats, trial % repeats);
         frlfi_obs::count("trial.quarantined", 1);
@@ -870,6 +1138,7 @@ fn run_shared(
         if let Err(qe) = quarantine::append(
             dir,
             &QuarantineRecord {
+                kind: QuarantineKind::Trial,
                 trial,
                 cell,
                 repeat: rep,
@@ -896,7 +1165,12 @@ fn run_shared(
             let commit = &commit;
             let poisoned = &poisoned;
             let quarantine_trial = &quarantine_trial;
+            let artifact_tracker = &artifact_tracker;
+            let train_poisoned = &train_poisoned;
+            let planes_cache = &planes_cache;
             scope.spawn(move || {
+                let study = campaign.study();
+                let mut study_ctx: Option<frlfi::experiments::study::StudyCtx> = None;
                 let mut obs_ctx = frlfi::nn::InferCtx::new();
                 let mut batch_ctx = frlfi::nn::BatchInferCtx::new();
                 // Stagger each claimer's scan start so workers spread
@@ -919,8 +1193,88 @@ fn run_shared(
                             break; // campaign complete
                         }
                         let poisoned = lock_recover(poisoned);
-                        (0..total).filter(|&i| !t.done[i] && !poisoned.contains(&i)).collect()
+                        (0..total)
+                            .filter(|&i| !t.done[i] && !poisoned.contains(&i))
+                            .map(|i| i + n_models)
+                            .collect()
                     };
+                    // Study train phase: until every artifact record
+                    // has landed, the only claimable tasks are the
+                    // missing models' train tasks — the artifact gate
+                    // that keeps eval tasks unclaimable.
+                    if let Some(g) = study {
+                        let missing: Vec<usize> = {
+                            let mut a = lock_recover(artifact_tracker);
+                            if let Err(e) = a.refresh() {
+                                fail(e);
+                                break;
+                            }
+                            a.missing()
+                        };
+                        if !missing.is_empty() {
+                            let claimable: Vec<usize> = {
+                                let tp = lock_recover(train_poisoned);
+                                missing.iter().copied().filter(|m| !tp.contains(m)).collect()
+                            };
+                            if claimable.is_empty() {
+                                // Every missing artifact's train task is
+                                // poisoned here: its dependent evals can
+                                // never unblock in this process. Degrade
+                                // deterministically; a healthier worker
+                                // may still publish the artifacts.
+                                break;
+                            }
+                            match coordinator.claim_next(&claimable, offset) {
+                                Err(e) => {
+                                    fail(e);
+                                    return;
+                                }
+                                Ok(Some(model)) => {
+                                    // Train tasks never consume the
+                                    // interrupt budget: `max_new_trials`
+                                    // counts eval trials only.
+                                    let outcome = g.models()[model]
+                                        .train()
+                                        .map_err(|e| format!("train failed: {e}"))
+                                        .and_then(|planes| {
+                                            crate::artifacts::publish(
+                                                dir,
+                                                model,
+                                                &planes,
+                                                &coord_cfg.worker_id,
+                                            )
+                                            .map(|_| ())
+                                        });
+                                    match outcome {
+                                        Ok(()) => frlfi_obs::count("artifact.published", 1),
+                                        Err(e) => {
+                                            quarantine_train_task(
+                                                dir,
+                                                g,
+                                                model,
+                                                &coord_cfg.worker_id,
+                                                e,
+                                            );
+                                            lock_recover(train_poisoned).insert(model);
+                                        }
+                                    }
+                                    coordinator.complete(model);
+                                    frlfi_obs::flush();
+                                }
+                                Ok(None) => {
+                                    if cfg.max_new_trials.is_some() {
+                                        // Budgeted calls never wait on
+                                        // other workers' train leases.
+                                        break;
+                                    }
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        coord_cfg.poll_ms,
+                                    ));
+                                }
+                            }
+                            continue;
+                        }
+                    }
                     if pending.is_empty() {
                         // Every remaining trial is quarantined by this
                         // process: no further progress is possible
@@ -942,7 +1296,7 @@ fn run_shared(
                             return;
                         }
                     };
-                    let Some(trial) = claimed else {
+                    let Some(task) = claimed else {
                         budget.fetch_add(1, Ordering::Relaxed);
                         if cfg.max_new_trials.is_some() {
                             // Budgeted calls never wait on other
@@ -954,14 +1308,38 @@ fn run_shared(
                         std::thread::sleep(std::time::Duration::from_millis(coord_cfg.poll_ms));
                         continue;
                     };
+                    let trial = task - n_models;
                     let (cell, rep) = (trial / repeats, trial % repeats);
-                    let seed = derive_seed(campaign.master_seed, trial as u64);
+                    // Study eval tasks run against a per-thread context
+                    // restored from the published artifacts, built on
+                    // this thread's first eval (the gate above already
+                    // opened, so every record is in place).
+                    if let Some(g) = study {
+                        if study_ctx.is_none() {
+                            let built = eval_planes(g, dir, planes_cache, &coord_cfg.worker_id)
+                                .and_then(|planes| {
+                                    g.context(&planes)
+                                        .map_err(|e| format!("restore eval context: {e}"))
+                                });
+                            match built {
+                                Ok(ctx) => study_ctx = Some(ctx),
+                                Err(e) => {
+                                    fail(e);
+                                    coordinator.complete(task);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    let seed = campaign.trial_seed(trial);
                     let value = {
                         let _trial = frlfi_obs::span_trial("trial", trial as u64);
-                        if cfg.batched {
-                            campaign.run_trials_batched(cell, &[seed], &mut batch_ctx).map(|v| v[0])
-                        } else {
-                            campaign.run_trial_ctx(cell, seed, &mut obs_ctx)
+                        match (study, study_ctx.as_mut()) {
+                            (Some(g), Some(ctx)) => g.eval_cell(ctx, cell, seed),
+                            _ if cfg.batched => campaign
+                                .run_trials_batched(cell, &[seed], &mut batch_ctx)
+                                .map(|v| v[0]),
+                            _ => campaign.run_trial_ctx(cell, seed, &mut obs_ctx),
                         }
                     };
                     let value = match value {
@@ -972,7 +1350,7 @@ fn run_shared(
                             // the trial from now on; a worker running a
                             // fixed build may still reclaim it.
                             quarantine_trial(trial, format!("trial failed: {e}"));
-                            coordinator.complete(trial);
+                            coordinator.complete(task);
                             continue;
                         }
                     };
@@ -984,10 +1362,10 @@ fn run_shared(
                         // the trial log is missing, so another worker
                         // reclaiming it is exactly what we want).
                         quarantine_trial(trial, e);
-                        coordinator.complete(trial);
+                        coordinator.complete(task);
                         continue;
                     }
-                    coordinator.complete(trial);
+                    coordinator.complete(task);
                     new_trials.fetch_add(1, Ordering::Relaxed);
                     // Per-trial event flush: a SIGKILLed worker's obs
                     // stream still covers its durably committed trials.
@@ -1008,7 +1386,7 @@ fn run_shared(
     let (records, _) = load_records(dir, LoadPolicy::Lenient)?;
     let done = fold_records(campaign, records)?;
     let completed = done.iter().flatten().filter(|v| v.is_some()).count();
-    let quarantined: Vec<usize> = poisoned
+    let mut quarantined: Vec<usize> = poisoned
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
@@ -1016,6 +1394,14 @@ fn run_shared(
         // the completed record overrides the advisory quarantine.
         .filter(|&t| done[t / repeats][t % repeats].is_none())
         .collect();
+    let train_poisoned =
+        train_poisoned.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if !train_poisoned.is_empty() && completed < total {
+        // A quarantined train task deterministically poisons every
+        // dependent eval trial that never got its record — they all
+        // gate on the artifact that failed to land.
+        quarantined = undone_flats(&done, repeats);
+    }
     finalize(campaign, dir, cfg, &done, completed, new_trials.load(Ordering::Relaxed), quarantined)
 }
 
@@ -1061,6 +1447,9 @@ pub fn render_wide_table(campaign: &Campaign, stats: &[CellStats]) -> Table {
             .iter()
             .flat_map(|&n| bers.iter().map(move |&b| format!("n={n} @ ber {b}")))
             .collect(),
+        CellGrid::Study { rows, cols } => {
+            rows.iter().flat_map(|r| cols.iter().map(move |c| format!("{r} @ {c}"))).collect()
+        }
     };
     for (label, s) in labels.into_iter().zip(stats.iter()) {
         table.push_row(label, vec![s.mean, s.min, s.max, s.ci95_half_width()]);
@@ -1077,6 +1466,7 @@ pub fn render_table(campaign: &Campaign, stats: &[CellStats]) -> Table {
         match campaign.trials {
             crate::spec::Trials::Grid(_) => "success rate (%)",
             crate::spec::Trials::Drone(_) => "flight distance (m)",
+            crate::spec::Trials::Study(_) => "study metric",
         }
     );
     match &campaign.grid {
@@ -1093,5 +1483,20 @@ pub fn render_table(campaign: &Campaign, stats: &[CellStats]) -> Table {
             }
             table
         }
+        // The byte-exact figure path for studies is `finalize`'s
+        // `StudyGeometry::render` over plain in-order means; from bare
+        // stats the same layout renders over the stats means.
+        CellGrid::Study { rows, cols } => match campaign.study() {
+            Some(g) => g.render(&stats.iter().map(|s| s.mean).collect::<Vec<f64>>()),
+            None => {
+                let mut table = Table::new(title, "row", cols.clone());
+                for (ri, key) in rows.iter().enumerate() {
+                    let row: Vec<f64> =
+                        (0..cols.len()).map(|ci| stats[ri * cols.len() + ci].mean).collect();
+                    table.push_row(key.clone(), row);
+                }
+                table
+            }
+        },
     }
 }

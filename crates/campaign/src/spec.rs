@@ -10,6 +10,7 @@
 use frlfi::experiments::harness::{
     drone_geometry, grid_geometry, DroneTrial, GridTrial, PretrainedWeights, TrialFault,
 };
+use frlfi::experiments::study::{StudyGeometry, StudyKind};
 use frlfi::experiments::{DEFAULT_SEED, SYSTEM_SEED};
 use frlfi::quant::QFormat;
 use frlfi::{DroneLayout, GridLayout, ReprKind, Scale, TrainingMitigation};
@@ -253,6 +254,55 @@ impl MitigationSpec {
     }
 }
 
+/// Which train-once / eval-many study a scenario runs, spec-level.
+/// Mirrors [`StudyKind`]; a study scenario expands into a task DAG —
+/// model-training tasks that publish weight artifacts, plus eval tasks
+/// gated on those artifacts — instead of a flat train-per-trial sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StudySpec {
+    /// Fig. 4: fleet-size resilience vs the single-agent baseline.
+    Fig4,
+    /// Fig. 8a: GridWorld inference mitigation (range detection).
+    Fig8a,
+    /// Fig. 8b: DroneNav inference mitigation (range detection).
+    Fig8b,
+    /// §IV-B-3: fixed-point data-type resilience.
+    Datatypes,
+    /// §IV-C: per-layer resilience.
+    Layers,
+}
+
+impl StudySpec {
+    /// The core-crate study this spec selects.
+    pub fn kind(self) -> StudyKind {
+        match self {
+            StudySpec::Fig4 => StudyKind::Fig4,
+            StudySpec::Fig8a => StudyKind::Fig8Grid,
+            StudySpec::Fig8b => StudyKind::Fig8Drone,
+            StudySpec::Datatypes => StudyKind::Datatypes,
+            StudySpec::Layers => StudyKind::Layers,
+        }
+    }
+
+    /// The system the study runs on (fixed per study).
+    pub fn system(self) -> SystemKind {
+        match self {
+            StudySpec::Fig8b => SystemKind::DroneNav,
+            _ => SystemKind::GridWorld,
+        }
+    }
+}
+
+/// Model-artifact options (study scenarios only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Train each model exactly once per campaign and share the
+    /// serialized weight artifact across every eval task. Studies
+    /// require `true` — it is the contract that makes N-worker runs
+    /// byte-identical to the sequential drivers.
+    pub shared: bool,
+}
+
 /// A complete declarative campaign scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -262,6 +312,11 @@ pub struct Scenario {
     pub system: SystemKind,
     /// Experiment scale; resolves geometry defaults.
     pub scale: Scale,
+    /// Train-once / eval-many study (`None` = a classic sweep where
+    /// every trial trains its own model).
+    pub study: Option<StudySpec>,
+    /// Model-artifact options; required (`shared = true`) with `study`.
+    pub model: Option<ModelSpec>,
     /// Repeats per cell (`None` = geometry default).
     pub repeats: Option<usize>,
     /// Campaign master seed (`None` = the experiments' default).
@@ -287,6 +342,8 @@ impl Scenario {
             name: name.into(),
             system,
             scale,
+            study: None,
+            model: None,
             repeats: None,
             master_seed: None,
             system_seed: None,
@@ -296,6 +353,16 @@ impl Scenario {
             train: TrainSpec::default(),
             mitigation: None,
         }
+    }
+
+    /// A train-once / eval-many study scenario skeleton at `scale`:
+    /// the study's system, plus the `model = { shared = true }`
+    /// artifact contract every study requires.
+    pub fn study(name: impl Into<String>, study: StudySpec, scale: Scale) -> Self {
+        let mut s = Scenario::new(name, study.system(), scale);
+        s.study = Some(study);
+        s.model = Some(ModelSpec { shared: true });
+        s
     }
 
     /// Parses a scenario from TOML text. The `env` / `fleet` / `fault`
@@ -330,10 +397,102 @@ impl Scenario {
     /// knobs on a GridWorld scenario).
     pub fn expand(&self) -> Result<Campaign, SpecError> {
         self.validate_common()?;
+        if let Some(study) = self.study {
+            return self.expand_study(study);
+        }
+        if self.model.is_some() {
+            return Err(SpecError::new(
+                "model applies to study scenarios; set `study = \"Fig4\"` (or another study) \
+                 to use shared model artifacts",
+            ));
+        }
         match self.system {
             SystemKind::GridWorld => self.expand_grid(),
             SystemKind::DroneNav => self.expand_drone(),
         }
+    }
+
+    /// Expands a train-once / eval-many study into its task DAG: the
+    /// study geometry fixes every knob (rows, columns, repeats, seeds,
+    /// models), so a study scenario is *identification*, not
+    /// parameterization — any classic sweep override is rejected here
+    /// rather than silently ignored, because honoring one would break
+    /// the byte-identity contract with the sequential driver.
+    fn expand_study(&self, study: StudySpec) -> Result<Campaign, SpecError> {
+        let kind = study.kind();
+        match self.model {
+            Some(ModelSpec { shared: true }) => {}
+            Some(ModelSpec { shared: false }) => {
+                return Err(SpecError::new(
+                    "model.shared = false is unsupported for study scenarios: every eval task \
+                     loads the published weight artifact of its train task",
+                ));
+            }
+            None => {
+                return Err(SpecError::new(format!(
+                    "study \"{}\" trains once and evaluates many times from a shared weight \
+                     artifact; add `model = {{ shared = true }}`",
+                    kind.name()
+                )));
+            }
+        }
+        if self.system != study.system() {
+            return Err(SpecError::new(format!(
+                "study \"{}\" runs on {:?}, not {:?}",
+                kind.name(),
+                study.system(),
+                self.system
+            )));
+        }
+        if self.env != EnvSpec::default()
+            || self.fleet != FleetSpec::default()
+            || self.fault != FaultSpec::default()
+            || self.train != TrainSpec::default()
+            || self.mitigation.is_some()
+        {
+            return Err(SpecError::new(format!(
+                "study \"{}\" fixes its own geometry (env/fleet/fault/train/mitigation \
+                 sections must stay default): the study IS the figure, byte-identical to its \
+                 sequential driver",
+                kind.name()
+            )));
+        }
+        let g = kind.geometry(self.scale).map_err(|e| SpecError::new(e.to_string()))?;
+        if let Some(r) = self.repeats {
+            if r != g.repeats {
+                return Err(SpecError::new(format!(
+                    "study \"{}\" at {:?} scale fixes repeats = {} (got {r}); omit `repeats`",
+                    kind.name(),
+                    self.scale,
+                    g.repeats
+                )));
+            }
+        }
+        if let Some(m) = self.master_seed {
+            if m != g.master_seed() {
+                return Err(SpecError::new(format!(
+                    "study \"{}\" fixes master_seed = {:#x} (got {m:#x}); omit `master_seed`",
+                    kind.name(),
+                    g.master_seed()
+                )));
+            }
+        }
+        if let Some(s) = self.system_seed {
+            if s != SYSTEM_SEED {
+                return Err(SpecError::new(format!(
+                    "study \"{}\" fixes system_seed = {SYSTEM_SEED} (got {s}); omit \
+                     `system_seed`",
+                    kind.name()
+                )));
+            }
+        }
+        Ok(Campaign {
+            scenario: self.clone(),
+            repeats: g.repeats,
+            master_seed: g.master_seed(),
+            grid: CellGrid::Study { rows: g.row_keys.clone(), cols: g.columns.clone() },
+            trials: Trials::Study(g),
+        })
     }
 
     /// System-independent knob validation.
@@ -569,6 +728,10 @@ fn fill_section_defaults(value: &mut serde::Value) {
             .serialize();
         merge_missing(m, &d);
     }
+    if let Some(m) = table.get_mut("model") {
+        // `model = {}` means the only supported artifact contract.
+        merge_missing(m, &ModelSpec { shared: true }.serialize());
+    }
 }
 
 fn merge_missing(dst: &mut serde::Value, defaults: &serde::Value) {
@@ -596,6 +759,13 @@ pub enum CellGrid {
         /// Column axis.
         bers: Vec<f64>,
     },
+    /// Pre-rendered study axes (the figure's own row keys / columns).
+    Study {
+        /// Row-key labels, in row order.
+        rows: Vec<String>,
+        /// Column headers.
+        cols: Vec<String>,
+    },
 }
 
 impl CellGrid {
@@ -604,6 +774,7 @@ impl CellGrid {
         match self {
             CellGrid::BerByEpisode { bers, episodes } => bers.len() * episodes.len(),
             CellGrid::FleetByBer { sizes, bers } => sizes.len() * bers.len(),
+            CellGrid::Study { rows, cols } => rows.len() * cols.len(),
         }
     }
 }
@@ -615,6 +786,9 @@ pub enum Trials {
     Grid(Vec<GridTrial>),
     /// DroneNav fine-tuning trials.
     Drone(Vec<DroneTrial>),
+    /// Train-once / eval-many study: eval cells over frozen weight
+    /// artifacts, preceded by the geometry's model-training tasks.
+    Study(StudyGeometry),
 }
 
 impl Trials {
@@ -623,6 +797,7 @@ impl Trials {
         match self {
             Trials::Grid(t) => t.len(),
             Trials::Drone(t) => t.len(),
+            Trials::Study(g) => g.cells(),
         }
     }
 
@@ -648,9 +823,37 @@ pub struct Campaign {
 }
 
 impl Campaign {
-    /// Total `(cell × repeat)` trial count.
+    /// Total `(cell × repeat)` trial count. Model-training tasks are
+    /// *not* trials: they prefix the task id space (see
+    /// [`Campaign::n_models`]) and publish artifacts, not records.
     pub fn total_trials(&self) -> usize {
         self.trials.len() * self.repeats
+    }
+
+    /// The study geometry, when this campaign is a task DAG.
+    pub fn study(&self) -> Option<&StudyGeometry> {
+        match &self.trials {
+            Trials::Study(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Number of model-training tasks that precede the eval trials in
+    /// the task id space (`0` for classic sweep campaigns, where every
+    /// trial trains its own model).
+    pub fn n_models(&self) -> usize {
+        self.study().map_or(0, |g| g.models().len())
+    }
+
+    /// The seed of flat trial `cell * repeats + repeat` — the single
+    /// place both seed schemes live: classic sweeps derive from the
+    /// campaign master seed by flat index, studies reproduce the
+    /// sequential drivers' per-row/per-cell seed streams.
+    pub fn trial_seed(&self, flat: usize) -> u64 {
+        match &self.trials {
+            Trials::Study(g) => g.trial_seed_flat(flat),
+            _ => frlfi::tensor::derive_seed(self.master_seed, flat as u64),
+        }
     }
 
     /// Evaluates one trial: pure in `(cell, seed)`.
@@ -691,6 +894,13 @@ impl Campaign {
             Trials::Drone(t) => {
                 frlfi::experiments::harness::run_drone_trial_ctx(&t[cell], seed, ctx)
             }
+            Trials::Study(g) => Err(frlfi::FrlfiError::BadConfig {
+                detail: format!(
+                    "study \"{}\" trials evaluate against a trained-model context \
+                     (StudyGeometry::eval_cell), not the train-per-trial path",
+                    g.kind.name()
+                ),
+            }),
         }
     }
 
@@ -722,6 +932,13 @@ impl Campaign {
             Trials::Drone(t) => {
                 frlfi::experiments::harness::run_drone_trials_batched(&t[cell], seeds, ctx)
             }
+            Trials::Study(g) => Err(frlfi::FrlfiError::BadConfig {
+                detail: format!(
+                    "study \"{}\" trials evaluate against a trained-model context \
+                     (StudyGeometry::eval_cell), not the train-per-trial path",
+                    g.kind.name()
+                ),
+            }),
         }
     }
 }
@@ -817,7 +1034,7 @@ mod tests {
                 assert_eq!(t[0].n_agents, 2);
                 assert_eq!(t[3].n_agents, 3);
             }
-            Trials::Drone(_) => panic!("grid expected"),
+            _ => panic!("grid expected"),
         }
     }
 
@@ -834,7 +1051,7 @@ mod tests {
                 assert_eq!(t[0].dropout, Some(0.25));
                 assert_eq!(t[0].comm, DroneComm::Every(1));
             }
-            Trials::Grid(_) => panic!("drone expected"),
+            _ => panic!("drone expected"),
         }
     }
 
@@ -858,7 +1075,7 @@ mod tests {
                     t.motion == Some(frlfi::envs::ObstacleMotion { amplitude: 3.5, period: 16.0 })
                 }));
             }
-            Trials::Grid(_) => panic!("drone expected"),
+            _ => panic!("drone expected"),
         }
         // And it survives the TOML round trip (what a spec file does).
         let back = Scenario::from_toml(&s.to_toml()).expect("round trip");
@@ -877,6 +1094,69 @@ mod tests {
         s.env.motion = Some(MotionSpec { amplitude: 2.0, period: 24.0 });
         let err = s.expand().unwrap_err().to_string();
         assert!(err.contains("DroneNav"), "{err}");
+    }
+
+    #[test]
+    fn study_scenario_round_trips_and_expands_to_the_study_geometry() {
+        let s = Scenario::study("fig4", StudySpec::Fig4, Scale::Smoke);
+        let back = Scenario::from_toml(&s.to_toml()).expect("round trip");
+        assert_eq!(s, back, "TOML:\n{}", s.to_toml());
+        let c = s.expand().expect("expands");
+        let g = StudyKind::Fig4.geometry(Scale::Smoke).expect("geometry");
+        assert_eq!(c.repeats, g.repeats);
+        assert_eq!(c.master_seed, g.master_seed());
+        assert_eq!(c.grid.cell_count(), c.trials.len());
+        assert_eq!(c.n_models(), 2, "fig4 trains the fleet and the single-agent baseline");
+        assert_eq!(c.trial_seed(3), g.trial_seed_flat(3));
+    }
+
+    #[test]
+    fn study_without_shared_model_fails_at_expansion() {
+        let mut s = Scenario::study("fig8a", StudySpec::Fig8a, Scale::Smoke);
+        s.model = None;
+        assert!(s.expand().unwrap_err().to_string().contains("shared = true"));
+        s.model = Some(ModelSpec { shared: false });
+        assert!(s.expand().unwrap_err().to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn study_rejects_system_mismatch_and_classic_overrides() {
+        let mut s = Scenario::study("fig8b", StudySpec::Fig8b, Scale::Smoke);
+        s.system = SystemKind::GridWorld;
+        assert!(s.expand().unwrap_err().to_string().contains("DroneNav"));
+
+        let mut s = Scenario::study("layers", StudySpec::Layers, Scale::Smoke);
+        s.fleet.dropout = Some(0.25);
+        assert!(s.expand().unwrap_err().to_string().contains("default"));
+
+        let mut s = Scenario::study("datatypes", StudySpec::Datatypes, Scale::Smoke);
+        s.repeats = Some(999);
+        assert!(s.expand().unwrap_err().to_string().contains("repeats"));
+
+        let mut s = Scenario::new("classic", SystemKind::GridWorld, Scale::Smoke);
+        s.model = Some(ModelSpec { shared: true });
+        assert!(s.expand().unwrap_err().to_string().contains("study"));
+    }
+
+    #[test]
+    fn model_section_defaults_to_shared_in_toml() {
+        let text =
+            "name = \"f\"\nsystem = \"GridWorld\"\nscale = \"Smoke\"\nstudy = \"Fig4\"\n\n[model]\n";
+        let s = Scenario::from_toml(text).expect("parses");
+        assert_eq!(s.model, Some(ModelSpec { shared: true }));
+        s.expand().expect("expands");
+    }
+
+    #[test]
+    fn study_trials_reject_the_train_per_trial_path_with_a_typed_error() {
+        let c = Scenario::study("fig4", StudySpec::Fig4, Scale::Smoke).expand().expect("expands");
+        let err = c.run_trial(0, c.trial_seed(0)).unwrap_err().to_string();
+        assert!(err.contains("eval_cell"), "{err}");
+        let err = c
+            .run_trials_batched(0, &[c.trial_seed(0)], &mut frlfi::nn::BatchInferCtx::new())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("eval_cell"), "{err}");
     }
 
     #[test]

@@ -23,8 +23,10 @@ use std::sync::Mutex;
 
 use frlfi::Scale;
 use frlfi_campaign::io::chaos::{self, ChaosSpec};
+use frlfi_campaign::quarantine::QuarantineKind;
 use frlfi_campaign::{
-    profile, quarantine, runner, CoordConfig, CoordMode, RunnerConfig, Scenario, SystemKind,
+    profile, quarantine, registry, runner, CoordConfig, CoordMode, RunnerConfig, Scenario,
+    SystemKind,
 };
 
 /// Chaos state is process-global; tests that arm it must not overlap.
@@ -261,4 +263,143 @@ fn transient_faults_recover_via_retry_and_surface_in_the_profile() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The task-DAG artifact path under chaos: `fig4` is the smallest
+/// builtin study (two train tasks publishing weight artifacts, thirty
+/// artifact-gated eval trials).
+fn study_scenario() -> Scenario {
+    registry::builtin("fig4", Scale::Smoke).expect("fig4 builtin")
+}
+
+/// Fault-free single-thread reference for the study campaign.
+fn study_reference() -> String {
+    let dir = temp_dir("study-ref");
+    let out = runner::run(
+        &study_scenario(),
+        &dir,
+        &RunnerConfig { threads: 1, ..RunnerConfig::default() },
+    )
+    .expect("reference study run");
+    assert!(out.complete());
+    let text = summary(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+    text
+}
+
+/// Every chaos-instrumented operation site on the artifact publish /
+/// consume path, in publish-protocol order.
+const ARTIFACT_SITES: [&str; 7] = [
+    "artifact.create",
+    "artifact.write",
+    "artifact.fsync",
+    "artifact.rename",
+    "artifacts.append",
+    "artifacts.read",
+    "artifact.read",
+];
+
+/// `CHAOS_SWEEP_QUICK=1` samples every other site, mirroring the
+/// strided main sweep.
+fn artifact_sites() -> Vec<&'static str> {
+    let stride = if std::env::var("CHAOS_SWEEP_QUICK").is_ok_and(|v| v == "1") { 2 } else { 1 };
+    ARTIFACT_SITES.iter().copied().step_by(stride).collect()
+}
+
+#[test]
+fn a_transient_fault_at_every_artifact_site_recovers_byte_identically() {
+    let _serial = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = study_reference();
+
+    // `every = u64::MAX` faults exactly the first matching operation:
+    // one transient fault per site, which the retry budget (or the
+    // digest-verified retrain fallback) must absorb without moving a
+    // byte of the final summary.
+    for site in artifact_sites() {
+        let _armed = Armed::arm(ChaosSpec {
+            seed: 0x417,
+            tag: Some(site.into()),
+            every: u64::MAX,
+            ..ChaosSpec::default()
+        });
+        let dir = temp_dir("art-transient");
+        let out = runner::run(&study_scenario(), &dir, &shared_cfg())
+            .unwrap_or_else(|e| panic!("transient fault at {site} must recover, got: {e}"));
+        assert!(out.complete(), "transient fault at {site} left the campaign incomplete");
+        assert!(out.quarantined.is_empty(), "a single transient at {site} must never quarantine");
+        assert!(chaos::injected() > 0, "the {site} fault never fired — tag drift?");
+        assert_eq!(summary(&dir), reference, "summary diverged with a transient fault at {site}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn a_persistent_fault_at_every_artifact_site_quarantines_deterministically_or_completes() {
+    let _serial = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = study_reference();
+
+    for site in artifact_sites() {
+        let poison = || ChaosSpec {
+            seed: 0x77,
+            tag: Some(site.into()),
+            persist: true,
+            ..ChaosSpec::default()
+        };
+        let run_poisoned = |dir: &Path| {
+            let _armed = Armed::arm(poison());
+            runner::run(&study_scenario(), dir, &shared_cfg_lease(300))
+        };
+
+        let dir_a = temp_dir("art-poison-a");
+        match run_poisoned(&dir_a) {
+            // Consume-side sites have a pure fallback — retrain the
+            // model in-process, bitwise-identically — so the campaign
+            // must complete with the reference bytes despite every
+            // read of the artifact failing.
+            Ok(out) => {
+                assert!(out.complete(), "persistent {site}: fallback run incomplete");
+                assert_eq!(summary(&dir_a), reference, "persistent {site}: summary diverged");
+            }
+            // Publish-side sites exhaust the retry budget: the train
+            // task is quarantined, which deterministically poisons
+            // every dependent eval trial.
+            Err(err) if err.contains("quarantined") => {
+                let records = quarantine::load(&dir_a).expect("quarantine log");
+                assert!(
+                    records.iter().any(|r| r.kind == QuarantineKind::Train),
+                    "persistent {site}: a train task must be quarantined, got {records:?}"
+                );
+                let degraded = summary(&dir_a);
+                assert!(degraded.contains("DEGRADED"), "persistent {site}: {degraded}");
+                // Same fault, fresh directory: byte-identical
+                // degradation.
+                let dir_b = temp_dir("art-poison-b");
+                run_poisoned(&dir_b).expect_err("same fault, same failure");
+                assert_eq!(
+                    summary(&dir_b),
+                    degraded,
+                    "persistent {site}: degraded summaries must be deterministic"
+                );
+                std::fs::remove_dir_all(&dir_b).ok();
+            }
+            // Losing the publication log itself is an infrastructure
+            // failure with no graceful half-state: the run reports the
+            // I/O error without fabricating a summary.
+            Err(err) => {
+                assert!(err.contains("chaos"), "persistent {site}: unexpected error: {err}");
+            }
+        }
+
+        // Whatever the degraded shape, a healthy run over the same
+        // directory must converge on the reference bytes.
+        let healed = runner::run(&study_scenario(), &dir_a, &shared_cfg_lease(300))
+            .unwrap_or_else(|e| panic!("healthy resume after persistent {site}: {e}"));
+        assert!(healed.complete(), "healthy resume after persistent {site} incomplete");
+        assert_eq!(
+            summary(&dir_a),
+            reference,
+            "healthy resume after persistent {site} must restore the byte-identical summary"
+        );
+        std::fs::remove_dir_all(&dir_a).ok();
+    }
 }

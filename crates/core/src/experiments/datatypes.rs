@@ -5,12 +5,19 @@
 //! The paper's finding: the wide-range Q(1,10,5) is the most vulnerable
 //! (high-bit flips create huge outliers), while the narrow Q(1,4,11)
 //! that matches the parameter range is the most robust.
+//!
+//! The BER grids discriminate at low flip counts (a single Q10.5
+//! high-bit flip already creates a ±1024 outlier); by ~0.5% BER all
+//! three formats have collapsed, so the sweeps stay below that.
+//!
+//! The driver is a thin wrapper over the
+//! [`study`](crate::experiments::study) decomposition — train once,
+//! sweep eval cells over frozen weights.
 
-use crate::experiments::ber_label;
-use crate::experiments::harness::{mean_over_repeats, trained_grid_system};
+use crate::error::FrlfiError;
+use crate::experiments::study::StudyKind;
 use crate::report::Table;
-use crate::{ReprKind, Scale};
-use frlfi_fault::{Ber, FaultModel};
+use crate::Scale;
 use frlfi_quant::QFormat;
 
 /// The three studied formats.
@@ -19,45 +26,13 @@ pub fn formats() -> [QFormat; 3] {
 }
 
 /// Runs the data-type study on the GridWorld system (success rate %).
-pub fn run(scale: Scale) -> Table {
-    let n_agents = scale.pick(3, 6, 12);
-    let repeats = scale.pick(2, 6, 100);
-    // The formats discriminate at low flip counts (a single Q10.5
-    // high-bit flip already creates a ±1024 outlier); by ~0.5% BER all
-    // three formats have collapsed, so the sweep stays below that.
-    let bers: Vec<f64> = scale.pick(
-        vec![0.0, 2e-4, 1e-3],
-        vec![0.0, 5e-5, 2e-4, 5e-4, 1e-3, 2e-3],
-        vec![0.0, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3],
-    );
-
-    let mut sys = trained_grid_system(scale, n_agents);
-
-    let mut table = Table::new(
-        "Data-type study: SR (%) under static faults by fixed-point format",
-        "BER",
-        formats().iter().map(|q| q.name()).collect(),
-    );
-    for (bi, &ber) in bers.iter().enumerate() {
-        let ber_v = Ber::new(ber).expect("valid ber");
-        let row: Vec<f64> = formats()
-            .into_iter()
-            .enumerate()
-            .map(|(qi, q)| {
-                mean_over_repeats(0xDA7A, bi * 3 + qi, repeats, |seed| {
-                    sys.with_faulted_policies(
-                        FaultModel::TransientMulti,
-                        ber_v,
-                        ReprKind::Fixed(q),
-                        seed,
-                        |s| s.success_rate(),
-                    )
-                }) * 100.0
-            })
-            .collect();
-        table.push_row(ber_label(ber), row);
-    }
-    table
+///
+/// # Errors
+///
+/// Returns a typed error on a construction, training or evaluation
+/// failure instead of panicking mid-figure.
+pub fn run(scale: Scale) -> Result<Table, FrlfiError> {
+    StudyKind::Datatypes.geometry(scale)?.run()
 }
 
 #[cfg(test)]

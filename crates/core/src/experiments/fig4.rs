@@ -11,93 +11,27 @@
 //! decision-making self-corrects), the multi-agent policy beats the
 //! single-agent one at every BER, and stuck-at-1 dominates stuck-at-0
 //! (0 bits dominate trained policies).
+//!
+//! The driver is a thin wrapper over the
+//! [`study`](crate::experiments::study) decomposition: train the fleet
+//! and the single-agent baseline once, then sweep the 5-column BER grid
+//! over their frozen weights — the same task DAG the campaign stack
+//! distributes across workers.
 
-use crate::experiments::ber_label;
-use crate::experiments::harness::{mean_over_repeats, trained_grid_system};
+use crate::error::FrlfiError;
+use crate::experiments::study::StudyKind;
 use crate::report::Table;
-use crate::{ReprKind, Scale};
-use frlfi_fault::{Ber, FaultModel};
-
-/// BER grid per scale (fractions; the paper sweeps 0–2%).
-fn bers(scale: Scale) -> Vec<f64> {
-    match scale {
-        Scale::Smoke => vec![0.0, 0.01, 0.02],
-        Scale::Bench => vec![0.0, 0.0025, 0.005, 0.01, 0.015, 0.02],
-        Scale::Full => (0..=8).map(|i| i as f64 * 0.0025).collect(),
-    }
-}
+use crate::Scale;
 
 /// Runs Fig. 4: trains the multi- and single-agent systems once, then
 /// sweeps static/dynamic inference faults over the BER grid.
-pub fn run(scale: Scale) -> Table {
-    let n_agents = scale.pick(3, 6, 12);
-    let repeats = scale.pick(2, 6, 100);
-
-    let mut multi = trained_grid_system(scale, n_agents);
-    let mut single = trained_grid_system(scale, 1);
-
-    let columns = vec![
-        "Single-Trans-M".to_owned(),
-        "Multi-Trans-M".to_owned(),
-        "Multi-Trans-1".to_owned(),
-        "Stuck-at-0".to_owned(),
-        "Stuck-at-1".to_owned(),
-    ];
-    let mut table = Table::new("Fig 4: GridWorld inference (SR %)", "BER", columns);
-
-    for (bi, &ber) in bers(scale).iter().enumerate() {
-        let ber_v = Ber::new(ber).expect("valid ber");
-        // One shared seed stream per (BER, repeat): the five columns see
-        // the same fault sites, a paired comparison.
-        let col = |f: &mut dyn FnMut(u64) -> f64| mean_over_repeats(0xF164, bi, repeats, f) * 100.0;
-        let row = vec![
-            col(&mut |seed| {
-                single.with_faulted_policies(
-                    FaultModel::TransientMulti,
-                    ber_v,
-                    ReprKind::Int8,
-                    seed,
-                    |s| s.success_rate(),
-                )
-            }),
-            col(&mut |seed| {
-                multi.with_faulted_policies(
-                    FaultModel::TransientMulti,
-                    ber_v,
-                    ReprKind::Int8,
-                    seed,
-                    |s| s.success_rate(),
-                )
-            }),
-            col(&mut |seed| {
-                if ber == 0.0 {
-                    multi.success_rate()
-                } else {
-                    multi.success_rate_transient1(ber_v, ReprKind::Int8, seed)
-                }
-            }),
-            col(&mut |seed| {
-                multi.with_faulted_policies(
-                    FaultModel::StuckAt0,
-                    ber_v,
-                    ReprKind::Int8,
-                    seed,
-                    |s| s.success_rate(),
-                )
-            }),
-            col(&mut |seed| {
-                multi.with_faulted_policies(
-                    FaultModel::StuckAt1,
-                    ber_v,
-                    ReprKind::Int8,
-                    seed,
-                    |s| s.success_rate(),
-                )
-            }),
-        ];
-        table.push_row(ber_label(ber), row);
-    }
-    table
+///
+/// # Errors
+///
+/// Returns a typed error on a construction, training or evaluation
+/// failure instead of panicking mid-figure.
+pub fn run(scale: Scale) -> Result<Table, FrlfiError> {
+    StudyKind::Fig4.geometry(scale)?.run()
 }
 
 #[cfg(test)]
@@ -106,7 +40,7 @@ mod tests {
 
     #[test]
     fn smoke_run_shapes_hold() {
-        let t = run(Scale::Smoke);
+        let t = run(Scale::Smoke).expect("fig4 smoke");
         assert_eq!(t.columns.len(), 5);
         // Transient-1 at the highest BER should stay close to baseline
         // (within the fault-free row's vicinity), per the paper.

@@ -5,109 +5,40 @@
 //! and without the per-layer range detector repairing out-of-range
 //! weights before execution. The paper reports up to 3.3× (GridWorld)
 //! and 1.38× (drone) improvement at high BER.
+//!
+//! Both panels evaluate on the **f32 surface**: range-based detection
+//! catches the exponent-flip outliers bit faults create there. (On a
+//! range-matched int8 surface corruption is bounded inside the
+//! detector's window by construction — exactly the interplay the
+//! paper's data-type analysis predicts, see EXPERIMENTS.md.)
+//!
+//! Both drivers are thin wrappers over the
+//! [`study`](crate::experiments::study) decomposition — train once,
+//! sweep eval cells over frozen weights — the same task DAG the
+//! campaign stack distributes across workers.
 
-use std::sync::Arc;
-
-use crate::experiments::harness::{
-    drone_geometry, drone_pretrained_weights, mean_over_repeats, trained_grid_system,
-};
-use crate::experiments::{ber_label, SYSTEM_SEED};
+use crate::error::FrlfiError;
+use crate::experiments::study::StudyKind;
 use crate::report::Table;
-use crate::{DroneFrlSystem, DroneSystemConfig, ReprKind, Scale};
-use frlfi_fault::{Ber, FaultModel};
-use frlfi_mitigation::RangeDetector;
-use frlfi_rl::Learner;
+use crate::Scale;
 
 /// Fig. 8a: GridWorld inference with/without range-based detection.
-pub fn gridworld(scale: Scale) -> Table {
-    let n_agents = scale.pick(3, 6, 12);
-    let repeats = scale.pick(2, 6, 100);
-    let bers: Vec<f64> = scale.pick(
-        vec![0.0, 0.01, 0.02],
-        vec![0.0, 0.0025, 0.005, 0.01, 0.015, 0.02],
-        (0..=8).map(|i| i as f64 * 0.0025).collect(),
-    );
-
-    let mut sys = trained_grid_system(scale, n_agents);
-    let detectors: Vec<RangeDetector> =
-        (0..n_agents).map(|i| RangeDetector::fit(sys.agent(i).network())).collect();
-
-    let mut table = Table::new(
-        "Fig 8a: GridWorld inference mitigation (SR %)",
-        "BER",
-        vec!["No Mitigation".into(), "Mitigation".into()],
-    );
-    // The f32 surface: range-based detection catches the exponent-flip
-    // outliers bit faults create there. (On a range-matched int8
-    // surface corruption is bounded inside the detector's window by
-    // construction — exactly the interplay the paper's data-type
-    // analysis predicts, see EXPERIMENTS.md.)
-    for (bi, &ber) in bers.iter().enumerate() {
-        let ber_v = Ber::new(ber).expect("valid ber");
-        let unmit = mean_over_repeats(0x8A, bi, repeats, |seed| {
-            sys.with_faulted_policies(FaultModel::TransientMulti, ber_v, ReprKind::F32, seed, |s| {
-                s.success_rate()
-            })
-        });
-        let mit = mean_over_repeats(0x8A, bi, repeats, |seed| {
-            sys.with_faulted_policies(FaultModel::TransientMulti, ber_v, ReprKind::F32, seed, |s| {
-                for (i, det) in detectors.iter().enumerate() {
-                    det.repair(s.agent_mut(i).network_mut());
-                }
-                s.success_rate()
-            })
-        });
-        table.push_row(ber_label(ber), vec![unmit * 100.0, mit * 100.0]);
-    }
-    table
+///
+/// # Errors
+///
+/// Returns a typed error on a construction, training or evaluation
+/// failure instead of panicking mid-figure.
+pub fn gridworld(scale: Scale) -> Result<Table, FrlfiError> {
+    StudyKind::Fig8Grid.geometry(scale)?.run()
 }
 
 /// Fig. 8b: DroneNav inference with/without range-based detection.
-pub fn drone(scale: Scale) -> Table {
-    let g = drone_geometry(scale);
-    let bers: Vec<f64> = scale.pick(
-        vec![0.0, 1e-2],
-        vec![0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
-        vec![0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
-    );
-    let weights = Arc::new(drone_pretrained_weights(g.pretrain_episodes));
-
-    let mut sys = DroneFrlSystem::new(DroneSystemConfig {
-        n_drones: g.n_drones,
-        seed: SYSTEM_SEED,
-        pretrain_episodes: 0,
-        ..Default::default()
-    })
-    .expect("valid config");
-    sys.set_fleet_weights(&weights).expect("weights fit");
-    sys.fine_tune(g.fine_tune_episodes, None, None).expect("fine-tune");
-    let detectors: Vec<RangeDetector> =
-        (0..g.n_drones).map(|i| RangeDetector::fit(sys.drone(i).network())).collect();
-
-    let mut table = Table::new(
-        "Fig 8b: DroneNav inference mitigation (m)",
-        "BER",
-        vec!["No Mitigation".into(), "Mitigation".into()],
-    )
-    .with_precision(0);
-    for (bi, &ber) in bers.iter().enumerate() {
-        let ber_v = Ber::new(ber).expect("valid ber");
-        let unmit = mean_over_repeats(0x8B, bi, g.repeats, |seed| {
-            sys.with_faulted_policies(FaultModel::TransientMulti, ber_v, ReprKind::F32, seed, |s| {
-                s.safe_flight_distance(g.eval_attempts)
-            })
-        });
-        let mit = mean_over_repeats(0x8B, bi, g.repeats, |seed| {
-            sys.with_faulted_policies(FaultModel::TransientMulti, ber_v, ReprKind::F32, seed, |s| {
-                for (i, det) in detectors.iter().enumerate() {
-                    det.repair(s.drone_mut(i).network_mut());
-                }
-                s.safe_flight_distance(g.eval_attempts)
-            })
-        });
-        table.push_row(ber_label(ber), vec![unmit, mit]);
-    }
-    table
+///
+/// # Errors
+///
+/// As for [`gridworld`].
+pub fn drone(scale: Scale) -> Result<Table, FrlfiError> {
+    StudyKind::Fig8Drone.geometry(scale)?.run()
 }
 
 #[cfg(test)]
@@ -116,7 +47,7 @@ mod tests {
 
     #[test]
     fn mitigation_never_hurts_at_high_ber() {
-        let t = gridworld(Scale::Smoke);
+        let t = gridworld(Scale::Smoke).expect("fig8a smoke");
         let last = t.rows.len() - 1;
         let unmit = t.value(last, 0);
         let mit = t.value(last, 1);

@@ -5,68 +5,25 @@
 //! representation range". This experiment injects the same number of
 //! faults into each layer of the trained policy separately and reports
 //! the resulting success rate.
+//!
+//! The driver is a thin wrapper over the
+//! [`study`](crate::experiments::study) decomposition — train once,
+//! sweep `(faults-per-layer × layer)` eval cells over frozen weights.
 
-use crate::experiments::harness::{mean_over_repeats, trained_grid_system};
+use crate::error::FrlfiError;
+use crate::experiments::study::StudyKind;
 use crate::report::Table;
-use crate::{ReprKind, Scale};
-use frlfi_fault::{inject_slice, FaultModel};
-use frlfi_rl::Learner;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::Scale;
 
 /// Runs the per-layer study: `faults_per_layer` bit flips confined to
 /// one layer at a time (int8 surface), averaged over repeats.
-pub fn run(scale: Scale) -> Table {
-    let n_agents = scale.pick(3, 6, 12);
-    let repeats = scale.pick(2, 8, 100);
-    let fault_counts: Vec<usize> = scale.pick(vec![4, 16], vec![2, 8, 32], vec![2, 8, 32, 128]);
-
-    let mut sys = trained_grid_system(scale, n_agents);
-
-    let spans = sys.agent(0).network().param_spans();
-    let mut table = Table::new(
-        "Per-layer resilience: SR (%) with faults confined to one layer",
-        "faults/layer",
-        spans.iter().map(|s| format!("{} ({})", s.name, s.kind)).collect(),
-    );
-
-    for (fi, &n_faults) in fault_counts.iter().enumerate() {
-        let mut row = Vec::with_capacity(spans.len());
-        for (si, span) in spans.iter().enumerate() {
-            let sr = mean_over_repeats(0x1A7E, fi * spans.len() + si, repeats, |seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                // Snapshot all agents, corrupt the span, evaluate, restore.
-                let clean: Vec<Vec<f32>> =
-                    (0..n_agents).map(|i| sys.agent(i).network().snapshot()).collect();
-                for (i, clean_snap) in clean.iter().enumerate() {
-                    let mut snap = clean_snap.clone();
-                    let repr = ReprKind::Int8.materialize_for(&snap);
-                    inject_slice(
-                        &mut snap[span.range()],
-                        repr,
-                        FaultModel::TransientMulti,
-                        n_faults,
-                        &mut rng,
-                    );
-                    sys.agent_mut(i)
-                        .network_mut()
-                        .restore(&snap)
-                        .expect("snapshot length invariant");
-                }
-                let sr = sys.success_rate();
-                for (i, clean_snap) in clean.iter().enumerate() {
-                    sys.agent_mut(i)
-                        .network_mut()
-                        .restore(clean_snap)
-                        .expect("snapshot length invariant");
-                }
-                sr
-            });
-            row.push(sr * 100.0);
-        }
-        table.push_row(format!("{n_faults}"), row);
-    }
-    table
+///
+/// # Errors
+///
+/// Returns a typed error on a construction, training or evaluation
+/// failure instead of panicking mid-figure.
+pub fn run(scale: Scale) -> Result<Table, FrlfiError> {
+    StudyKind::Layers.geometry(scale)?.run()
 }
 
 #[cfg(test)]
@@ -75,7 +32,7 @@ mod tests {
 
     #[test]
     fn covers_all_parameterized_layers() {
-        let t = run(Scale::Smoke);
+        let t = run(Scale::Smoke).expect("layers smoke");
         assert_eq!(t.columns.len(), 3, "MLP has three dense layers");
         for (_, row) in &t.rows {
             for &v in row {

@@ -19,6 +19,11 @@
 //! | [`ablations`]| extensions: sensitivity of every mitigation design choice |
 //! | [`surfaces`] | extension: weight vs activation vs register fault surfaces |
 //!
+//! The inference studies (Fig. 4/8, data-type, per-layer) additionally
+//! decompose into train-once / eval-many task DAGs via [`study`], which
+//! is how the `frlfi-campaign` crate distributes them across workers
+//! without retraining per trial.
+//!
 //! Experiments are deterministic for a given `(Scale, seed)`; campaign
 //! cells fan out over worker threads via [`frlfi_fault::sweep`].
 
@@ -33,6 +38,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod harness;
 pub mod layers;
+pub mod study;
 pub mod surfaces;
 pub mod table1;
 

@@ -30,6 +30,7 @@
 //! ```
 
 mod activation;
+pub mod codec;
 mod conv;
 mod dense;
 mod error;
@@ -38,6 +39,10 @@ mod layer;
 mod network;
 
 pub use activation::Relu;
+pub use codec::{
+    decode_weight_planes, encode_weight_planes, weight_digest, WeightCodecError, WEIGHT_MAGIC,
+    WEIGHT_VERSION,
+};
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use error::NnError;
