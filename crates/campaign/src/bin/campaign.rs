@@ -13,6 +13,9 @@
 //!                 [--worker-id ID] [--lease-ms N] [--obs] [--quiet]
 //! campaign status <dir>
 //! campaign profile <dir> [--check]
+//! campaign trace <dir> [--trial N] [--out FILE.json]
+//! campaign top <dir> [--once] [--interval-ms N]
+//! campaign perf <dir> [--baseline FILE.json] [--gate PCT] [--mode TAG] [--out FILE.json]
 //! ```
 //!
 //! `expand` validates and expands a scenario without running anything
@@ -55,7 +58,8 @@ use std::process::ExitCode;
 
 use frlfi::Scale;
 use frlfi_campaign::{
-    coord, io, profile, registry, runner, CoordConfig, CoordMode, RunnerConfig, Scenario,
+    coord, io, perf, profile, registry, runner, top, trace, CoordConfig, CoordMode, RunnerConfig,
+    Scenario,
 };
 
 fn usage() -> &'static str {
@@ -70,7 +74,10 @@ fn usage() -> &'static str {
      campaign worker <dir> [--threads N] [--max-trials N] [--batched] \
      [--worker-id ID] [--lease-ms N] [--obs] [--quiet] [--chaos-seed N] [--allow-partial]\n  \
      campaign status <dir>\n  \
-     campaign profile <dir> [--check]\n\n\
+     campaign profile <dir> [--check]\n  \
+     campaign trace <dir> [--trial N] [--out FILE.json]\n  \
+     campaign top <dir> [--once] [--interval-ms N]\n  \
+     campaign perf <dir> [--baseline FILE.json] [--gate PCT] [--mode TAG] [--out FILE.json]\n\n\
      CAMPAIGN_OBS=1 enables --obs; CAMPAIGN_LOG=quiet|warn|info|debug sets the stderr level;\n\
      CAMPAIGN_CHAOS=seed=N[,rate=P,tag=T,op=K,every=M,persist,latency-ms=L] arms fault \
      injection;\n\
@@ -85,6 +92,12 @@ struct Options {
     check: bool,
     quiet: bool,
     chaos_seed: Option<u64>,
+    trial: Option<u64>,
+    once: bool,
+    interval_ms: u64,
+    baseline: Option<PathBuf>,
+    gate: Option<f64>,
+    mode: String,
     coord: CoordConfig,
     cfg: RunnerConfig,
     positional: Vec<String>,
@@ -105,6 +118,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         check: false,
         quiet: false,
         chaos_seed: None,
+        trial: None,
+        once: false,
+        interval_ms: 1000,
+        baseline: None,
+        gate: None,
+        mode: "per-obs".to_owned(),
         coord: CoordConfig::default(),
         cfg: RunnerConfig { obs: env_obs(), ..RunnerConfig::default() },
         positional: Vec::new(),
@@ -155,6 +174,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     Some(take("--chaos-seed")?.parse().map_err(|e| format!("--chaos-seed: {e}"))?)
             }
             "--allow-partial" => opts.cfg.allow_partial = true,
+            "--trial" => {
+                opts.trial = Some(take("--trial")?.parse().map_err(|e| format!("--trial: {e}"))?)
+            }
+            "--once" => opts.once = true,
+            "--interval-ms" => {
+                opts.interval_ms =
+                    take("--interval-ms")?.parse().map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--baseline" => opts.baseline = Some(PathBuf::from(take("--baseline")?)),
+            "--gate" => {
+                opts.gate = Some(take("--gate")?.parse().map_err(|e| format!("--gate: {e}"))?)
+            }
+            "--mode" => opts.mode = take("--mode")?.to_owned(),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => opts.positional.push(other.to_owned()),
         }
@@ -345,6 +377,67 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                     p.workers.len(),
                     p.torn_tails
                 );
+            }
+            Ok(())
+        }
+        "trace" => {
+            let [ref dir] = opts.positional[..] else {
+                return Err(usage().to_owned());
+            };
+            let dir = PathBuf::from(dir);
+            let out = trace::export(&dir, &trace::TraceOptions { trial: opts.trial })?;
+            match &opts.out {
+                Some(path) => {
+                    std::fs::write(path, &out.json)
+                        .map_err(|e| format!("write {}: {e}", path.display()))?;
+                    println!(
+                        "wrote {} trace events to {} ({} skipped line(s), {} torn tail(s)) — \
+                         load it at https://ui.perfetto.dev or chrome://tracing",
+                        out.events,
+                        path.display(),
+                        out.skipped_lines,
+                        out.torn_tails
+                    );
+                }
+                None => println!("{}", out.json),
+            }
+            Ok(())
+        }
+        "top" => {
+            let [ref dir] = opts.positional[..] else {
+                return Err(usage().to_owned());
+            };
+            let dir = PathBuf::from(dir);
+            top::run(&dir, &top::TopOptions { once: opts.once, interval_ms: opts.interval_ms })
+        }
+        "perf" => {
+            let [ref dir] = opts.positional[..] else {
+                return Err(usage().to_owned());
+            };
+            let dir = PathBuf::from(dir);
+            let record = perf::measure(&dir, &opts.mode)?;
+            let rendered = frlfi_campaign::fmt::json::render(&record.to_value());
+            if let Some(path) = &opts.out {
+                std::fs::write(path, format!("{rendered}\n"))
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+            }
+            println!("{rendered}");
+            if let Some(baseline_path) = &opts.baseline {
+                let text = std::fs::read_to_string(baseline_path)
+                    .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+                let baseline = perf::parse_baseline(&text)
+                    .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+                let gate = opts.gate.unwrap_or(25.0);
+                let regressions = perf::compare(&record, &baseline, gate)?;
+                if regressions.is_empty() {
+                    println!("perf gate ok vs {} (gate {gate}%)", baseline_path.display());
+                } else {
+                    return Err(format!(
+                        "perf gate FAILED vs {} (gate {gate}%):\n  {}",
+                        baseline_path.display(),
+                        regressions.join("\n  ")
+                    ));
+                }
             }
             Ok(())
         }

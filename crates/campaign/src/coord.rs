@@ -262,6 +262,13 @@ impl JsonlTailReader {
         JsonlTailReader { path, tag, offset: 0, line_no: 0 }
     }
 
+    /// Byte offset of the last complete line consumed: everything
+    /// before it is never read again. `campaign top` sums offset
+    /// deltas to report (and test) per-tick read cost.
+    pub(crate) fn offset(&self) -> u64 {
+        self.offset
+    }
+
     /// Hands every complete line appended since the last refresh to
     /// `fold` as a parsed JSON document. Lines that are not JSON at
     /// all — torn fragments healed into interior lines — are skipped

@@ -61,11 +61,14 @@ pub mod artifacts;
 pub mod coord;
 pub mod fmt;
 pub mod io;
+pub mod perf;
 pub mod profile;
 pub mod quarantine;
 pub mod registry;
 pub mod runner;
 pub mod spec;
+pub mod top;
+pub mod trace;
 
 pub use artifacts::{ArtifactRecord, ArtifactTracker};
 pub use coord::{

@@ -56,6 +56,10 @@ pub struct WorkerProfile {
     /// Merged histograms: name → power-of-two buckets
     /// ([`frlfi_obs::HIST_BUCKETS`] wide).
     pub hists: BTreeMap<String, Vec<u64>>,
+    /// Exact histogram maxima: name → largest recorded value (v2
+    /// streams; 0 for v1 streams, whose overflow bucket lost the
+    /// tail).
+    pub hist_max: BTreeMap<String, u64>,
     /// Earliest and latest event timestamps (ms since epoch; 0,0 when
     /// the stream had no events) — the worker's observed wall window.
     pub first_ts_ms: u64,
@@ -162,15 +166,75 @@ impl Profile {
         }
         out
     }
+
+    /// Exact histogram maxima merged across workers (0 for a
+    /// histogram only ever seen in v1 streams).
+    pub fn hist_max_totals(&self) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for w in &self.workers {
+            for (name, &m) in &w.hist_max {
+                let e = out.entry(name.clone()).or_insert(0);
+                *e = (*e).max(m);
+            }
+        }
+        out
+    }
+}
+
+/// The value range a power-of-two bucket covers: bucket 0 holds
+/// zeros, bucket `b ≥ 1` holds `[2^(b-1), 2^b)`, and the final bucket
+/// is capped by the exact `max` when one was recorded (v2 streams) —
+/// a v1 overflow bucket degenerates to its floor.
+fn bucket_bounds(b: usize, nbuckets: usize, max: u64) -> (u64, u64) {
+    if b == 0 {
+        return (0, 0);
+    }
+    let lo = 1u64 << (b - 1);
+    let mut hi = if b + 1 == nbuckets { max } else { 1u64 << b };
+    if max >= lo {
+        hi = hi.min(max);
+    }
+    (lo, hi.max(lo))
+}
+
+/// The `q`-quantile (`0.0..=1.0`) of a merged power-of-two histogram,
+/// linearly interpolated inside the containing bucket. `max` is the
+/// exact recorded maximum (caps the overflow bucket; pass 0 for v1
+/// streams that never recorded one). Returns 0 for an empty
+/// histogram.
+pub fn hist_percentile(buckets: &[u64], max: u64, q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (b, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let next = cum + n;
+        if next as f64 >= rank {
+            let (lo, hi) = bucket_bounds(b, buckets.len(), max);
+            let frac = ((rank - cum as f64) / n as f64).clamp(0.0, 1.0);
+            return lo as f64 + frac * (hi - lo) as f64;
+        }
+        cum = next;
+    }
+    // Rounding pushed the rank past the last occupied bucket: its
+    // upper bound is the answer.
+    let last = buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+    bucket_bounds(last, buckets.len(), max).1 as f64
 }
 
 /// Validates one parsed event against the schema in the
 /// [`frlfi_obs`] crate docs and folds it into `w`.
 fn fold_event(w: &mut WorkerProfile, v: &Value) -> Result<(), String> {
     let version = v.get("v").and_then(Value::as_int).ok_or("event missing integer `v`")?;
-    if version != 1 {
+    if !(1..=frlfi_obs::SCHEMA_VERSION as i64).contains(&version) {
         return Err(format!("unsupported event version {version}"));
     }
+    let v2 = version >= 2;
     let kind = v.get("kind").and_then(Value::as_str).ok_or("event missing string `kind`")?;
     let ts = v.get("ts_ms").and_then(Value::as_int).ok_or("event missing integer `ts_ms`")?;
     if ts < 0 {
@@ -183,6 +247,23 @@ fn fold_event(w: &mut WorkerProfile, v: &Value) -> Result<(), String> {
             .filter(|&n| n >= 0)
             .map(|n| n as u64)
             .ok_or_else(|| format!("`{kind}` event missing non-negative integer `{k}`"))
+    };
+    // v2-only fields: required on v2 events, absent on v1 events; a
+    // present-but-malformed value is an error at either version.
+    let opt_int = |k: &str| match v.get(k) {
+        None => Ok(None),
+        Some(val) => val
+            .as_int()
+            .filter(|&n| n >= 0)
+            .map(|n| Some(n as u64))
+            .ok_or_else(|| format!("`{kind}` has non-integer `{k}`")),
+    };
+    let v2_int = |k: &str| {
+        let got = opt_int(k)?;
+        if v2 && got.is_none() {
+            return Err(format!("v2 `{kind}` event missing integer `{k}`"));
+        }
+        Ok(got)
     };
     let name = || {
         v.get("name")
@@ -197,6 +278,7 @@ fn fold_event(w: &mut WorkerProfile, v: &Value) -> Result<(), String> {
                 .and_then(Value::as_str)
                 .ok_or("`meta` event missing string `worker`")?;
             int("pid")?;
+            v2_int("mono_us")?;
             // Re-installs append to the same stream; ids must agree.
             if w.worker.is_empty() {
                 w.worker = worker.to_owned();
@@ -212,17 +294,24 @@ fn fold_event(w: &mut WorkerProfile, v: &Value) -> Result<(), String> {
             if let Some(t) = v.get("trial") {
                 t.as_int().filter(|&n| n >= 0).ok_or("`span` has non-integer `trial`")?;
             }
+            v2_int("id")?;
+            v2_int("tid")?;
+            v2_int("mono_us")?;
+            opt_int("parent")?;
             let e = w.spans.entry(name()?).or_insert((0, 0));
             e.0 += 1;
             e.1 += dur;
         }
         "timer" => {
             let (n, total) = (int("n")?, int("total_us")?);
+            v2_int("tid")?;
+            opt_int("parent")?;
             let e = w.timers.entry(name()?).or_insert((0, 0));
             e.0 += n;
             e.1 += total;
         }
         "count" => {
+            v2_int("tid")?;
             *w.counters.entry(name()?).or_insert(0) += int("n")?;
         }
         "hist" => {
@@ -237,8 +326,10 @@ fn fold_event(w: &mut WorkerProfile, v: &Value) -> Result<(), String> {
                     frlfi_obs::HIST_BUCKETS
                 ));
             }
+            v2_int("tid")?;
+            let max = v2_int("max")?.unwrap_or(0);
             let name = name()?;
-            let acc = w.hists.entry(name).or_insert_with(|| vec![0; buckets.len()]);
+            let acc = w.hists.entry(name.clone()).or_insert_with(|| vec![0; buckets.len()]);
             for (a, b) in acc.iter_mut().zip(buckets) {
                 *a += b
                     .as_int()
@@ -246,10 +337,13 @@ fn fold_event(w: &mut WorkerProfile, v: &Value) -> Result<(), String> {
                     .ok_or("`hist` bucket is not a non-negative integer")?
                     as u64;
             }
+            let m = w.hist_max.entry(name).or_insert(0);
+            *m = (*m).max(max);
         }
         "log" => {
             v.get("level").and_then(Value::as_str).ok_or("`log` event missing string `level`")?;
             v.get("msg").and_then(Value::as_str).ok_or("`log` event missing string `msg`")?;
+            v2_int("tid")?;
         }
         other => return Err(format!("unknown event kind `{other}`")),
     }
@@ -400,6 +494,7 @@ pub fn render_report(profile: &Profile, remaining_trials: Option<usize>) -> Stri
             out.push_str(&format!("  {name:<28} {n}\n"));
         }
     }
+    let maxes = profile.hist_max_totals();
     for (name, buckets) in profile.hist_totals() {
         out.push_str(&format!("histogram {name} (power-of-two buckets)\n"));
         // Trim trailing empty buckets; label each as its range floor.
@@ -410,6 +505,15 @@ pub fn render_report(profile: &Profile, remaining_trials: Option<usize>) -> Stri
                 out.push_str(&format!("  >= {floor:<6} {n}\n"));
             }
         }
+        let max = maxes.get(&name).copied().unwrap_or(0);
+        let p = |q| hist_percentile(&buckets, max, q);
+        out.push_str(&format!(
+            "  p50={:.1} p90={:.1} p99={:.1} max={}\n",
+            p(0.50),
+            p(0.90),
+            p(0.99),
+            if max > 0 { max.to_string() } else { "?".to_string() },
+        ));
     }
     match profile.rate() {
         Some(rate) => {
@@ -529,10 +633,22 @@ mod tests {
     fn schema_violations_are_named() {
         let dir = tmpdir("schema");
         for (tag, line) in [
-            ("version", r#"{"v":2,"kind":"count","name":"x","n":1,"ts_ms":1}"#),
+            ("version", r#"{"v":3,"kind":"count","name":"x","n":1,"ts_ms":1}"#),
             ("kind", r#"{"v":1,"kind":"mystery","ts_ms":1}"#),
             ("buckets", r#"{"v":1,"kind":"hist","name":"h","buckets":[1,2],"ts_ms":1}"#),
             ("field", r#"{"v":1,"kind":"span","name":"trial","ts_ms":1}"#),
+            (
+                "v2 span id",
+                r#"{"v":2,"kind":"span","name":"t","dur_us":1,"tid":1,"mono_us":1,"ts_ms":1}"#,
+            ),
+            (
+                "v2 hist max",
+                &format!(
+                    r#"{{"v":2,"kind":"hist","name":"h","buckets":[{}],"tid":1,"ts_ms":1}}"#,
+                    vec!["0"; frlfi_obs::HIST_BUCKETS].join(",")
+                ),
+            ),
+            ("v2 count tid", r#"{"v":2,"kind":"count","name":"x","n":1,"ts_ms":1}"#),
         ] {
             write_stream(&dir, "worker-w0.jsonl", &format!("{line}\n"));
             assert!(
@@ -543,6 +659,77 @@ mod tests {
             assert_eq!(p.skipped_lines, 1, "lenient mode must skip {tag}");
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    const STREAM_V2: &str = concat!(
+        r#"{"v":2,"kind":"meta","worker":"w1","pid":8,"ts_ms":2000,"mono_us":50}"#,
+        "\n",
+        r#"{"v":2,"kind":"span","name":"trial","trial":4,"dur_us":900,"ts_ms":2100,"id":7,"tid":1,"mono_us":100}"#,
+        "\n",
+        r#"{"v":2,"kind":"span","name":"train","dur_us":600,"ts_ms":2050,"id":8,"parent":7,"tid":1,"mono_us":120}"#,
+        "\n",
+        r#"{"v":2,"kind":"timer","name":"io","n":3,"total_us":90,"ts_ms":2100,"tid":1,"parent":7}"#,
+        "\n",
+        r#"{"v":2,"kind":"count","name":"x","n":5,"ts_ms":2100,"tid":1}"#,
+        "\n",
+    );
+
+    #[test]
+    fn v1_and_v2_streams_mix_in_one_directory() {
+        let dir = tmpdir("mixed");
+        write_stream(&dir, "worker-w0.jsonl", STREAM);
+        write_stream(&dir, "worker-w1.jsonl", STREAM_V2);
+        let p = load_dir(&dir, CheckMode::Strict).unwrap();
+        assert_eq!(p.workers.len(), 2);
+        assert_eq!(p.trials(), 2);
+        assert_eq!(p.workers[1].worker, "w1");
+        assert_eq!(p.workers[1].spans["train"], (1, 600));
+        assert_eq!(p.workers[1].timers["io"], (3, 90));
+        assert_eq!(p.skipped_lines, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_hist_max_survives_the_overflow_bucket() {
+        let dir = tmpdir("histmax");
+        let mut buckets = [0u64; frlfi_obs::HIST_BUCKETS];
+        buckets[frlfi_obs::HIST_BUCKETS - 1] = 3; // deep overflow
+        let line = format!(
+            r#"{{"v":2,"kind":"hist","name":"h","buckets":[{}],"max":123456789,"tid":1,"ts_ms":1}}"#,
+            buckets.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        );
+        write_stream(&dir, "worker-w0.jsonl", &format!("{line}\n"));
+        let p = load_dir(&dir, CheckMode::Strict).unwrap();
+        assert_eq!(p.hist_max_totals()["h"], 123_456_789);
+        // The overflow bucket's percentile is capped by the exact max,
+        // not the (lost) power-of-two ceiling.
+        let h = &p.hist_totals()["h"];
+        assert!(hist_percentile(h, 123_456_789, 0.99) <= 123_456_789.0);
+        let report = render_report(&p, None);
+        assert!(report.contains("max=123456789"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // 10 zeros: every percentile is 0.
+        let mut b = vec![0u64; frlfi_obs::HIST_BUCKETS];
+        b[0] = 10;
+        assert_eq!(hist_percentile(&b, 0, 0.5), 0.0);
+        // 100 values in [8, 16): p50 lands mid-bucket.
+        let mut b = vec![0u64; frlfi_obs::HIST_BUCKETS];
+        b[4] = 100;
+        let p50 = hist_percentile(&b, 15, 0.5);
+        assert!((8.0..=15.0).contains(&p50), "{p50}");
+        // Half in [1,2), half in [8,16): p90 must sit in the upper
+        // bucket, p50 at its boundary or below.
+        let mut b = vec![0u64; frlfi_obs::HIST_BUCKETS];
+        b[1] = 50;
+        b[4] = 50;
+        assert!(hist_percentile(&b, 12, 0.9) >= 8.0);
+        assert!(hist_percentile(&b, 12, 0.25) < 2.0);
+        // Empty histogram.
+        assert_eq!(hist_percentile(&[0u64; frlfi_obs::HIST_BUCKETS], 0, 0.9), 0.0);
     }
 
     #[test]

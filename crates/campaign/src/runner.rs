@@ -614,9 +614,6 @@ fn run_exclusive(
                 .map_err(|e| format!("append {}: {e}", trials_path(dir).display()))?;
             }
             lock_recover(&fresh).push((cell, rep, value));
-            // Per-trial event flush: a killed worker's obs stream still
-            // covers every trial it durably committed.
-            frlfi_obs::flush();
             Ok(())
         };
         // The retry budget is spent: record the poison trial durably
@@ -642,6 +639,9 @@ fn run_exclusive(
                 );
             }
             lock_recover(&poisoned).insert(flat);
+            // An erroring worker may be about to die: its buffered
+            // events describe the failure and must reach disk now.
+            frlfi_obs::flush();
         };
 
         if let Some((g, planes)) = &study {
@@ -680,10 +680,11 @@ fn run_exclusive(
                             // Per-observation vs --batched is a no-op
                             // here: a study eval is the same
                             // frozen-weight rollout either way.
-                            let value = {
-                                let _trial = frlfi_obs::span_trial("trial", flat as u64);
-                                g.eval_cell(&mut ctx, cell, seed)
-                            };
+                            // The trial span stays live across the
+                            // commit so the io timer (and any child
+                            // span) is parented to the trial.
+                            let _trial = frlfi_obs::span_trial("trial", flat as u64);
+                            let value = g.eval_cell(&mut ctx, cell, seed);
                             match value {
                                 Ok(value) => {
                                     if let Err(e) = commit(cell, rep, seed, value) {
@@ -694,6 +695,11 @@ fn run_exclusive(
                                     quarantine_trial(cell, rep, format!("trial failed: {e}"));
                                 }
                             }
+                            // Per-trial event flush once the span has
+                            // closed: a killed worker's obs stream
+                            // still covers every committed trial.
+                            drop(_trial);
+                            frlfi_obs::flush();
                         }
                     });
                 }
@@ -716,10 +722,10 @@ fn run_exclusive(
                             let Some(&(cell, rep)) = pending.get(i) else { break };
                             let flat = cell * repeats + rep;
                             let seed = campaign.trial_seed(flat);
-                            let values = {
-                                let _trial = frlfi_obs::span_trial("trial", flat as u64);
-                                campaign.run_trials_batched(cell, &[seed], &mut ctx)
-                            };
+                            // Span covers the commit: io attributes
+                            // to the trial in the causal tree.
+                            let _trial = frlfi_obs::span_trial("trial", flat as u64);
+                            let values = campaign.run_trials_batched(cell, &[seed], &mut ctx);
                             // A failed trial (e.g. a mis-shaped
                             // observation reaching the policy network)
                             // is quarantined like an I/O-poisoned one:
@@ -733,6 +739,11 @@ fn run_exclusive(
                                 }
                                 Err(e) => quarantine_trial(cell, rep, format!("trial failed: {e}")),
                             }
+                            // Per-trial event flush once the span has
+                            // closed: a killed worker's obs stream
+                            // still covers every committed trial.
+                            drop(_trial);
+                            frlfi_obs::flush();
                         }
                     });
                 }
@@ -749,10 +760,10 @@ fn run_exclusive(
                             let Some(&(cell, rep)) = pending.get(i) else { break };
                             let flat = cell * repeats + rep;
                             let seed = campaign.trial_seed(flat);
-                            let value = {
-                                let _trial = frlfi_obs::span_trial("trial", flat as u64);
-                                campaign.run_trial_ctx(cell, seed, &mut ctx)
-                            };
+                            // Span covers the commit: io attributes
+                            // to the trial in the causal tree.
+                            let _trial = frlfi_obs::span_trial("trial", flat as u64);
+                            let value = campaign.run_trial_ctx(cell, seed, &mut ctx);
                             match value {
                                 Ok(value) => {
                                     if let Err(e) = commit(cell, rep, seed, value) {
@@ -761,6 +772,11 @@ fn run_exclusive(
                                 }
                                 Err(e) => quarantine_trial(cell, rep, format!("trial failed: {e}")),
                             }
+                            // Per-trial event flush once the span has
+                            // closed: a killed worker's obs stream
+                            // still covers every committed trial.
+                            drop(_trial);
+                            frlfi_obs::flush();
                         }
                     });
                 }
@@ -954,6 +970,9 @@ fn quarantine_train_task(
     ) {
         frlfi_obs::warn!("{qe} (quarantine record lost; the degraded exit still reports the task)");
     }
+    // An erroring worker may be about to die: its buffered events
+    // describe the failure and must reach disk now.
+    frlfi_obs::flush();
 }
 
 /// Every study model's decoded weight planes, in model order (outer:
@@ -1152,6 +1171,9 @@ fn run_shared(
             );
         }
         lock_recover(&poisoned).insert(trial);
+        // An erroring worker may be about to die: its buffered events
+        // describe the failure and must reach disk now.
+        frlfi_obs::flush();
     };
 
     std::thread::scope(|scope| {
@@ -1332,15 +1354,16 @@ fn run_shared(
                         }
                     }
                     let seed = campaign.trial_seed(trial);
-                    let value = {
-                        let _trial = frlfi_obs::span_trial("trial", trial as u64);
-                        match (study, study_ctx.as_mut()) {
-                            (Some(g), Some(ctx)) => g.eval_cell(ctx, cell, seed),
-                            _ if cfg.batched => campaign
-                                .run_trials_batched(cell, &[seed], &mut batch_ctx)
-                                .map(|v| v[0]),
-                            _ => campaign.run_trial_ctx(cell, seed, &mut obs_ctx),
+                    // The trial span stays live across the commit so
+                    // the io timer and any retry/quarantine events
+                    // are parented to the trial in the causal tree.
+                    let _trial = frlfi_obs::span_trial("trial", trial as u64);
+                    let value = match (study, study_ctx.as_mut()) {
+                        (Some(g), Some(ctx)) => g.eval_cell(ctx, cell, seed),
+                        _ if cfg.batched => {
+                            campaign.run_trials_batched(cell, &[seed], &mut batch_ctx).map(|v| v[0])
                         }
+                        _ => campaign.run_trial_ctx(cell, seed, &mut obs_ctx),
                     };
                     let value = match value {
                         Ok(v) => v,
@@ -1367,8 +1390,10 @@ fn run_shared(
                     }
                     coordinator.complete(task);
                     new_trials.fetch_add(1, Ordering::Relaxed);
-                    // Per-trial event flush: a SIGKILLed worker's obs
-                    // stream still covers its durably committed trials.
+                    // Per-trial event flush once the span has closed: a
+                    // SIGKILLed worker's obs stream still covers its
+                    // durably committed trials.
+                    drop(_trial);
                     frlfi_obs::flush();
                 }
             });

@@ -1,0 +1,501 @@
+//! `campaign trace`: exports a campaign's observability streams as
+//! Chrome trace-event JSON, loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`.
+//!
+//! Each worker process becomes one trace *process* (its `pid` is the
+//! worker's index in sorted order; the real pid is in the process
+//! metadata), and each of its threads one *track* (`tid` from the v2
+//! per-thread tag). Spans become `"X"` complete events whose `args`
+//! carry the causal ids (`id`/`parent`/`trial`) plus the aggregated
+//! timer totals (`aggregate`, `io`, …) attributed to them, so the
+//! `trial → train/eval → aggregate/io` tree survives the export both
+//! visually (time nesting on a track) and structurally (the id
+//! links). Counters — including the chaos-injection and retry
+//! counters — become `"C"` counter tracks; facade log lines (retry
+//! warnings, quarantine notices) become `"i"` instant events.
+//!
+//! ## Timeline placement
+//!
+//! v2 streams place span starts with microsecond precision:
+//! `meta.ts_ms·1000 + (span.mono_us − meta.mono_us)` converts the
+//! process-monotonic start offset to an absolute wall microsecond
+//! using the stream's meta anchor. v1 spans (no monotonic clock) fall
+//! back to `ts_ms·1000 − dur_us`, the start implied by the wall-stamp
+//! the span's *end* was recorded at — coarser, but still a valid
+//! timeline. Mixed directories export fine; nothing in a v1 stream is
+//! rejected.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use serde::{Map, Value};
+
+use crate::fmt::json;
+use crate::profile::OBS_DIR;
+
+/// Export options for [`export`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceOptions {
+    /// Restrict the export to one trial's span tree (the spans whose
+    /// `trial` matches, plus every descendant reached through
+    /// `parent` links). Counters and logs are omitted when filtering.
+    pub trial: Option<u64>,
+}
+
+/// A rendered export plus its load diagnostics.
+#[derive(Debug, Clone)]
+pub struct TraceExport {
+    /// The trace-event JSON document.
+    pub json: String,
+    /// Trace events emitted (excluding metadata records).
+    pub events: usize,
+    /// Complete-but-unparseable lines skipped (telemetry is advisory).
+    pub skipped_lines: usize,
+    /// Unterminated trailing fragments dropped.
+    pub torn_tails: usize,
+}
+
+#[derive(Debug, Default)]
+struct SpanEv {
+    name: String,
+    ts_ms: u64,
+    dur_us: u64,
+    id: u64,
+    parent: u64,
+    tid: u64,
+    mono_us: Option<u64>,
+    trial: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Stream {
+    worker: String,
+    pid: u64,
+    meta_ts_ms: Option<u64>,
+    meta_mono_us: Option<u64>,
+    spans: Vec<SpanEv>,
+    /// (name, parent span id, n, total µs) aggregates.
+    timers: Vec<(String, u64, u64, u64)>,
+    /// (name, ts_ms, n) counter deltas in stream order.
+    counts: Vec<(String, u64, u64)>,
+    /// (level, msg, ts_ms, tid).
+    logs: Vec<(String, String, u64, u64)>,
+}
+
+impl Stream {
+    /// Absolute wall-clock microsecond for a span start.
+    fn span_start_us(&self, s: &SpanEv) -> u64 {
+        match (self.meta_ts_ms, self.meta_mono_us, s.mono_us) {
+            (Some(ts), Some(anchor), Some(mono)) => {
+                (ts * 1000).saturating_add(mono.saturating_sub(anchor))
+            }
+            _ => (s.ts_ms * 1000).saturating_sub(s.dur_us),
+        }
+    }
+}
+
+fn get_u64(v: &Value, k: &str) -> Option<u64> {
+    v.get(k).and_then(Value::as_int).filter(|&n| n >= 0).map(|n| n as u64)
+}
+
+fn fold_line(stream: &mut Stream, v: &Value) {
+    let Some(kind) = v.get("kind").and_then(Value::as_str) else { return };
+    let ts_ms = get_u64(v, "ts_ms").unwrap_or(0);
+    let name = || v.get("name").and_then(Value::as_str).map(str::to_owned);
+    match kind {
+        "meta" => {
+            if let Some(w) = v.get("worker").and_then(Value::as_str) {
+                if stream.worker.is_empty() {
+                    stream.worker = w.to_owned();
+                }
+            }
+            stream.pid = get_u64(v, "pid").unwrap_or(0);
+            // First anchor wins: re-installs append to the same
+            // stream and share the process monotonic clock.
+            if stream.meta_ts_ms.is_none() {
+                if let Some(mono) = get_u64(v, "mono_us") {
+                    stream.meta_ts_ms = Some(ts_ms);
+                    stream.meta_mono_us = Some(mono);
+                }
+            }
+        }
+        "span" => {
+            let (Some(name), Some(dur_us)) = (name(), get_u64(v, "dur_us")) else { return };
+            stream.spans.push(SpanEv {
+                name,
+                ts_ms,
+                dur_us,
+                id: get_u64(v, "id").unwrap_or(0),
+                parent: get_u64(v, "parent").unwrap_or(0),
+                tid: get_u64(v, "tid").unwrap_or(1),
+                mono_us: get_u64(v, "mono_us"),
+                trial: get_u64(v, "trial"),
+            });
+        }
+        "timer" => {
+            let (Some(name), Some(n), Some(total)) =
+                (name(), get_u64(v, "n"), get_u64(v, "total_us"))
+            else {
+                return;
+            };
+            stream.timers.push((name, get_u64(v, "parent").unwrap_or(0), n, total));
+        }
+        "count" => {
+            let (Some(name), Some(n)) = (name(), get_u64(v, "n")) else { return };
+            stream.counts.push((name, ts_ms, n));
+        }
+        "log" => {
+            let (Some(level), Some(msg)) =
+                (v.get("level").and_then(Value::as_str), v.get("msg").and_then(Value::as_str))
+            else {
+                return;
+            };
+            stream.logs.push((
+                level.to_owned(),
+                msg.to_owned(),
+                ts_ms,
+                get_u64(v, "tid").unwrap_or(1),
+            ));
+        }
+        _ => {}
+    }
+}
+
+fn load_stream(path: &Path, export: &mut TraceExport) -> Result<Stream, String> {
+    let text = crate::io::with_retry("obs.read", || crate::io::read_to_string("obs.read", path))
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut stream = Stream::default();
+    for piece in text.split_inclusive('\n') {
+        if !piece.ends_with('\n') {
+            export.torn_tails += 1;
+            break;
+        }
+        let line = piece.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match json::parse(line) {
+            Ok(v) => fold_line(&mut stream, &v),
+            Err(_) => export.skipped_lines += 1,
+        }
+    }
+    if stream.worker.is_empty() {
+        stream.worker = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(|s| s.strip_prefix("worker-").unwrap_or(s).to_owned())
+            .unwrap_or_else(|| path.display().to_string());
+    }
+    Ok(stream)
+}
+
+fn table(entries: Vec<(&str, Value)>) -> Value {
+    Value::Table(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect::<Map>())
+}
+
+fn int(n: u64) -> Value {
+    Value::Int(n as i64)
+}
+
+fn s(v: impl Into<String>) -> Value {
+    Value::Str(v.into())
+}
+
+/// One metadata record (`ph: "M"`).
+fn meta_event(name: &str, pid: u64, tid: u64, value: &str) -> Value {
+    table(vec![
+        ("ph", s("M")),
+        ("name", s(name)),
+        ("pid", int(pid)),
+        ("tid", int(tid)),
+        ("args", table(vec![("name", s(value))])),
+    ])
+}
+
+/// The span ids kept by a `--trial N` filter: every span whose
+/// `trial` field matches, plus all descendants reached via `parent`.
+/// Span ids increase parent-before-child within a process, so one
+/// id-ordered pass closes the set.
+fn trial_span_ids(spans: &[&SpanEv], trial: u64) -> BTreeSet<u64> {
+    let mut keep = BTreeSet::new();
+    let mut ordered: Vec<&&SpanEv> = spans.iter().collect();
+    ordered.sort_by_key(|s| s.id);
+    for span in ordered {
+        if span.trial == Some(trial) || (span.parent != 0 && keep.contains(&span.parent)) {
+            keep.insert(span.id);
+        }
+    }
+    keep
+}
+
+/// Exports every `obs/worker-*.jsonl` stream under campaign directory
+/// `dir` as one Chrome trace-event JSON document.
+///
+/// # Errors
+///
+/// I/O failures, or an `obs/` directory with no worker streams (an
+/// empty trace is more likely a wrong path than an empty campaign).
+pub fn export(dir: &Path, opts: &TraceOptions) -> Result<TraceExport, String> {
+    let obs_dir = dir.join(OBS_DIR);
+    let mut export =
+        TraceExport { json: String::new(), events: 0, skipped_lines: 0, torn_tails: 0 };
+    let entries = std::fs::read_dir(&obs_dir).map_err(|e| {
+        format!("read {}: {e} (did this campaign run with --obs?)", obs_dir.display())
+    })?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "jsonl")
+                && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("worker-"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!(
+            "no obs streams under {} (did this campaign run with --obs?)",
+            obs_dir.display()
+        ));
+    }
+    let mut streams = Vec::new();
+    for path in &paths {
+        streams.push(load_stream(path, &mut export)?);
+    }
+    streams.sort_by(|a, b| a.worker.cmp(&b.worker));
+
+    let mut events: Vec<(u64, Value)> = Vec::new(); // (ts µs, event) for sorting
+    let mut metadata: Vec<Value> = Vec::new();
+    for (i, stream) in streams.iter().enumerate() {
+        let pid = i as u64 + 1;
+        metadata.push(meta_event(
+            "process_name",
+            pid,
+            0,
+            &format!("worker {} (pid {})", stream.worker, stream.pid),
+        ));
+        // Timer aggregates keyed by the span they ran under.
+        let mut timers_by_parent: BTreeMap<u64, Vec<(&str, u64, u64)>> = BTreeMap::new();
+        for (name, parent, n, total) in &stream.timers {
+            timers_by_parent.entry(*parent).or_default().push((name, *n, *total));
+        }
+        let span_refs: Vec<&SpanEv> = stream.spans.iter().collect();
+        let keep = opts.trial.map(|t| trial_span_ids(&span_refs, t));
+        let mut tids = BTreeSet::new();
+        for span in &stream.spans {
+            if let Some(keep) = &keep {
+                if !keep.contains(&span.id) {
+                    continue;
+                }
+            }
+            tids.insert(span.tid);
+            let mut args: Vec<(&str, Value)> = vec![("id", int(span.id))];
+            if span.parent != 0 {
+                args.push(("parent", int(span.parent)));
+            }
+            if let Some(t) = span.trial {
+                args.push(("trial", int(t)));
+            }
+            let mut timer_args: Vec<(String, Value)> = Vec::new();
+            if let Some(timers) = timers_by_parent.get(&span.id) {
+                let mut merged: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+                for &(name, n, total) in timers {
+                    let e = merged.entry(name).or_insert((0, 0));
+                    e.0 += n;
+                    e.1 += total;
+                }
+                for (name, (n, total)) in merged {
+                    timer_args.push((format!("timer.{name}.n"), int(n)));
+                    timer_args.push((format!("timer.{name}.us"), int(total)));
+                }
+            }
+            let mut arg_map: Map = args.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+            arg_map.extend(timer_args);
+            let ts = stream.span_start_us(span);
+            events.push((
+                ts,
+                table(vec![
+                    ("ph", s("X")),
+                    ("cat", s("span")),
+                    ("name", s(span.name.as_str())),
+                    ("pid", int(pid)),
+                    ("tid", int(span.tid)),
+                    ("ts", int(ts)),
+                    ("dur", int(span.dur_us)),
+                    ("args", Value::Table(arg_map)),
+                ]),
+            ));
+        }
+        for tid in tids {
+            metadata.push(meta_event(
+                "thread_name",
+                pid,
+                tid,
+                &format!("worker {} thread {tid}", stream.worker),
+            ));
+        }
+        if keep.is_none() {
+            // Counter tracks: cumulative per name, so the chaos /
+            // retry / dispatch counters read as running totals.
+            let mut cum: BTreeMap<&str, u64> = BTreeMap::new();
+            for (name, ts_ms, n) in &stream.counts {
+                let c = cum.entry(name).or_insert(0);
+                *c += n;
+                events.push((
+                    ts_ms * 1000,
+                    table(vec![
+                        ("ph", s("C")),
+                        ("name", s(name.as_str())),
+                        ("pid", int(pid)),
+                        ("tid", int(0)),
+                        ("ts", int(ts_ms * 1000)),
+                        ("args", table(vec![("value", int(*c))])),
+                    ]),
+                ));
+            }
+            for (level, msg, ts_ms, tid) in &stream.logs {
+                events.push((
+                    ts_ms * 1000,
+                    table(vec![
+                        ("ph", s("i")),
+                        ("name", s(format!("log.{level}"))),
+                        ("pid", int(pid)),
+                        ("tid", int(*tid)),
+                        ("ts", int(ts_ms * 1000)),
+                        ("s", s("t")),
+                        ("args", table(vec![("msg", s(msg.as_str()))])),
+                    ]),
+                ));
+            }
+        }
+    }
+    events.sort_by_key(|(ts, _)| *ts);
+    export.events = events.len();
+    let mut all = metadata;
+    all.extend(events.into_iter().map(|(_, e)| e));
+    let doc = table(vec![("traceEvents", Value::Array(all)), ("displayTimeUnit", s("ms"))]);
+    export.json = json::render(&doc);
+    Ok(export)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("frlfi-trace-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join(OBS_DIR)).unwrap();
+        dir
+    }
+
+    const V2_STREAM: &str = concat!(
+        r#"{"v":2,"kind":"meta","worker":"w0","pid":7,"ts_ms":1000,"mono_us":500}"#,
+        "\n",
+        r#"{"v":2,"kind":"span","name":"train","dur_us":600,"ts_ms":1001,"id":2,"parent":1,"tid":1,"mono_us":600}"#,
+        "\n",
+        r#"{"v":2,"kind":"span","name":"eval","dur_us":200,"ts_ms":1002,"id":3,"parent":1,"tid":1,"mono_us":1300}"#,
+        "\n",
+        r#"{"v":2,"kind":"timer","name":"io","n":1,"total_us":50,"ts_ms":1002,"tid":1,"parent":1}"#,
+        "\n",
+        r#"{"v":2,"kind":"span","name":"trial","trial":4,"dur_us":1000,"ts_ms":1002,"id":1,"tid":1,"mono_us":550}"#,
+        "\n",
+        r#"{"v":2,"kind":"count","name":"io.retry","n":2,"ts_ms":1002,"tid":1}"#,
+        "\n",
+        r#"{"v":2,"kind":"log","level":"warn","msg":"retrying","ts_ms":1002,"tid":1}"#,
+        "\n",
+    );
+
+    fn write_stream(dir: &Path, name: &str, text: &str) {
+        std::fs::write(dir.join(OBS_DIR).join(name), text).unwrap();
+    }
+
+    fn trace_events(json_text: &str) -> Vec<Value> {
+        let doc = json::parse(json_text).unwrap();
+        doc.get("traceEvents").and_then(Value::as_array).unwrap().to_vec()
+    }
+
+    #[test]
+    fn exports_span_tree_counters_and_logs() {
+        let dir = tmpdir("tree");
+        write_stream(&dir, "worker-w0.jsonl", V2_STREAM);
+        let out = export(&dir, &TraceOptions::default()).unwrap();
+        let events = trace_events(&out.json);
+        let spans: Vec<&Value> =
+            events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("X")).collect();
+        assert_eq!(spans.len(), 3);
+        let find = |name: &str| {
+            *spans.iter().find(|e| e.get("name").and_then(Value::as_str) == Some(name)).unwrap()
+        };
+        let (trial, train) = (find("trial"), find("train"));
+        let arg = |e: &Value, k: &str| e.get("args").unwrap().get(k).and_then(Value::as_int);
+        assert_eq!(arg(trial, "id"), Some(1));
+        assert_eq!(arg(trial, "trial"), Some(4));
+        assert_eq!(arg(train, "parent"), arg(trial, "id"));
+        // The io timer aggregate is attributed to the trial span.
+        assert_eq!(arg(trial, "timer.io.us"), Some(50));
+        // Monotonic placement: train starts inside trial's interval.
+        let ts = |e: &Value| e.get("ts").and_then(Value::as_int).unwrap();
+        let dur = |e: &Value| e.get("dur").and_then(Value::as_int).unwrap();
+        assert!(ts(train) >= ts(trial) && ts(train) + dur(train) <= ts(trial) + dur(trial));
+        // mono alignment: trial start = 1000*1000 + (550-500).
+        assert_eq!(ts(trial), 1_000_050);
+        assert!(events.iter().any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+        assert!(events.iter().any(|e| e.get("ph").and_then(Value::as_str) == Some("i")));
+        assert!(events.iter().any(|e| e.get("ph").and_then(Value::as_str) == Some("M")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trial_filter_keeps_the_subtree_only() {
+        let dir = tmpdir("filter");
+        let mut text = String::from(V2_STREAM);
+        // A second trial's spans that must be filtered out.
+        text.push_str(concat!(
+            r#"{"v":2,"kind":"span","name":"train","dur_us":10,"ts_ms":1003,"id":5,"parent":4,"tid":1,"mono_us":2100}"#,
+            "\n",
+            r#"{"v":2,"kind":"span","name":"trial","trial":9,"dur_us":30,"ts_ms":1003,"id":4,"tid":1,"mono_us":2000}"#,
+            "\n",
+        ));
+        write_stream(&dir, "worker-w0.jsonl", &text);
+        let out = export(&dir, &TraceOptions { trial: Some(4) }).unwrap();
+        let events = trace_events(&out.json);
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .filter_map(|e| e.get("name").and_then(Value::as_str))
+            .collect();
+        assert_eq!(names.len(), 3, "{names:?}");
+        assert!(!events.iter().any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_streams_fall_back_to_wall_clock_placement() {
+        let dir = tmpdir("v1");
+        write_stream(
+            &dir,
+            "worker-a.jsonl",
+            concat!(
+                r#"{"v":1,"kind":"meta","worker":"a","pid":3,"ts_ms":1000}"#,
+                "\n",
+                r#"{"v":1,"kind":"span","name":"trial","trial":0,"dur_us":2000,"ts_ms":1005}"#,
+                "\n",
+            ),
+        );
+        let out = export(&dir, &TraceOptions::default()).unwrap();
+        let events = trace_events(&out.json);
+        let span =
+            events.iter().find(|e| e.get("ph").and_then(Value::as_str) == Some("X")).unwrap();
+        // start = 1005*1000 - 2000.
+        assert_eq!(span.get("ts").and_then(Value::as_int), Some(1_003_000));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_obs_dir_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("frlfi-trace-none-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(export(&dir, &TraceOptions::default()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

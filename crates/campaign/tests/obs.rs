@@ -19,7 +19,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use frlfi::Scale;
-use frlfi_campaign::{profile, runner, RunnerConfig, Scenario, SystemKind};
+use frlfi_campaign::io::chaos::{self, ChaosSpec};
+use frlfi_campaign::{fmt, perf, profile, runner, top, trace, RunnerConfig, Scenario, SystemKind};
+use serde::Value;
 
 /// The recorder is process-global: tests that enable it (or assert on
 /// its absence) serialize through this lock so one test's events can
@@ -309,4 +311,213 @@ fn status_reports_worker_elapsed_time_and_heartbeat_age() {
 
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_file(&spec).ok();
+}
+
+/// Chaos injection is process-global too; the one obs test that arms
+/// it already holds `OBS_LOCK`, and this guard disarms on drop so a
+/// failing assertion cannot leak faults into the next test.
+struct Armed;
+
+impl Armed {
+    fn arm(spec: ChaosSpec) -> Armed {
+        chaos::arm(spec);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        chaos::disarm();
+    }
+}
+
+#[test]
+fn a_failing_trial_still_leaves_its_telemetry_on_disk() {
+    let _guard = OBS_LOCK.lock().unwrap();
+
+    // One cell, two repeats, every `trials.append` faulting
+    // persistently: the retry budget exhausts, both trials
+    // quarantine, and the run fails.
+    let mut s = Scenario::new("obs-poison", SystemKind::GridWorld, Scale::Smoke);
+    s.fault.bers = vec![0.1];
+    s.fault.inject_episodes = vec![40];
+    s.train.total_episodes = Some(60);
+    s.repeats = Some(2);
+
+    let dir = temp_dir("poison");
+    let err = {
+        let _armed = Armed::arm(ChaosSpec {
+            seed: 7,
+            tag: Some("trials.append".into()),
+            persist: true,
+            ..ChaosSpec::default()
+        });
+        runner::run(&s, &dir, &RunnerConfig { threads: 1, obs: true, ..RunnerConfig::default() })
+            .expect_err("exhausted retries must fail the run")
+    };
+    assert!(err.contains("quarantined"), "{err}");
+
+    // The worker gave up on both trials, but the telemetry that
+    // describes the failure must already be on disk: the error paths
+    // flush before quarantining, and the recorder drains on unwind.
+    let p = profile::load_dir(&dir, profile::CheckMode::Strict)
+        .expect("a failing run's stream still parses strictly");
+    assert_eq!(p.workers.len(), 1);
+    let w = &p.workers[0];
+    assert_eq!(w.trials(), 2, "both poisoned trials record their spans");
+    assert!(w.spans.contains_key("train") && w.spans.contains_key("eval"));
+    assert_eq!(w.counters["trial.quarantined"], 2, "{:?}", w.counters);
+    assert!(w.counters.keys().any(|k| k.starts_with("chaos.inject.")), "{:?}", w.counters);
+    assert!(w.counters.keys().any(|k| k.starts_with("io.retry")), "{:?}", w.counters);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The committed v1 stream: what a pre-causal-schema worker wrote.
+fn v1_fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/obs_v1_fixture.jsonl")
+}
+
+#[test]
+fn v1_fixture_mixes_with_a_v2_run_in_profile_trace_and_top() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let dir = temp_dir("v1mix");
+    runner::run(
+        &scenario("v1mix"),
+        &dir,
+        &RunnerConfig { threads: 1, obs: true, ..RunnerConfig::default() },
+    )
+    .expect("obs run");
+    std::fs::copy(v1_fixture(), dir.join(profile::OBS_DIR).join("worker-v1.jsonl"))
+        .expect("install fixture");
+    let dir_s = dir.to_str().expect("utf8");
+
+    // profile: both streams fold under strict validation — the
+    // campaign's 12 v2 trials plus the fixture's one, nothing
+    // skipped, no version warnings.
+    let p = profile::load_dir(&dir, profile::CheckMode::Strict).expect("strict mixed load");
+    assert_eq!(p.workers.len(), 2);
+    assert_eq!(p.trials(), 13);
+    assert_eq!(p.skipped_lines, 0);
+    let v1 = p.workers.iter().find(|w| w.worker == "v1").expect("fixture worker row");
+    assert_eq!(v1.trials(), 1);
+    assert_eq!(v1.counters["nn.dispatch.reference"], 40);
+    assert!(p.hist_totals()["nn.batch_size"][4] >= 8, "fixture hist folds into the totals");
+    let (ok, out, err) = run_cli(&["profile", dir_s, "--check"]);
+    assert!(ok, "{out}\n{err}");
+    assert!(out.contains("2 stream(s)"), "{out}");
+    assert!(err.is_empty(), "mixed versions must not warn:\n{err}");
+
+    // trace: the mixed directory exports cleanly; the fixture's spans
+    // place via the wall-clock fallback and keep their own process
+    // track.
+    let t = trace::export(&dir, &trace::TraceOptions::default()).expect("mixed trace");
+    assert_eq!((t.skipped_lines, t.torn_tails), (0, 0));
+    let doc = fmt::json::parse(&t.json).expect("trace JSON parses");
+    let events = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+    let pids: std::collections::BTreeSet<i64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("pid").and_then(Value::as_int))
+        .collect();
+    assert_eq!(pids.len(), 2, "span tracks from both workers: {pids:?}");
+
+    // top: the dashboard folds both streams — the fixture worker gets
+    // a row and the finished campaign reads complete.
+    let mut state = top::TopState::new(&dir).expect("top state");
+    let frame = state.tick().expect("tick");
+    assert!(frame.text.contains("v1"), "{}", frame.text);
+    assert!(frame.text.contains("campaign complete"), "{}", frame.text);
+    let (ok, out, err) = run_cli(&["top", dir_s, "--once"]);
+    assert!(ok, "{out}\n{err}");
+    assert!(out.contains("campaign complete"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_reconstructs_the_trial_tree_and_perf_gates_a_regression() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let dir = temp_dir("tree");
+    runner::run(
+        &scenario("tree"),
+        &dir,
+        &RunnerConfig { threads: 1, obs: true, ..RunnerConfig::default() },
+    )
+    .expect("obs run");
+    let dir_s = dir.to_str().expect("utf8");
+
+    // The exported tree matches the instrumented call structure:
+    // every train/eval span hangs off a trial span, trial spans carry
+    // their trial index, and the per-trial commit's io timer is
+    // attributed to its trial.
+    let t = trace::export(&dir, &trace::TraceOptions::default()).expect("trace");
+    let doc = fmt::json::parse(&t.json).expect("valid trace JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+    let arg = |e: &Value, k: &str| e.get("args").and_then(|a| a.get(k)).and_then(Value::as_int);
+    let spans: Vec<&Value> =
+        events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("X")).collect();
+    fn name_of(e: &Value) -> &str {
+        e.get("name").and_then(Value::as_str).unwrap_or("")
+    }
+    let trial_ids: std::collections::BTreeSet<i64> =
+        spans.iter().filter(|e| name_of(e) == "trial").filter_map(|e| arg(e, "id")).collect();
+    assert_eq!(trial_ids.len(), 12, "one trial span per trial");
+    for span in &spans {
+        match name_of(span) {
+            "trial" => assert!(arg(span, "trial").is_some(), "trial spans carry their index"),
+            "train" | "eval" => {
+                let parent = arg(span, "parent").expect("phase spans link to a parent");
+                assert!(trial_ids.contains(&parent), "train/eval must hang off a trial span");
+            }
+            other => panic!("unexpected span {other:?} in a plain grid campaign"),
+        }
+    }
+    assert!(
+        spans.iter().any(|e| name_of(e) == "trial" && arg(e, "timer.io.us").is_some()),
+        "commit io timers must be attributed to their trial span"
+    );
+
+    // The CLI writes the same document and points at Perfetto; a
+    // `--trial` filter keeps exactly one trial's subtree.
+    let out_path = dir.join("trace.json");
+    let out_s = out_path.to_str().expect("utf8");
+    let (ok, out, err) = run_cli(&["trace", dir_s, "--out", out_s]);
+    assert!(ok, "{out}\n{err}");
+    assert!(out.contains("ui.perfetto.dev"), "{out}");
+    assert_eq!(std::fs::read_to_string(&out_path).expect("trace file"), t.json);
+    let (ok, filtered, err) = run_cli(&["trace", dir_s, "--trial", "0"]);
+    assert!(ok, "{err}");
+    let doc = fmt::json::parse(&filtered).expect("filtered trace parses");
+    let kept: Vec<&str> = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents")
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(kept.len(), 3, "trial 0's subtree is trial+train+eval: {kept:?}");
+
+    // perf: the run gates cleanly against its own measurement, and a
+    // doctored baseline (10× the throughput) fails the gate with a
+    // nonzero exit — the regression ledger's CI contract.
+    let base_path = dir.join("base.json");
+    let base_s = base_path.to_str().expect("utf8");
+    let (ok, out, err) = run_cli(&["perf", dir_s, "--out", base_s]);
+    assert!(ok, "{out}\n{err}");
+    let (ok, out, err) = run_cli(&["perf", dir_s, "--baseline", base_s, "--gate", "50"]);
+    assert!(ok, "{out}\n{err}");
+    assert!(out.contains("perf gate ok"), "{out}");
+    let mut doctored = perf::measure(&dir, "per-obs").expect("measure");
+    doctored.trials_per_s *= 10.0;
+    let doctored_path = dir.join("doctored.json");
+    std::fs::write(&doctored_path, fmt::json::render(&doctored.to_value())).expect("write");
+    let (ok, out, err) =
+        run_cli(&["perf", dir_s, "--baseline", doctored_path.to_str().expect("utf8")]);
+    assert!(!ok, "a 10× faster baseline must fail the gate:\n{out}");
+    assert!(err.contains("perf gate FAILED"), "{err}");
+    assert!(err.contains("trials/s regressed"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -25,19 +25,29 @@
 //!   readers skip a torn tail exactly like the `trials.jsonl` /
 //!   `claims.jsonl` loaders do.
 //!
-//! ## Event schema (`"v":1`)
+//! ## Event schema (`"v":2`)
 //!
 //! Every line is one JSON object with a `v` (schema version), `kind`,
-//! and `ts_ms` (milliseconds since the Unix epoch):
+//! and `ts_ms` (milliseconds since the Unix epoch). Version 2 adds
+//! **causal structure**: spans carry a process-unique `id`, the `id`
+//! of the span they nested under (`parent`, from a thread-local span
+//! stack), a per-process thread tag (`tid`) and a monotonic-clock
+//! start offset (`mono_us`, µs since the process anchor — the `meta`
+//! event carries the anchor's wall/monotonic pair); timers carry the
+//! `parent` span they accumulated under; histograms carry the exact
+//! `max` so the overflow bucket never loses the tail. Version 1
+//! events (none of those fields) still parse everywhere streams are
+//! read — `campaign profile`, `trace` and `top` accept mixed
+//! directories.
 //!
 //! | `kind`  | extra fields | meaning |
 //! |---|---|---|
-//! | `meta`  | `worker`, `pid` | emitted once on install; marks session start |
-//! | `span`  | `name`, `dur_us`, optional `trial` | one timed phase (e.g. `trial`, `train`, `eval`) |
-//! | `timer` | `name`, `n`, `total_us` | aggregated timed blocks since the last flush (e.g. `aggregate`, `io`) |
-//! | `count` | `name`, `n` | aggregated counter delta since the last flush |
-//! | `hist`  | `name`, `buckets` | aggregated power-of-two histogram delta; bucket `b ≥ 1` counts values in `[2^(b-1), 2^b)`, bucket 0 counts zeros |
-//! | `log`   | `level`, `msg` | a message routed through the logging facade |
+//! | `meta`  | `worker`, `pid`, `mono_us` | emitted once on install; anchors the monotonic clock to `ts_ms` |
+//! | `span`  | `name`, `dur_us`, `id`, `tid`, `mono_us`, optional `parent`, optional `trial` | one timed phase (e.g. `trial`, `train`, `eval`) |
+//! | `timer` | `name`, `n`, `total_us`, `tid`, optional `parent` | aggregated timed blocks since the last flush (e.g. `aggregate`, `io`), attributed to the span they ran in |
+//! | `count` | `name`, `n`, `tid` | aggregated counter delta since the last flush |
+//! | `hist`  | `name`, `buckets`, `max`, `tid` | aggregated power-of-two histogram delta; bucket `b ≥ 1` counts values in `[2^(b-1), 2^b)`, bucket 0 counts zeros; `max` is the exact largest value recorded |
+//! | `log`   | `level`, `msg`, `tid` | a message routed through the logging facade |
 //!
 //! ## Logging facade
 //!
@@ -53,7 +63,7 @@ mod recorder;
 
 pub use recorder::{
     count, enabled, flush, hist, install, span, span_trial, timed, uninstall, Span, Timed,
-    HIST_BUCKETS,
+    HIST_BUCKETS, SCHEMA_VERSION,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -1,5 +1,5 @@
 //! The process-global recorder: an installable JSONL sink plus
-//! thread-local aggregation tables.
+//! thread-local aggregation tables and the causal span stack.
 //!
 //! Instrumentation points call [`span`]/[`timed`]/[`count`]/[`hist`]
 //! unconditionally; each starts with one relaxed load of the enabled
@@ -8,13 +8,28 @@
 //! thread-local tables (no locks, no I/O) and reach the sink as
 //! aggregated delta events on [`flush`] or at thread exit; spans and
 //! log events — a handful per trial — write one line each.
+//!
+//! ## Causal structure (schema v2)
+//!
+//! Every live span draws a process-unique `id` and pushes it onto a
+//! **thread-local span stack**; a span (or timed block) that starts
+//! while another span is live on the same thread records the stack
+//! top as its `parent`. The emitted events therefore encode the
+//! instrumented call tree — `trial → train/eval → io/aggregate` —
+//! without the instrumentation sites knowing about each other.
+//! Spans also carry `mono_us`, their start offset on the process
+//! monotonic clock (µs since the first enabled instrumentation point
+//! of the process), so offline tools can place them on a timeline at
+//! microsecond resolution; the `meta` event carries the same clock's
+//! value next to its wall `ts_ms`, anchoring the monotonic timeline
+//! to the wall clock once per stream.
 
 use std::cell::RefCell;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::Level;
@@ -24,11 +39,23 @@ use crate::Level;
 /// everything above.
 pub const HIST_BUCKETS: usize = 17;
 
+/// The schema version every event this recorder emits carries.
+/// Version 1 events (no span ids, no monotonic timestamps) still
+/// parse everywhere events are read.
+pub const SCHEMA_VERSION: u64 = 2;
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 /// Bumped on every install; thread-local tables tagged with an older
 /// generation are stale (they belong to a previous sink) and reset.
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+/// Process-unique span ids, never reused across installs (trace
+/// readers may merge streams from re-installed sessions of one
+/// process; distinct ids keep their trees disjoint). 0 means "no id".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-unique thread tags for the `tid` event field, so one
+/// worker process's concurrent threads render as separate tracks.
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
 
 struct Sink {
     out: BufWriter<File>,
@@ -49,6 +76,22 @@ fn ts_ms() -> u64 {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)
         .unwrap_or(0)
+}
+
+/// The process monotonic anchor: µs elapsed since the first call.
+/// Shared by every thread, so `mono_us` values across one process's
+/// events are mutually ordered even when the wall clock steps.
+fn mono_us() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// This thread's process-unique tag for the `tid` event field.
+fn thread_tag() -> u64 {
+    thread_local! {
+        static TAG: u64 = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+    }
+    TAG.try_with(|t| *t).unwrap_or(0)
 }
 
 /// Escapes `s` into a JSON string literal body (quotes, backslashes
@@ -74,7 +117,7 @@ fn escape_into(buf: &mut String, s: &str) {
 /// generation still matches (a racing uninstall/reinstall must not
 /// interleave a stale thread's events into the new sink's stream).
 fn write_line(generation: u64, line: &str) {
-    let mut guard = SINK.lock().expect("obs sink");
+    let mut guard = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(sink) = guard.as_mut() {
         if sink.generation == generation {
             let _ = writeln!(sink.out, "{line}");
@@ -82,10 +125,20 @@ fn write_line(generation: u64, line: &str) {
     }
 }
 
+/// Flushes the sink's buffered bytes to the file. Cheap when there is
+/// nothing buffered; called on [`flush`], thread exit, and unwinds so
+/// a crashing worker's last events reach disk.
+fn flush_sink() {
+    if let Some(sink) = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner).as_mut() {
+        let _ = sink.out.flush();
+    }
+}
+
 /// Installs the recorder: events stream to `path` (created/appended)
 /// until [`uninstall`]. Emits a `meta` event naming `worker` and the
-/// pid. Installing over a live sink replaces it (the old sink is
-/// flushed and closed).
+/// pid, and anchoring the monotonic clock (`mono_us`) to the wall
+/// clock (`ts_ms`). Installing over a live sink replaces it (the old
+/// sink is flushed and closed).
 ///
 /// # Errors
 ///
@@ -97,15 +150,25 @@ pub fn install(path: &Path, worker: &str) -> std::io::Result<()> {
     }
     let file = OpenOptions::new().create(true).append(true).open(path)?;
     let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
-    let mut meta = String::with_capacity(96);
-    meta.push_str("{\"v\":1,\"kind\":\"meta\",\"worker\":\"");
+    let mut meta = String::with_capacity(128);
+    meta.push_str("{\"v\":2,\"kind\":\"meta\",\"worker\":\"");
     escape_into(&mut meta, worker);
     use std::fmt::Write as _;
-    let _ = write!(meta, "\",\"pid\":{},\"ts_ms\":{}}}", std::process::id(), ts_ms());
+    let _ = write!(
+        meta,
+        "\",\"pid\":{},\"ts_ms\":{},\"mono_us\":{}}}",
+        std::process::id(),
+        ts_ms(),
+        mono_us()
+    );
     let mut out = BufWriter::new(file);
     let _ = writeln!(out, "{meta}");
     let _ = out.flush();
-    if let Some(mut old) = SINK.lock().expect("obs sink").replace(Sink { out, generation }) {
+    if let Some(mut old) = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .replace(Sink { out, generation })
+    {
         let _ = old.out.flush();
     }
     ENABLED.store(true, Ordering::Relaxed);
@@ -120,7 +183,7 @@ pub fn uninstall() {
     flush();
     ENABLED.store(false, Ordering::Relaxed);
     GENERATION.fetch_add(1, Ordering::Relaxed);
-    if let Some(mut sink) = SINK.lock().expect("obs sink").take() {
+    if let Some(mut sink) = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take() {
         let _ = sink.out.flush();
     }
 }
@@ -133,8 +196,15 @@ pub fn uninstall() {
 struct ThreadStats {
     generation: u64,
     counters: Vec<(&'static str, u64)>,
-    timers: Vec<(&'static str, u64, u64)>, // (name, n, total_us)
-    hists: Vec<(&'static str, [u64; HIST_BUCKETS])>,
+    // (name, parent span id, n, total_us) — timed blocks aggregate
+    // per causal parent so the offline tree keeps io/aggregate under
+    // the trial/train/eval span they ran in.
+    timers: Vec<(&'static str, u64, u64, u64)>,
+    // (name, buckets, exact max) — the overflow bucket alone would
+    // lose the tail, so the maximum recorded value rides along.
+    hists: Vec<(&'static str, [u64; HIST_BUCKETS], u64)>,
+    /// Live span ids, innermost last — the causal parent stack.
+    span_stack: Vec<u64>,
 }
 
 impl ThreadStats {
@@ -145,6 +215,9 @@ impl ThreadStats {
             self.counters.clear();
             self.timers.clear();
             self.hists.clear();
+            // A span that outlived its install must not parent spans
+            // of the next one (ids are per-stream meaningful).
+            self.span_stack.clear();
             self.generation = current;
         }
     }
@@ -156,33 +229,39 @@ impl ThreadStats {
         }
         use std::fmt::Write as _;
         let now = ts_ms();
+        let tid = thread_tag();
         let mut line = String::with_capacity(128);
         for (name, n) in self.counters.drain(..) {
             line.clear();
-            line.push_str("{\"v\":1,\"kind\":\"count\",\"name\":\"");
+            line.push_str("{\"v\":2,\"kind\":\"count\",\"name\":\"");
             escape_into(&mut line, name);
-            let _ = write!(line, "\",\"ts_ms\":{now},\"n\":{n}}}");
+            let _ = write!(line, "\",\"ts_ms\":{now},\"tid\":{tid},\"n\":{n}}}");
             write_line(self.generation, &line);
         }
-        for (name, n, total_us) in self.timers.drain(..) {
+        for (name, parent, n, total_us) in self.timers.drain(..) {
             line.clear();
-            line.push_str("{\"v\":1,\"kind\":\"timer\",\"name\":\"");
+            line.push_str("{\"v\":2,\"kind\":\"timer\",\"name\":\"");
             escape_into(&mut line, name);
-            let _ = write!(line, "\",\"ts_ms\":{now},\"n\":{n},\"total_us\":{total_us}}}");
+            let _ =
+                write!(line, "\",\"ts_ms\":{now},\"tid\":{tid},\"n\":{n},\"total_us\":{total_us}");
+            if parent != 0 {
+                let _ = write!(line, ",\"parent\":{parent}");
+            }
+            line.push('}');
             write_line(self.generation, &line);
         }
-        for (name, buckets) in self.hists.drain(..) {
+        for (name, buckets, max) in self.hists.drain(..) {
             line.clear();
-            line.push_str("{\"v\":1,\"kind\":\"hist\",\"name\":\"");
+            line.push_str("{\"v\":2,\"kind\":\"hist\",\"name\":\"");
             escape_into(&mut line, name);
-            let _ = write!(line, "\",\"ts_ms\":{now},\"buckets\":[");
+            let _ = write!(line, "\",\"ts_ms\":{now},\"tid\":{tid},\"buckets\":[");
             for (i, b) in buckets.iter().enumerate() {
                 if i > 0 {
                     line.push(',');
                 }
                 let _ = write!(line, "{b}");
             }
-            line.push_str("]}");
+            let _ = write!(line, "],\"max\":{max}}}");
             write_line(self.generation, &line);
         }
     }
@@ -190,10 +269,12 @@ impl ThreadStats {
 
 impl Drop for ThreadStats {
     fn drop(&mut self) {
-        // Thread exit: whatever this thread accumulated since its
-        // last flush still reaches the stream.
+        // Thread exit (clean or unwinding): whatever this thread
+        // accumulated since its last flush still reaches the stream —
+        // and the disk, since a dying worker gets no later flush.
         if enabled() {
             self.drain();
+            flush_sink();
         }
     }
 }
@@ -212,6 +293,14 @@ fn with_tls(f: impl FnOnce(&mut ThreadStats)) {
     });
 }
 
+/// The calling thread's current innermost live span id (0 = none) —
+/// the causal parent any new span or timed block would record.
+fn current_parent() -> u64 {
+    let mut parent = 0;
+    with_tls(|tls| parent = tls.span_stack.last().copied().unwrap_or(0));
+    parent
+}
+
 /// Adds `n` to the thread-local counter `name`.
 #[inline]
 pub fn count(name: &'static str, n: u64) {
@@ -226,19 +315,24 @@ pub fn count(name: &'static str, n: u64) {
 
 /// Records `value` into the thread-local power-of-two histogram
 /// `name` (bucket 0: zeros; bucket `b ≥ 1`: `[2^(b-1), 2^b)`; the
-/// last bucket absorbs everything above).
+/// last bucket absorbs everything above — and the exact maximum is
+/// tracked alongside, so the tail is never lost to the overflow
+/// bucket).
 #[inline]
 pub fn hist(name: &'static str, value: u64) {
     if !enabled() {
         return;
     }
     let bucket = (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1);
-    with_tls(|tls| match tls.hists.iter_mut().find(|(k, _)| *k == name) {
-        Some((_, buckets)) => buckets[bucket] += 1,
+    with_tls(|tls| match tls.hists.iter_mut().find(|(k, ..)| *k == name) {
+        Some((_, buckets, max)) => {
+            buckets[bucket] += 1;
+            *max = (*max).max(value);
+        }
         None => {
             let mut buckets = [0u64; HIST_BUCKETS];
             buckets[bucket] = 1;
-            tls.hists.push((name, buckets));
+            tls.hists.push((name, buckets, value));
         }
     });
 }
@@ -252,9 +346,7 @@ pub fn flush() {
         return;
     }
     with_tls(ThreadStats::drain);
-    if let Some(sink) = SINK.lock().expect("obs sink").as_mut() {
-        let _ = sink.out.flush();
-    }
+    flush_sink();
 }
 
 // ---------------------------------------------------------------------------
@@ -262,68 +354,126 @@ pub fn flush() {
 // ---------------------------------------------------------------------------
 
 /// A live span: emits one `span` event (name, wall-clock duration,
-/// optional trial index) when dropped. Inert — carries no clock — when
-/// the recorder was disabled at construction.
+/// causal `id`/`parent`, monotonic start, optional trial index) when
+/// dropped. Inert — carries no clock — when the recorder was disabled
+/// at construction.
 #[must_use = "a span measures the scope it is alive in"]
 pub struct Span {
-    live: Option<(Instant, &'static str, Option<u64>)>,
+    live: Option<SpanLive>,
+}
+
+struct SpanLive {
+    start: Instant,
+    start_mono_us: u64,
+    name: &'static str,
+    trial: Option<u64>,
+    id: u64,
+    parent: u64,
+}
+
+fn start_span(name: &'static str, trial: Option<u64>) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let mut parent = 0;
+    with_tls(|tls| {
+        parent = tls.span_stack.last().copied().unwrap_or(0);
+        tls.span_stack.push(id);
+    });
+    Span {
+        live: Some(SpanLive {
+            start: Instant::now(),
+            start_mono_us: mono_us(),
+            name,
+            trial,
+            id,
+            parent,
+        }),
+    }
 }
 
 /// Starts a span named `name` (e.g. `"train"`), ending — and emitting
-/// its event — when the returned guard drops.
+/// its event — when the returned guard drops. The span's causal
+/// parent is whatever span was innermost on this thread at the call.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    Span { live: enabled().then(|| (Instant::now(), name, None)) }
+    start_span(name, None)
 }
 
 /// [`span`] tagged with the flat trial index it belongs to.
 #[inline]
 pub fn span_trial(name: &'static str, trial: u64) -> Span {
-    Span { live: enabled().then(|| (Instant::now(), name, Some(trial))) }
+    start_span(name, Some(trial))
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some((start, name, trial)) = self.live.take() else { return };
-        let dur_us = start.elapsed().as_micros() as u64;
+        let Some(live) = self.live.take() else { return };
+        let dur_us = live.start.elapsed().as_micros() as u64;
+        // Pop this span off the causal stack. Guards normally drop in
+        // LIFO order; a guard dropped out of order is removed from
+        // wherever it sits so the stack can never hold a dead id.
+        with_tls(|tls| {
+            if let Some(pos) = tls.span_stack.iter().rposition(|&id| id == live.id) {
+                tls.span_stack.remove(pos);
+            }
+        });
         use std::fmt::Write as _;
-        let mut line = String::with_capacity(96);
-        line.push_str("{\"v\":1,\"kind\":\"span\",\"name\":\"");
-        escape_into(&mut line, name);
-        let _ = write!(line, "\",\"ts_ms\":{},\"dur_us\":{dur_us}", ts_ms());
-        if let Some(trial) = trial {
+        let mut line = String::with_capacity(160);
+        line.push_str("{\"v\":2,\"kind\":\"span\",\"name\":\"");
+        escape_into(&mut line, live.name);
+        let _ = write!(
+            line,
+            "\",\"ts_ms\":{},\"dur_us\":{dur_us},\"id\":{},\"tid\":{},\"mono_us\":{}",
+            ts_ms(),
+            live.id,
+            thread_tag(),
+            live.start_mono_us,
+        );
+        if live.parent != 0 {
+            let _ = write!(line, ",\"parent\":{}", live.parent);
+        }
+        if let Some(trial) = live.trial {
             let _ = write!(line, ",\"trial\":{trial}");
         }
         line.push('}');
         write_line(GENERATION.load(Ordering::Relaxed), &line);
+        // An unwinding trial gets no per-trial flush; push its final
+        // events to disk before the stack disappears.
+        if std::thread::panicking() {
+            with_tls(ThreadStats::drain);
+            flush_sink();
+        }
     }
 }
 
 /// A live timed block: adds its duration to the thread-local `timer`
-/// aggregate `name` when dropped (no event of its own — suitable for
-/// blocks that run thousands of times per trial, like per-round
-/// aggregation or per-record I/O).
+/// aggregate keyed by (`name`, causal parent span) when dropped (no
+/// event of its own — suitable for blocks that run thousands of times
+/// per trial, like per-round aggregation or per-record I/O).
 #[must_use = "a timed block measures the scope it is alive in"]
 pub struct Timed {
-    live: Option<(Instant, &'static str)>,
+    live: Option<(Instant, &'static str, u64)>,
 }
 
-/// Starts a timed block accumulating into timer `name`.
+/// Starts a timed block accumulating into timer `name`, attributed to
+/// the innermost live span on this thread.
 #[inline]
 pub fn timed(name: &'static str) -> Timed {
-    Timed { live: enabled().then(|| (Instant::now(), name)) }
+    Timed { live: enabled().then(|| (Instant::now(), name, current_parent())) }
 }
 
 impl Drop for Timed {
     fn drop(&mut self) {
-        let Some((start, name)) = self.live.take() else { return };
+        let Some((start, name, parent)) = self.live.take() else { return };
         let us = start.elapsed().as_micros() as u64;
-        with_tls(|tls| match tls.timers.iter_mut().find(|(k, ..)| *k == name) {
-            Some((_, n, total)) => {
+        with_tls(|tls| match tls.timers.iter_mut().find(|(k, p, ..)| *k == name && *p == parent) {
+            Some((_, _, n, total)) => {
                 *n += 1;
                 *total += us;
             }
-            None => tls.timers.push((name, 1, us)),
+            None => tls.timers.push((name, parent, 1, us)),
         });
     }
 }
@@ -331,10 +481,10 @@ impl Drop for Timed {
 /// Emits one `log` event (the recording half of the logging facade).
 pub(crate) fn log_event(level: Level, msg: &str) {
     use std::fmt::Write as _;
-    let mut line = String::with_capacity(64 + msg.len());
-    line.push_str("{\"v\":1,\"kind\":\"log\",\"level\":\"");
+    let mut line = String::with_capacity(96 + msg.len());
+    line.push_str("{\"v\":2,\"kind\":\"log\",\"level\":\"");
     line.push_str(level.name());
-    let _ = write!(line, "\",\"ts_ms\":{},\"msg\":\"", ts_ms());
+    let _ = write!(line, "\",\"ts_ms\":{},\"tid\":{},\"msg\":\"", ts_ms(), thread_tag());
     escape_into(&mut line, msg);
     line.push_str("\"}");
     write_line(GENERATION.load(Ordering::Relaxed), &line);
@@ -390,17 +540,100 @@ mod tests {
             all.contains("\"kind\":\"meta\"") && all.contains("\"worker\":\"w-test\""),
             "{all}"
         );
+        assert!(all.contains("\"mono_us\":"), "meta anchors the monotonic clock: {all}");
         assert!(all.contains("\"kind\":\"span\"") && all.contains("\"trial\":7"), "{all}");
+        assert!(all.contains("\"id\":"), "v2 spans carry ids: {all}");
         assert!(all.contains("\"kind\":\"timer\"") && all.contains("\"name\":\"io\""), "{all}");
         assert!(all.contains("\"kind\":\"count\"") && all.contains("\"n\":5"), "{all}");
         // 32 = 2^5 lands in bucket 6 ([2^5, 2^6)).
         assert!(all.contains("\"kind\":\"hist\""), "{all}");
         assert!(all.contains("[0,0,0,0,0,0,1,0,0,0,0,0,0,0,0,0,0]"), "{all}");
+        assert!(all.contains("\"max\":32"), "hist events carry the exact max: {all}");
         assert!(
             all.contains("\"kind\":\"log\"") && all.contains("something odd happened"),
             "{all}"
         );
         assert!(!enabled(), "uninstall must disable recording");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nested_spans_record_parent_ids_and_timers_attribute() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let path = temp_file("nesting");
+        let _ = std::fs::remove_file(&path);
+        install(&path, "w-nest").expect("install");
+        {
+            let _trial = span_trial("trial", 3);
+            {
+                let _train = span("train");
+                drop(timed("aggregate"));
+            }
+            let _eval = span("eval");
+        }
+        flush();
+        uninstall();
+        let all = lines(&path);
+        let field = |line: &str, key: &str| -> Option<u64> {
+            let tag = format!("\"{key}\":");
+            let rest = &line[line.find(&tag)? + tag.len()..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let span_line = |name: &str| {
+            let needle = format!("\"kind\":\"span\",\"name\":\"{name}\"");
+            all.iter().find(|l| l.contains(&needle)).unwrap_or_else(|| panic!("{name}: {all:?}"))
+        };
+        let trial_id = field(span_line("trial"), "id").expect("trial id");
+        let train = span_line("train");
+        let eval = span_line("eval");
+        assert_eq!(field(train, "parent"), Some(trial_id), "train nests under trial: {train}");
+        assert_eq!(field(eval, "parent"), Some(trial_id), "eval nests under trial: {eval}");
+        assert!(field(span_line("trial"), "parent").is_none(), "root span has no parent");
+        let train_id = field(train, "id").expect("train id");
+        let timer = all
+            .iter()
+            .find(|l| l.contains("\"kind\":\"timer\"") && l.contains("\"name\":\"aggregate\""))
+            .expect("aggregate timer");
+        assert_eq!(
+            field(timer, "parent"),
+            Some(train_id),
+            "timers attribute to the span they ran in: {timer}"
+        );
+        // Monotonic starts order as the calls did.
+        assert!(
+            field(span_line("trial"), "mono_us") <= field(train, "mono_us")
+                && field(train, "mono_us") <= field(eval, "mono_us"),
+            "mono_us orders span starts: {all:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panicking_thread_flushes_its_events_to_disk() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let path = temp_file("unwind");
+        let _ = std::fs::remove_file(&path);
+        install(&path, "w-panic").expect("install");
+        let res = std::thread::spawn(|| {
+            let _trial = span_trial("trial", 99);
+            count("doomed.work", 4);
+            panic!("deliberate trial failure");
+        })
+        .join();
+        assert!(res.is_err(), "the worker thread must have panicked");
+        // Before any flush/uninstall: the unwound thread's span AND
+        // its unflushed counter aggregate must already be on disk.
+        let all = lines(&path).join("\n");
+        assert!(
+            all.contains("\"kind\":\"span\"") && all.contains("\"trial\":99"),
+            "panic must not lose the span: {all}"
+        );
+        assert!(
+            all.contains("doomed.work") && all.contains("\"n\":4"),
+            "panic must flush thread-local aggregates: {all}"
+        );
+        uninstall();
         let _ = std::fs::remove_file(&path);
     }
 
@@ -443,5 +676,35 @@ mod tests {
         assert_eq!(bucket(127), 7);
         assert_eq!(bucket(128), 8);
         assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn out_of_order_span_drops_keep_the_stack_sound() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let path = temp_file("ooo");
+        let _ = std::fs::remove_file(&path);
+        install(&path, "w-ooo").expect("install");
+        let a = span("a");
+        let b = span("b");
+        drop(a); // out of LIFO order
+        let c = span("c"); // parent must be b, not the dead a
+        drop(c);
+        drop(b);
+        flush();
+        uninstall();
+        let all = lines(&path);
+        let field = |line: &str, key: &str| -> Option<u64> {
+            let tag = format!("\"{key}\":");
+            let rest = &line[line.find(&tag)? + tag.len()..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let line_of = |name: &str| {
+            let needle = format!("\"name\":\"{name}\"");
+            all.iter().find(|l| l.contains(&needle)).expect("span line").clone()
+        };
+        let b_id = field(&line_of("b"), "id").expect("b id");
+        assert_eq!(field(&line_of("c"), "parent"), Some(b_id), "{all:?}");
+        let _ = std::fs::remove_file(&path);
     }
 }
